@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench tables soak fuzz reproduce clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ofconn/ ./internal/remote/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/benchtable
+
+soak:
+	$(GO) run ./cmd/soak -iters 500
+
+fuzz:
+	$(GO) test -fuzz FuzzParseFlowMod -fuzztime 30s ./internal/ofwire/
+
+reproduce:
+	./scripts/reproduce.sh
+
+clean:
+	rm -f test_output.txt bench_output.txt benchtable_output.txt

@@ -1,0 +1,449 @@
+// benchtable regenerates the paper's evaluation: Table 2 (out-of-band and
+// in-band message complexity of every SmartSouth service) plus the
+// numbered claims (tag size, rule space / "few hundred nodes", failover,
+// packet-loss false negatives, and the control-load comparison against
+// out-of-band baselines). Paper formulas are printed next to measured
+// values from the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"smartsouth"
+	"smartsouth/internal/controller"
+	"smartsouth/internal/core"
+	"smartsouth/internal/network"
+	"smartsouth/internal/topo"
+)
+
+var (
+	sizes    = flag.String("sizes", "20,60,120,240", "comma-separated network sizes")
+	topoName = flag.String("topo", "random", "topology family: random|grid|fattree|ba|waxman")
+)
+
+func parseSizes() []int {
+	var out []int
+	v := 0
+	for _, c := range *sizes + "," {
+		if c >= '0' && c <= '9' {
+			v = v*10 + int(c-'0')
+		} else if v > 0 {
+			out = append(out, v)
+			v = 0
+		}
+	}
+	return out
+}
+
+func graph(n int) *topo.Graph {
+	switch *topoName {
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return topo.Grid(side, (n+side-1)/side)
+	case "fattree":
+		k := 2
+		for 5*k*k/4 < n {
+			k += 2
+		}
+		g, err := topo.FatTree(k)
+		must(err)
+		return g
+	case "ba":
+		return topo.BarabasiAlbert(n, 2, int64(n))
+	case "waxman":
+		return topo.Waxman(n, 0.4, 0.2, int64(n))
+	default:
+		return topo.RandomConnected(n, n/2, int64(n))
+	}
+}
+
+func sweep(g *topo.Graph) int { return 4*g.NumEdges() - 2*g.NumNodes() + 2 }
+
+type row struct {
+	service     string
+	n, e        int
+	outPaper    string
+	outMeasured int
+	inPaper     string
+	inMeasured  int
+}
+
+func main() {
+	flag.Parse()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	fmt.Fprintf(w, "== Topology family: %s ==\n", *topoName)
+	fmt.Fprintln(w, "n\tE\tdegree min/mean/max\tdiameter")
+	for _, n := range parseSizes() {
+		m := topo.Measure(graph(n))
+		fmt.Fprintf(w, "%d\t%d\t%d/%.1f/%d\t%d\n", m.Nodes, m.Edges, m.MinDegree, m.MeanDegree, m.MaxDegree, m.Diameter)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "== Table 2: SmartSouth service complexities (paper formula vs measured) ==")
+	fmt.Fprintln(w, "service\tn\tE\tout-band paper\tout-band meas.\tin-band paper\tin-band meas.")
+	for _, n := range parseSizes() {
+		g := graph(n)
+		for _, r := range measureAll(g) {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d\t%s\t%d\n",
+				r.service, r.n, r.e, r.outPaper, r.outMeasured, r.inPaper, r.inMeasured)
+		}
+	}
+	w.Flush()
+
+	latencyTable()
+	tagSizeTable()
+	ruleSpaceTable()
+	failoverTable()
+	midFailureTable()
+	pktLossTable()
+	baselineTable()
+}
+
+// latencyTable reports completion latency (simulated time at 1µs links)
+// and mean in-band message size per service — the "size" column of
+// Table 2 measured rather than asymptotic.
+func latencyTable() {
+	fmt.Println("\n== Completion latency and in-band message sizes (1µs links) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "service\tn\tE\tcompletion (µs)\tavg in-band bytes\tlargest report bytes")
+	for _, n := range parseSizes() {
+		g := graph(n)
+
+		runOne := func(name string, install func(d *smartsouth.Deployment) (trigger func(), eth uint16)) {
+			d := smartsouth.Deploy(g, smartsouth.Options{})
+			trigger, eth := install(d)
+			trigger()
+			must(d.Run())
+			msgs := d.Net.InBandMsgs[eth]
+			bytes := d.Net.InBandBytes[eth]
+			avg := 0
+			if msgs > 0 {
+				avg = bytes / msgs
+			}
+			report := 0
+			for _, pi := range d.Ctl.Inbox() {
+				if pi.Pkt.Size() > report {
+					report = pi.Pkt.Size()
+				}
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n",
+				name, n, g.NumEdges(), d.Net.Sim.Now()/1000, avg, report)
+		}
+
+		runOne("snapshot", func(d *smartsouth.Deployment) (func(), uint16) {
+			s, err := d.InstallSnapshot()
+			must(err)
+			return func() { s.Trigger(0, 0) }, core.EthSnapshot
+		})
+		runOne("critical", func(d *smartsouth.Deployment) (func(), uint16) {
+			c, err := d.InstallCritical()
+			must(err)
+			return func() { c.Check(0, 0) }, core.EthCritical
+		})
+		runOne("anycast", func(d *smartsouth.Deployment) (func(), uint16) {
+			golden := topo.GoldenDFS(g, 0, topo.Never, topo.Never)
+			last := golden.FirstVisits[len(golden.FirstVisits)-1]
+			a, err := d.InstallAnycast(map[uint32][]int{1: {last}})
+			must(err)
+			return func() { a.Send(0, 1, nil, 0) }, core.EthAnycast
+		})
+	}
+	w.Flush()
+}
+
+// midFailureTable quantifies the paper's mid-execution-failure limitation
+// and the supervisor mitigation: fail a random link at a random moment
+// during the sweep; count how often the first attempt dies and how many
+// attempts the retry supervisor needs.
+func midFailureTable() {
+	fmt.Println("\n== Limitation study: link failure DURING the traversal + retry supervisor ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "trial\tfailed link\tat (µs)\tfirst attempt\tattempts to success")
+	g := topo.Grid(4, 4)
+	for trial := 0; trial < 6; trial++ {
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		snap, err := d.InstallSnapshot()
+		must(err)
+		e := g.Edges()[(trial*5+3)%g.NumEdges()]
+		at := smartsouth.Time(trial*13_000 + 4_000)
+		must(d.Net.ScheduleLinkDown(e.U, e.V, true, at))
+		res, attempts, err := smartsouth.Supervisor{}.SnapshotWithRetry(snap, 0)
+		must(err)
+		first := "survived"
+		if attempts > 1 {
+			first = "lost"
+		}
+		_ = res
+		fmt.Fprintf(w, "%d\t%d-%d\t%d\t%s\t%d\n", trial, e.U, e.V, at/1000, first, attempts)
+	}
+	w.Flush()
+	fmt.Println("(the paper assumes no failures during execution; the supervisor retries with fresh packets)")
+}
+
+func measureAll(g *topo.Graph) []row {
+	n, e := g.NumNodes(), g.NumEdges()
+	var rows []row
+
+	// Snapshot.
+	{
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		s, err := d.InstallSnapshot()
+		must(err)
+		s.Trigger(0, 0)
+		must(d.Run())
+		rows = append(rows, row{"snapshot", n, e,
+			"1·O(1)+1·O(E)", d.Ctl.Stats.RuntimeMsgs(),
+			fmt.Sprintf("4E-2n=%d", sweep(g)), d.Net.InBandMsgs[core.EthSnapshot]})
+	}
+	// Anycast (worst case: member is the last first-visited node).
+	{
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		golden := topo.GoldenDFS(g, 0, topo.Never, topo.Never)
+		last := golden.FirstVisits[len(golden.FirstVisits)-1]
+		a, err := d.InstallAnycast(map[uint32][]int{1: {last}})
+		must(err)
+		a.Send(0, 1, nil, 0)
+		must(d.Run())
+		rows = append(rows, row{"anycast", n, e,
+			"0", d.Ctl.Stats.RuntimeMsgs(),
+			fmt.Sprintf("<=4E-2n=%d", sweep(g)), d.Net.InBandMsgs[core.EthAnycast]})
+	}
+	// Priocast (winner far from the root).
+	{
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		golden := topo.GoldenDFS(g, 0, topo.Never, topo.Never)
+		last := golden.FirstVisits[len(golden.FirstVisits)-1]
+		mid := golden.FirstVisits[len(golden.FirstVisits)/2]
+		p, err := d.InstallPriocast(map[uint32][]smartsouth.PrioMember{1: {
+			{Node: mid, Prio: 2}, {Node: last, Prio: 9}}})
+		must(err)
+		p.Send(0, 1, nil, 0)
+		must(d.Run())
+		rows = append(rows, row{"priocast", n, e,
+			"0", d.Ctl.Stats.RuntimeMsgs(),
+			fmt.Sprintf("<=8E-4n=%d", 2*sweep(g)), d.Net.InBandMsgs[core.EthPriocast]})
+	}
+	// Blackhole 1 (TTL binary search) — only while 4E+2 fits the TTL.
+	if 4*e+2 <= 255 {
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		b, err := d.InstallBlackholeTTL()
+		must(err)
+		hole := g.Edges()[e/2]
+		must(d.Net.SetBlackhole(hole.U, hole.V, false))
+		rep, err := b.Locate(0, 0)
+		must(err)
+		if rep == nil {
+			log.Fatal("blackhole-1 found nothing")
+		}
+		rows = append(rows, row{"blackhole-1", n, e,
+			fmt.Sprintf("2·logE=%d", 2*log2ceil(e)), d.Ctl.Stats.RuntimeMsgs(),
+			fmt.Sprintf("~8E-4n=%d", 2*sweep(g)), d.Net.InBandMsgs[core.EthBlackhole]})
+	}
+	// Blackhole 2 (smart counters).
+	{
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		b, err := d.InstallBlackholeCounter()
+		must(err)
+		hole := g.Edges()[e/2]
+		must(d.Net.SetBlackhole(hole.U, hole.V, false))
+		b.Detect(0, 0, 0)
+		must(d.Run())
+		if _, found, done := b.Outcome(); !done || !found {
+			log.Fatal("blackhole-2 found nothing")
+		}
+		rows = append(rows, row{"blackhole-2", n, e,
+			"3", d.Ctl.Stats.RuntimeMsgs(),
+			fmt.Sprintf("~4E=%d", 4*e), d.Net.InBandMsgs[core.EthBlackhole] + d.Net.InBandMsgs[core.EthBlackholeChk]})
+	}
+	// Critical (non-critical node: full sweep).
+	{
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		cr, err := d.InstallCritical()
+		must(err)
+		node := 0
+		cuts := topo.ArticulationPoints(g)
+		for v := 0; v < n; v++ {
+			if !cuts[v] {
+				node = v
+				break
+			}
+		}
+		cr.Check(node, 0)
+		must(d.Run())
+		rows = append(rows, row{"critical", n, e,
+			"2", d.Ctl.Stats.RuntimeMsgs(),
+			fmt.Sprintf("4E-2n=%d", sweep(g)), d.Net.InBandMsgs[core.EthCritical]})
+	}
+	return rows
+}
+
+func tagSizeTable() {
+	fmt.Println("\n== Claim: DFS tag adds O(n log Δ) bits (Table 2 footnote) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tE\ttag bytes\tbytes/node")
+	for _, n := range parseSizes() {
+		g := graph(n)
+		l := core.NewLayout(g)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\n", n, g.NumEdges(), l.TagBytes(), float64(l.TagBytes())/float64(n))
+	}
+	w.Flush()
+}
+
+func ruleSpaceTable() {
+	fmt.Println("\n== Claim: 32 MB flow-table space supports a few hundred nodes ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tflow entries/sw\tgroups/sw\tbytes/sw\tswitches per 32MB")
+	for _, n := range parseSizes() {
+		g := graph(n)
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		_, err := d.InstallSnapshot()
+		must(err)
+		_, err = d.InstallCritical()
+		must(err)
+		_, err = d.InstallBlackholeCounter()
+		must(err)
+		perSw := float64(d.ConfigBytes()) / float64(n)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.0f\t%.0f\n",
+			n, d.FlowEntries()/n, d.GroupEntries()/n, perSw, 32*1024*1024/perSw)
+	}
+	w.Flush()
+	fmt.Println("(three services installed simultaneously: snapshot + critical + blackhole-2)")
+}
+
+func failoverTable() {
+	fmt.Println("\n== Claim: fast-failover robustness (no controller during failures) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "failed links\tcompleted\tnodes covered\tin-band msgs")
+	g := topo.Grid(6, 6)
+	for _, kills := range []int{0, 2, 4, 8, 12} {
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		snap, err := d.InstallSnapshot()
+		must(err)
+		dead := map[[2]int]bool{}
+		for i := 0; i < kills; i++ {
+			e := g.Edges()[(i*7)%g.NumEdges()]
+			must(d.Net.SetLinkDown(e.U, e.V, true))
+			dead[[2]int{e.U, e.V}] = true
+		}
+		snap.Trigger(0, 0)
+		must(d.Run())
+		res, err := snap.Collect()
+		must(err)
+		covered := 0
+		if res != nil {
+			covered = len(res.Nodes)
+		}
+		fmt.Fprintf(w, "%d\t%v\t%d/%d\t%d\n", kills, res != nil, covered, g.NumNodes(),
+			d.Net.InBandMsgs[core.EthSnapshot])
+	}
+	w.Flush()
+}
+
+func pktLossTable() {
+	fmt.Println("\n== Claim: prime-sized counter pairs vs packet-loss false negatives ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "packets lost\tdetected {7}\tdetected {7,11}\tdetected {7,11,13}")
+	primeSets := [][]int{{7}, {7, 11}, {7, 11, 13}}
+	for _, k := range []int{3, 7, 11, 14, 21, 49, 77} {
+		results := make([]bool, len(primeSets))
+		for pi, primes := range primeSets {
+			g := topo.Line(3)
+			d := smartsouth.Deploy(g, smartsouth.Options{})
+			pl, err := d.InstallPktLoss(primes)
+			must(err)
+			must(d.Net.SetBlackhole(0, 1, false))
+			var at smartsouth.Time
+			for i := 0; i < k; i++ {
+				pl.SendData(0, 2, at)
+				at += 10_000
+			}
+			must(d.Run())
+			must(d.Net.SetLinkDown(0, 1, false))
+			pl.Monitor(0, at+1_000_000)
+			must(d.Run())
+			losses, done := pl.Reports()
+			if !done {
+				log.Fatal("monitor incomplete")
+			}
+			results[pi] = len(losses) > 0
+		}
+		fmt.Fprintf(w, "%d\t%v\t%v\t%v\n", k, results[0], results[1], results[2])
+	}
+	w.Flush()
+	fmt.Println("(false negatives occur exactly when the loss is divisible by every counter modulus)")
+}
+
+func baselineTable() {
+	fmt.Println("\n== Claim: controller load, in-band services vs out-of-band baselines ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tE\tLLDP discovery msgs\tsnapshot msgs\treactive anycast msgs/flow\tin-band anycast msgs/flow\tprobe-blackhole msgs\tsmart-counter msgs")
+	for _, n := range parseSizes() {
+		g := graph(n)
+		e := g.NumEdges()
+
+		net1 := network.New(g, network.Options{})
+		c1 := controller.New(net1)
+		c1.InstallPuntRules(controller.EthLLDP, 100)
+		c1.ResetRuntimeStats()
+		c1.DiscoverTopology(0)
+		must2(net1.Run())
+		lldp := c1.Stats.RuntimeMsgs()
+
+		d := smartsouth.Deploy(g, smartsouth.Options{})
+		snap, err := d.InstallSnapshot()
+		must(err)
+		snap.Trigger(0, 0)
+		must(d.Run())
+		snapMsgs := d.Ctl.Stats.RuntimeMsgs()
+
+		net2 := network.New(g, network.Options{})
+		c2 := controller.New(net2)
+		_, _, ok := c2.ReactiveAnycast(g, 0, []int{n - 1}, 1, 0)
+		if !ok {
+			log.Fatal("no reactive path")
+		}
+		must2(net2.Run())
+		reactive := c2.Stats.RuntimeMsgs() + c2.Stats.FlowMods
+
+		net3 := network.New(g, network.Options{})
+		c3 := controller.New(net3)
+		c3.InstallPuntRules(controller.EthProbe, 100)
+		c3.ResetRuntimeStats()
+		c3.ProbeLinks(0)
+		must2(net3.Run())
+		probe := c3.Stats.RuntimeMsgs()
+
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			n, e, lldp, snapMsgs, reactive, 0, probe, 3)
+	}
+	w.Flush()
+}
+
+func log2ceil(x int) int {
+	n := 0
+	for v := 1; v < x; v <<= 1 {
+		n++
+	}
+	return n
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must2(_ int, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

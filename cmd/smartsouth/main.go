@@ -1,0 +1,373 @@
+// smartsouth runs any SmartSouth data-plane service on a generated
+// topology and prints what happened, e.g.:
+//
+//	smartsouth -topo grid -n 16 -service snapshot
+//	smartsouth -topo ring -n 10 -service critical -node 3
+//	smartsouth -topo random -n 24 -service blackhole-counter -blackhole 3-5
+//	smartsouth -topo fattree -n 4 -service anycast -members 12,15 -from 0
+//	smartsouth -topo grid -n 16 -service priocast -members 5:2,12:9 -fail 0-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartsouth"
+	"smartsouth/internal/dump"
+)
+
+var (
+	topoName  = flag.String("topo", "grid", "line|ring|star|tree|grid|random|fattree|ba|waxman")
+	n         = flag.Int("n", 16, "size parameter (nodes; rows*cols for grid; arity for fattree)")
+	seed      = flag.Int64("seed", 1, "random topology seed")
+	service   = flag.String("service", "snapshot", "traversal|snapshot|anycast|priocast|chaincast|critical|blackhole-ttl|blackhole-counter|pktloss|loadmap|monitor")
+	root      = flag.Int("root", 0, "switch the trigger is injected at")
+	node      = flag.Int("node", 0, "node under test (critical)")
+	members   = flag.String("members", "", "anycast: m1,m2,…  priocast: m1:prio1,m2:prio2,…")
+	from      = flag.Int("from", 0, "source switch for anycast/priocast sends")
+	fails     = flag.String("fail", "", "links to fail before the run, e.g. 0-1,4-5")
+	blackhole = flag.String("blackhole", "", "plant a silent unidirectional failure, e.g. 3-5")
+	chain     = flag.String("chain", "", "chaincast stages, e.g. 2,5/7/1,3 (stage members /-separated)")
+	verbose   = flag.Bool("v", false, "print every in-band hop")
+	doVerify  = flag.Bool("verify", false, "statically verify the installed configuration")
+	dumpSw    = flag.Int("dump", -1, "print the full rule dump of this switch after the run")
+)
+
+func buildTopo() *smartsouth.Graph {
+	switch *topoName {
+	case "line":
+		return smartsouth.Line(*n)
+	case "ring":
+		return smartsouth.Ring(*n)
+	case "star":
+		return smartsouth.Star(*n)
+	case "tree":
+		return smartsouth.Tree(*n, 2)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		return smartsouth.Grid(side, (*n+side-1)/side)
+	case "random":
+		return smartsouth.RandomConnected(*n, *n/2, *seed)
+	case "fattree":
+		g, err := smartsouth.FatTree(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	case "ba":
+		return smartsouth.BarabasiAlbert(*n, 2, *seed)
+	case "waxman":
+		return smartsouth.Waxman(*n, 0.4, 0.2, *seed)
+	}
+	log.Fatalf("unknown topology %q", *topoName)
+	return nil
+}
+
+func parsePair(s string) (int, int) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		log.Fatalf("bad link spec %q (want u-v)", s)
+	}
+	u, err1 := strconv.Atoi(parts[0])
+	v, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		log.Fatalf("bad link spec %q", s)
+	}
+	return u, v
+}
+
+func main() {
+	flag.Parse()
+	g := buildTopo()
+	d := smartsouth.Deploy(g, smartsouth.Options{Seed: *seed})
+	fmt.Printf("topology: %s, %d switches, %d links\n", *topoName, g.NumNodes(), g.NumEdges())
+
+	if *verbose {
+		d.Net.OnHop = func(h smartsouth.Hop, pkt *smartsouth.Packet, delivered bool) {
+			status := ""
+			if !delivered {
+				status = "  [LOST]"
+			}
+			fmt.Printf("  hop %d(p%d) -> %d(p%d)%s\n", h.From, h.FromPort, h.To, h.ToPort, status)
+		}
+	}
+
+	d.OnDeliver(func(sw int, pkt *smartsouth.Packet) {
+		fmt.Printf("delivered at switch %d (payload %q)\n", sw, pkt.Payload)
+	})
+
+	run := func() {
+		if err := d.Run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	apply := func(spec string, f func(u, v int)) {
+		if spec == "" {
+			return
+		}
+		for _, s := range strings.Split(spec, ",") {
+			u, v := parsePair(s)
+			f(u, v)
+		}
+	}
+
+	switch *service {
+	case "traversal":
+		tr, err := d.InstallTraversal()
+		fatal(err)
+		applyFailures(d, apply)
+		tr.Trigger(*root, 0)
+		run()
+		fmt.Printf("traversal completed: %v\n", tr.Completed())
+
+	case "snapshot":
+		s, err := d.InstallSnapshot()
+		fatal(err)
+		applyFailures(d, apply)
+		s.Trigger(*root, 0)
+		run()
+		res, err := s.Collect()
+		fatal(err)
+		if res == nil {
+			fmt.Println("no snapshot returned (trigger lost?)")
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot: %d nodes, %d links\n", len(res.Nodes), len(res.Edges))
+		for _, e := range res.Edges {
+			fmt.Printf("  %d(p%d) -- %d(p%d)\n", e.U, e.PU, e.V, e.PV)
+		}
+
+	case "anycast":
+		ms := parseMembers(*members)
+		if len(ms) == 0 {
+			log.Fatal("anycast needs -members m1,m2,…")
+		}
+		var plain []int
+		for _, m := range ms {
+			plain = append(plain, m.Node)
+		}
+		a, err := d.InstallAnycast(map[uint32][]int{1: plain})
+		fatal(err)
+		applyFailures(d, apply)
+		a.Send(*from, 1, []byte("anycast-payload"), 0)
+		run()
+
+	case "priocast":
+		ms := parseMembers(*members)
+		if len(ms) == 0 {
+			log.Fatal("priocast needs -members m1:p1,m2:p2,…")
+		}
+		p, err := d.InstallPriocast(map[uint32][]smartsouth.PrioMember{1: ms})
+		fatal(err)
+		applyFailures(d, apply)
+		p.Send(*from, 1, []byte("priocast-payload"), 0)
+		run()
+		if p.FailureReported() {
+			fmt.Println("no receiver reachable (failure reported to controller)")
+		}
+
+	case "critical":
+		cr, err := d.InstallCritical()
+		fatal(err)
+		applyFailures(d, apply)
+		cr.Check(*node, 0)
+		run()
+		crit, ok := cr.Verdict()
+		if !ok {
+			log.Fatal("no verdict (trigger lost?)")
+		}
+		fmt.Printf("switch %d critical: %v\n", *node, crit)
+
+	case "blackhole-ttl":
+		b, err := d.InstallBlackholeTTL()
+		fatal(err)
+		applyFailures(d, apply)
+		rep, err := b.Locate(*root, 0)
+		fatal(err)
+		if rep == nil {
+			fmt.Println("no blackhole found")
+		} else {
+			fmt.Printf("located: %v\n", rep)
+		}
+
+	case "blackhole-counter":
+		b, err := d.InstallBlackholeCounter()
+		fatal(err)
+		applyFailures(d, apply)
+		b.Detect(*root, 0, 0)
+		run()
+		rep, found, done := b.Outcome()
+		switch {
+		case !done:
+			fmt.Println("inconclusive (checker swallowed) — rerun after reset")
+		case found:
+			fmt.Printf("located: %v\n", rep)
+		default:
+			fmt.Println("no blackhole found")
+		}
+
+	case "pktloss":
+		pl, err := d.InstallPktLoss(nil)
+		fatal(err)
+		// Demo workload: traffic between opposite corners, with losses on
+		// the planted blackhole (if any).
+		applyFailures(d, apply)
+		var at smartsouth.Time
+		for i := 0; i < 10; i++ {
+			pl.SendData(0, g.NumNodes()-1, at)
+			at += 100_000
+		}
+		run()
+		// Heal any blackhole so the monitor itself survives.
+		if *blackhole != "" {
+			u, v := parsePair(*blackhole)
+			fatal(d.Net.SetLinkDown(u, v, false))
+		}
+		pl.Monitor(*root, at+1_000_000)
+		run()
+		losses, done := pl.Reports()
+		fmt.Printf("monitor completed: %v\n", done)
+		for _, r := range losses {
+			fmt.Printf("loss: packets from %d vanish entering %d (port %d)\n", r.Peer, r.Switch, r.Port)
+		}
+		if len(losses) == 0 {
+			fmt.Println("no loss detected")
+		}
+
+	case "chaincast":
+		if *chain == "" {
+			log.Fatal("chaincast needs -chain s0m1,s0m2/s1m1/…")
+		}
+		var stages [][]int
+		for _, stage := range strings.Split(*chain, "/") {
+			var ms []int
+			for _, m := range strings.Split(stage, ",") {
+				v, err := strconv.Atoi(m)
+				if err != nil {
+					log.Fatalf("bad chain member %q", m)
+				}
+				ms = append(ms, v)
+			}
+			stages = append(stages, ms)
+		}
+		cc, err := d.InstallChaincast(stages)
+		fatal(err)
+		applyFailures(d, apply)
+		cc.Send(*from, []byte("chain-payload"), 0)
+		run()
+
+	case "monitor":
+		mon, err := d.InstallMonitor(*root, true)
+		fatal(err)
+		if _, err := mon.Round(); err != nil {
+			log.Fatal(err)
+		}
+		applyFailures(d, apply)
+		events, err := mon.Round()
+		fatal(err)
+		if len(events) == 0 {
+			fmt.Println("monitor: no changes detected")
+		}
+		for _, e := range events {
+			fmt.Println("monitor:", e)
+		}
+
+	case "loadmap":
+		lm, err := d.InstallLoadMap()
+		fatal(err)
+		applyFailures(d, apply)
+		var at smartsouth.Time
+		for i := 0; i < 12; i++ {
+			lm.SendData(i%g.NumNodes(), (i*3+1)%g.NumNodes(), at)
+			at += 100_000
+		}
+		run()
+		lm.Monitor(*root, at+1_000_000)
+		run()
+		loads, done := lm.Loads()
+		fmt.Printf("load map complete: %v\n", done)
+		for pl, v := range loads {
+			if v > 0 {
+				fmt.Printf("  switch %d port %d received %d data packets\n", pl.Node, pl.Port, v)
+			}
+		}
+
+	default:
+		log.Fatalf("unknown service %q", *service)
+	}
+
+	if *dumpSw >= 0 && *dumpSw < g.NumNodes() {
+		fmt.Print(dump.Switch(d.Net.Switch(*dumpSw)))
+	}
+
+	if *doVerify {
+		issues := d.Verify()
+		errs := 0
+		for _, i := range issues {
+			fmt.Println(i)
+			if i.Severity.String() == "error" {
+				errs++
+			}
+		}
+		fmt.Printf("verification: %d findings, %d errors\n", len(issues), errs)
+	}
+
+	fmt.Printf("\ncontrol plane: %d flow-mods, %d group-mods (offline); %d packet-outs, %d packet-ins (runtime)\n",
+		d.Ctl.Stats.FlowMods, d.Ctl.Stats.GroupMods, d.Ctl.Stats.PacketOuts, d.Ctl.Stats.PacketIns)
+	fmt.Printf("in-band messages: %d\n", d.Net.TotalInBand())
+	fmt.Printf("installed state: %d flow entries, %d groups, %d bytes total\n",
+		d.FlowEntries(), d.GroupEntries(), d.ConfigBytes())
+}
+
+// applyFailures applies -fail and -blackhole.
+func applyFailures(d *smartsouth.Deployment, apply func(string, func(u, v int))) {
+	apply(*fails, func(u, v int) {
+		if err := d.Net.SetLinkDown(u, v, true); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("failed link %d-%d\n", u, v)
+	})
+	apply(*blackhole, func(u, v int) {
+		if err := d.Net.SetBlackhole(u, v, false); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("planted silent blackhole %d -> %d\n", u, v)
+	})
+}
+
+func parseMembers(s string) []smartsouth.PrioMember {
+	if s == "" {
+		return nil
+	}
+	var out []smartsouth.PrioMember
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, ":", 2)
+		node, err := strconv.Atoi(kv[0])
+		if err != nil {
+			log.Fatalf("bad member %q", part)
+		}
+		prio := 1
+		if len(kv) == 2 {
+			prio, err = strconv.Atoi(kv[1])
+			if err != nil {
+				log.Fatalf("bad priority in %q", part)
+			}
+		}
+		out = append(out, smartsouth.PrioMember{Node: node, Prio: prio})
+	}
+	return out
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

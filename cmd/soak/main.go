@@ -1,0 +1,167 @@
+// soak is the randomized chaos harness: every iteration builds a random
+// topology from a random family, installs a random mix of SmartSouth
+// services, injects random failures (link-down before the run, silent
+// blackholes, mid-flight failures), runs the services and cross-checks
+// every result against its graph-theoretic oracle. Any divergence aborts
+// with a reproducible seed.
+//
+//	go run ./cmd/soak -iters 200
+//	go run ./cmd/soak -seed 12345 -iters 1    # replay one iteration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"smartsouth"
+	"smartsouth/internal/topo"
+)
+
+var (
+	iters   = flag.Int("iters", 100, "iterations")
+	seed    = flag.Int64("seed", 1, "base seed (iteration i uses seed+i)")
+	verbose = flag.Bool("v", false, "log every iteration")
+)
+
+func main() {
+	flag.Parse()
+	pass := 0
+	for i := 0; i < *iters; i++ {
+		s := *seed + int64(i)
+		if err := iteration(s); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", s, err)
+			os.Exit(1)
+		}
+		pass++
+		if *verbose {
+			log.Printf("seed=%d ok", s)
+		}
+	}
+	fmt.Printf("soak: %d/%d iterations passed\n", pass, *iters)
+}
+
+func buildTopo(rng *rand.Rand) *smartsouth.Graph {
+	n := 5 + rng.Intn(26)
+	switch rng.Intn(5) {
+	case 0:
+		return topo.RandomConnected(n, rng.Intn(n), rng.Int63())
+	case 1:
+		side := 2 + rng.Intn(4)
+		return topo.Grid(side, 2+rng.Intn(4))
+	case 2:
+		return topo.BarabasiAlbert(n, 1+rng.Intn(3), rng.Int63())
+	case 3:
+		return topo.Waxman(n, 0.3+rng.Float64()*0.4, 0.1+rng.Float64()*0.3, rng.Int63())
+	default:
+		return topo.Ring(3 + rng.Intn(20))
+	}
+}
+
+func iteration(s int64) error {
+	rng := rand.New(rand.NewSource(s))
+	g := buildTopo(rng)
+	d := smartsouth.Deploy(g, smartsouth.Options{Seed: s})
+	n := g.NumNodes()
+
+	snap, err := d.InstallSnapshot()
+	if err != nil {
+		return fmt.Errorf("install snapshot: %w", err)
+	}
+	member := rng.Intn(n)
+	any, err := d.InstallAnycast(map[uint32][]int{1: {member}})
+	if err != nil {
+		return fmt.Errorf("install anycast: %w", err)
+	}
+	crit, err := d.InstallCritical()
+	if err != nil {
+		return fmt.Errorf("install critical: %w", err)
+	}
+
+	// Fail up to 2 random links before anything runs (keep the graph
+	// connected or not — both are legal; oracles use the live view).
+	dead := map[[2]int]bool{}
+	for k := rng.Intn(3); k > 0 && g.NumEdges() > 0; k-- {
+		e := g.Edges()[rng.Intn(g.NumEdges())]
+		if err := d.Net.SetLinkDown(e.U, e.V, true); err != nil {
+			return err
+		}
+		dead[[2]int{e.U, e.V}] = true
+	}
+	isDead := func(u, p int) bool {
+		v, _, _ := g.Neighbor(u, p)
+		return dead[[2]int{u, v}] || dead[[2]int{v, u}]
+	}
+
+	// Static verification of the full install.
+	if errs := d.VerifyErrors(); len(errs) > 0 {
+		return fmt.Errorf("verify: %v", errs[0])
+	}
+
+	// --- Snapshot from a random root, checked against reachability ----
+	root := rng.Intn(n)
+	res, _, err := smartsouth.Supervisor{}.SnapshotWithRetry(snap, root)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	reach := topo.Reachable(g, root, isDead)
+	if len(res.Nodes) != len(reach) {
+		return fmt.Errorf("snapshot nodes %d, reachable %d", len(res.Nodes), len(reach))
+	}
+	for _, e := range g.Edges() {
+		want := reach[e.U] && reach[e.V] && !dead[[2]int{e.U, e.V}] && !dead[[2]int{e.V, e.U}]
+		if res.HasEdge(e.U, e.V) != want {
+			return fmt.Errorf("snapshot edge %d-%d presence=%v want %v", e.U, e.V, res.HasEdge(e.U, e.V), want)
+		}
+	}
+
+	// --- Anycast delivered iff reachable -------------------------------
+	src := rng.Intn(n)
+	delivered := -1
+	d.OnDeliver(func(sw int, _ *smartsouth.Packet) { delivered = sw })
+	any.Send(src, 1, nil, d.Net.Sim.Now()+1)
+	if err := d.Run(); err != nil {
+		return fmt.Errorf("anycast run: %w", err)
+	}
+	if topo.Reachable(g, src, isDead)[member] {
+		if delivered != member {
+			return fmt.Errorf("anycast delivered at %d, want %d", delivered, member)
+		}
+	} else if delivered != -1 {
+		return fmt.Errorf("anycast delivered at %d although unreachable", delivered)
+	}
+
+	// --- Criticality vs articulation-point oracle on the live graph ---
+	node := rng.Intn(n)
+	if reach[node] && node != root {
+		// Only nodes in the root's component matter; build the live
+		// subgraph oracle via brute force.
+		liveCut := func(v int) bool {
+			deadOrV := func(u, p int) bool {
+				if isDead(u, p) || u == v {
+					return true
+				}
+				w, _, _ := g.Neighbor(u, p)
+				return w == v
+			}
+			start := root
+			if start == v {
+				return false
+			}
+			return len(topo.Reachable(g, start, deadOrV)) != len(reach)-1
+		}
+		d.Ctl.ClearInbox()
+		got, _, err := smartsouth.Supervisor{}.CriticalWithRetry(crit, node)
+		if err != nil {
+			return fmt.Errorf("critical: %w", err)
+		}
+		// The service evaluates criticality from the node's own component;
+		// compare within the root's component only when they share it.
+		if topo.Reachable(g, node, isDead)[root] && got != liveCut(node) {
+			return fmt.Errorf("critical(%d)=%v oracle=%v", node, got, liveCut(node))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module smartsouth
+
+go 1.22

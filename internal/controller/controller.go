@@ -1,0 +1,134 @@
+// Package controller models the SDN control plane: an out-of-band channel
+// to every switch for flow-mod/group-mod installation (the SmartSouth
+// offline stage), packet-out injection and packet-in reception (the
+// runtime stage), plus the controller-centric baseline applications the
+// paper argues against (out-of-band topology discovery, reactive
+// forwarding, per-link probing).
+//
+// All control-channel traffic is counted so experiments can fill the
+// "out-band #msgs / size" columns of Table 2 and the control-load
+// comparison of claim C4.
+package controller
+
+import (
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+)
+
+// PacketIn is one packet a switch punted to the controller.
+type PacketIn struct {
+	Switch int
+	Pkt    *openflow.Packet
+	At     network.Time
+}
+
+// Stats counts control-channel traffic. FlowMods/GroupMods belong to the
+// offline stage and are reported separately from the runtime PacketOut /
+// PacketIn messages that Table 2 calls "out-band" messages.
+type Stats struct {
+	FlowMods   int
+	GroupMods  int
+	PacketOuts int
+	PacketIns  int
+	// OutBandBytes sums the payload size of runtime messages only.
+	OutBandBytes int
+}
+
+// RuntimeMsgs is the Table-2 "out-band #msgs" figure: packet-outs plus
+// packet-ins.
+func (s Stats) RuntimeMsgs() int { return s.PacketOuts + s.PacketIns }
+
+// Controller is attached to a network and owns its OnPacketIn hook.
+// Create it before installing services so packet-ins are not lost.
+type Controller struct {
+	Net   *network.Network
+	Stats Stats
+
+	inbox []PacketIn
+	// OnPacketIn, if set, observes every packet-in as it arrives (the
+	// inbox is appended regardless).
+	OnPacketIn func(PacketIn)
+}
+
+// New attaches a controller to the network.
+func New(net *network.Network) *Controller {
+	c := &Controller{Net: net}
+	net.OnPacketIn = func(sw int, pkt *openflow.Packet) {
+		c.Stats.PacketIns++
+		c.Stats.OutBandBytes += pkt.Size()
+		pi := PacketIn{Switch: sw, Pkt: pkt, At: net.Sim.Now()}
+		c.inbox = append(c.inbox, pi)
+		if c.OnPacketIn != nil {
+			c.OnPacketIn(pi)
+		}
+	}
+	return c
+}
+
+// Inbox returns all packet-ins received so far.
+func (c *Controller) Inbox() []PacketIn { return c.inbox }
+
+// ClearInbox empties the inbox (accounting is untouched).
+func (c *Controller) ClearInbox() { c.inbox = nil }
+
+// InstallFlow sends a flow-mod (offline stage).
+func (c *Controller) InstallFlow(sw, table int, e *openflow.FlowEntry) {
+	c.Stats.FlowMods++
+	c.Net.Switch(sw).AddFlow(table, e)
+}
+
+// InstallGroup sends a group-mod (offline stage).
+func (c *Controller) InstallGroup(sw int, g *openflow.GroupEntry) {
+	c.Stats.GroupMods++
+	c.Net.Switch(sw).AddGroup(g)
+}
+
+// PacketOut injects a packet at a switch for pipeline processing, as if it
+// had arrived on inPort (use openflow.PortController for "no port").
+func (c *Controller) PacketOut(sw, inPort int, pkt *openflow.Packet, at network.Time) {
+	c.Stats.PacketOuts++
+	c.Stats.OutBandBytes += pkt.Size()
+	c.Net.Inject(sw, inPort, pkt, at)
+}
+
+// PacketOutActions injects a packet with an explicit action list,
+// bypassing the tables (how LLDP probes are sent in practice).
+func (c *Controller) PacketOutActions(sw int, actions []openflow.Action, pkt *openflow.Packet, at network.Time) {
+	c.Stats.PacketOuts++
+	c.Stats.OutBandBytes += pkt.Size()
+	c.Net.InjectActions(sw, actions, pkt, at)
+}
+
+// InjectHost injects in-band host traffic at a switch — ordinary data
+// plane input, not a controller message, so it is not counted.
+func (c *Controller) InjectHost(sw int, pkt *openflow.Packet, at network.Time) {
+	c.Net.Inject(sw, openflow.PortController, pkt, at)
+}
+
+// RunNetwork drains the simulator's event queue.
+func (c *Controller) RunNetwork() (int, error) { return c.Net.Run() }
+
+// Now returns the current network time.
+func (c *Controller) Now() network.Time { return c.Net.Sim.Now() }
+
+// PortLive reports the liveness of a switch port, as the controller would
+// know it from port-status messages.
+func (c *Controller) PortLive(sw, port int) bool { return c.Net.Switch(sw).PortLive(port) }
+
+// GroupCounter reads a group's round-robin pointer for diagnostics.
+func (c *Controller) GroupCounter(sw int, id uint32) int {
+	g := c.Net.Switch(sw).GroupByID(id)
+	if g == nil {
+		return -1
+	}
+	return g.CounterValue()
+}
+
+// ResetRuntimeStats zeroes the runtime counters, keeping the offline
+// flow-mod/group-mod tally, so a measurement can isolate one request.
+func (c *Controller) ResetRuntimeStats() {
+	c.Stats.PacketOuts = 0
+	c.Stats.PacketIns = 0
+	c.Stats.OutBandBytes = 0
+	c.inbox = nil
+}

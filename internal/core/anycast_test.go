@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+type delivery struct {
+	sw  int
+	pkt *openflow.Packet
+}
+
+func captureSelf(net *network.Network) *[]delivery {
+	var ds []delivery
+	net.OnSelf = func(sw int, pkt *openflow.Packet) { ds = append(ds, delivery{sw, pkt}) }
+	return &ds
+}
+
+func TestAnycastDeliversToAMember(t *testing.T) {
+	g := topo.Grid(4, 4)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	members := map[uint32][]int{7: {10, 15}}
+	a, err := InstallAnycast(c, g, 0, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+
+	a.Send(0, 7, []byte("hello"), 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(*got))
+	}
+	d := (*got)[0]
+	if d.sw != 10 && d.sw != 15 {
+		t.Errorf("delivered at %d, want a member of {10,15}", d.sw)
+	}
+	if string(d.pkt.Payload) != "hello" {
+		t.Errorf("payload = %q", d.pkt.Payload)
+	}
+	// Zero out-of-band messages (Table 2).
+	if c.Stats.RuntimeMsgs() != 0 {
+		t.Errorf("out-band msgs = %d, want 0", c.Stats.RuntimeMsgs())
+	}
+	// In-band bounded by a full sweep.
+	if max := 4*g.NumEdges() - 2*g.NumNodes() + 2; net.InBandMsgs[EthAnycast] > max {
+		t.Errorf("in-band msgs = %d > full sweep %d", net.InBandMsgs[EthAnycast], max)
+	}
+}
+
+func TestAnycastSourceIsMember(t *testing.T) {
+	g := topo.Ring(5)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	a, err := InstallAnycast(c, g, 0, map[uint32][]int{1: {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+	a.Send(2, 1, nil, 0)
+	net.Run()
+	if len(*got) != 1 || (*got)[0].sw != 2 {
+		t.Fatalf("deliveries = %v", *got)
+	}
+	if net.InBandMsgs[EthAnycast] != 0 {
+		t.Errorf("in-band msgs = %d, want 0 (local exit)", net.InBandMsgs[EthAnycast])
+	}
+}
+
+func TestAnycastNoMemberReachable(t *testing.T) {
+	g := topo.Line(6)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	a, err := InstallAnycast(c, g, 0, map[uint32][]int{3: {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+	// Partition member 5 away from the source.
+	if err := net.SetLinkDown(2, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	a.Send(0, 3, nil, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("unexpected delivery %v", *got)
+	}
+	// Unknown gid behaves the same way: full sweep, then dropped.
+	a.Send(0, 999, nil, 1_000_000)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatal("unknown group must not deliver")
+	}
+}
+
+func TestAnycastRoutesAroundFailures(t *testing.T) {
+	g := topo.Ring(8)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	a, err := InstallAnycast(c, g, 0, map[uint32][]int{1: {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+	// Break the short way round; the sweep must reach 4 the other way.
+	if err := net.SetLinkDown(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	a.Send(0, 1, nil, 0)
+	net.Run()
+	if len(*got) != 1 || (*got)[0].sw != 4 {
+		t.Fatalf("deliveries = %v, want node 4", *got)
+	}
+}
+
+func TestAnycastMultipleGroupsCoexist(t *testing.T) {
+	g := topo.Grid(3, 3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	a, err := InstallAnycast(c, g, 0, map[uint32][]int{1: {8}, 2: {6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+	a.Send(0, 1, nil, 0)
+	a.Send(0, 2, nil, 1_000_000)
+	net.Run()
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(*got))
+	}
+	seen := map[int]bool{}
+	for _, d := range *got {
+		seen[d.sw] = true
+	}
+	if !seen[8] || !seen[6] {
+		t.Errorf("delivered at %v, want {8, 6}", seen)
+	}
+}
+
+func TestAnycastRejectsBadMember(t *testing.T) {
+	g := topo.Line(3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	if _, err := InstallAnycast(c, g, 0, map[uint32][]int{1: {99}}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+// Property: anycast delivers iff some member is reachable from the
+// source, and always to a member.
+func TestQuickAnycastDeliversIffReachable(t *testing.T) {
+	check := func(seed int64, nRaw, extraRaw, srcRaw, memRaw uint8) bool {
+		n := 3 + int(nRaw%12)
+		g := topo.RandomConnected(n, int(extraRaw%8), seed)
+		src := int(srcRaw) % n
+		member := int(memRaw) % n
+
+		net := network.New(g, network.Options{})
+		c := controller.New(net)
+		a, err := InstallAnycast(c, g, 0, map[uint32][]int{5: {member}})
+		if err != nil {
+			return false
+		}
+		// Fail a pseudo-random link to sometimes partition the graph.
+		var dead topo.PortPredicate = topo.Never
+		if seed%2 == 0 && g.NumEdges() > 0 {
+			e := g.Edges()[int(uint64(seed>>3)%uint64(g.NumEdges()))]
+			if err := net.SetLinkDown(e.U, e.V, true); err != nil {
+				return false
+			}
+			dead = func(u, p int) bool {
+				v, _, _ := g.Neighbor(u, p)
+				return (u == e.U && v == e.V) || (u == e.V && v == e.U)
+			}
+		}
+		got := captureSelf(net)
+		a.Send(src, 5, nil, 0)
+		if _, err := net.Run(); err != nil {
+			return false
+		}
+		reachable := topo.Reachable(g, src, dead)[member]
+		if reachable {
+			return len(*got) == 1 && (*got)[0].sw == member
+		}
+		return len(*got) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

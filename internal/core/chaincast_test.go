@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+func chainRig(t *testing.T, g *topo.Graph, chain [][]int) (*Chaincast, *network.Network, *controller.Controller, *[]delivery) {
+	t.Helper()
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	cc, err := InstallChaincast(c, g, 0, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc, net, c, captureSelf(net)
+}
+
+func memberOf(sw int, group []int) bool {
+	for _, m := range group {
+		if m == sw {
+			return true
+		}
+	}
+	return false
+}
+
+func TestChaincastVisitsStagesInOrder(t *testing.T) {
+	g := topo.Grid(4, 4)
+	chain := [][]int{{5, 10}, {3}, {12, 15}}
+	cc, net, c, got := chainRig(t, g, chain)
+	cc.Send(0, []byte("chained"), 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != len(chain) {
+		t.Fatalf("deliveries = %v, want one per stage", *got)
+	}
+	for s, d := range *got {
+		if !memberOf(d.sw, chain[s]) {
+			t.Errorf("stage %d delivered at %d, not a member of %v", s, d.sw, chain[s])
+		}
+		if string(d.pkt.Payload) != "chained" {
+			t.Errorf("stage %d payload %q", s, d.pkt.Payload)
+		}
+	}
+	if c.Stats.RuntimeMsgs() != 0 {
+		t.Errorf("out-band msgs = %d, want 0", c.Stats.RuntimeMsgs())
+	}
+	// Bounded by one sweep per stage.
+	if max := 3 * (4*g.NumEdges() - 2*g.NumNodes() + 2); net.InBandMsgs[EthChaincast] > max {
+		t.Errorf("in-band = %d > %d", net.InBandMsgs[EthChaincast], max)
+	}
+}
+
+func TestChaincastSameNodeConsecutiveStages(t *testing.T) {
+	g := topo.Ring(6)
+	chain := [][]int{{3}, {3}, {5}}
+	cc, net, _, got := chainRig(t, g, chain)
+	cc.Send(0, nil, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 3 || (*got)[0].sw != 3 || (*got)[1].sw != 3 || (*got)[2].sw != 5 {
+		t.Fatalf("deliveries = %v, want [3 3 5]", *got)
+	}
+}
+
+func TestChaincastSourceIsFirstMember(t *testing.T) {
+	g := topo.Line(4)
+	chain := [][]int{{1}, {3}}
+	cc, net, _, got := chainRig(t, g, chain)
+	cc.Send(1, nil, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 || (*got)[0].sw != 1 || (*got)[1].sw != 3 {
+		t.Fatalf("deliveries = %v, want [1 3]", *got)
+	}
+}
+
+func TestChaincastRoutesAroundFailures(t *testing.T) {
+	g := topo.Ring(8)
+	chain := [][]int{{4}, {0}}
+	cc, net, _, got := chainRig(t, g, chain)
+	// Cut the short path to 4 and the short way back.
+	if err := net.SetLinkDown(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	cc.Send(0, nil, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 || (*got)[0].sw != 4 || (*got)[1].sw != 0 {
+		t.Fatalf("deliveries = %v, want [4 0]", *got)
+	}
+}
+
+func TestChaincastStageUnreachableStops(t *testing.T) {
+	g := topo.Line(5)
+	chain := [][]int{{1}, {4}, {0}}
+	cc, net, _, got := chainRig(t, g, chain)
+	if err := net.SetLinkDown(2, 3, true); err != nil { // stage-1 member 4 unreachable
+		t.Fatal(err)
+	}
+	cc.Send(0, nil, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].sw != 1 {
+		t.Fatalf("deliveries = %v, want only stage 0 at node 1", *got)
+	}
+}
+
+func TestChaincastValidation(t *testing.T) {
+	g := topo.Line(3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	if _, err := InstallChaincast(c, g, 0, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := InstallChaincast(c, g, 0, [][]int{{}}); err == nil {
+		t.Error("empty stage accepted")
+	}
+	if _, err := InstallChaincast(c, g, 0, [][]int{{9}}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+// Property: on random graphs with random 2-stage chains, exactly one
+// member per stage is visited, in order.
+func TestQuickChaincast(t *testing.T) {
+	check := func(seed int64, nRaw, extraRaw, aRaw, bRaw, srcRaw uint8) bool {
+		n := 4 + int(nRaw%10)
+		g := topo.RandomConnected(n, int(extraRaw%8), seed)
+		chain := [][]int{{int(aRaw) % n}, {int(bRaw) % n}}
+		src := int(srcRaw) % n
+
+		net := network.New(g, network.Options{})
+		c := controller.New(net)
+		cc, err := InstallChaincast(c, g, 0, chain)
+		if err != nil {
+			return false
+		}
+		var got []int
+		net.OnSelf = func(sw int, _ *openflow.Packet) { got = append(got, sw) }
+		cc.Send(src, nil, 0)
+		if _, err := net.Run(); err != nil {
+			return false
+		}
+		return len(got) == 2 && got[0] == chain[0][0] && got[1] == chain[1][0]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

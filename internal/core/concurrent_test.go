@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/topo"
+)
+
+// TestConcurrentSnapshotsDoNotInterfere launches several snapshot
+// traversals at the same instant from different roots. All per-traversal
+// state lives in the packets (the switches are stateless for this
+// service), so the concurrent sweeps must all return exact snapshots.
+func TestConcurrentSnapshotsDoNotInterfere(t *testing.T) {
+	g := topo.RandomConnected(14, 10, 21)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	s, err := InstallSnapshot(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []int{0, 5, 9}
+	for _, r := range roots {
+		s.Trigger(r, 0) // all at t=0: the traversals interleave in flight
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reports := 0
+	for _, pi := range c.Inbox() {
+		if pi.Pkt.EthType != EthSnapshot {
+			continue
+		}
+		reports++
+		res, err := DecodeRecords(pi.Pkt.Labels)
+		if err != nil {
+			t.Fatalf("report %d: %v", reports, err)
+		}
+		if len(res.Nodes) != g.NumNodes() || len(res.Edges) != g.NumEdges() {
+			t.Errorf("report %d: %d nodes %d edges, want %d/%d",
+				reports, len(res.Nodes), len(res.Edges), g.NumNodes(), g.NumEdges())
+		}
+	}
+	if reports != len(roots) {
+		t.Fatalf("reports = %d, want %d", reports, len(roots))
+	}
+}
+
+// TestConcurrentMixedServices runs a snapshot, an anycast and a critical
+// check simultaneously on one network; all three must succeed.
+func TestConcurrentMixedServices(t *testing.T) {
+	g := topo.Grid(3, 4)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	s, err := InstallSnapshot(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := InstallAnycast(c, g, 1, map[uint32][]int{1: {11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := InstallCritical(c, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+
+	s.Trigger(0, 0)
+	a.Send(3, 1, nil, 0)
+	cr.Check(6, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if res, err := s.Collect(); err != nil || res == nil || len(res.Edges) != g.NumEdges() {
+		t.Errorf("snapshot: %v %v", res, err)
+	}
+	if len(*got) != 1 || (*got)[0].sw != 11 {
+		t.Errorf("anycast deliveries: %v", *got)
+	}
+	if crit, ok := cr.Verdict(); !ok || crit {
+		t.Errorf("criticality: %v %v (grid interior is never critical)", crit, ok)
+	}
+}
+
+// TestCountersAreSharedState documents the flip side: the smart-counter
+// blackhole detector keeps state in the switches, so two detection rounds
+// must not overlap — the second round's counters are polluted by the
+// first. ResetCounters restores correctness.
+func TestCountersAreSharedState(t *testing.T) {
+	g := topo.Ring(6)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	b, err := InstallBlackholeCounter(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1, healthy.
+	b.Detect(0, 0, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, done := b.Outcome(); !done || found {
+		t.Fatal("round 1 should be healthy")
+	}
+	// Round 2 without reset: counters are dirty but healthy detection
+	// still works (values only grow past 1, never back to it).
+	c.ClearInbox()
+	b.Detect(0, net.Sim.Now()+1, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, done := b.Outcome(); !done || found {
+		t.Error("round 2 without reset should still report healthy")
+	}
+	// After reset a planted hole is found again.
+	b.ResetCounters()
+	c.ClearInbox()
+	if err := net.SetBlackhole(2, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	b.Detect(0, net.Sim.Now()+1, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, done := b.Outcome(); !done || !found {
+		t.Error("round 3 after reset missed the hole")
+	}
+}

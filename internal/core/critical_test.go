@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/topo"
+)
+
+// checkNode runs the critical-node service for one node on a fresh
+// network and returns the verdict.
+func checkNode(t *testing.T, g *topo.Graph, node int) (critical bool, c *controller.Controller, net *network.Network) {
+	t.Helper()
+	net = network.New(g, network.Options{})
+	c = controller.New(net)
+	cr, err := InstallCritical(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Check(node, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	crit, ok := cr.Verdict()
+	if !ok {
+		t.Fatalf("node %d: no verdict", node)
+	}
+	return crit, c, net
+}
+
+func TestCriticalKnownShapes(t *testing.T) {
+	// Line: interior nodes critical, endpoints not.
+	line := topo.Line(5)
+	for v := 0; v < 5; v++ {
+		want := v >= 1 && v <= 3
+		if got, _, _ := checkNode(t, line, v); got != want {
+			t.Errorf("line node %d: critical=%v, want %v", v, got, want)
+		}
+	}
+	// Ring: nobody is critical.
+	ring := topo.Ring(6)
+	for v := 0; v < 6; v++ {
+		if got, _, _ := checkNode(t, ring, v); got {
+			t.Errorf("ring node %d reported critical", v)
+		}
+	}
+	// Star: only the centre is critical.
+	star := topo.Star(6)
+	for v := 0; v < 6; v++ {
+		want := v == 0
+		if got, _, _ := checkNode(t, star, v); got != want {
+			t.Errorf("star node %d: critical=%v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestCriticalAgainstOracleOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := topo.RandomConnected(12, int(seed%6), seed)
+		oracle := topo.ArticulationPoints(g)
+		for v := 0; v < g.NumNodes(); v++ {
+			if got, _, _ := checkNode(t, g, v); got != oracle[v] {
+				t.Errorf("seed %d node %d: got %v, oracle %v", seed, v, got, oracle[v])
+			}
+		}
+	}
+}
+
+func TestCriticalTable2Complexity(t *testing.T) {
+	g := topo.RandomConnected(16, 10, 4)
+	// Pick a non-critical node so the sweep runs to completion (the
+	// worst case for message counts).
+	oracle := topo.ArticulationPoints(g)
+	node := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if !oracle[v] {
+			node = v
+			break
+		}
+	}
+	if node == -1 {
+		t.Skip("no non-critical node in this graph")
+	}
+	_, c, net := checkNode(t, g, node)
+	if c.Stats.RuntimeMsgs() != 2 {
+		t.Errorf("out-band msgs = %d, want 2 (request + verdict)", c.Stats.RuntimeMsgs())
+	}
+	want := 4*g.NumEdges() - 2*g.NumNodes() + 2
+	if got := net.InBandMsgs[EthCritical]; got != want {
+		t.Errorf("in-band msgs = %d, want %d", got, want)
+	}
+}
+
+func TestCriticalStopsEarlyOnDetection(t *testing.T) {
+	// On a long line, checking node 1 detects criticality as soon as the
+	// far subtree returns — the report must arrive and the sweep not
+	// continue past detection.
+	g := topo.Line(10)
+	crit, c, _ := checkNode(t, g, 1)
+	if !crit {
+		t.Fatal("node 1 of a line is critical")
+	}
+	if c.Stats.RuntimeMsgs() != 2 {
+		t.Errorf("out-band msgs = %d, want 2", c.Stats.RuntimeMsgs())
+	}
+}
+
+// Property: the data-plane verdict equals the articulation-point oracle.
+func TestQuickCriticalMatchesOracle(t *testing.T) {
+	check := func(seed int64, nRaw, extraRaw, vRaw uint8) bool {
+		n := 3 + int(nRaw%10)
+		g := topo.RandomConnected(n, int(extraRaw%6), seed)
+		v := int(vRaw) % n
+		oracle := topo.ArticulationPoints(g)
+
+		net := network.New(g, network.Options{})
+		c := controller.New(net)
+		cr, err := InstallCritical(c, g, 0)
+		if err != nil {
+			return false
+		}
+		cr.Check(v, 0)
+		if _, err := net.Run(); err != nil {
+			return false
+		}
+		crit, ok := cr.Verdict()
+		return ok && crit == oracle[v]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCriticalWithFailedLinks: criticality is evaluated on the *live*
+// topology — a node that is critical only because of a failed link is
+// correctly reported.
+func TestCriticalWithFailedLinks(t *testing.T) {
+	// Ring: nobody critical. Fail one link: the ring becomes a line and
+	// interior nodes become critical.
+	g := topo.Ring(6)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	cr, err := InstallCritical(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkDown(2, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	cr.Check(0, 0) // node 0 is interior on the line 3-4-5-0-1-2
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	crit, ok := cr.Verdict()
+	if !ok || !crit {
+		t.Errorf("crit=%v ok=%v, want true/true on the degraded ring", crit, ok)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/topo"
+)
+
+// Degenerate topologies must not break the compiler or the pipeline.
+
+func TestSingleNodeNetwork(t *testing.T) {
+	g := topo.NewGraph(1)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	tr, err := InstallTraversal(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Trigger(0, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A root with no ports finishes immediately and reports.
+	if !tr.Completed() {
+		t.Fatal("isolated root must still report completion")
+	}
+	if net.TotalInBand() != 0 {
+		t.Errorf("in-band msgs = %d, want 0", net.TotalInBand())
+	}
+}
+
+func TestTwoNodeSnapshot(t *testing.T) {
+	g := topo.Line(2)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	s, err := InstallSnapshot(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trigger(1, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Collect()
+	if err != nil || res == nil {
+		t.Fatal("no snapshot")
+	}
+	if len(res.Nodes) != 2 || len(res.Edges) != 1 {
+		t.Fatalf("%d nodes %d edges", len(res.Nodes), len(res.Edges))
+	}
+	// 2 crossings on the single edge.
+	if net.InBandMsgs[EthSnapshot] != 2 {
+		t.Errorf("in-band = %d, want 2", net.InBandMsgs[EthSnapshot])
+	}
+}
+
+func TestRootWithAllPortsDead(t *testing.T) {
+	g := topo.Star(4)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	s, err := InstallSnapshot(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if err := net.SetLinkDown(0, i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Trigger(0, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Collect()
+	if err != nil || res == nil {
+		t.Fatal("isolated root must still report")
+	}
+	if len(res.Nodes) != 1 || len(res.Edges) != 0 {
+		t.Fatalf("snapshot of isolated root: %d nodes %d edges", len(res.Nodes), len(res.Edges))
+	}
+}
+
+func TestPriocastMultipleGroupsIndependent(t *testing.T) {
+	g := topo.Grid(3, 3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	p, err := InstallPriocast(c, g, 0, map[uint32][]PrioMember{
+		1: {{Node: 2, Prio: 9}, {Node: 6, Prio: 1}},
+		2: {{Node: 6, Prio: 9}, {Node: 2, Prio: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+	p.Send(0, 1, nil, 0)
+	p.Send(0, 2, nil, 5_000_000)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 || (*got)[0].sw != 2 || (*got)[1].sw != 6 {
+		t.Fatalf("deliveries = %v, want [2 6] (per-group winners)", *got)
+	}
+}
+
+func TestAnycastOverlappingGroupsSameNode(t *testing.T) {
+	g := topo.Ring(5)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	a, err := InstallAnycast(c, g, 0, map[uint32][]int{1: {3}, 2: {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureSelf(net)
+	a.Send(0, 1, nil, 0)
+	a.Send(0, 2, nil, 5_000_000)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("deliveries = %v", *got)
+	}
+	if (*got)[0].sw != 3 {
+		t.Errorf("group 1 delivered at %d", (*got)[0].sw)
+	}
+	if sw := (*got)[1].sw; sw != 3 && sw != 4 {
+		t.Errorf("group 2 delivered at %d", sw)
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeRecords hardens the snapshot decoder against corrupted or
+// adversarial record traces: it must error or return, never panic —
+// important because the trace arrives from the (untrusted) network.
+func FuzzDecodeRecords(f *testing.F) {
+	// Seed: a legitimate short trace (root, out, node, out, bounce, up).
+	legit := []uint32{
+		encRec(recNode, 0, 0),
+		encRec(recOut, 0, 1),
+		encRec(recNode, 1, 1),
+		encRec(recOut, 0, 2),
+		encRec(recBounce, 0, 2),
+		encRec(recUp, 0, 0),
+	}
+	buf := make([]byte, 4*len(legit))
+	for i, l := range legit {
+		binary.BigEndian.PutUint32(buf[4*i:], l)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		labels := make([]uint32, len(b)/4)
+		for i := range labels {
+			labels[i] = binary.BigEndian.Uint32(b[4*i:])
+		}
+		res, err := DecodeRecords(labels)
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+)
+
+// ControlPlane is everything a SmartSouth service needs from its control
+// plane: rule installation (the offline stage), packet injection and
+// packet-in collection (the runtime stage), and the few switch-state
+// queries controller applications legitimately have (port status arrives
+// via OFPT_PORT_STATUS in a real deployment).
+//
+// Two implementations exist: controller.Controller installs rules by
+// direct calls into the simulated switches, and remote.Fabric drives the
+// same switches through binary OpenFlow 1.3 over TCP (package ofconn).
+// Services behave identically on both — that is tested.
+type ControlPlane interface {
+	// InstallFlow adds a flow entry (a FLOW_MOD) on switch sw.
+	InstallFlow(sw, table int, e *openflow.FlowEntry)
+	// InstallGroup adds a group entry (a GROUP_MOD) on switch sw.
+	InstallGroup(sw int, g *openflow.GroupEntry)
+	// PacketOut injects a packet at sw for pipeline processing at time at.
+	PacketOut(sw, inPort int, pkt *openflow.Packet, at network.Time)
+	// InjectHost injects in-band host traffic at sw (not a controller
+	// message; anycast senders are hosts, not the controller).
+	InjectHost(sw int, pkt *openflow.Packet, at network.Time)
+	// Inbox returns the packet-ins received so far.
+	Inbox() []controller.PacketIn
+	// ClearInbox empties the inbox.
+	ClearInbox()
+	// RunNetwork processes the data plane to quiescence (driver loops
+	// like the TTL binary search need synchronous rounds).
+	RunNetwork() (int, error)
+	// Now returns the current network time.
+	Now() network.Time
+	// PortLive reports switch port status (OFPT_PORT_STATUS view).
+	PortLive(sw, port int) bool
+	// GroupCounter reads a round-robin group's bucket pointer for
+	// diagnostics; implementations without access return -1.
+	GroupCounter(sw int, id uint32) int
+}
+
+// The local controller satisfies the interface.
+var _ ControlPlane = (*controller.Controller)(nil)

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/topo"
+)
+
+func priocastRig(t *testing.T, g *topo.Graph, groups map[uint32][]PrioMember) (*Priocast, *network.Network, *controller.Controller, *[]delivery) {
+	t.Helper()
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	p, err := InstallPriocast(c, g, 0, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, net, c, captureSelf(net)
+}
+
+func TestPriocastPicksHighestPriority(t *testing.T) {
+	g := topo.Grid(4, 4)
+	p, net, c, got := priocastRig(t, g, map[uint32][]PrioMember{
+		9: {{Node: 3, Prio: 2}, {Node: 12, Prio: 7}, {Node: 15, Prio: 5}},
+	})
+	p.Send(0, 9, []byte("x"), 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].sw != 12 {
+		t.Fatalf("delivered at %v, want node 12 (prio 7)", *got)
+	}
+	if c.Stats.RuntimeMsgs() != 0 {
+		t.Errorf("out-band msgs = %d, want 0 on success", c.Stats.RuntimeMsgs())
+	}
+	// Two traversals bound the in-band cost: 2*(4E-2n+2).
+	if max := 2 * (4*g.NumEdges() - 2*g.NumNodes() + 2); net.InBandMsgs[EthPriocast] > max {
+		t.Errorf("in-band = %d > %d", net.InBandMsgs[EthPriocast], max)
+	}
+}
+
+func TestPriocastRootIsWinner(t *testing.T) {
+	g := topo.Ring(6)
+	p, net, _, got := priocastRig(t, g, map[uint32][]PrioMember{
+		1: {{Node: 0, Prio: 9}, {Node: 3, Prio: 4}},
+	})
+	p.Send(0, 1, nil, 0) // the injecting root has the best priority
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].sw != 0 {
+		t.Fatalf("delivered at %v, want root 0", *got)
+	}
+}
+
+func TestPriocastRootIsOnlyMember(t *testing.T) {
+	g := topo.Line(4)
+	p, net, _, got := priocastRig(t, g, map[uint32][]PrioMember{
+		1: {{Node: 2, Prio: 1}},
+	})
+	p.Send(2, 1, nil, 0)
+	net.Run()
+	if len(*got) != 1 || (*got)[0].sw != 2 {
+		t.Fatalf("delivered at %v, want node 2", *got)
+	}
+}
+
+func TestPriocastNoReceiverReports(t *testing.T) {
+	g := topo.Line(5)
+	p, net, c, got := priocastRig(t, g, map[uint32][]PrioMember{
+		1: {{Node: 4, Prio: 3}},
+	})
+	if err := net.SetLinkDown(3, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	p.Send(0, 1, nil, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("unexpected delivery %v", *got)
+	}
+	if !p.FailureReported() {
+		t.Error("expected a no-receiver report")
+	}
+	if c.Stats.PacketIns != 1 {
+		t.Errorf("packet-ins = %d, want 1", c.Stats.PacketIns)
+	}
+}
+
+func TestPriocastEqualPrioritiesDeliverToOne(t *testing.T) {
+	g := topo.Ring(8)
+	p, net, _, got := priocastRig(t, g, map[uint32][]PrioMember{
+		1: {{Node: 2, Prio: 5}, {Node: 6, Prio: 5}},
+	})
+	p.Send(0, 1, nil, 0)
+	net.Run()
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want exactly 1", len(*got))
+	}
+	if sw := (*got)[0].sw; sw != 2 && sw != 6 {
+		t.Errorf("delivered at %d, want 2 or 6", sw)
+	}
+}
+
+func TestPriocastValidation(t *testing.T) {
+	g := topo.Line(3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	cases := []map[uint32][]PrioMember{
+		{1: {{Node: 9, Prio: 1}}},
+		{1: {{Node: 0, Prio: 0}}},
+		{1: {{Node: 0, Prio: MaxPrio + 1}}},
+		{1: {{Node: 0, Prio: 1}, {Node: 0, Prio: 2}}},
+	}
+	for i, gs := range cases {
+		if _, err := InstallPriocast(c, g, 0, gs); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// Property: priocast delivers to a reachable member of maximum priority
+// among reachable members; with none reachable it reports failure.
+func TestQuickPriocastMaxPriority(t *testing.T) {
+	check := func(seed int64, nRaw, extraRaw, srcRaw uint8, prioRaw [3]uint8) bool {
+		n := 4 + int(nRaw%10)
+		g := topo.RandomConnected(n, int(extraRaw%8), seed)
+		src := int(srcRaw) % n
+
+		// Three members at pseudo-random distinct nodes.
+		var members []PrioMember
+		used := map[int]bool{}
+		for i, pr := range prioRaw {
+			node := (src + 1 + i*2 + int(pr)) % n
+			if used[node] {
+				continue
+			}
+			used[node] = true
+			members = append(members, PrioMember{Node: node, Prio: 1 + int(pr%MaxPrio)})
+		}
+		if len(members) == 0 {
+			return true
+		}
+
+		net := network.New(g, network.Options{})
+		c := controller.New(net)
+		p, err := InstallPriocast(c, g, 0, map[uint32][]PrioMember{3: members})
+		if err != nil {
+			return false
+		}
+		got := captureSelf(net)
+		p.Send(src, 3, nil, 0)
+		if _, err := net.Run(); err != nil {
+			return false
+		}
+
+		best := 0
+		for _, m := range members {
+			if m.Prio > best {
+				best = m.Prio
+			}
+		}
+		if len(*got) != 1 {
+			return false
+		}
+		deliveredAt := (*got)[0].sw
+		for _, m := range members {
+			if m.Node == deliveredAt {
+				return m.Prio == best
+			}
+		}
+		return false
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"smartsouth/internal/openflow"
+)
+
+// SmartCounter is the paper's §3.3 construction: a small counter stored
+// *in the switch* that the pipeline itself can read and update — something
+// plain OpenFlow statistics counters cannot do. It is a SELECT group with
+// round-robin bucket selection: bucket j's only action writes the constant
+// j into a designated packet field, so applying the group performs
+// fetch-and-increment — the pre-increment value lands in the field, where
+// subsequent flow tables can match it. The counter wraps at its modulus.
+type SmartCounter struct {
+	Switch  int
+	GroupID uint32
+	// Field receives the fetched (pre-increment) value.
+	Field openflow.Field
+	// Modulus is the number of buckets; values run 0..Modulus-1.
+	Modulus int
+}
+
+// InstallSmartCounter builds and installs one smart counter on a switch.
+// Applying openflow.Group{ID: sc.GroupID} anywhere in the pipeline is the
+// fetch-and-increment.
+func InstallSmartCounter(c ControlPlane, sw int, groupID uint32, field openflow.Field, modulus int) (*SmartCounter, error) {
+	if modulus < 2 {
+		return nil, fmt.Errorf("core: smart counter modulus must be >= 2, got %d", modulus)
+	}
+	if max := int(field.Max()); modulus-1 > max {
+		return nil, fmt.Errorf("core: modulus %d does not fit field %s", modulus, field)
+	}
+	buckets := make([]openflow.Bucket, modulus)
+	for j := 0; j < modulus; j++ {
+		buckets[j] = openflow.Bucket{Actions: []openflow.Action{
+			openflow.SetField{F: field, Value: uint64(j)},
+		}}
+	}
+	c.InstallGroup(sw, &openflow.GroupEntry{ID: groupID, Type: openflow.GroupSelectRR, Buckets: buckets})
+	return &SmartCounter{Switch: sw, GroupID: groupID, Field: field, Modulus: modulus}, nil
+}
+
+// FetchInc returns the action that performs the fetch-and-increment.
+func (sc *SmartCounter) FetchInc() openflow.Action { return openflow.Group{ID: sc.GroupID} }
+
+// Value reads the counter out of band (tests and controller resets only —
+// the data plane can only learn it through the fetched field). It returns
+// -1 when the control plane cannot read group state.
+func (sc *SmartCounter) Value(c ControlPlane) int {
+	return c.GroupCounter(sc.Switch, sc.GroupID)
+}
+
+// Reset sets the counter to zero via a group-mod (an offline-stage
+// controller message).
+func (sc *SmartCounter) Reset(c ControlPlane) {
+	// Reinstall the group: a real controller would send OFPGC_MODIFY,
+	// which resets bucket state.
+	buckets := make([]openflow.Bucket, sc.Modulus)
+	for j := 0; j < sc.Modulus; j++ {
+		buckets[j] = openflow.Bucket{Actions: []openflow.Action{
+			openflow.SetField{F: sc.Field, Value: uint64(j)},
+		}}
+	}
+	c.InstallGroup(sc.Switch, &openflow.GroupEntry{ID: sc.GroupID, Type: openflow.GroupSelectRR, Buckets: buckets})
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/topo"
+)
+
+// runSnapshot installs the service, triggers at root, runs, and decodes.
+func runSnapshot(t *testing.T, g *topo.Graph, root int, prep func(*network.Network)) (*Result, *network.Network, *controller.Controller) {
+	t.Helper()
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	s, err := InstallSnapshot(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep != nil {
+		prep(net)
+	}
+	s.Trigger(root, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	res, err := s.Collect()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return res, net, c
+}
+
+// checkSnapshotExact verifies the decoded snapshot equals the graph.
+func checkSnapshotExact(t *testing.T, g *topo.Graph, res *Result) {
+	t.Helper()
+	if res == nil {
+		t.Fatal("no snapshot report")
+	}
+	if len(res.Nodes) != g.NumNodes() {
+		t.Fatalf("nodes = %d, want %d", len(res.Nodes), g.NumNodes())
+	}
+	if len(res.Edges) != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", len(res.Edges), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !res.HasEdge(e.U, e.V) {
+			t.Fatalf("missing edge %d-%d", e.U, e.V)
+		}
+	}
+	// Port annotations must match the real topology.
+	for _, e := range res.Edges {
+		v, vp, ok := g.Neighbor(e.U, e.PU)
+		if !ok || v != e.V || vp != e.PV {
+			t.Fatalf("edge %+v has wrong port annotation", e)
+		}
+	}
+}
+
+func TestSnapshotExactOnShapes(t *testing.T) {
+	shapes := map[string]*topo.Graph{
+		"line":   topo.Line(6),
+		"ring":   topo.Ring(7),
+		"star":   topo.Star(6),
+		"grid":   topo.Grid(3, 4),
+		"random": topo.RandomConnected(18, 14, 11),
+	}
+	for name, g := range shapes {
+		t.Run(name, func(t *testing.T) {
+			res, _, _ := runSnapshot(t, g, 0, nil)
+			checkSnapshotExact(t, g, res)
+		})
+	}
+}
+
+func TestSnapshotFromEveryRoot(t *testing.T) {
+	g := topo.RandomConnected(12, 9, 2)
+	for root := 0; root < g.NumNodes(); root++ {
+		res, _, _ := runSnapshot(t, g, root, nil)
+		checkSnapshotExact(t, g, res)
+	}
+}
+
+// Property: snapshots of random connected graphs are exact.
+func TestQuickSnapshotExact(t *testing.T) {
+	check := func(seed int64, nRaw, extraRaw uint8) bool {
+		n := 2 + int(nRaw%15)
+		g := topo.RandomConnected(n, int(extraRaw%10), seed)
+		root := int(uint64(seed) % uint64(n))
+
+		net := network.New(g, network.Options{})
+		c := controller.New(net)
+		s, err := InstallSnapshot(c, g, 0)
+		if err != nil {
+			return false
+		}
+		s.Trigger(root, 0)
+		if _, err := net.Run(); err != nil {
+			return false
+		}
+		res, err := s.Collect()
+		if err != nil || res == nil {
+			return false
+		}
+		if len(res.Nodes) != n || len(res.Edges) != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !res.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotUnderFailures: failed links are routed around and the
+// snapshot reports exactly the live subtopology reachable from the root.
+func TestSnapshotUnderFailures(t *testing.T) {
+	g := topo.Grid(4, 4)
+	fails := [][2]int{{1, 2}, {5, 9}, {14, 15}}
+	res, _, _ := runSnapshot(t, g, 0, func(net *network.Network) {
+		for _, f := range fails {
+			if err := net.SetLinkDown(f[0], f[1], true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if res == nil {
+		t.Fatal("no report")
+	}
+	dead := func(u, p int) bool {
+		v, _, _ := g.Neighbor(u, p)
+		for _, f := range fails {
+			if (u == f[0] && v == f[1]) || (u == f[1] && v == f[0]) {
+				return true
+			}
+		}
+		return false
+	}
+	reach := topo.Reachable(g, 0, dead)
+	if len(res.Nodes) != len(reach) {
+		t.Fatalf("snapshot nodes = %d, reachable = %d", len(res.Nodes), len(reach))
+	}
+	// Live edges between reachable nodes must all be present; failed
+	// edges must be absent.
+	wantEdges := 0
+	for _, e := range g.Edges() {
+		failed := false
+		for _, f := range fails {
+			if (e.U == f[0] && e.V == f[1]) || (e.U == f[1] && e.V == f[0]) {
+				failed = true
+			}
+		}
+		if failed {
+			if res.HasEdge(e.U, e.V) {
+				t.Errorf("failed edge %d-%d present in snapshot", e.U, e.V)
+			}
+			continue
+		}
+		if reach[e.U] && reach[e.V] {
+			wantEdges++
+			if !res.HasEdge(e.U, e.V) {
+				t.Errorf("live edge %d-%d missing", e.U, e.V)
+			}
+		}
+	}
+	if len(res.Edges) != wantEdges {
+		t.Errorf("edges = %d, want %d", len(res.Edges), wantEdges)
+	}
+}
+
+// TestSnapshotTable2Complexity: 2 out-of-band messages (1 request O(1) +
+// 1 report O(E)), and ~4E-2n in-band messages of size O(E).
+func TestSnapshotTable2Complexity(t *testing.T) {
+	g := topo.RandomConnected(20, 15, 5)
+	_, net, c := runSnapshot(t, g, 0, nil)
+	if c.Stats.PacketOuts != 1 || c.Stats.PacketIns != 1 {
+		t.Errorf("out-band msgs: %d out + %d in, want 1+1", c.Stats.PacketOuts, c.Stats.PacketIns)
+	}
+	wantInBand := 4*g.NumEdges() - 2*g.NumNodes() + 2
+	if got := net.InBandMsgs[EthSnapshot]; got != wantInBand {
+		t.Errorf("in-band msgs = %d, want %d", got, wantInBand)
+	}
+	// The report message carries O(E) records: between E and 4E labels.
+	var reportLabels int
+	for _, pi := range c.Inbox() {
+		reportLabels = len(pi.Pkt.Labels)
+	}
+	if reportLabels < g.NumEdges() || reportLabels > 4*g.NumEdges() {
+		t.Errorf("report carries %d labels for E=%d", reportLabels, g.NumEdges())
+	}
+}
+
+func TestDecodeRecordsRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRecords([]uint32{encRec(recUp, 0, 0)}); err == nil {
+		t.Error("UP-at-root accepted")
+	}
+	if _, err := DecodeRecords([]uint32{0xF0000000}); err == nil {
+		t.Error("unknown record type accepted")
+	}
+}
+
+func TestRecordCodec(t *testing.T) {
+	for _, c := range [][3]int{{recNode, 0, 0}, {recOut, 0, 17}, {recBounce, 16383, 16383}, {recUp, 0, 0}} {
+		typ, node, port := decRec(encRec(c[0], c[1], c[2]))
+		if typ != c[0] || node != c[1] || port != c[2] {
+			t.Errorf("codec %v -> %d %d %d", c, typ, node, port)
+		}
+	}
+}

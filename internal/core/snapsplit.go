@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// EthSnapSplit is the EtherType of the splitting snapshot service.
+const EthSnapSplit = 0x880B
+
+// SnapshotSplit implements the paper's §3.1 remark in the data plane:
+//
+//	"If the snapshot of a large network does not fit into a single
+//	packet, data plane mechanisms can be implemented to split a packet
+//	into multiple smaller ones. All we have to do is to track the amount
+//	of data gathered so far (e.g. using special counter) and, when
+//	needed, we send the packet to the controller."
+//
+// The record counter is a packet field incremented by the classic
+// flow-table trick (one rule per counter value); when a *safe* record push
+// would reach the budget, the rule emits a copy of the packet — carrying
+// the records gathered so far — to the controller and then strips exactly
+// that many labels off the live packet (a constant list of pop actions per
+// counter value), so the traversal continues with an empty record stack.
+//
+// "Safe" pushes are the record kinds that are never popped again
+// (NODE, BOUNCE, UP); OUT records may be cancelled by the receiver's pop,
+// so fragments never break between an OUT record and its possible pop —
+// which also guarantees the counter stays within budget+2.
+//
+// The requester simply concatenates the fragments (they arrive in order
+// on the controller channel) with the final report and feeds the result
+// to the ordinary snapshot decoder.
+type SnapshotSplit struct {
+	G      *topo.Graph
+	L      *Layout
+	Tmpl   *Template
+	Budget int
+	FCnt   openflow.Field
+	FOut   openflow.Field
+	ctl    ControlPlane
+}
+
+// InstallSnapshotSplit compiles and installs the splitting snapshot with
+// the given per-fragment record budget (>= 4).
+func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*SnapshotSplit, error) {
+	if budget < 4 {
+		return nil, fmt.Errorf("core: snapshot budget must be >= 4, got %d", budget)
+	}
+	l := NewLayout(g)
+	s := &SnapshotSplit{
+		G: g, L: l, ctl: c, Budget: budget,
+		FCnt: l.Alloc("rec_cnt", openflow.BitsFor(uint64(budget+2))),
+		FOut: l.Alloc("out_port", openflow.BitsFor(uint64(g.MaxDegree()))),
+	}
+	t0, tFin, gb := Slot(slot)
+
+	// safePush returns the variants for a record push at a safe site:
+	// for every possible counter value, push the record, and either
+	// increment the counter or — when the budget is reached — flush a
+	// fragment to the controller and strip the live packet.
+	safePush := func(label uint32) []Variant {
+		var vs []Variant
+		for x := 0; x <= budget+1; x++ {
+			do := []openflow.Action{openflow.PushLabel{Value: label}}
+			if x+1 >= budget {
+				do = append(do, openflow.Output{Port: openflow.PortController})
+				for j := 0; j < x+1; j++ {
+					do = append(do, openflow.PopLabel{})
+				}
+				do = append(do, openflow.SetField{F: s.FCnt, Value: 0})
+			} else {
+				do = append(do, openflow.SetField{F: s.FCnt, Value: uint64(x + 1)})
+			}
+			vs = append(vs, Variant{
+				Match: []openflow.FieldMatch{{F: s.FCnt, Value: uint64(x)}},
+				Do:    do,
+			})
+		}
+		return vs
+	}
+
+	s.Tmpl = &Template{
+		G: g, L: l, Eth: EthSnapSplit, T0: t0, TFin: tFin, GroupBase: gb,
+		Hooks: Hooks{
+			DeferOutput: true, OutField: s.FOut,
+			RootStart: func(node int) []openflow.Action {
+				return []openflow.Action{
+					openflow.PushLabel{Value: encRec(recNode, node, 0)},
+					openflow.SetField{F: s.FCnt, Value: 1},
+				}
+			},
+			FirstVisit: func(node, in int) []Variant {
+				return safePush(encRec(recNode, node, in))
+			},
+			BounceSplit: true,
+			BounceSeen: func(node, in int) []Variant {
+				// Cancel the sender's OUT record (it is still on top of
+				// the stack: OUT sites never flush) and decrement.
+				var vs []Variant
+				for x := 1; x <= budget+2; x++ {
+					vs = append(vs, Variant{
+						Match: []openflow.FieldMatch{{F: s.FCnt, Value: uint64(x)}},
+						Do: []openflow.Action{
+							openflow.PopLabel{},
+							openflow.SetField{F: s.FCnt, Value: uint64(x - 1)},
+						},
+					})
+				}
+				return vs
+			},
+			BounceNew: func(node, in int) []Variant {
+				return safePush(encRec(recBounce, node, in))
+			},
+			Finish: finishToController,
+		},
+	}
+	if err := s.Tmpl.Install(c); err != nil {
+		return nil, err
+	}
+
+	// Deferred-output decision table: parent returns (out_port equals the
+	// packet's parent field) push an UP record (safe site), everything
+	// else is an advance pushing an OUT record (never flushed).
+	eth := openflow.MatchEth(EthSnapSplit)
+	for i := 0; i < g.NumNodes(); i++ {
+		d := g.Degree(i)
+		P := l.Par[i]
+		for k := 1; k <= d; k++ {
+			for x := 0; x <= budget+1; x++ {
+				// Parent return: push UP, maybe flush, then forward.
+				var acts []openflow.Action
+				acts = append(acts, openflow.PushLabel{Value: encRec(recUp, 0, 0)})
+				if x+1 >= budget {
+					acts = append(acts, openflow.Output{Port: openflow.PortController})
+					for j := 0; j < x+1; j++ {
+						acts = append(acts, openflow.PopLabel{})
+					}
+					acts = append(acts, openflow.SetField{F: s.FCnt, Value: 0})
+				} else {
+					acts = append(acts, openflow.SetField{F: s.FCnt, Value: uint64(x + 1)})
+				}
+				acts = append(acts, openflow.Output{Port: k})
+				c.InstallFlow(i, tFin, &openflow.FlowEntry{
+					Priority: PrioFinish + 60,
+					Match: eth.WithField(s.FOut, uint64(k)).WithField(P, uint64(k)).
+						WithField(s.FCnt, uint64(x)),
+					Actions: acts, Goto: openflow.NoGoto,
+					Cookie: fmt.Sprintf("snapsplit/n%d/up-k%d-x%d", i, k, x),
+				})
+
+				// Advance: push OUT and increment, never flush.
+				c.InstallFlow(i, tFin, &openflow.FlowEntry{
+					Priority: PrioFinish + 40,
+					Match:    eth.WithField(s.FOut, uint64(k)).WithField(s.FCnt, uint64(x)),
+					Actions: []openflow.Action{
+						openflow.PushLabel{Value: encRec(recOut, 0, k)},
+						openflow.SetField{F: s.FCnt, Value: uint64(x + 1)},
+						openflow.Output{Port: k},
+					},
+					Goto:   openflow.NoGoto,
+					Cookie: fmt.Sprintf("snapsplit/n%d/out-k%d-x%d", i, k, x),
+				})
+			}
+		}
+	}
+	return s, nil
+}
+
+// Trigger requests a split snapshot starting at switch root.
+func (s *SnapshotSplit) Trigger(root int, at network.Time) {
+	s.ctl.PacketOut(root, openflow.PortController, s.L.NewPacket(s.Tmpl.Eth), at)
+}
+
+// Collect concatenates the fragments and the final report in arrival
+// order and decodes them. fragments reports how many packets the snapshot
+// was split into (including the final one).
+func (s *SnapshotSplit) Collect() (res *Result, fragments int, err error) {
+	var labels []uint32
+	for _, pi := range s.ctl.Inbox() {
+		if pi.Pkt.EthType != s.Tmpl.Eth {
+			continue
+		}
+		fragments++
+		labels = append(labels, pi.Pkt.Labels...)
+	}
+	if fragments == 0 {
+		return nil, 0, nil
+	}
+	res, err = DecodeRecords(labels)
+	return res, fragments, err
+}
+
+// MaxFragmentRecords returns the largest label count any fragment may
+// carry (budget plus the OUT/UP records in flight).
+func (s *SnapshotSplit) MaxFragmentRecords() int { return s.Budget + 2 }

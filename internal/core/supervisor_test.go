@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// TestMidTraversalFailureKillsUnsupervisedRun documents the paper's
+// limitation: a link failing *while the traversal is in flight* can
+// swallow or strand the trigger packet, so no report arrives.
+func TestMidTraversalFailureKillsUnsupervisedRun(t *testing.T) {
+	g := topo.Ring(8)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	tr, err := InstallTraversal(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep reaches link 4-5 after several hops; kill it while the
+	// packet is past it so the return path dies.
+	if err := net.ScheduleLinkDown(4, 5, true, 5_500); err != nil {
+		t.Fatal(err)
+	}
+	tr.Trigger(0, 0)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Completed() {
+		t.Skip("timing did not strand the packet on this topology")
+	}
+	// No report: exactly the failure mode the supervisor handles.
+}
+
+// TestSupervisorRecoversFromMidTraversalFailure verifies the retry
+// mitigation: after the failure settles, a fresh attempt completes and
+// reports the degraded-but-connected topology.
+func TestSupervisorRecoversFromMidTraversalFailure(t *testing.T) {
+	g := topo.Ring(8)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	snap, err := InstallSnapshot(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ScheduleLinkDown(4, 5, true, 5_500); err != nil {
+		t.Fatal(err)
+	}
+	res, attempts, err := Supervisor{}.SnapshotWithRetry(snap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Logf("completed in %d attempt(s) — failure may not have hit mid-flight", attempts)
+	}
+	// The final snapshot reflects the post-failure network: all 8 nodes
+	// (a ring minus one link is a path), 7 links.
+	if len(res.Nodes) != 8 || len(res.Edges) != 7 {
+		t.Fatalf("snapshot %d nodes %d edges, want 8/7", len(res.Nodes), len(res.Edges))
+	}
+	if res.HasEdge(4, 5) {
+		t.Error("failed link still reported")
+	}
+}
+
+func TestSupervisorTraversalAndCritical(t *testing.T) {
+	g := topo.Grid(3, 3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	tr, err := InstallTraversal(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := InstallCritical(c, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts, err := (Supervisor{}).TraversalWithRetry(tr, 0); err != nil || attempts != 1 {
+		t.Fatalf("healthy traversal: attempts=%d err=%v", attempts, err)
+	}
+	crit, attempts, err := Supervisor{}.CriticalWithRetry(cr, 4)
+	if err != nil || attempts != 1 || crit {
+		t.Fatalf("critical: %v/%d/%v", crit, attempts, err)
+	}
+}
+
+// TestSupervisorGivesUp: when the trigger is always swallowed (a
+// blackhole right at the root), the supervisor reports failure after its
+// attempt budget instead of hanging.
+func TestSupervisorGivesUp(t *testing.T) {
+	g := topo.Line(3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	tr, err := InstallTraversal(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root 0 has one port; a blackhole there swallows every attempt.
+	if err := net.SetBlackhole(0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	s := Supervisor{MaxAttempts: 3}
+	attempts, err := s.TraversalWithRetry(tr, 0)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+}
+
+// TestScheduledRepair: a link failing and coming back mid-run behaves
+// sanely (liveness restored, next sweep uses it again).
+func TestScheduledRepair(t *testing.T) {
+	g := topo.Ring(6)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	snap, err := InstallSnapshot(c, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ScheduleLinkDown(2, 3, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ScheduleLinkDown(2, 3, false, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// First snapshot sees the degraded ring; second sees it healed.
+	res1, _, err := Supervisor{}.SnapshotWithRetry(snap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance past the repair.
+	net.Inject(0, openflow.PortController, openflow.NewPacket(0xFFFF, 1), 1_000_001)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.ClearInbox()
+	snap.Trigger(0, net.Sim.Now()+1)
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := snap.Collect()
+	if err != nil || res2 == nil {
+		t.Fatal("second snapshot failed")
+	}
+	if len(res1.Edges) != 5 || len(res2.Edges) != 6 {
+		t.Errorf("edges: degraded %d (want 5), healed %d (want 6)", len(res1.Edges), len(res2.Edges))
+	}
+}

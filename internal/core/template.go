@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// Rule priorities within a service's entry table. Services may install
+// their own pre-rules at PrioService and above (e.g. the anycast receiver
+// exit); the template owns everything below.
+//
+// The relative order encodes Algorithm 1:
+//
+//	start (pkt.start=0)          -> the switch becomes the DFS root
+//	first visit (cur=0)          -> record parent, probe first port
+//	finished (cur=par, par>=1)   -> the paper's "act as if in < cur" case
+//	expected return (in=cur)     -> advance to the next port
+//	seen bounce (in < cur)       -> unexpected arrival on an already
+//	                                probed port
+//	new bounce (any other in)    -> unexpected arrival, bounce back
+const (
+	PrioService  = 10000
+	PrioStart    = 9000
+	PrioFirst    = 8000
+	PrioFinished = 7500
+	PrioExpected = 7000
+	PrioSeen     = 6000
+	PrioNew      = 5000
+	PrioFinish   = 1000 // in the finish table
+)
+
+// Variant is a conditional refinement of a template rule: an extra set of
+// match criteria plus extra actions. The compiler emits the base rule and,
+// above it, one rule per variant carrying base+extra matches and actions.
+// A Terminal variant replaces the rule's forwarding continuation entirely
+// (used e.g. when the critical-node service decides and reports instead of
+// continuing the traversal).
+type Variant struct {
+	Match    []openflow.FieldMatch
+	Do       []openflow.Action
+	Terminal bool
+}
+
+// Hooks are the service-specific functions of Table 1. Every hook may be
+// nil. Hooks run at *compile time* and return the constant actions (or
+// match-refined rule variants) to install; nothing here executes per
+// packet.
+type Hooks struct {
+	// RootStart runs when the trigger packet starts the traversal at this
+	// node (pkt.start = 0).
+	RootStart func(node int) []openflow.Action
+	// FirstVisit corresponds to First_visit(): node saw the packet for
+	// the first time, arriving on port in.
+	FirstVisit func(node, in int) []Variant
+	// FromCur corresponds to Visit_from_cur(): the packet returned on the
+	// expected port cur while the packet's parent field for this node
+	// holds par (0 at the root).
+	FromCur func(node, cur, par int) []Variant
+	// BounceSplit selects the two-case Visit_not_from_cur() treatment the
+	// snapshot service needs (in < cur versus the rest). When false, a
+	// single Bounce hook handles all unexpected arrivals.
+	BounceSplit bool
+	// BouncePerIn enumerates the ingress port on every bounce rule
+	// (including the finished-state rules), so bounce hooks receive a
+	// concrete port instead of openflow.AnyPort. Costs O(Δ) extra rules
+	// per node; the packet-loss monitor needs it to tick the egress
+	// counter of the port it bounces out of.
+	BouncePerIn bool
+	// Bounce corresponds to Visit_not_from_cur() (BounceSplit == false).
+	// in is openflow.AnyPort on wildcard-ingress rules.
+	Bounce func(node, in int) []Variant
+	// BounceSeen handles unexpected arrivals on a port the node has
+	// already probed itself (in < cur, or cur = par). in is
+	// openflow.AnyPort on the wildcard finished-state rules.
+	BounceSeen func(node, in int) []Variant
+	// BounceNew handles unexpected arrivals on a not-yet-probed port.
+	BounceNew func(node, in int) []Variant
+	// SendNext corresponds to Send_next_neighbor(): actions placed in the
+	// fast-failover bucket that forwards via port out, in the group
+	// parameterised by (scan-start s, parent par).
+	SendNext func(node, s, par, out int) []openflow.Action
+	// SendParent corresponds to Send_parent().
+	SendParent func(node, par int) []openflow.Action
+	// Finish corresponds to Finish(): the root completed the traversal.
+	Finish func(node int) []openflow.Action
+
+	// DeferOutput changes the advance groups so that buckets *select* the
+	// output port (writing it into OutField) without emitting the packet;
+	// the rule's goto into the finish table then decides what to do —
+	// typically after matching a fetched smart-counter value. The service
+	// must install finish-table rules that Output{OutField's value}; the
+	// root's finish sets OutField to 0. Bounce rules still emit directly.
+	DeferOutput bool
+	OutField    openflow.Field
+}
+
+// Template compiles Algorithm 1 for every node of a graph into flow and
+// group entries. A service instance owns an EtherType, a block of table
+// IDs and a group-ID base so that several services coexist on one switch.
+type Template struct {
+	G *topo.Graph
+	L *Layout
+	// Eth is the service EtherType; table 0 dispatches on it.
+	Eth uint16
+	// T0 is the service's entry table, TFin the finish table. T0 must be
+	// >= 1 (table 0 belongs to the dispatcher) and TFin > T0.
+	T0, TFin int
+	// GroupBase offsets this service's group IDs on every switch.
+	GroupBase uint32
+	Hooks     Hooks
+
+	// StateStart / StatePar / StateCur override the DFS state fields
+	// (defaults: L.Start, L.Par, L.Cur). Multi-stage services allocate
+	// one state set per stage via Layout.NewStage.
+	StateStart openflow.Field
+	StatePar   []openflow.Field
+	StateCur   []openflow.Field
+	// DispatchFields adds criteria to the table-0 dispatcher rule, so
+	// several templates sharing an EtherType (e.g. chaincast stages) can
+	// demultiplex on a stage field.
+	DispatchFields []openflow.FieldMatch
+}
+
+// stateFields resolves the effective DFS state fields for node i.
+func (t *Template) stateFields(i int) (S, P, C openflow.Field) {
+	S, P, C = t.L.Start, t.L.Par[i], t.L.Cur[i]
+	if t.StateStart.Valid() {
+		S = t.StateStart
+	}
+	if t.StatePar != nil {
+		P = t.StatePar[i]
+	}
+	if t.StateCur != nil {
+		C = t.StateCur[i]
+	}
+	return S, P, C
+}
+
+// Slot returns conventional table/group assignments for the slot-th
+// service on a network (slot 0, 1, 2, …).
+func Slot(slot int) (t0, tFin int, groupBase uint32) {
+	return 1 + slot*10, 2 + slot*10, uint32(slot) << 20
+}
+
+// AdvGroup returns the ID of node's fast-failover advance group that
+// scans ports s, s+1, …, Δ (skipping par) and falls back to the parent.
+// Group IDs only need to be unique per switch.
+func (t *Template) AdvGroup(node, s, par int) uint32 {
+	d := t.G.Degree(node)
+	return t.GroupBase + uint32(s*(d+2)+par)
+}
+
+// Install compiles and installs the template on every switch through the
+// controller (the paper's offline stage).
+func (t *Template) Install(c ControlPlane) error {
+	if t.T0 < 1 || t.TFin <= t.T0 {
+		return fmt.Errorf("core: invalid table block T0=%d TFin=%d", t.T0, t.TFin)
+	}
+	if t.L == nil || t.L.G != t.G {
+		return fmt.Errorf("core: layout does not belong to this graph")
+	}
+	if t.Hooks.DeferOutput && !t.Hooks.OutField.Valid() {
+		return fmt.Errorf("core: DeferOutput requires a valid OutField")
+	}
+	for node := 0; node < t.G.NumNodes(); node++ {
+		t.installNode(c, node)
+	}
+	return nil
+}
+
+func (t *Template) installNode(c ControlPlane, i int) {
+	d := t.G.Degree(i)
+	S, P, C := t.stateFields(i)
+	base := openflow.MatchEth(t.Eth)
+
+	// Dispatcher: table 0 demultiplexes the service EtherType (plus any
+	// extra dispatch criteria, e.g. a chain-stage field).
+	disp := base
+	for _, fm := range t.DispatchFields {
+		disp = disp.WithMasked(fm.F, fm.Value, fm.Mask)
+	}
+	c.InstallFlow(i, 0, &openflow.FlowEntry{
+		Priority: 100, Match: disp, Goto: t.T0,
+		Cookie: fmt.Sprintf("svc%04x/dispatch", t.Eth),
+	})
+
+	// Advance groups: for every scan start s and parent value par, probe
+	// ports s..d in order, skipping par and dead ports (fast failover),
+	// then fall back to the parent (par >= 1) or finish (par = 0, root).
+	for s := 1; s <= d+1; s++ {
+		for par := 0; par <= d; par++ {
+			var buckets []openflow.Bucket
+			for k := s; k <= d; k++ {
+				if k == par {
+					continue
+				}
+				var acts []openflow.Action
+				if t.Hooks.SendNext != nil {
+					acts = append(acts, t.Hooks.SendNext(i, s, par, k)...)
+				}
+				acts = append(acts, openflow.SetField{F: C, Value: uint64(k)})
+				if t.Hooks.DeferOutput {
+					acts = append(acts, openflow.SetField{F: t.Hooks.OutField, Value: uint64(k)})
+				} else {
+					acts = append(acts, openflow.Output{Port: k})
+				}
+				buckets = append(buckets, openflow.Bucket{WatchPort: k, Actions: acts})
+			}
+			if par >= 1 {
+				var acts []openflow.Action
+				if t.Hooks.SendParent != nil {
+					acts = append(acts, t.Hooks.SendParent(i, par)...)
+				}
+				acts = append(acts, openflow.SetField{F: C, Value: uint64(par)})
+				if t.Hooks.DeferOutput {
+					acts = append(acts, openflow.SetField{F: t.Hooks.OutField, Value: uint64(par)})
+				} else {
+					acts = append(acts, openflow.Output{Port: par})
+				}
+				buckets = append(buckets, openflow.Bucket{WatchPort: openflow.WatchNone, Actions: acts})
+			} else {
+				// Root fallback: mark finished (cur := 0); the entry
+				// rule's goto into the finish table picks it up.
+				acts := []openflow.Action{openflow.SetField{F: C, Value: 0}}
+				if t.Hooks.DeferOutput {
+					acts = append(acts, openflow.SetField{F: t.Hooks.OutField, Value: 0})
+				}
+				buckets = append(buckets, openflow.Bucket{WatchPort: openflow.WatchNone, Actions: acts})
+			}
+			c.InstallGroup(i, &openflow.GroupEntry{ID: t.AdvGroup(i, s, par), Type: openflow.GroupFF, Buckets: buckets})
+		}
+	}
+
+	// emit installs a base rule plus its variants.
+	emit := func(table, prio int, m openflow.Match, pre []openflow.Action,
+		cont []openflow.Action, gotoT int, vs []Variant, cookie string) {
+		// A variant with no extra match criteria is unconditional: fold
+		// its actions into the base rule (and, transitively, into every
+		// conditional variant) instead of emitting a shadowing rule.
+		var conditional []Variant
+		for _, v := range vs {
+			if len(v.Match) == 0 && !v.Terminal {
+				pre = append(append([]openflow.Action{}, pre...), v.Do...)
+			} else {
+				conditional = append(conditional, v)
+			}
+		}
+		vs = conditional
+		all := append(append([]openflow.Action{}, pre...), cont...)
+		c.InstallFlow(i, table, &openflow.FlowEntry{
+			Priority: prio, Match: m, Actions: all, Goto: gotoT, Cookie: cookie,
+		})
+		for vi, v := range vs {
+			vm := m
+			for _, fm := range v.Match {
+				vm = vm.WithMasked(fm.F, fm.Value, fm.Mask)
+			}
+			var acts []openflow.Action
+			g := gotoT
+			if v.Terminal {
+				acts = append([]openflow.Action{}, v.Do...)
+				g = openflow.NoGoto
+			} else {
+				acts = append(append(append([]openflow.Action{}, pre...), v.Do...), cont...)
+			}
+			c.InstallFlow(i, table, &openflow.FlowEntry{
+				Priority: prio + 1 + vi, Match: vm, Actions: acts, Goto: g,
+				Cookie: fmt.Sprintf("%s/v%d", cookie, vi),
+			})
+		}
+	}
+
+	// Start rule: pkt.start = 0 — this switch becomes the DFS root.
+	var rootActs []openflow.Action
+	rootActs = append(rootActs, openflow.SetField{F: S, Value: 1})
+	if t.Hooks.RootStart != nil {
+		rootActs = append(rootActs, t.Hooks.RootStart(i)...)
+	}
+	emit(t.T0, PrioStart, base.WithField(S, 0), rootActs,
+		[]openflow.Action{openflow.Group{ID: t.AdvGroup(i, 1, 0)}}, t.TFin, nil,
+		fmt.Sprintf("svc%04x/n%d/start", t.Eth, i))
+
+	// First visit: cur = 0, one rule per ingress port, because set-field
+	// can only write immediates — the packet's parent field is set to the
+	// constant q of the matching rule.
+	for q := 1; q <= d; q++ {
+		var vs []Variant
+		if t.Hooks.FirstVisit != nil {
+			vs = t.Hooks.FirstVisit(i, q)
+		}
+		emit(t.T0, PrioFirst, base.WithInPort(q).WithField(C, 0),
+			[]openflow.Action{openflow.SetField{F: P, Value: uint64(q)}},
+			[]openflow.Action{openflow.Group{ID: t.AdvGroup(i, 1, q)}}, t.TFin, vs,
+			fmt.Sprintf("svc%04x/n%d/first-in%d", t.Eth, i, q))
+	}
+
+	// seenHook resolves which hook covers "already seen" arrivals.
+	seenHook := t.Hooks.Bounce
+	if t.Hooks.BounceSplit {
+		seenHook = t.Hooks.BounceSeen
+	}
+	callHook := func(h func(int, int) []Variant, node, in int) []Variant {
+		if h == nil {
+			return nil
+		}
+		return h(node, in)
+	}
+
+	// Finished state (cur = par >= 1): every arrival is treated like the
+	// "already seen" bounce, per the paper's cur=par remark.
+	for p := 1; p <= d; p++ {
+		m := base.WithField(C, uint64(p)).WithField(P, uint64(p))
+		if t.Hooks.BouncePerIn {
+			for q := 1; q <= d; q++ {
+				emit(t.T0, PrioFinished, m.WithInPort(q),
+					nil, []openflow.Action{openflow.Output{Port: openflow.PortInPort}}, openflow.NoGoto,
+					callHook(seenHook, i, q),
+					fmt.Sprintf("svc%04x/n%d/done-p%d-in%d", t.Eth, i, p, q))
+			}
+			continue
+		}
+		emit(t.T0, PrioFinished, m,
+			nil, []openflow.Action{openflow.Output{Port: openflow.PortInPort}}, openflow.NoGoto,
+			callHook(seenHook, i, openflow.AnyPort),
+			fmt.Sprintf("svc%04x/n%d/done-p%d", t.Eth, i, p))
+	}
+
+	// Expected return (in = cur): advance to cur+1. One rule per
+	// (cur, parent-value) pair, since the next advance group depends on
+	// the parent.
+	for q := 1; q <= d; q++ {
+		for p := 0; p <= d; p++ {
+			if p == q {
+				continue // cur = par is the finished state above
+			}
+			var vs []Variant
+			if t.Hooks.FromCur != nil {
+				vs = t.Hooks.FromCur(i, q, p)
+			}
+			emit(t.T0, PrioExpected,
+				base.WithInPort(q).WithField(C, uint64(q)).WithField(P, uint64(p)),
+				nil, []openflow.Action{openflow.Group{ID: t.AdvGroup(i, q+1, p)}}, t.TFin, vs,
+				fmt.Sprintf("svc%04x/n%d/ret-c%d-p%d", t.Eth, i, q, p))
+		}
+	}
+
+	// Unexpected arrivals. With BounceSplit, arrivals on an already
+	// probed port (in < cur) are distinguished from the rest by
+	// enumerating (in, cur) pairs — the flow-table comparison technique
+	// of the paper's reference [2].
+	if t.Hooks.BounceSplit {
+		for q := 1; q <= d; q++ {
+			for cv := q + 1; cv <= d; cv++ {
+				emit(t.T0, PrioSeen, base.WithInPort(q).WithField(C, uint64(cv)),
+					nil, []openflow.Action{openflow.Output{Port: openflow.PortInPort}}, openflow.NoGoto,
+					callHook(t.Hooks.BounceSeen, i, q),
+					fmt.Sprintf("svc%04x/n%d/seen-in%d-c%d", t.Eth, i, q, cv))
+			}
+			emit(t.T0, PrioNew, base.WithInPort(q),
+				nil, []openflow.Action{openflow.Output{Port: openflow.PortInPort}}, openflow.NoGoto,
+				callHook(t.Hooks.BounceNew, i, q),
+				fmt.Sprintf("svc%04x/n%d/new-in%d", t.Eth, i, q))
+		}
+	} else if t.Hooks.BouncePerIn {
+		for q := 1; q <= d; q++ {
+			emit(t.T0, PrioNew, base.WithInPort(q),
+				nil, []openflow.Action{openflow.Output{Port: openflow.PortInPort}}, openflow.NoGoto,
+				callHook(t.Hooks.Bounce, i, q),
+				fmt.Sprintf("svc%04x/n%d/bounce-in%d", t.Eth, i, q))
+		}
+	} else {
+		emit(t.T0, PrioNew, base, nil,
+			[]openflow.Action{openflow.Output{Port: openflow.PortInPort}}, openflow.NoGoto,
+			callHook(t.Hooks.Bounce, i, openflow.AnyPort),
+			fmt.Sprintf("svc%04x/n%d/bounce", t.Eth, i))
+	}
+
+	// Finish table: reached by goto after every advance; fires only when
+	// the advance group's root fallback set cur := 0 (and par = 0, i.e.
+	// this node is the root).
+	var fin []openflow.Action
+	if t.Hooks.Finish != nil {
+		fin = t.Hooks.Finish(i)
+	}
+	c.InstallFlow(i, t.TFin, &openflow.FlowEntry{
+		Priority: PrioFinish,
+		Match:    base.WithField(C, 0).WithField(P, 0),
+		Actions:  fin, Goto: openflow.NoGoto,
+		Cookie: fmt.Sprintf("svc%04x/n%d/finish", t.Eth, i),
+	})
+}

@@ -1,0 +1,77 @@
+// Package dump renders installed switch configurations as text — the
+// operator-facing counterpart to package verify. Because every SmartSouth
+// behaviour is an ordinary flow or group entry, the dump of a switch *is*
+// the complete, inspectable specification of what it will do.
+package dump
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smartsouth/internal/openflow"
+)
+
+// Switch renders one switch's tables and groups.
+func Switch(sw *openflow.Switch) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "switch %d (%d ports, %d flows, %d groups, ~%d config bytes)\n",
+		sw.ID, sw.NumPorts, sw.FlowEntryCount(), sw.GroupCount(), sw.ConfigBytes())
+
+	for _, tid := range sw.TableIDs() {
+		t := sw.Table(tid)
+		fmt.Fprintf(&b, "  table %d (%d entries)\n", tid, t.Len())
+		for _, e := range t.Entries() {
+			gotoStr := ""
+			if e.Goto != openflow.NoGoto {
+				gotoStr = fmt.Sprintf(" goto:%d", e.Goto)
+			}
+			fmt.Fprintf(&b, "    [%5d] %s -> %s%s  #%s (hits %d)\n",
+				e.Priority, e.Match, actionsString(e.Actions), gotoStr, e.Cookie, e.Packets)
+		}
+	}
+
+	groups := sw.Groups()
+	if len(groups) > 0 {
+		fmt.Fprintf(&b, "  groups (%d)\n", len(groups))
+		for _, g := range groups {
+			fmt.Fprintf(&b, "    group %d type=%s\n", g.ID, g.Type)
+			for i, bk := range g.Buckets {
+				watch := "always"
+				if bk.WatchPort != openflow.WatchNone {
+					watch = fmt.Sprintf("port %d", bk.WatchPort)
+				}
+				fmt.Fprintf(&b, "      bucket %d (watch %s): %s\n", i, watch, actionsString(bk.Actions))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Summary renders a one-line-per-switch overview of many switches.
+func Summary(switches []*openflow.Switch) string {
+	var b strings.Builder
+	type row struct {
+		id, flows, groups, bytes int
+	}
+	rows := make([]row, 0, len(switches))
+	for _, sw := range switches {
+		rows = append(rows, row{sw.ID, sw.FlowEntryCount(), sw.GroupCount(), sw.ConfigBytes()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "switch %3d: %4d flows, %4d groups, %7d bytes\n", r.id, r.flows, r.groups, r.bytes)
+	}
+	return b.String()
+}
+
+func actionsString(acts []openflow.Action) string {
+	if len(acts) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(acts))
+	for i, a := range acts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

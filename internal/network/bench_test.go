@@ -1,0 +1,64 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// BenchmarkLinkCrossing measures raw simulator throughput: one injection,
+// one link crossing, one local delivery.
+func BenchmarkLinkCrossing(b *testing.B) {
+	g := topo.Line(2)
+	n := New(g, Options{MaxSteps: 1 << 30})
+	for i := 0; i < 2; i++ {
+		n.Switch(i).AddFlow(0, &openflow.FlowEntry{
+			Priority: 1, Match: openflow.MatchAll().WithInPort(1),
+			Actions: []openflow.Action{openflow.Output{Port: openflow.PortSelf}},
+			Goto:    openflow.NoGoto, Cookie: "sink",
+		})
+		n.Switch(i).AddFlow(0, &openflow.FlowEntry{
+			Priority: 0, Match: openflow.MatchAll(),
+			Actions: []openflow.Action{openflow.Output{Port: 1}},
+			Goto:    openflow.NoGoto, Cookie: "tx",
+		})
+	}
+	pkt := openflow.NewPacket(1, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Inject(0, openflow.PortController, pkt, n.Sim.Now()+1)
+		if _, err := n.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFanoutInjection stresses heap churn and dispatch cost: one
+// injection per switch, each locally absorbed.
+func BenchmarkFanoutInjection(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		g := topo.RandomConnected(n, n/2, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := New(g, Options{})
+			for i := 0; i < net.NumSwitches(); i++ {
+				net.Switch(i).AddFlow(0, &openflow.FlowEntry{
+					Priority: 1, Match: openflow.MatchAll(),
+					Actions: []openflow.Action{openflow.Output{Port: openflow.PortSelf}},
+					Goto:    openflow.NoGoto, Cookie: "sink",
+				})
+			}
+			pkt := openflow.NewPacket(1, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for sw := 0; sw < net.NumSwitches(); sw++ {
+					net.Inject(sw, openflow.PortController, pkt, net.Sim.Now()+1)
+				}
+				if _, err := net.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package network
+
+import (
+	"testing"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+func TestLinkModeStrings(t *testing.T) {
+	for m, want := range map[LinkMode]string{
+		LinkUp: "up", LinkDown: "down", LinkBlackhole: "blackhole", LinkLossy: "lossy",
+	} {
+		if m.String() != want {
+			t.Errorf("%d: %q", m, m.String())
+		}
+	}
+}
+
+func TestLinksAccessorAndErrors(t *testing.T) {
+	g := topo.Ring(4)
+	n := New(g, Options{})
+	if len(n.Links()) != 4 {
+		t.Errorf("links = %d", len(n.Links()))
+	}
+	if err := n.SetLinkDown(0, 2, true); err == nil {
+		t.Error("non-adjacent SetLinkDown accepted")
+	}
+	if err := n.SetBlackhole(0, 2, false); err == nil {
+		t.Error("non-adjacent SetBlackhole accepted")
+	}
+	if err := n.SetLoss(0, 2, 0.5); err == nil {
+		t.Error("non-adjacent SetLoss accepted")
+	}
+	if err := n.ScheduleLinkDown(0, 2, true, 5); err == nil {
+		t.Error("non-adjacent ScheduleLinkDown accepted")
+	}
+	if (ErrEventLimit{Steps: 5}).Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestScheduledLinkDownFiresAtTime(t *testing.T) {
+	g := topo.Line(2)
+	n := New(g, Options{})
+	if err := n.ScheduleLinkDown(0, 1, true, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Switch(0).PortLive(1) {
+		t.Fatal("port must still be up before the event fires")
+	}
+	// Drive time past the scheduled failure with a no-op injection.
+	n.Inject(0, openflow.PortController, openflow.NewPacket(1, 1), 1_000)
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Switch(0).PortLive(1) {
+		t.Error("scheduled failure did not fire")
+	}
+}
+
+func TestReverseBlackholeDirectionSelection(t *testing.T) {
+	g := topo.Line(2)
+	n := New(g, Options{})
+	// SetBlackhole(v, u): the caller names the transmit side; setting it
+	// from the B-endpoint must blackhole B->A only.
+	if err := n.SetBlackhole(1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	l := n.LinkBetween(0, 1)
+	if l.modeBA != LinkBlackhole || l.modeAB != LinkUp {
+		t.Errorf("modes: AB=%v BA=%v", l.modeAB, l.modeBA)
+	}
+	// Bidirectional from the B side covers both.
+	if err := n.SetBlackhole(1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if l.modeAB != LinkBlackhole {
+		t.Error("bidirectional blackhole missed AB")
+	}
+}

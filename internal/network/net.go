@@ -1,0 +1,267 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// Hop mirrors topo.Hop for recorded in-band traversals.
+type Hop = topo.Hop
+
+// Options configures a Network.
+type Options struct {
+	// LinkDelay is the one-way latency of every link (default 1µs).
+	LinkDelay Time
+	// Seed seeds the loss process of lossy links.
+	Seed int64
+	// MaxSteps bounds events per Run (see Sim.MaxSteps).
+	MaxSteps int
+}
+
+// Network instantiates one openflow.Switch per graph node, one Link per
+// edge, and moves packets between them under the discrete-event clock.
+//
+// Attachment points:
+//   - OnPacketIn receives every packet a switch sends to PortController
+//     (the out-of-band control channel; package controller counts these).
+//   - OnSelf receives every packet delivered to PortSelf (the switch-local
+//     host, e.g. an anycast receiver).
+//   - OnHop, if set, observes every attempted link crossing, delivered or
+//     not — the ground-truth trace tests compare against the golden model.
+type Network struct {
+	Sim   *Sim
+	Graph *topo.Graph
+
+	OnPacketIn func(sw int, pkt *openflow.Packet)
+	OnSelf     func(sw int, pkt *openflow.Packet)
+	OnHop      func(hop Hop, pkt *openflow.Packet, delivered bool)
+	// OnPortChange observes port liveness flips — the information a real
+	// switch reports with OFPT_PORT_STATUS.
+	OnPortChange func(sw, port int, up bool)
+
+	switches []*openflow.Switch
+	links    []*Link          // indexed like Graph.Edges()
+	byPort   map[[2]int]*Link // (switch, port) -> link
+	delay    Time
+
+	// InBandMsgs / InBandBytes count link transmissions per EtherType, the
+	// "in-band #msgs / size" columns of Table 2. Every transmission
+	// attempt counts (a message swallowed by a blackhole was still sent).
+	InBandMsgs  map[uint16]int
+	InBandBytes map[uint16]int
+}
+
+// New builds a network for the graph.
+func New(g *topo.Graph, opts Options) *Network {
+	if opts.LinkDelay == 0 {
+		opts.LinkDelay = 1000 // 1µs
+	}
+	n := &Network{
+		Sim:         &Sim{MaxSteps: opts.MaxSteps},
+		Graph:       g,
+		byPort:      make(map[[2]int]*Link),
+		delay:       opts.LinkDelay,
+		InBandMsgs:  make(map[uint16]int),
+		InBandBytes: make(map[uint16]int),
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n.switches = make([]*openflow.Switch, g.NumNodes())
+	for i := range n.switches {
+		n.switches[i] = openflow.NewSwitch(i, g.Degree(i))
+	}
+	for _, e := range g.Edges() {
+		l := &Link{A: e.U, B: e.V, PortA: e.PU, PortB: e.PV, Delay: opts.LinkDelay,
+			rng: rand.New(rand.NewSource(rng.Int63()))}
+		n.links = append(n.links, l)
+		n.byPort[[2]int{e.U, e.PU}] = l
+		n.byPort[[2]int{e.V, e.PV}] = l
+	}
+	return n
+}
+
+// Switch returns the switch for node id.
+func (n *Network) Switch(id int) *openflow.Switch { return n.switches[id] }
+
+// NumSwitches returns the number of switches.
+func (n *Network) NumSwitches() int { return len(n.switches) }
+
+// LinkBetween returns the link connecting u and v, or nil.
+func (n *Network) LinkBetween(u, v int) *Link {
+	p := n.Graph.PortTo(u, v)
+	if p == 0 {
+		return nil
+	}
+	return n.byPort[[2]int{u, p}]
+}
+
+// Links returns all links, indexed like Graph.Edges().
+func (n *Network) Links() []*Link { return n.links }
+
+// refreshLiveness recomputes the port liveness of both link endpoints.
+func (n *Network) refreshLiveness(l *Link) {
+	up := l.liveFor()
+	n.setPortLive(l.A, l.PortA, up)
+	n.setPortLive(l.B, l.PortB, up)
+}
+
+func (n *Network) setPortLive(sw, port int, up bool) {
+	if n.switches[sw].PortLive(port) == up {
+		return
+	}
+	n.switches[sw].SetPortLive(port, up)
+	if n.OnPortChange != nil {
+		n.OnPortChange(sw, port, up)
+	}
+}
+
+// SetLinkDown takes the u-v link down (both directions, visible to
+// liveness) or back up.
+func (n *Network) SetLinkDown(u, v int, down bool) error {
+	l := n.LinkBetween(u, v)
+	if l == nil {
+		return fmt.Errorf("network: no link %d-%d", u, v)
+	}
+	mode := LinkUp
+	if down {
+		mode = LinkDown
+	}
+	l.modeAB, l.modeBA = mode, mode
+	n.refreshLiveness(l)
+	return nil
+}
+
+// SetBlackhole makes the u->v direction (and, if bidirectional, also
+// v->u) silently drop everything while liveness stays up.
+func (n *Network) SetBlackhole(u, v int, bidirectional bool) error {
+	l := n.LinkBetween(u, v)
+	if l == nil {
+		return fmt.Errorf("network: no link %d-%d", u, v)
+	}
+	if u == l.A {
+		l.modeAB = LinkBlackhole
+		if bidirectional {
+			l.modeBA = LinkBlackhole
+		}
+	} else {
+		l.modeBA = LinkBlackhole
+		if bidirectional {
+			l.modeAB = LinkBlackhole
+		}
+	}
+	n.refreshLiveness(l)
+	return nil
+}
+
+// ScheduleLinkDown schedules a link failure (or repair) at simulation
+// time at — the tool for studying failures *during* a traversal, which
+// the paper's model excludes and delegates to controller-side retries.
+func (n *Network) ScheduleLinkDown(u, v int, down bool, at Time) error {
+	if n.LinkBetween(u, v) == nil {
+		return fmt.Errorf("network: no link %d-%d", u, v)
+	}
+	n.Sim.At(at, func() { _ = n.SetLinkDown(u, v, down) })
+	return nil
+}
+
+// SetLoss makes both directions of the u-v link drop packets independently
+// with probability p.
+func (n *Network) SetLoss(u, v int, p float64) error {
+	l := n.LinkBetween(u, v)
+	if l == nil {
+		return fmt.Errorf("network: no link %d-%d", u, v)
+	}
+	l.modeAB, l.modeBA = LinkLossy, LinkLossy
+	l.lossAB, l.lossBA = p, p
+	n.refreshLiveness(l)
+	return nil
+}
+
+// Inject schedules pkt to be processed by switch sw as if it arrived on
+// inPort at time t. Use openflow.PortController as inPort for packet-outs.
+func (n *Network) Inject(sw int, inPort int, pkt *openflow.Packet, t Time) {
+	p := pkt.Clone()
+	n.Sim.At(t, func() { n.process(sw, inPort, p) })
+}
+
+// InjectActions schedules an action-list packet-out at switch sw (an
+// OFPT_PACKET_OUT that bypasses the tables), e.g. the LLDP probes of the
+// baseline discovery app.
+func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow.Packet, t Time) {
+	p := pkt.Clone()
+	n.Sim.At(t, func() {
+		res := n.switches[sw].Execute(p, actions)
+		n.dispatch(sw, res)
+	})
+}
+
+// process runs the pipeline and dispatches the emissions.
+func (n *Network) process(sw int, inPort int, pkt *openflow.Packet) {
+	res := n.switches[sw].Receive(pkt, inPort)
+	n.dispatch(sw, res)
+}
+
+// dispatch routes pipeline emissions to links, the controller, or the
+// local host.
+func (n *Network) dispatch(sw int, res openflow.Result) {
+	for _, em := range res.Emissions {
+		switch {
+		case em.Port == openflow.PortController:
+			if n.OnPacketIn != nil {
+				p := em.Pkt
+				n.Sim.After(0, func() { n.OnPacketIn(sw, p) })
+			}
+		case em.Port == openflow.PortSelf:
+			if n.OnSelf != nil {
+				p := em.Pkt
+				n.Sim.After(0, func() { n.OnSelf(sw, p) })
+			}
+		case em.Port >= 1:
+			n.send(sw, em.Port, em.Pkt)
+		}
+	}
+}
+
+// send puts a packet on the link attached to (sw, port).
+func (n *Network) send(sw, port int, pkt *openflow.Packet) {
+	l := n.byPort[[2]int{sw, port}]
+	if l == nil {
+		return // unconnected port: frame disappears, like real hardware
+	}
+	n.InBandMsgs[pkt.EthType]++
+	n.InBandBytes[pkt.EthType] += pkt.Size()
+	to, toPort, delivered := l.transmit(sw)
+	if n.OnHop != nil {
+		n.OnHop(Hop{From: sw, FromPort: port, To: to, ToPort: toPort}, pkt, delivered)
+	}
+	if !delivered {
+		return
+	}
+	p := pkt // already a private clone from the emission
+	n.Sim.After(l.Delay, func() { n.process(to, toPort, p) })
+}
+
+// Run drains the event queue.
+func (n *Network) Run() (int, error) { return n.Sim.Run() }
+
+// TotalInBand sums message counts across all EtherTypes.
+func (n *Network) TotalInBand() int {
+	total := 0
+	for _, c := range n.InBandMsgs {
+		total += c
+	}
+	return total
+}
+
+// ResetAccounting clears the in-band counters (link DirStats included) so
+// an experiment can measure a single phase.
+func (n *Network) ResetAccounting() {
+	n.InBandMsgs = make(map[uint16]int)
+	n.InBandBytes = make(map[uint16]int)
+	for _, l := range n.links {
+		l.StatsAB = DirStats{}
+		l.StatsBA = DirStats{}
+	}
+}

@@ -1,0 +1,155 @@
+package ofconn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"smartsouth/internal/ofwire"
+	"smartsouth/internal/openflow"
+)
+
+// Agent is the switch side of the control channel: it owns an
+// openflow.Switch and applies the controller's messages to it.
+//
+// The agent's Serve loop is the only goroutine touching the switch while
+// it runs; embedders that also drive the data plane (e.g. the simulator)
+// must sequence their access, which the OnBarrier hook supports: the
+// controller sends a barrier after a batch, the hook fires before the
+// reply, and the embedder knows all earlier messages have been applied.
+type Agent struct {
+	SW *openflow.Switch
+
+	// Inject delivers a PACKET_OUT into the data plane: actions carried
+	// by the message (possibly none), plus the in_port hint.
+	Inject func(inPort int, actions []openflow.Action, pkt *openflow.Packet)
+
+	// OnBarrier, if set, runs when a BARRIER_REQUEST has been processed,
+	// before the reply is sent.
+	OnBarrier func()
+
+	conn *Conn
+}
+
+// Serve runs the agent message loop on the transport until the peer
+// disconnects. It performs the server side of the handshake first.
+func (a *Agent) Serve(c net.Conn) error {
+	conn := New(c)
+	a.conn = conn
+	if err := conn.Handshake(); err != nil {
+		return err
+	}
+	for {
+		h, body, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		if err := a.handle(conn, h, body); err != nil {
+			// Report the failure to the controller and keep serving; a
+			// single malformed message must not kill the channel.
+			_ = conn.Send(ofwire.Error(h.XID, 1, 1, nil))
+		}
+	}
+}
+
+func (a *Agent) handle(conn *Conn, h ofwire.Header, body []byte) error {
+	switch h.Type {
+	case ofwire.TypeEchoRequest:
+		return conn.Send(ofwire.EchoReply(h.XID, body))
+	case ofwire.TypeFeaturesRequest:
+		return conn.Send(ofwire.FeaturesReply(h.XID, ofwire.Features{
+			DatapathID: uint64(a.SW.ID),
+			NumTables:  255,
+		}))
+	case ofwire.TypeFlowMod:
+		fm, err := ofwire.ParseFlowMod(body)
+		if err != nil {
+			return err
+		}
+		a.SW.AddFlow(fm.Table, fm.Entry)
+		return nil
+	case ofwire.TypeGroupMod:
+		g, err := ofwire.ParseGroupMod(body)
+		if err != nil {
+			return err
+		}
+		a.SW.AddGroup(g)
+		return nil
+	case ofwire.TypePacketOut:
+		po, err := ofwire.ParsePacketOut(body)
+		if err != nil {
+			return err
+		}
+		if a.Inject != nil {
+			a.Inject(po.InPort, po.Actions, po.Pkt)
+		}
+		return nil
+	case ofwire.TypeMultipartRequest:
+		kind, err := ofwire.MultipartKind(body)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case ofwire.MultipartGroup:
+			gid, err := ofwire.ParseGroupStatsRequest(body)
+			if err != nil {
+				return err
+			}
+			g := a.SW.GroupByID(gid)
+			if g == nil {
+				return fmt.Errorf("ofconn: stats for missing group %d", gid)
+			}
+			gs := ofwire.GroupStats{ID: gid}
+			for _, bk := range g.Buckets {
+				gs.BucketPackets = append(gs.BucketPackets, bk.Packets)
+			}
+			return conn.Send(ofwire.MarshalGroupStatsReply(h.XID, gs))
+		case ofwire.MultipartFlow:
+			table, err := ofwire.ParseFlowStatsRequest(body)
+			if err != nil {
+				return err
+			}
+			var stats []ofwire.FlowStat
+			for _, e := range a.SW.Table(table).Entries() {
+				stats = append(stats, ofwire.FlowStat{
+					Priority: e.Priority,
+					Cookie:   ofwire.CookieHash(e.Cookie),
+					Packets:  e.Packets,
+				})
+			}
+			return conn.Send(ofwire.MarshalFlowStatsReply(h.XID, stats))
+		default:
+			return fmt.Errorf("ofconn: unsupported multipart kind %d", kind)
+		}
+	case ofwire.TypeBarrierRequest:
+		if a.OnBarrier != nil {
+			a.OnBarrier()
+		}
+		return conn.Send(ofwire.BarrierReply(h.XID))
+	case ofwire.TypeEchoReply, ofwire.TypeHello:
+		return nil // tolerated
+	default:
+		return fmt.Errorf("ofconn: agent: unsupported message type %d", h.Type)
+	}
+}
+
+// SendPacketIn pushes a packet-in up the channel; safe to call from any
+// goroutine (the Conn serialises writes).
+func (a *Agent) SendPacketIn(inPort int, pkt *openflow.Packet) error {
+	if a.conn == nil {
+		return fmt.Errorf("ofconn: agent not serving")
+	}
+	return a.conn.Send(ofwire.MarshalPacketIn(a.conn.NextXID(), ofwire.PacketIn{InPort: inPort, Pkt: pkt}))
+}
+
+// SendPortStatus notifies the controller of a port liveness change.
+func (a *Agent) SendPortStatus(port int, up bool) error {
+	if a.conn == nil {
+		return fmt.Errorf("ofconn: agent not serving")
+	}
+	return a.conn.Send(ofwire.MarshalPortStatus(a.conn.NextXID(), ofwire.PortStatus{Port: port, Up: up}))
+}

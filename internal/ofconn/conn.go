@@ -1,0 +1,101 @@
+// Package ofconn implements an OpenFlow 1.3 control channel over any
+// net.Conn: length-prefixed message framing, the HELLO handshake, ECHO
+// keepalives, and the two roles SmartSouth needs — a switch-side Agent
+// that applies FLOW_MOD/GROUP_MOD/PACKET_OUT messages to an
+// openflow.Switch, and a controller-side Client that installs rules,
+// injects packets and receives packet-ins.
+//
+// Everything on the wire uses package ofwire's encodings, so a SmartSouth
+// controller built on this package speaks binary OpenFlow to its switches
+// instead of calling them in-process.
+package ofconn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"smartsouth/internal/ofwire"
+)
+
+// maxMessage bounds a single OpenFlow message (the ofp_header length
+// field is 16 bits, so this is the protocol maximum).
+const maxMessage = 1 << 16
+
+// Conn frames OpenFlow messages over a byte stream. Writes are
+// serialised; Recv must be called from a single goroutine.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	xid atomic.Uint32
+}
+
+// New wraps a transport connection.
+func New(c net.Conn) *Conn {
+	return &Conn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// NextXID returns a fresh transaction id.
+func (c *Conn) NextXID() uint32 { return c.xid.Add(1) }
+
+// Send writes one complete message (header already included) and flushes.
+func (c *Conn) Send(msg []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(msg); err != nil {
+		return fmt.Errorf("ofconn: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("ofconn: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv reads the next message, returning its header and body.
+func (c *Conn) Recv() (ofwire.Header, []byte, error) {
+	var hb [ofwire.HeaderLen]byte
+	if _, err := io.ReadFull(c.br, hb[:]); err != nil {
+		return ofwire.Header{}, nil, fmt.Errorf("ofconn: read header: %w", err)
+	}
+	h, err := ofwire.ParseHeader(hb[:])
+	if err != nil {
+		return ofwire.Header{}, nil, err
+	}
+	if int(h.Length) > maxMessage {
+		return ofwire.Header{}, nil, fmt.Errorf("ofconn: message length %d exceeds protocol maximum", h.Length)
+	}
+	body := make([]byte, int(h.Length)-ofwire.HeaderLen)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return ofwire.Header{}, nil, fmt.Errorf("ofconn: read body: %w", err)
+	}
+	return h, body, nil
+}
+
+// Handshake exchanges HELLO messages and verifies the peer's version.
+// Both sides call it; ordering does not matter.
+func (c *Conn) Handshake() error {
+	if err := c.Send(ofwire.Hello(c.NextXID())); err != nil {
+		return err
+	}
+	h, _, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if h.Type != ofwire.TypeHello {
+		return fmt.Errorf("ofconn: expected HELLO, got type %d", h.Type)
+	}
+	if h.Version != ofwire.Version {
+		return fmt.Errorf("ofconn: peer speaks version %#x, want %#x", h.Version, ofwire.Version)
+	}
+	return nil
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.c.Close() }

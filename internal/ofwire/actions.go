@@ -1,0 +1,165 @@
+package ofwire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"smartsouth/internal/openflow"
+)
+
+// Action type codes (ofp_action_type).
+const (
+	actOutput   = 0
+	actPushMPLS = 19
+	actPopMPLS  = 20
+	actDecNwTTL = 24
+	actGroup    = 22
+	actSetField = 25
+	etherMPLS   = 0x8847
+)
+
+// encodeActions serialises an action list. PushLabel expands to
+// PUSH_MPLS + SET_FIELD(mpls_label), the idiom real pipelines use.
+func encodeActions(acts []openflow.Action) ([]byte, error) {
+	var out []byte
+	for _, a := range acts {
+		switch act := a.(type) {
+		case openflow.Output:
+			b := make([]byte, 16)
+			binary.BigEndian.PutUint16(b[0:], actOutput)
+			binary.BigEndian.PutUint16(b[2:], 16)
+			binary.BigEndian.PutUint32(b[4:], portToWire(act.Port))
+			binary.BigEndian.PutUint16(b[8:], noBuffer)
+			out = append(out, b...)
+		case openflow.Group:
+			b := make([]byte, 8)
+			binary.BigEndian.PutUint16(b[0:], actGroup)
+			binary.BigEndian.PutUint16(b[2:], 8)
+			binary.BigEndian.PutUint32(b[4:], act.ID)
+			out = append(out, b...)
+		case openflow.DecTTL:
+			b := make([]byte, 8)
+			binary.BigEndian.PutUint16(b[0:], actDecNwTTL)
+			binary.BigEndian.PutUint16(b[2:], 8)
+			out = append(out, b...)
+		case openflow.PopLabel:
+			b := make([]byte, 8)
+			binary.BigEndian.PutUint16(b[0:], actPopMPLS)
+			binary.BigEndian.PutUint16(b[2:], 8)
+			binary.BigEndian.PutUint16(b[4:], etherMPLS)
+			out = append(out, b...)
+		case openflow.PushLabel:
+			b := make([]byte, 8)
+			binary.BigEndian.PutUint16(b[0:], actPushMPLS)
+			binary.BigEndian.PutUint16(b[2:], 8)
+			binary.BigEndian.PutUint16(b[4:], etherMPLS)
+			out = append(out, b...)
+			out = append(out, encodeSetMPLSLabel(act.Value)...)
+		case openflow.SetField:
+			oxm := encodeTagOXM(openflow.FieldMatch{F: act.F, Value: act.Value})
+			total := pad8(4 + len(oxm))
+			b := make([]byte, total)
+			binary.BigEndian.PutUint16(b[0:], actSetField)
+			binary.BigEndian.PutUint16(b[2:], uint16(total))
+			copy(b[4:], oxm)
+			out = append(out, b...)
+		default:
+			return nil, fmt.Errorf("ofwire: unsupported action %T", a)
+		}
+	}
+	return out, nil
+}
+
+func encodeSetMPLSLabel(v uint32) []byte {
+	oxm := make([]byte, 4+4)
+	oxmHeader(oxm, oxmClassBasic, oxmbMplsLabel, false, 4)
+	binary.BigEndian.PutUint32(oxm[4:], v)
+	total := pad8(4 + len(oxm))
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:], actSetField)
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	copy(b[4:], oxm)
+	return b
+}
+
+// parseActions decodes an action list of exactly blen bytes.
+func parseActions(b []byte) ([]openflow.Action, error) {
+	var acts []openflow.Action
+	pendingPush := false
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("ofwire: truncated action header")
+		}
+		typ := binary.BigEndian.Uint16(b[0:])
+		alen := int(binary.BigEndian.Uint16(b[2:]))
+		if alen < 8 || alen > len(b) {
+			return nil, fmt.Errorf("ofwire: action length %d out of range", alen)
+		}
+		body := b[4:alen]
+		switch typ {
+		case actOutput:
+			if len(body) < 8 {
+				return nil, fmt.Errorf("ofwire: short output action")
+			}
+			acts = append(acts, openflow.Output{Port: portFromWire(binary.BigEndian.Uint32(body))})
+		case actGroup:
+			acts = append(acts, openflow.Group{ID: binary.BigEndian.Uint32(body)})
+		case actDecNwTTL:
+			acts = append(acts, openflow.DecTTL{})
+		case actPopMPLS:
+			acts = append(acts, openflow.PopLabel{})
+		case actPushMPLS:
+			if pendingPush {
+				// Two pushes in a row: the first had no label set-field;
+				// materialise it with label 0.
+				acts = append(acts, openflow.PushLabel{Value: 0})
+			}
+			pendingPush = true
+		case actSetField:
+			class := binary.BigEndian.Uint16(body[0:])
+			field := body[2] >> 1
+			plen := int(body[3])
+			if len(body) < 4+plen {
+				return nil, fmt.Errorf("ofwire: truncated set-field OXM")
+			}
+			payload := body[4 : 4+plen]
+			switch {
+			case class == oxmClassBasic && field == oxmbMplsLabel:
+				if !pendingPush {
+					return nil, fmt.Errorf("ofwire: set mpls_label without push_mpls")
+				}
+				if plen != 4 {
+					return nil, fmt.Errorf("ofwire: bad mpls_label length %d", plen)
+				}
+				acts = append(acts, openflow.PushLabel{Value: binary.BigEndian.Uint32(payload)})
+				pendingPush = false
+			case class == oxmClassExperimenter && field == expTagField:
+				if pendingPush {
+					return nil, fmt.Errorf("ofwire: push_mpls not followed by label set-field")
+				}
+				if plen != 16 || binary.BigEndian.Uint32(payload) != experimenterID {
+					return nil, fmt.Errorf("ofwire: bad tag set-field")
+				}
+				acts = append(acts, openflow.SetField{
+					F: openflow.Field{
+						Off:  int(binary.BigEndian.Uint16(payload[4:])),
+						Bits: int(binary.BigEndian.Uint16(payload[6:])),
+					},
+					Value: binary.BigEndian.Uint64(payload[8:]),
+				})
+			default:
+				return nil, fmt.Errorf("ofwire: unsupported set-field class %#x field %d", class, field)
+			}
+		default:
+			return nil, fmt.Errorf("ofwire: unsupported action type %d", typ)
+		}
+		if typ != actPushMPLS && typ != actSetField && pendingPush {
+			return nil, fmt.Errorf("ofwire: push_mpls not followed by label set-field")
+		}
+		b = b[alen:]
+	}
+	if pendingPush {
+		acts = append(acts, openflow.PushLabel{Value: 0})
+	}
+	return acts, nil
+}

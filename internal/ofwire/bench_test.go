@@ -1,0 +1,67 @@
+package ofwire
+
+import (
+	"testing"
+
+	"smartsouth/internal/openflow"
+)
+
+func benchEntry() *openflow.FlowEntry {
+	f1 := openflow.Field{Off: 2, Bits: 11}
+	f2 := openflow.Field{Off: 13, Bits: 4}
+	return &openflow.FlowEntry{
+		Priority: 7000,
+		Match:    openflow.MatchEth(0x8802).WithInPort(3).WithField(f1, 99).WithField(f2, 3),
+		Actions: []openflow.Action{
+			openflow.PushLabel{Value: 0x1234},
+			openflow.SetField{F: f1, Value: 5},
+			openflow.Group{ID: 42},
+		},
+		Goto:   2,
+		Cookie: "bench/rule",
+	}
+}
+
+func BenchmarkMarshalFlowMod(b *testing.B) {
+	e := benchEntry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalFlowMod(uint32(i), 1, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseFlowMod(b *testing.B) {
+	msg, _ := MarshalFlowMod(1, 1, benchEntry())
+	body := msg[HeaderLen:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFlowMod(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketCodec(b *testing.B) {
+	pkt := openflow.NewPacket(0x8802, 64)
+	for i := 0; i < 32; i++ {
+		pkt.PushLabel(uint32(i))
+	}
+	pkt.Payload = make([]byte, 256)
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MarshalPacket(pkt)
+		}
+	})
+	data := MarshalPacket(pkt)
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := UnmarshalPacket(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

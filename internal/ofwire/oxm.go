@@ -1,0 +1,166 @@
+package ofwire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"smartsouth/internal/openflow"
+)
+
+// OXM classes and basic-class field codes used here.
+const (
+	oxmClassBasic        = 0x8000
+	oxmClassExperimenter = 0xFFFF
+
+	oxmbInPort    = 0  // 4 bytes
+	oxmbEthType   = 5  // 2 bytes
+	oxmbMplsLabel = 34 // 4 bytes (20 significant bits)
+
+	// Experimenter field codes (private to this implementation).
+	expTagField = 1 // bit-addressed tag field match
+	expTTL      = 2 // exact TTL match
+
+	// experimenterID identifies the SmartSouth experimenter space.
+	experimenterID = 0x5353534F // "SSSO"
+)
+
+// oxmHeader packs class/field/hasmask/length.
+func oxmHeader(b []byte, class uint16, field uint8, hasMask bool, payloadLen int) {
+	binary.BigEndian.PutUint16(b[0:], class)
+	fb := field << 1
+	if hasMask {
+		fb |= 1
+	}
+	b[2] = fb
+	b[3] = uint8(payloadLen)
+}
+
+// appendMatch encodes an ofp_match (type OXM) with padding to 8 bytes.
+func appendMatch(out []byte, m openflow.Match) []byte {
+	var oxms []byte
+	if m.InPort != openflow.AnyPort {
+		f := make([]byte, 4+4)
+		oxmHeader(f, oxmClassBasic, oxmbInPort, false, 4)
+		binary.BigEndian.PutUint32(f[4:], portToWire(m.InPort))
+		oxms = append(oxms, f...)
+	}
+	if m.EthType != openflow.AnyEthType {
+		f := make([]byte, 4+2)
+		oxmHeader(f, oxmClassBasic, oxmbEthType, false, 2)
+		binary.BigEndian.PutUint16(f[4:], uint16(m.EthType))
+		oxms = append(oxms, f...)
+	}
+	if m.TTL != openflow.AnyTTL {
+		// Experimenter: expID(4) + ttl(1).
+		f := make([]byte, 4+4+1)
+		oxmHeader(f, oxmClassExperimenter, expTTL, false, 5)
+		binary.BigEndian.PutUint32(f[4:], experimenterID)
+		f[8] = uint8(m.TTL)
+		oxms = append(oxms, f...)
+	}
+	for _, fm := range m.Fields {
+		oxms = append(oxms, encodeTagOXM(fm)...)
+	}
+
+	// ofp_match header: type(2)=1, length(2) covers header+oxms, then pad.
+	mlen := 4 + len(oxms)
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint16(hdr[0:], 1) // OFPMT_OXM
+	binary.BigEndian.PutUint16(hdr[2:], uint16(mlen))
+	out = append(out, hdr...)
+	out = append(out, oxms...)
+	for i := mlen; i < pad8(mlen); i++ {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// encodeTagOXM encodes a tag-field match as an experimenter OXM:
+// expID(4) off(2) bits(2) value(8) [mask(8)].
+func encodeTagOXM(fm openflow.FieldMatch) []byte {
+	hasMask := fm.Mask != 0 && fm.Mask != fm.F.Max()
+	plen := 4 + 2 + 2 + 8
+	if hasMask {
+		plen += 8
+	}
+	f := make([]byte, 4+plen)
+	oxmHeader(f, oxmClassExperimenter, expTagField, hasMask, plen)
+	binary.BigEndian.PutUint32(f[4:], experimenterID)
+	binary.BigEndian.PutUint16(f[8:], uint16(fm.F.Off))
+	binary.BigEndian.PutUint16(f[10:], uint16(fm.F.Bits))
+	binary.BigEndian.PutUint64(f[12:], fm.Value)
+	if hasMask {
+		binary.BigEndian.PutUint64(f[20:], fm.Mask)
+	}
+	return f
+}
+
+// parseMatch decodes an ofp_match, returning the match and the total
+// consumed length (including padding).
+func parseMatch(b []byte) (openflow.Match, int, error) {
+	m := openflow.MatchAll()
+	if len(b) < 4 {
+		return m, 0, fmt.Errorf("ofwire: short match")
+	}
+	if typ := binary.BigEndian.Uint16(b[0:]); typ != 1 {
+		return m, 0, fmt.Errorf("ofwire: unsupported match type %d", typ)
+	}
+	mlen := int(binary.BigEndian.Uint16(b[2:]))
+	if mlen < 4 || pad8(mlen) > len(b) {
+		return m, 0, fmt.Errorf("ofwire: match length %d out of range", mlen)
+	}
+	oxms := b[4:mlen]
+	for len(oxms) > 0 {
+		if len(oxms) < 4 {
+			return m, 0, fmt.Errorf("ofwire: truncated OXM header")
+		}
+		class := binary.BigEndian.Uint16(oxms[0:])
+		field := oxms[2] >> 1
+		hasMask := oxms[2]&1 == 1
+		plen := int(oxms[3])
+		if len(oxms) < 4+plen {
+			return m, 0, fmt.Errorf("ofwire: truncated OXM payload")
+		}
+		payload := oxms[4 : 4+plen]
+		switch {
+		case class == oxmClassBasic && field == oxmbInPort:
+			if plen != 4 {
+				return m, 0, fmt.Errorf("ofwire: bad in_port OXM length %d", plen)
+			}
+			m.InPort = portFromWire(binary.BigEndian.Uint32(payload))
+		case class == oxmClassBasic && field == oxmbEthType:
+			if plen != 2 {
+				return m, 0, fmt.Errorf("ofwire: bad eth_type OXM length %d", plen)
+			}
+			m.EthType = int(binary.BigEndian.Uint16(payload))
+		case class == oxmClassExperimenter && field == expTTL:
+			if plen != 5 || binary.BigEndian.Uint32(payload) != experimenterID {
+				return m, 0, fmt.Errorf("ofwire: bad TTL OXM")
+			}
+			m.TTL = int(payload[4])
+		case class == oxmClassExperimenter && field == expTagField:
+			want := 16
+			if hasMask {
+				want += 8
+			}
+			if plen != want || binary.BigEndian.Uint32(payload) != experimenterID {
+				return m, 0, fmt.Errorf("ofwire: bad tag OXM (len %d)", plen)
+			}
+			fm := openflow.FieldMatch{
+				F: openflow.Field{
+					Off:  int(binary.BigEndian.Uint16(payload[4:])),
+					Bits: int(binary.BigEndian.Uint16(payload[6:])),
+				},
+				Value: binary.BigEndian.Uint64(payload[8:]),
+			}
+			if hasMask {
+				fm.Mask = binary.BigEndian.Uint64(payload[16:])
+			}
+			m.Fields = append(m.Fields, fm)
+		default:
+			return m, 0, fmt.Errorf("ofwire: unsupported OXM class %#x field %d", class, field)
+		}
+		oxms = oxms[4+plen:]
+	}
+	return m, pad8(mlen), nil
+}

@@ -1,0 +1,170 @@
+package ofwire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"smartsouth/internal/openflow"
+)
+
+// MarshalPacket encodes a model packet as frame bytes for the data field
+// of packet-out/packet-in messages. The frame layout is:
+//
+//	ethType(2) ttl(1) tagLen(2) tag... labelCount(2) labels(4 each)...
+//	payloadLen(2) payload...
+//
+// Real SmartSouth frames would be an Ethernet header, an MPLS label stack
+// and the tag bytes; this flat layout carries the same information and
+// keeps Size() accounting consistent.
+func MarshalPacket(p *openflow.Packet) []byte {
+	out := make([]byte, 0, 9+len(p.Tag)+4*len(p.Labels)+len(p.Payload))
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], p.EthType)
+	out = append(out, b2[:]...)
+	out = append(out, p.TTL)
+	binary.BigEndian.PutUint16(b2[:], uint16(len(p.Tag)))
+	out = append(out, b2[:]...)
+	out = append(out, p.Tag...)
+	binary.BigEndian.PutUint16(b2[:], uint16(len(p.Labels)))
+	out = append(out, b2[:]...)
+	for _, l := range p.Labels {
+		var b4 [4]byte
+		binary.BigEndian.PutUint32(b4[:], l)
+		out = append(out, b4[:]...)
+	}
+	binary.BigEndian.PutUint16(b2[:], uint16(len(p.Payload)))
+	out = append(out, b2[:]...)
+	out = append(out, p.Payload...)
+	return out
+}
+
+// UnmarshalPacket decodes a frame produced by MarshalPacket.
+func UnmarshalPacket(b []byte) (*openflow.Packet, error) {
+	if len(b) < 7 {
+		return nil, fmt.Errorf("ofwire: short packet frame (%d bytes)", len(b))
+	}
+	p := &openflow.Packet{}
+	p.EthType = binary.BigEndian.Uint16(b[0:])
+	p.TTL = b[2]
+	tagLen := int(binary.BigEndian.Uint16(b[3:]))
+	b = b[5:]
+	if len(b) < tagLen+2 {
+		return nil, fmt.Errorf("ofwire: truncated tag")
+	}
+	p.Tag = append([]byte(nil), b[:tagLen]...)
+	b = b[tagLen:]
+	nLabels := int(binary.BigEndian.Uint16(b[0:]))
+	b = b[2:]
+	if len(b) < 4*nLabels+2 {
+		return nil, fmt.Errorf("ofwire: truncated labels")
+	}
+	for i := 0; i < nLabels; i++ {
+		p.Labels = append(p.Labels, binary.BigEndian.Uint32(b[4*i:]))
+	}
+	b = b[4*nLabels:]
+	payLen := int(binary.BigEndian.Uint16(b[0:]))
+	b = b[2:]
+	if len(b) < payLen {
+		return nil, fmt.Errorf("ofwire: truncated payload")
+	}
+	if payLen > 0 {
+		p.Payload = append([]byte(nil), b[:payLen]...)
+	}
+	return p, nil
+}
+
+// PacketOut is a decoded OFPT_PACKET_OUT.
+type PacketOut struct {
+	InPort  int
+	Actions []openflow.Action
+	Pkt     *openflow.Packet
+}
+
+// MarshalPacketOut encodes an OFPT_PACKET_OUT carrying the packet and an
+// action list (empty actions mean "run the pipeline from table 0", which
+// this implementation models with a special TABLE output action).
+func MarshalPacketOut(xid uint32, po PacketOut) ([]byte, error) {
+	acts, err := encodeActions(po.Actions)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 16)
+	binary.BigEndian.PutUint32(body[0:], ofpNoBuffer)
+	binary.BigEndian.PutUint32(body[4:], portToWire(po.InPort))
+	binary.BigEndian.PutUint16(body[8:], uint16(len(acts)))
+	body = append(body, acts...)
+	body = append(body, MarshalPacket(po.Pkt)...)
+	return message(TypePacketOut, xid, body), nil
+}
+
+// ParsePacketOut decodes a packet-out body.
+func ParsePacketOut(body []byte) (PacketOut, error) {
+	if len(body) < 16 {
+		return PacketOut{}, fmt.Errorf("ofwire: short packet-out")
+	}
+	po := PacketOut{InPort: portFromWire(binary.BigEndian.Uint32(body[4:]))}
+	alen := int(binary.BigEndian.Uint16(body[8:]))
+	if len(body) < 16+alen {
+		return PacketOut{}, fmt.Errorf("ofwire: truncated packet-out actions")
+	}
+	acts, err := parseActions(body[16 : 16+alen])
+	if err != nil {
+		return PacketOut{}, err
+	}
+	po.Actions = acts
+	pkt, err := UnmarshalPacket(body[16+alen:])
+	if err != nil {
+		return PacketOut{}, err
+	}
+	po.Pkt = pkt
+	return po, nil
+}
+
+// PacketIn is a decoded OFPT_PACKET_IN.
+type PacketIn struct {
+	InPort int
+	Pkt    *openflow.Packet
+}
+
+// MarshalPacketIn encodes an OFPT_PACKET_IN (reason OFPR_ACTION) with the
+// ingress port in the OXM match, per the 1.3 spec.
+func MarshalPacketIn(xid uint32, pi PacketIn) []byte {
+	data := MarshalPacket(pi.Pkt)
+	body := make([]byte, 16)
+	binary.BigEndian.PutUint32(body[0:], ofpNoBuffer)
+	binary.BigEndian.PutUint16(body[4:], uint16(len(data)))
+	body[6] = 1 // OFPR_ACTION
+	m := openflow.MatchAll()
+	if pi.InPort != openflow.PortController {
+		m.InPort = pi.InPort
+	}
+	body = appendMatch(body, m)
+	body = append(body, 0, 0) // pad
+	body = append(body, data...)
+	return message(TypePacketIn, xid, body)
+}
+
+// ParsePacketIn decodes a packet-in body.
+func ParsePacketIn(body []byte) (PacketIn, error) {
+	if len(body) < 16 {
+		return PacketIn{}, fmt.Errorf("ofwire: short packet-in")
+	}
+	m, consumed, err := parseMatch(body[16:])
+	if err != nil {
+		return PacketIn{}, err
+	}
+	rest := body[16+consumed:]
+	if len(rest) < 2 {
+		return PacketIn{}, fmt.Errorf("ofwire: truncated packet-in pad")
+	}
+	pkt, err := UnmarshalPacket(rest[2:])
+	if err != nil {
+		return PacketIn{}, err
+	}
+	in := openflow.PortController
+	if m.InPort != openflow.AnyPort {
+		in = m.InPort
+	}
+	pkt.InPort = in
+	return PacketIn{InPort: in, Pkt: pkt}, nil
+}

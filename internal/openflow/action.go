@@ -1,0 +1,88 @@
+package openflow
+
+import "fmt"
+
+// Action is one OpenFlow action. Actions run in list order ("apply
+// actions" semantics): an Output action emits a copy of the packet *as it
+// is at that point*, so later SetFields do not retroactively change what
+// was already sent.
+type Action interface {
+	// Apply executes the action against the packet within a pipeline
+	// execution. Output-like actions record emissions on the context.
+	Apply(x *ExecContext, p *Packet)
+	String() string
+}
+
+// Output emits the packet on a port. Physical ports are 1..NumPorts;
+// PortController, PortSelf, PortInPort and PortDrop are reserved.
+type Output struct{ Port int }
+
+func (a Output) Apply(x *ExecContext, p *Packet) {
+	port := a.Port
+	if port == PortInPort {
+		port = p.InPort
+	}
+	if port == PortDrop {
+		return
+	}
+	x.emit(port, p)
+}
+
+func (a Output) String() string {
+	switch a.Port {
+	case PortController:
+		return "output:controller"
+	case PortSelf:
+		return "output:self"
+	case PortInPort:
+		return "output:in_port"
+	case PortDrop:
+		return "output:drop"
+	}
+	return fmt.Sprintf("output:%d", a.Port)
+}
+
+// SetField writes a constant into a tag field (OFPAT_SET_FIELD). OpenFlow
+// set-field can only write immediates — there is no copy-field in 1.3 —
+// which is why the SmartSouth compiler enumerates one rule per in_port when
+// it needs to record the ingress port into the tag.
+type SetField struct {
+	F     Field
+	Value uint64
+}
+
+func (a SetField) Apply(x *ExecContext, p *Packet) { p.Store(a.F, a.Value) }
+func (a SetField) String() string                  { return fmt.Sprintf("set(%s:=%d)", a.F, a.Value) }
+
+// PushLabel pushes a constant label onto the packet's label stack
+// (push-MPLS followed by set-field on the label, collapsed into one
+// action). The snapshot service records the traversal with it.
+type PushLabel struct{ Value uint32 }
+
+func (a PushLabel) Apply(x *ExecContext, p *Packet) { p.PushLabel(a.Value) }
+func (a PushLabel) String() string                  { return fmt.Sprintf("push(%#x)", a.Value) }
+
+// PopLabel pops the top label (pop-MPLS). Popping an empty stack is a
+// no-op, like popping a packet with no MPLS shim.
+type PopLabel struct{}
+
+func (a PopLabel) Apply(x *ExecContext, p *Packet) { p.PopLabel() }
+func (a PopLabel) String() string                  { return "pop" }
+
+// DecTTL decrements the packet TTL (OFPAT_DEC_NW_TTL). At TTL zero it is a
+// no-op; rules are expected to match TTL=0 explicitly and handle expiry,
+// as the TTL blackhole detector does.
+type DecTTL struct{}
+
+func (a DecTTL) Apply(x *ExecContext, p *Packet) {
+	if p.TTL > 0 {
+		p.TTL--
+	}
+}
+func (a DecTTL) String() string { return "dec_ttl" }
+
+// Group hands the packet to a group-table entry (OFPAT_GROUP).
+type Group struct{ ID uint32 }
+
+func (a Group) Apply(x *ExecContext, p *Packet) { x.sw.applyGroup(x, a.ID, p) }
+func (a Group) String() string                  { return fmt.Sprintf("group:%d", a.ID) }

@@ -1,0 +1,91 @@
+// Package openflow models the OpenFlow 1.3 data plane: packets with a
+// bit-addressable tag area and an MPLS-like label stack, priority-ordered
+// flow tables with masked matching, the apply-actions/goto-table pipeline,
+// and the group table with ALL, INDIRECT, FAST-FAILOVER and round-robin
+// SELECT group types.
+//
+// The model is deliberately "dumb": it executes whatever match-action rules
+// are installed and knows nothing about the SmartSouth services compiled on
+// top of it (package core). This mirrors the paper's claim that the data
+// plane remains formally verifiable: all behaviour is visible as ordinary
+// flow and group entries.
+package openflow
+
+import "fmt"
+
+// Field addresses a contiguous bit range inside a packet's tag area, in the
+// spirit of an OXM experimenter match field. Offsets are in bits from the
+// start of the tag, most-significant bit first within each byte. A Field is
+// pure data: allocation of non-overlapping fields is the business of the
+// compiler (see package core), not the switch.
+type Field struct {
+	Name string // diagnostic only; never used for matching
+	Off  int    // bit offset into the tag area
+	Bits int    // width in bits, 1..64
+}
+
+// Valid reports whether the field has a representable width.
+func (f Field) Valid() bool { return f.Bits >= 1 && f.Bits <= 64 && f.Off >= 0 }
+
+// End returns the bit offset one past the field.
+func (f Field) End() int { return f.Off + f.Bits }
+
+// Max returns the largest value the field can hold.
+func (f Field) Max() uint64 {
+	if f.Bits >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(f.Bits)) - 1
+}
+
+func (f Field) String() string {
+	if f.Name != "" {
+		return fmt.Sprintf("%s[%d:%d]", f.Name, f.Off, f.End())
+	}
+	return fmt.Sprintf("tag[%d:%d]", f.Off, f.End())
+}
+
+// Load extracts the field value from tag. Bits beyond the end of tag read
+// as zero, so a short tag behaves like one padded with zero bytes.
+func (f Field) Load(tag []byte) uint64 {
+	var v uint64
+	for i := 0; i < f.Bits; i++ {
+		pos := f.Off + i
+		byteIdx, bitIdx := pos>>3, 7-uint(pos&7)
+		v <<= 1
+		if byteIdx < len(tag) && tag[byteIdx]>>(bitIdx)&1 == 1 {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// Store writes v into the field, truncating v to the field width. Writes
+// beyond the end of tag are silently dropped (the switch cannot grow a
+// packet); callers size the tag area when the packet is created.
+func (f Field) Store(tag []byte, v uint64) {
+	for i := f.Bits - 1; i >= 0; i-- {
+		pos := f.Off + i
+		byteIdx, bitIdx := pos>>3, 7-uint(pos&7)
+		if byteIdx >= len(tag) {
+			v >>= 1
+			continue
+		}
+		if v&1 == 1 {
+			tag[byteIdx] |= 1 << bitIdx
+		} else {
+			tag[byteIdx] &^= 1 << bitIdx
+		}
+		v >>= 1
+	}
+}
+
+// BitsFor returns the number of bits needed to store values 0..max.
+func BitsFor(max uint64) int {
+	n := 1
+	for max > 1 {
+		max >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package openflow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldLoadStoreRoundTrip(t *testing.T) {
+	tag := make([]byte, 8)
+	f := Field{Name: "x", Off: 5, Bits: 11}
+	for _, v := range []uint64{0, 1, 2, 1023, 2047} {
+		f.Store(tag, v)
+		if got := f.Load(tag); got != v {
+			t.Errorf("roundtrip %d: got %d", v, got)
+		}
+	}
+}
+
+func TestFieldTruncatesToWidth(t *testing.T) {
+	tag := make([]byte, 4)
+	f := Field{Off: 3, Bits: 4}
+	f.Store(tag, 0xFF) // 255 truncates to low 4 bits = 15
+	if got := f.Load(tag); got != 15 {
+		t.Errorf("got %d, want 15", got)
+	}
+}
+
+func TestFieldsDoNotInterfere(t *testing.T) {
+	tag := make([]byte, 16)
+	a := Field{Off: 0, Bits: 7}
+	b := Field{Off: 7, Bits: 9}
+	c := Field{Off: 16, Bits: 64}
+	a.Store(tag, 99)
+	b.Store(tag, 300)
+	c.Store(tag, 0xDEADBEEFCAFEF00D)
+	if a.Load(tag) != 99 || b.Load(tag) != 300 || c.Load(tag) != 0xDEADBEEFCAFEF00D {
+		t.Errorf("fields interfered: a=%d b=%d c=%#x", a.Load(tag), b.Load(tag), c.Load(tag))
+	}
+	// Rewriting b must not disturb its neighbours.
+	b.Store(tag, 0)
+	if a.Load(tag) != 99 || c.Load(tag) != 0xDEADBEEFCAFEF00D {
+		t.Error("rewriting b disturbed a or c")
+	}
+}
+
+func TestFieldOutOfRangeReadsZeroWritesDropped(t *testing.T) {
+	tag := make([]byte, 1)
+	f := Field{Off: 4, Bits: 16} // extends past the 8-bit tag
+	f.Store(tag, 0xFFFF)
+	// Only the first 4 bits fit; the rest must read back as zero.
+	if got := f.Load(tag); got != 0xF000 {
+		t.Errorf("got %#x, want 0xF000", got)
+	}
+}
+
+// Property: for random offsets/widths/values, Store followed by Load
+// returns the value modulo the field width, and bits outside the field
+// never change.
+func TestQuickFieldRoundTrip(t *testing.T) {
+	check := func(off uint8, bits uint8, v uint64, noise []byte) bool {
+		f := Field{Off: int(off % 64), Bits: 1 + int(bits%64)}
+		tag := make([]byte, 24)
+		copy(tag, noise)
+		before := append([]byte(nil), tag...)
+		f.Store(tag, v)
+		want := v
+		if f.Bits < 64 {
+			want &= (1 << uint(f.Bits)) - 1
+		}
+		if f.Load(tag) != want {
+			return false
+		}
+		// Bits outside [Off, End) must be untouched.
+		for pos := 0; pos < len(tag)*8; pos++ {
+			if pos >= f.Off && pos < f.End() {
+				continue
+			}
+			bi, sh := pos>>3, 7-uint(pos&7)
+			if (tag[bi]>>sh)&1 != (before[bi]>>sh)&1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {255, 8}, {256, 9}}
+	for _, c := range cases {
+		if got := BitsFor(c.max); got != c.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}

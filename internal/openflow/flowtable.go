@@ -1,0 +1,124 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoGoto marks a flow entry that ends pipeline processing at this table.
+const NoGoto = -1
+
+// FlowEntry is one row of a flow table: a priority, a match, an
+// apply-actions list and an optional goto-table instruction.
+type FlowEntry struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+	Goto     int // next table ID, or NoGoto
+
+	// Cookie is a human-readable rule name used in traces and debugging;
+	// it plays the role of the OpenFlow cookie.
+	Cookie string
+
+	// Packets counts how many packets hit this entry (the per-entry
+	// counter every OpenFlow switch keeps). Note that the pipeline cannot
+	// *match* on this counter — that limitation is exactly why the paper
+	// introduces smart counters built from round-robin groups.
+	Packets uint64
+}
+
+func (e *FlowEntry) String() string {
+	return fmt.Sprintf("prio=%d %s -> %d actions, goto=%d (%s)",
+		e.Priority, e.Match, len(e.Actions), e.Goto, e.Cookie)
+}
+
+// EntryBytes estimates the hardware footprint of the entry in bytes, used
+// by the rule-space experiment (claim C3 in DESIGN.md). The model follows
+// the OpenFlow 1.3 wire format: a 56-byte ofp_flow_mod base, 8 bytes per
+// OXM match criterion, and 8 bytes per action.
+func (e *FlowEntry) EntryBytes() int {
+	return 56 + 8*e.Match.NumCriteria() + 8*len(e.Actions)
+}
+
+// FlowTable is a priority-ordered set of flow entries. Lookup returns the
+// highest-priority matching entry; ties are broken by insertion order,
+// matching the "overlapping entries are unspecified, first-add wins"
+// behaviour switches exhibit in practice.
+type FlowTable struct {
+	ID      int
+	entries []*FlowEntry
+}
+
+// Add inserts an entry, keeping the table sorted by descending priority.
+func (t *FlowTable) Add(e *FlowEntry) {
+	t.entries = append(t.entries, e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Priority > t.entries[j].Priority
+	})
+}
+
+// Lookup returns the first matching entry, or nil for a table miss.
+func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
+	for _, e := range t.entries {
+		if e.Match.Matches(p) {
+			return e
+		}
+	}
+	return nil
+}
+
+// RemoveByCookiePrefix deletes every entry whose cookie starts with
+// prefix (the OFPFC_DELETE-by-cookie-mask idiom), returning how many were
+// removed.
+func (t *FlowTable) RemoveByCookiePrefix(prefix string) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if len(e.Cookie) >= len(prefix) && e.Cookie[:len(prefix)] == prefix {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return removed
+}
+
+// RemoveIf deletes every entry the predicate selects, returning the
+// count.
+func (t *FlowTable) RemoveIf(pred func(*FlowEntry) bool) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if pred(e) {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return removed
+}
+
+// Clear removes every entry.
+func (t *FlowTable) Clear() int {
+	n := len(t.entries)
+	t.entries = nil
+	return n
+}
+
+// Len returns the number of entries installed.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Entries returns the installed entries in match order. The slice is the
+// table's own backing store; callers must not mutate it.
+func (t *FlowTable) Entries() []*FlowEntry { return t.entries }
+
+// Bytes sums the modelled hardware footprint of all entries.
+func (t *FlowTable) Bytes() int {
+	n := 0
+	for _, e := range t.entries {
+		n += e.EntryBytes()
+	}
+	return n
+}

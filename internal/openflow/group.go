@@ -1,0 +1,138 @@
+package openflow
+
+import "fmt"
+
+// GroupType enumerates the OpenFlow 1.3 group types this model supports.
+type GroupType int
+
+const (
+	// GroupAll executes every bucket on its own copy of the packet
+	// (OFPGT_ALL).
+	GroupAll GroupType = iota
+	// GroupIndirect executes its single bucket (OFPGT_INDIRECT).
+	GroupIndirect
+	// GroupFF executes the first bucket whose watch port is live
+	// (OFPGT_FF, fast failover). This is what makes SmartSouth robust to
+	// link failures without any controller involvement.
+	GroupFF
+	// GroupSelectRR is a SELECT group with the optional round-robin
+	// bucket selection policy of OpenFlow 1.3. Each execution advances a
+	// pointer held *in the switch*, which is the entire basis of the
+	// paper's smart counters: bucket k writes the constant k into a tag
+	// field, so applying the group is a fetch-and-increment whose result
+	// the rest of the pipeline can match on.
+	GroupSelectRR
+)
+
+func (t GroupType) String() string {
+	switch t {
+	case GroupAll:
+		return "all"
+	case GroupIndirect:
+		return "indirect"
+	case GroupFF:
+		return "ff"
+	case GroupSelectRR:
+		return "select-rr"
+	}
+	return fmt.Sprintf("grouptype(%d)", int(t))
+}
+
+// WatchNone marks a bucket that is always considered live.
+const WatchNone = 0
+
+// Bucket is one action bucket of a group. For fast-failover groups,
+// WatchPort names the physical port whose liveness gates the bucket;
+// WatchNone makes the bucket unconditionally live (used for terminal
+// "give up / go to parent" buckets).
+type Bucket struct {
+	WatchPort int
+	Actions   []Action
+
+	// Packets counts executions of this bucket (ofp_bucket_counter). The
+	// controller can read it with a group-stats multipart request; for a
+	// round-robin SELECT group the bucket counters reveal the smart
+	// counter's value out of band.
+	Packets uint64
+}
+
+// GroupEntry is one group-table entry.
+type GroupEntry struct {
+	ID      uint32
+	Type    GroupType
+	Buckets []Bucket
+
+	// rr is the round-robin pointer of a GroupSelectRR group — switch
+	// state that survives between packets. It is the smart counter value.
+	rr int
+}
+
+// CounterValue exposes the round-robin pointer for tests and diagnostics.
+// The data plane itself can only learn it through bucket side effects.
+func (g *GroupEntry) CounterValue() int { return g.rr }
+
+// SetCounter overwrites the round-robin pointer. The controller can do
+// this out of band (a group-mod resets bucket state); tests use it too.
+func (g *GroupEntry) SetCounter(v int) {
+	if len(g.Buckets) > 0 {
+		g.rr = v % len(g.Buckets)
+	}
+}
+
+// Bytes estimates the hardware footprint of the group entry, mirroring the
+// ofp_group_mod wire format: 16-byte base, 16 bytes per bucket header plus
+// 8 bytes per action.
+func (g *GroupEntry) Bytes() int {
+	n := 16
+	for _, b := range g.Buckets {
+		n += 16 + 8*len(b.Actions)
+	}
+	return n
+}
+
+// apply executes the group against the packet per its type semantics.
+func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
+	switch g.Type {
+	case GroupAll:
+		for i := range g.Buckets {
+			c := p.Clone()
+			x.trace("group %d bucket %d (all)", g.ID, i)
+			g.Buckets[i].Packets++
+			for _, a := range g.Buckets[i].Actions {
+				a.Apply(x, c)
+			}
+		}
+	case GroupIndirect:
+		if len(g.Buckets) > 0 {
+			x.trace("group %d bucket 0 (indirect)", g.ID)
+			g.Buckets[0].Packets++
+			for _, a := range g.Buckets[0].Actions {
+				a.Apply(x, p)
+			}
+		}
+	case GroupFF:
+		for i, b := range g.Buckets {
+			if b.WatchPort != WatchNone && !x.sw.PortLive(b.WatchPort) {
+				continue
+			}
+			x.trace("group %d bucket %d (ff, watch %d)", g.ID, i, b.WatchPort)
+			g.Buckets[i].Packets++
+			for _, a := range b.Actions {
+				a.Apply(x, p)
+			}
+			return
+		}
+		x.trace("group %d: no live bucket, drop", g.ID)
+	case GroupSelectRR:
+		if len(g.Buckets) == 0 {
+			return
+		}
+		i := g.rr
+		g.rr = (g.rr + 1) % len(g.Buckets)
+		x.trace("group %d bucket %d (select-rr)", g.ID, i)
+		g.Buckets[i].Packets++
+		for _, a := range g.Buckets[i].Actions {
+			a.Apply(x, p)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package openflow
+
+import "fmt"
+
+// Reserved output port numbers, mirroring the OFPP_* reserved ports of
+// OpenFlow 1.3. Physical ports are numbered 1..NumPorts; 0 is never a valid
+// physical port (SmartSouth uses parent==0 to mean "no parent").
+const (
+	// PortController sends the packet to the controller (packet-in).
+	PortController = -1
+	// PortSelf delivers the packet to the switch-local host/agent
+	// (OFPP_LOCAL); anycast receivers are modelled this way.
+	PortSelf = -2
+	// PortInPort bounces the packet out of its ingress port (OFPP_IN_PORT).
+	PortInPort = -3
+	// PortDrop discards the packet explicitly.
+	PortDrop = -4
+)
+
+// Packet is the unit the pipeline operates on.
+//
+// Header fields are reduced to the ones the SmartSouth compiler actually
+// needs: an EtherType to demultiplex services, a TTL (used by the
+// TTL-binary-search blackhole detector), a fixed-size tag area addressed by
+// Field, and an MPLS-like label stack used by the snapshot service to
+// record the traversal. Payload is opaque data ("the data section").
+type Packet struct {
+	EthType uint16
+	TTL     uint8
+	Tag     []byte
+	Labels  []uint32 // label stack; the last element is the top
+	Payload []byte
+
+	// InPort is the ingress port at the switch currently processing the
+	// packet. It is set by Switch.Receive, not by the sender.
+	InPort int
+}
+
+// NewPacket returns a packet of the given EtherType with a zeroed tag area
+// of tagBytes bytes.
+func NewPacket(ethType uint16, tagBytes int) *Packet {
+	return &Packet{EthType: ethType, TTL: 255, Tag: make([]byte, tagBytes)}
+}
+
+// Clone returns a deep copy of the packet. Group type ALL and the
+// controller path use it so that downstream mutation cannot alias.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{EthType: p.EthType, TTL: p.TTL, InPort: p.InPort}
+	q.Tag = append([]byte(nil), p.Tag...)
+	q.Labels = append([]uint32(nil), p.Labels...)
+	q.Payload = append([]byte(nil), p.Payload...)
+	return q
+}
+
+// Size returns the wire size of the packet in bytes, used for the message
+// size accounting of Table 2. A label costs 4 bytes (MPLS-like shim), and
+// the fixed header is approximated by the usual 14-byte Ethernet frame
+// header plus the TTL byte.
+func (p *Packet) Size() int {
+	return 14 + 1 + len(p.Tag) + 4*len(p.Labels) + len(p.Payload)
+}
+
+// Load reads a tag field.
+func (p *Packet) Load(f Field) uint64 { return f.Load(p.Tag) }
+
+// Store writes a tag field.
+func (p *Packet) Store(f Field, v uint64) { f.Store(p.Tag, v) }
+
+// PushLabel pushes onto the label stack.
+func (p *Packet) PushLabel(v uint32) { p.Labels = append(p.Labels, v) }
+
+// PopLabel pops the label stack, reporting whether a label was present.
+func (p *Packet) PopLabel() (uint32, bool) {
+	if len(p.Labels) == 0 {
+		return 0, false
+	}
+	v := p.Labels[len(p.Labels)-1]
+	p.Labels = p.Labels[:len(p.Labels)-1]
+	return v, true
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{eth=%#04x ttl=%d in=%d tag=%dB labels=%d payload=%dB}",
+		p.EthType, p.TTL, p.InPort, len(p.Tag), len(p.Labels), len(p.Payload))
+}

@@ -1,0 +1,142 @@
+package openflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestActionStrings(t *testing.T) {
+	f := Field{Name: "x", Off: 2, Bits: 3}
+	cases := []struct {
+		a    Action
+		want string
+	}{
+		{Output{Port: 3}, "output:3"},
+		{Output{Port: PortController}, "output:controller"},
+		{Output{Port: PortSelf}, "output:self"},
+		{Output{Port: PortInPort}, "output:in_port"},
+		{Output{Port: PortDrop}, "output:drop"},
+		{SetField{F: f, Value: 5}, "set(x[2:5]:=5)"},
+		{PushLabel{Value: 0xAB}, "push(0xab)"},
+		{PopLabel{}, "pop"},
+		{DecTTL{}, "dec_ttl"},
+		{Group{ID: 7}, "group:7"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("%T: %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestMatchAndFieldStrings(t *testing.T) {
+	f := Field{Name: "gid", Off: 0, Bits: 16}
+	anon := Field{Off: 3, Bits: 2}
+	if got := MatchAll().String(); got != "*" {
+		t.Errorf("wildcard match: %q", got)
+	}
+	m := MatchEth(0x8801).WithInPort(2).WithTTL(9).WithField(f, 4).WithMasked(anon, 1, 0b01)
+	s := m.String()
+	for _, want := range []string{"in=2", "eth=0x8801", "ttl=9", "gid[0:16]=4", "tag[3:5]&0x1=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("match string %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains(f.String(), "gid[0:16]") || !strings.Contains(anon.String(), "tag[3:5]") {
+		t.Error("field strings")
+	}
+	if (Field{}).Valid() || !f.Valid() {
+		t.Error("Valid()")
+	}
+	if (Field{Off: 0, Bits: 64}).Max() != ^uint64(0) {
+		t.Error("64-bit max")
+	}
+}
+
+func TestEntryGroupTypePacketStrings(t *testing.T) {
+	e := &FlowEntry{Priority: 5, Match: MatchEth(1), Goto: 3, Cookie: "abc"}
+	if s := e.String(); !strings.Contains(s, "prio=5") || !strings.Contains(s, "abc") {
+		t.Errorf("entry string %q", s)
+	}
+	for typ, want := range map[GroupType]string{
+		GroupAll: "all", GroupIndirect: "indirect", GroupFF: "ff", GroupSelectRR: "select-rr",
+	} {
+		if typ.String() != want {
+			t.Errorf("group type %d: %q", typ, typ.String())
+		}
+	}
+	p := NewPacket(0x8801, 4)
+	if s := p.String(); !strings.Contains(s, "eth=0x8801") {
+		t.Errorf("packet string %q", s)
+	}
+}
+
+func TestTracingProducesReadableLog(t *testing.T) {
+	sw := NewSwitch(1, 2)
+	sw.Tracing = true
+	sw.AddGroup(&GroupEntry{ID: 1, Type: GroupFF, Buckets: []Bucket{
+		{WatchPort: 1, Actions: []Action{Output{Port: 1}}},
+	}})
+	sw.AddFlow(0, &FlowEntry{Priority: 1, Match: MatchAll(), Goto: 1, Cookie: "hop1",
+		Actions: []Action{Group{ID: 1}}})
+	res := sw.Receive(NewPacket(1, 1), 2)
+	joined := strings.Join(res.Trace, "\n")
+	for _, want := range []string{`hit "hop1"`, "group 1 bucket 0", "table 1: absent"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+	// Missing group and depth-limit paths also trace.
+	sw2 := NewSwitch(2, 1)
+	sw2.Tracing = true
+	sw2.AddFlow(0, &FlowEntry{Priority: 1, Match: MatchAll(), Goto: NoGoto, Cookie: "g",
+		Actions: []Action{Group{ID: 99}}})
+	res2 := sw2.Receive(NewPacket(1, 1), 1)
+	if !strings.Contains(strings.Join(res2.Trace, "\n"), "not installed") {
+		t.Error("missing-group trace")
+	}
+}
+
+func TestSetCounterAndGroupBytes(t *testing.T) {
+	g := &GroupEntry{ID: 1, Type: GroupSelectRR, Buckets: []Bucket{
+		{Actions: []Action{SetField{F: Field{Off: 0, Bits: 2}, Value: 0}}},
+		{Actions: []Action{SetField{F: Field{Off: 0, Bits: 2}, Value: 1}}},
+	}}
+	g.SetCounter(5)
+	if g.CounterValue() != 1 { // 5 mod 2
+		t.Errorf("counter = %d", g.CounterValue())
+	}
+	if got, want := g.Bytes(), 16+2*(16+8); got != want {
+		t.Errorf("Bytes = %d, want %d", got, want)
+	}
+	empty := &GroupEntry{ID: 2}
+	empty.SetCounter(3) // no buckets: must not panic
+}
+
+func TestTableIDsAndGroupsAccessors(t *testing.T) {
+	sw := NewSwitch(1, 2)
+	sw.AddFlow(5, &FlowEntry{Priority: 1, Match: MatchAll(), Goto: NoGoto})
+	sw.AddFlow(2, &FlowEntry{Priority: 1, Match: MatchAll(), Goto: NoGoto})
+	_ = sw.Table(9) // created but empty: must not appear
+	ids := sw.TableIDs()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
+		t.Errorf("TableIDs = %v", ids)
+	}
+	sw.AddGroup(&GroupEntry{ID: 30})
+	sw.AddGroup(&GroupEntry{ID: 10})
+	gs := sw.Groups()
+	if len(gs) != 2 || gs[0].ID != 10 || gs[1].ID != 30 {
+		t.Errorf("Groups order: %v %v", gs[0].ID, gs[1].ID)
+	}
+	if es := sw.Table(2).Entries(); len(es) != 1 {
+		t.Errorf("Entries = %d", len(es))
+	}
+}
+
+func TestFieldMatchMaskedString(t *testing.T) {
+	f := Field{Off: 0, Bits: 8}
+	fm := FieldMatch{F: f, Value: 0xF3, Mask: 0x0F}
+	if s := fm.String(); !strings.Contains(s, "&0xf=3") {
+		t.Errorf("masked field match string: %q", s)
+	}
+}

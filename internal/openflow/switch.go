@@ -1,0 +1,283 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Emission is one packet leaving the switch on a port as a result of
+// pipeline execution. Port is a physical port, PortController or PortSelf.
+type Emission struct {
+	Port int
+	Pkt  *Packet
+}
+
+// Result is the outcome of processing one packet through the pipeline.
+type Result struct {
+	// Emissions lists every packet copy the pipeline emitted, in action
+	// execution order.
+	Emissions []Emission
+	// Matched reports whether any table matched; false means the packet
+	// hit a table miss in table 0 (or a goto target) and was dropped.
+	Matched bool
+	// Trace is a human-readable execution log (rule cookies and group
+	// bucket choices), populated only when the switch has tracing on.
+	Trace []string
+}
+
+// ExecContext threads pipeline state through action execution.
+type ExecContext struct {
+	sw         *Switch
+	res        *Result
+	groupDepth int
+}
+
+func (x *ExecContext) emit(port int, p *Packet) {
+	x.res.Emissions = append(x.res.Emissions, Emission{Port: port, Pkt: p.Clone()})
+}
+
+func (x *ExecContext) trace(format string, args ...any) {
+	if x.sw.Tracing {
+		x.res.Trace = append(x.res.Trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// maxGroupDepth bounds group-to-group recursion. OpenFlow forbids group
+// chaining loops; a small fixed depth keeps a buggy configuration from
+// hanging the simulator.
+const maxGroupDepth = 8
+
+// Switch is a single OpenFlow 1.3 switch: numbered flow tables, a group
+// table, physical ports 1..NumPorts with liveness state, and per-port
+// traffic counters. It executes rules; it has no knowledge of what the
+// rules implement.
+type Switch struct {
+	ID       int
+	NumPorts int
+
+	// Tracing enables per-packet execution traces in Result.Trace.
+	Tracing bool
+
+	tables map[int]*FlowTable
+	groups map[uint32]*GroupEntry
+	live   []bool // index 1..NumPorts
+
+	// RxPackets / TxPackets count per-port traffic (ofp_port_stats).
+	RxPackets []uint64
+	TxPackets []uint64
+}
+
+// NewSwitch returns a switch with the given identifier and port count.
+// All ports start live. Tables are created lazily on first use.
+func NewSwitch(id, numPorts int) *Switch {
+	live := make([]bool, numPorts+1)
+	for i := 1; i <= numPorts; i++ {
+		live[i] = true
+	}
+	return &Switch{
+		ID:        id,
+		NumPorts:  numPorts,
+		tables:    make(map[int]*FlowTable),
+		groups:    make(map[uint32]*GroupEntry),
+		live:      live,
+		RxPackets: make([]uint64, numPorts+1),
+		TxPackets: make([]uint64, numPorts+1),
+	}
+}
+
+// Table returns the flow table with the given ID, creating it if needed.
+func (sw *Switch) Table(id int) *FlowTable {
+	t, ok := sw.tables[id]
+	if !ok {
+		t = &FlowTable{ID: id}
+		sw.tables[id] = t
+	}
+	return t
+}
+
+// TableIDs returns the IDs of all non-empty tables in ascending order,
+// without creating any (unlike Table).
+func (sw *Switch) TableIDs() []int {
+	var ids []int
+	for id, t := range sw.tables {
+		if t.Len() > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// AddFlow installs a flow entry into table id.
+func (sw *Switch) AddFlow(id int, e *FlowEntry) { sw.Table(id).Add(e) }
+
+// AddGroup installs a group entry, replacing any previous entry with the
+// same ID (group-mod semantics).
+func (sw *Switch) AddGroup(g *GroupEntry) { sw.groups[g.ID] = g }
+
+// GroupByID returns the installed group entry, or nil.
+func (sw *Switch) GroupByID(id uint32) *GroupEntry { return sw.groups[id] }
+
+// RemoveGroup deletes a group entry (group-mod DELETE); missing groups
+// are ignored, like OFPGC_DELETE.
+func (sw *Switch) RemoveGroup(id uint32) { delete(sw.groups, id) }
+
+// RemoveGroupRange deletes every group with lo <= ID < hi, returning the
+// count.
+func (sw *Switch) RemoveGroupRange(lo, hi uint32) int {
+	removed := 0
+	for id := range sw.groups {
+		if id >= lo && id < hi {
+			delete(sw.groups, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// ClearTable removes every entry of table id, returning the count.
+func (sw *Switch) ClearTable(id int) int {
+	if t, ok := sw.tables[id]; ok {
+		return t.Clear()
+	}
+	return 0
+}
+
+// Groups returns all installed group entries in ascending ID order.
+func (sw *Switch) Groups() []*GroupEntry {
+	ids := make([]uint32, 0, len(sw.groups))
+	for id := range sw.groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*GroupEntry, len(ids))
+	for i, id := range ids {
+		out[i] = sw.groups[id]
+	}
+	return out
+}
+
+// PortLive reports the liveness of a physical port. Out-of-range ports are
+// never live.
+func (sw *Switch) PortLive(port int) bool {
+	return port >= 1 && port <= sw.NumPorts && sw.live[port]
+}
+
+// SetPortLive sets the liveness of a physical port; the network layer
+// calls it when a link goes down or comes back up.
+func (sw *Switch) SetPortLive(port int, up bool) {
+	if port >= 1 && port <= sw.NumPorts {
+		sw.live[port] = up
+	}
+}
+
+func (sw *Switch) applyGroup(x *ExecContext, id uint32, p *Packet) {
+	g := sw.groups[id]
+	if g == nil {
+		x.trace("group %d: not installed, drop", id)
+		return
+	}
+	if x.groupDepth >= maxGroupDepth {
+		x.trace("group %d: max chaining depth, drop", id)
+		return
+	}
+	x.groupDepth++
+	g.apply(x, p)
+	x.groupDepth--
+}
+
+// Receive runs one packet through the pipeline starting at table 0. The
+// packet is cloned internally, so the caller's packet is never mutated.
+// inPort is the ingress physical port (or PortController for a packet-out
+// that requests pipeline processing).
+func (sw *Switch) Receive(pkt *Packet, inPort int) Result {
+	if inPort >= 1 && inPort <= sw.NumPorts {
+		sw.RxPackets[inPort]++
+	}
+	p := pkt.Clone()
+	p.InPort = inPort
+
+	res := Result{}
+	x := &ExecContext{sw: sw, res: &res}
+
+	table := 0
+	for {
+		t := sw.tables[table]
+		if t == nil {
+			x.trace("table %d: absent, miss", table)
+			break
+		}
+		e := t.Lookup(p)
+		if e == nil {
+			x.trace("table %d: miss", table)
+			break
+		}
+		res.Matched = true
+		e.Packets++
+		x.trace("table %d: hit %q", table, e.Cookie)
+		for _, a := range e.Actions {
+			a.Apply(x, p)
+		}
+		if e.Goto == NoGoto {
+			break
+		}
+		if e.Goto <= table {
+			// OpenFlow mandates forward-only goto; treat violation as a
+			// configuration bug and stop rather than loop.
+			x.trace("table %d: illegal backward goto %d, stop", table, e.Goto)
+			break
+		}
+		table = e.Goto
+	}
+
+	for _, em := range res.Emissions {
+		if em.Port >= 1 && em.Port <= sw.NumPorts {
+			sw.TxPackets[em.Port]++
+		}
+	}
+	return res
+}
+
+// Execute runs an explicit action list against the packet without any
+// table lookup — the semantics of an OFPT_PACKET_OUT carrying actions.
+// The caller's packet is not mutated.
+func (sw *Switch) Execute(pkt *Packet, actions []Action) Result {
+	p := pkt.Clone()
+	res := Result{Matched: true}
+	x := &ExecContext{sw: sw, res: &res}
+	for _, a := range actions {
+		a.Apply(x, p)
+	}
+	for _, em := range res.Emissions {
+		if em.Port >= 1 && em.Port <= sw.NumPorts {
+			sw.TxPackets[em.Port]++
+		}
+	}
+	return res
+}
+
+// FlowEntryCount returns the total number of flow entries installed.
+func (sw *Switch) FlowEntryCount() int {
+	n := 0
+	for _, t := range sw.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// GroupCount returns the number of group entries installed.
+func (sw *Switch) GroupCount() int { return len(sw.groups) }
+
+// ConfigBytes estimates the total hardware footprint of the installed
+// configuration (flow entries + group entries), for the rule-space
+// experiment.
+func (sw *Switch) ConfigBytes() int {
+	n := 0
+	for _, t := range sw.tables {
+		n += t.Bytes()
+	}
+	for _, g := range sw.groups {
+		n += g.Bytes()
+	}
+	return n
+}

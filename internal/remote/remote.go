@@ -1,0 +1,346 @@
+// Package remote implements core.ControlPlane over binary OpenFlow 1.3:
+// every switch of a simulated network gets an ofconn.Agent behind a real
+// TCP listener, the fabric dials one ofconn.Client per switch, and all
+// rule installation, packet injection and packet-in collection crosses
+// those sockets as wire messages. SmartSouth services run unchanged on
+// top — which is the strongest evidence that the compiler emits nothing
+// beyond standard OpenFlow.
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/ofconn"
+	"smartsouth/internal/ofwire"
+	"smartsouth/internal/openflow"
+)
+
+// Fabric couples a simulated network with per-switch OpenFlow sessions.
+// It satisfies core.ControlPlane.
+type Fabric struct {
+	Net *network.Network
+	// Stats counts control-channel traffic like the local controller.
+	Stats controller.Stats
+
+	agents    []*ofconn.Agent
+	clients   []*ofconn.Client
+	listeners []net.Listener
+	serving   sync.WaitGroup
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	inbox     []controller.PacketIn
+	queue     []pendingInject
+	pendingAt map[int][]network.Time
+	inTimes   map[int][]network.Time // punt times per switch, FIFO
+	portDown  map[[2]int]bool        // built from OFPT_PORT_STATUS messages
+	expectIns int
+	gotIns    int
+	expectPS  int
+	gotPS     int
+	firstErr  error
+}
+
+type pendingInject struct {
+	sw     int
+	inPort int
+	pkt    *openflow.Packet
+	at     network.Time
+}
+
+// New wires agents and clients around the network. Callers must Close the
+// fabric when done.
+func New(nw *network.Network) (*Fabric, error) {
+	f := &Fabric{
+		Net:       nw,
+		pendingAt: make(map[int][]network.Time),
+		inTimes:   make(map[int][]network.Time),
+		portDown:  make(map[[2]int]bool),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.agents = make([]*ofconn.Agent, nw.NumSwitches())
+	f.clients = make([]*ofconn.Client, nw.NumSwitches())
+
+	nw.OnPortChange = func(sw, port int, up bool) {
+		// The switch announces the flip with a port-status message.
+		f.mu.Lock()
+		f.expectPS++
+		f.mu.Unlock()
+		if err := f.agents[sw].SendPortStatus(port, up); err != nil {
+			f.fail(fmt.Errorf("remote: port-status from %d: %w", sw, err))
+		}
+	}
+
+	nw.OnPacketIn = func(sw int, pkt *openflow.Packet) {
+		// Runs inside RunNetwork (the simulator's goroutine): relay the
+		// report through the switch's TCP session. The punt time is
+		// remembered per switch (TCP preserves per-session order) so the
+		// inbox can be ordered across switches — different sessions race,
+		// exactly like real packet-ins from different switches.
+		f.mu.Lock()
+		f.expectIns++
+		f.inTimes[sw] = append(f.inTimes[sw], f.Net.Sim.Now())
+		f.mu.Unlock()
+		if err := f.agents[sw].SendPacketIn(pkt.InPort, pkt); err != nil {
+			f.fail(fmt.Errorf("remote: packet-in relay from %d: %w", sw, err))
+		}
+	}
+
+	for i := 0; i < nw.NumSwitches(); i++ {
+		i := i
+		f.agents[i] = &ofconn.Agent{
+			SW: nw.Switch(i),
+			Inject: func(inPort int, actions []openflow.Action, pkt *openflow.Packet) {
+				f.mu.Lock()
+				at := network.Time(0)
+				if q := f.pendingAt[i]; len(q) > 0 {
+					at, f.pendingAt[i] = q[0], q[1:]
+				}
+				f.queue = append(f.queue, pendingInject{sw: i, inPort: inPort, pkt: pkt, at: at})
+				f.mu.Unlock()
+			},
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("remote: listen for switch %d: %w", i, err)
+		}
+		f.listeners = append(f.listeners, l)
+		f.serving.Add(1)
+		go func(l net.Listener, ag *ofconn.Agent) {
+			defer f.serving.Done()
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			if err := ag.Serve(c); err != nil {
+				f.fail(fmt.Errorf("remote: agent: %w", err))
+			}
+		}(l, f.agents[i])
+
+		tc, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("remote: dial switch %d: %w", i, err)
+		}
+		cl := ofconn.NewClient(tc)
+		cl.OnPortStatus = func(ps ofwire.PortStatus) {
+			f.mu.Lock()
+			if ps.Up {
+				delete(f.portDown, [2]int{i, ps.Port})
+			} else {
+				f.portDown[[2]int{i, ps.Port}] = true
+			}
+			f.gotPS++
+			f.cond.Broadcast()
+			f.mu.Unlock()
+		}
+		if err := cl.Start(); err != nil {
+			tc.Close()
+			f.Close()
+			return nil, fmt.Errorf("remote: session with switch %d: %w", i, err)
+		}
+		f.clients[i] = cl
+		f.serving.Add(1)
+		go func(sw int, cl *ofconn.Client) {
+			defer f.serving.Done()
+			for pi := range cl.PacketIns() {
+				f.mu.Lock()
+				f.Stats.PacketIns++
+				f.Stats.OutBandBytes += pi.Pkt.Size()
+				at := network.Time(0)
+				if q := f.inTimes[sw]; len(q) > 0 {
+					at, f.inTimes[sw] = q[0], q[1:]
+				}
+				f.inbox = append(f.inbox, controller.PacketIn{Switch: sw, Pkt: pi.Pkt, At: at})
+				f.gotIns++
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			}
+		}(i, cl)
+	}
+	return f, nil
+}
+
+func (f *Fabric) fail(err error) {
+	f.mu.Lock()
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the first asynchronous fabric error.
+func (f *Fabric) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstErr
+}
+
+// InstallFlow sends the entry as a wire FLOW_MOD.
+func (f *Fabric) InstallFlow(sw, table int, e *openflow.FlowEntry) {
+	f.mu.Lock()
+	f.Stats.FlowMods++
+	f.mu.Unlock()
+	if err := f.clients[sw].InstallFlow(table, e); err != nil {
+		f.fail(err)
+	}
+}
+
+// InstallGroup sends the group as a wire GROUP_MOD.
+func (f *Fabric) InstallGroup(sw int, g *openflow.GroupEntry) {
+	f.mu.Lock()
+	f.Stats.GroupMods++
+	f.mu.Unlock()
+	if err := f.clients[sw].InstallGroup(g); err != nil {
+		f.fail(err)
+	}
+}
+
+// PacketOut sends a wire PACKET_OUT; the agent's inject callback queues it
+// for the simulator with the requested activation time (matched FIFO per
+// switch, which TCP ordering guarantees).
+func (f *Fabric) PacketOut(sw, inPort int, pkt *openflow.Packet, at network.Time) {
+	f.mu.Lock()
+	f.Stats.PacketOuts++
+	f.Stats.OutBandBytes += pkt.Size()
+	f.pendingAt[sw] = append(f.pendingAt[sw], at)
+	f.mu.Unlock()
+	if err := f.clients[sw].PacketOut(inPort, nil, pkt); err != nil {
+		f.fail(err)
+	}
+}
+
+// InjectHost injects in-band host traffic directly — hosts are part of
+// the data plane, not the control channel.
+func (f *Fabric) InjectHost(sw int, pkt *openflow.Packet, at network.Time) {
+	f.Net.Inject(sw, openflow.PortController, pkt, at)
+}
+
+// Inbox returns the packet-ins received over the wire so far, ordered by
+// their punt time: different switches' sessions race each other on the
+// way up, so the controller reorders by the per-switch timestamps
+// (services like the splitting snapshot depend on report order).
+func (f *Fabric) Inbox() []controller.PacketIn {
+	f.mu.Lock()
+	out := append([]controller.PacketIn(nil), f.inbox...)
+	f.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// ClearInbox empties the inbox.
+func (f *Fabric) ClearInbox() {
+	f.mu.Lock()
+	f.inbox = nil
+	f.mu.Unlock()
+}
+
+// RunNetwork synchronises with every session (barrier), moves the queued
+// packet-outs into the simulator, runs it to quiescence, and waits for
+// all relayed packet-ins to arrive back over TCP.
+func (f *Fabric) RunNetwork() (int, error) {
+	for _, cl := range f.clients {
+		if err := cl.Barrier(); err != nil {
+			return 0, fmt.Errorf("remote: barrier: %w", err)
+		}
+	}
+	f.mu.Lock()
+	queue := f.queue
+	f.queue = nil
+	f.mu.Unlock()
+	for _, p := range queue {
+		f.Net.Inject(p.sw, p.inPort, p.pkt, p.at)
+	}
+
+	steps, err := f.Net.Run()
+	if err != nil {
+		return steps, err
+	}
+
+	// Wait for the packet-in relays to land (bounded).
+	deadline := time.Now().Add(5 * time.Second)
+	f.mu.Lock()
+	for f.gotIns < f.expectIns && time.Now().Before(deadline) && f.firstErr == nil {
+		f.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		f.mu.Lock()
+	}
+	lag := f.expectIns - f.gotIns
+	err = f.firstErr
+	f.mu.Unlock()
+	if err != nil {
+		return steps, err
+	}
+	if lag > 0 {
+		return steps, fmt.Errorf("remote: %d packet-ins never arrived", lag)
+	}
+	return steps, f.WaitPortStatus()
+}
+
+// Now returns the simulator clock.
+func (f *Fabric) Now() network.Time { return f.Net.Sim.Now() }
+
+// PortLive reports the controller's port-status view, built exclusively
+// from the OFPT_PORT_STATUS messages received over the wire (ports start
+// up; a down message marks them, an up message clears them). Callers
+// should WaitPortStatus (or RunNetwork, which waits) after failure
+// injection so in-flight messages settle.
+func (f *Fabric) PortLive(sw, port int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.portDown[[2]int{sw, port}]
+}
+
+// WaitPortStatus blocks until every announced port-status message has
+// been received.
+func (f *Fabric) WaitPortStatus() error {
+	deadline := time.Now().Add(5 * time.Second)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.gotPS < f.expectPS {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("remote: %d port-status messages missing", f.expectPS-f.gotPS)
+		}
+		f.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		f.mu.Lock()
+	}
+	return nil
+}
+
+// GroupCounter recovers a round-robin group's counter value with a
+// group-stats multipart request: the bucket packet counters sum to the
+// number of fetch-and-increments, so value = total mod bucket count.
+func (f *Fabric) GroupCounter(sw int, id uint32) int {
+	gs, err := f.clients[sw].GroupStats(id)
+	if err != nil {
+		f.fail(err)
+		return -1
+	}
+	return gs.Value()
+}
+
+// FlowStats reads one table's rule-hit statistics over the wire.
+func (f *Fabric) FlowStats(sw, table int) ([]ofwire.FlowStat, error) {
+	return f.clients[sw].FlowStats(table)
+}
+
+// Close tears down all sessions and listeners.
+func (f *Fabric) Close() {
+	for _, cl := range f.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	for _, l := range f.listeners {
+		l.Close()
+	}
+	f.serving.Wait()
+}

@@ -1,0 +1,211 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Line returns the path graph 0-1-…-(n-1).
+func Line(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Ring returns the cycle graph on n nodes (n >= 3).
+func Ring(n int) *Graph {
+	g := Line(n)
+	if n >= 3 {
+		g.MustAddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns a star with node 0 at the centre.
+func Star(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Tree returns a complete arity-ary tree on n nodes (node i's parent is
+// (i-1)/arity).
+func Tree(n, arity int) *Graph {
+	if arity < 1 {
+		arity = 2
+	}
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge((i-1)/arity, i)
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	g := NewGraph(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a connected random graph on n nodes with
+// approximately extra additional non-tree edges, built from a random
+// spanning tree plus uniformly chosen extra edges. Deterministic for a
+// given seed.
+func RandomConnected(n, extra int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		// Attach each node to a random earlier node: a uniform random
+		// recursive tree over a random labelling.
+		g.MustAddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	for added := 0; added < extra; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+		added++
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment random graph: each new
+// node attaches to m existing nodes with probability proportional to
+// their degree — the classic heavy-tailed "internet-like" topology.
+// Deterministic for a given seed; always connected.
+func BarabasiAlbert(n, m int, seed int64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	if n < 2 {
+		return g
+	}
+	// Repeated-node list: each edge endpoint appears once per incident
+	// edge, so uniform sampling is degree-proportional.
+	var pool []int
+	g.MustAddEdge(0, 1)
+	pool = append(pool, 0, 1)
+	for v := 2; v < n; v++ {
+		attach := m
+		if attach > v {
+			attach = v
+		}
+		chosen := map[int]bool{}
+		var order []int // keep insertion order: map iteration would break determinism
+		for len(chosen) < attach {
+			var cand int
+			if rng.Intn(4) == 0 { // mix in uniform choice to avoid stalls
+				cand = rng.Intn(v)
+			} else {
+				cand = pool[rng.Intn(len(pool))]
+			}
+			if cand != v && !chosen[cand] {
+				chosen[cand] = true
+				order = append(order, cand)
+			}
+		}
+		for _, u := range order {
+			g.MustAddEdge(v, u)
+			pool = append(pool, v, u)
+		}
+	}
+	return g
+}
+
+// Waxman returns a random geometric graph on the unit square: nodes pick
+// random positions and each pair connects with probability
+// alpha*exp(-dist/(beta*sqrt(2))) — the classic Waxman model for
+// router-level topologies. A spanning tree over near neighbours is added
+// first so the result is always connected. Deterministic for a seed.
+func Waxman(n int, alpha, beta float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	if n < 2 {
+		return g
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	dist := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	// Connectivity backbone: attach each node to its nearest earlier one.
+	for v := 1; v < n; v++ {
+		best, bestD := 0, dist(v, 0)
+		for u := 1; u < v; u++ {
+			if d := dist(v, u); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		g.MustAddEdge(v, best)
+	}
+	maxD := math.Sqrt2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			if rng.Float64() < alpha*math.Exp(-dist(u, v)/(beta*maxD)) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// FatTree returns the switch-level k-ary fat-tree (k even): (k/2)^2 core
+// switches, k pods of k/2 aggregation and k/2 edge switches each. Hosts
+// are not modelled; edge-switch host ports are left unconnected, exactly
+// like an unpopulated physical switch. Total switches: 5k^2/4.
+func FatTree(k int) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	h := k / 2
+	numCore := h * h
+	numAgg := k * h
+	numEdge := k * h
+	g := NewGraph(numCore + numAgg + numEdge)
+	core := func(i int) int { return i }
+	agg := func(pod, i int) int { return numCore + pod*h + i }
+	edge := func(pod, i int) int { return numCore + numAgg + pod*h + i }
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < h; a++ {
+			// Aggregation a of each pod connects to core row a.
+			for c := 0; c < h; c++ {
+				g.MustAddEdge(agg(pod, a), core(a*h+c))
+			}
+			for e := 0; e < h; e++ {
+				g.MustAddEdge(agg(pod, a), edge(pod, e))
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,229 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/core"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// TestAllServicesVerifyClean installs every SmartSouth service and runs
+// the static checker over every switch: no Err-level findings allowed.
+// This is the mechanized version of the paper's "the data plane remains
+// formally verifiable" argument.
+func TestAllServicesVerifyClean(t *testing.T) {
+	g := topo.RandomConnected(10, 6, 3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+
+	if _, err := core.InstallSnapshot(c, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.InstallAnycast(c, g, 1, map[uint32][]int{1: {3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.InstallPriocast(c, g, 2, map[uint32][]core.PrioMember{2: {{Node: 4, Prio: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.InstallCritical(c, g, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.InstallBlackholeCounter(c, g, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.InstallBlackholeTTL(c, g, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.InstallPktLoss(c, g, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < net.NumSwitches(); i++ {
+		issues := Switch(net.Switch(i), Options{})
+		if errs := Errors(issues); len(errs) > 0 {
+			for _, e := range errs {
+				t.Errorf("%s", e)
+			}
+		}
+	}
+}
+
+func TestVerifyExpectedShadowWarnings(t *testing.T) {
+	// The blackhole detectors deliberately shadow the template dispatcher
+	// with a higher-priority rule steering into the pre-table; the checker
+	// must surface that as a warning, not an error.
+	g := topo.Line(3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	if _, err := core.InstallBlackholeCounter(c, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	issues := Switch(net.Switch(1), Options{})
+	foundShadow := false
+	for _, i := range issues {
+		if i.Severity == Warn && strings.Contains(i.Msg, "shadowed") {
+			foundShadow = true
+		}
+		if i.Severity == Err {
+			t.Errorf("unexpected error: %s", i)
+		}
+	}
+	if !foundShadow {
+		t.Error("expected a shadowing warning for the dispatcher override")
+	}
+}
+
+func brokenSwitch() *openflow.Switch {
+	return openflow.NewSwitch(0, 2)
+}
+
+func TestVerifyBackwardGoto(t *testing.T) {
+	sw := brokenSwitch()
+	sw.AddFlow(3, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(), Goto: 1, Cookie: "bad"})
+	sw.AddFlow(1, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(), Goto: openflow.NoGoto, Cookie: "t1"})
+	issues := Errors(Switch(sw, Options{}))
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "backward goto") {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestVerifyDanglingGotoAndGroup(t *testing.T) {
+	sw := brokenSwitch()
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(), Goto: 9,
+		Actions: []openflow.Action{openflow.Group{ID: 42}}, Cookie: "dangling"})
+	issues := Switch(sw, Options{})
+	var gotoWarn, groupErr bool
+	for _, i := range issues {
+		if strings.Contains(i.Msg, "goto empty table") && i.Severity == Warn {
+			gotoWarn = true
+		}
+		if strings.Contains(i.Msg, "missing group") && i.Severity == Err {
+			groupErr = true
+		}
+	}
+	if !gotoWarn || !groupErr {
+		t.Fatalf("gotoWarn=%v groupErr=%v: %v", gotoWarn, groupErr, issues)
+	}
+}
+
+func TestVerifyInvalidOutputs(t *testing.T) {
+	sw := brokenSwitch()
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(),
+		Goto: openflow.NoGoto, Actions: []openflow.Action{openflow.Output{Port: 7}}, Cookie: "badport"})
+	sw.AddGroup(&openflow.GroupEntry{ID: 1, Type: openflow.GroupIndirect, Buckets: []openflow.Bucket{
+		{Actions: []openflow.Action{openflow.Output{Port: 99}}},
+	}})
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 2, Match: openflow.MatchEth(5),
+		Goto: openflow.NoGoto, Actions: []openflow.Action{openflow.Group{ID: 1}}, Cookie: "viagroup"})
+	errs := Errors(Switch(sw, Options{}))
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors (rule port + bucket port), got %v", errs)
+	}
+}
+
+func TestVerifyGroupLoop(t *testing.T) {
+	sw := brokenSwitch()
+	sw.AddGroup(&openflow.GroupEntry{ID: 1, Type: openflow.GroupIndirect, Buckets: []openflow.Bucket{
+		{Actions: []openflow.Action{openflow.Group{ID: 2}}},
+	}})
+	sw.AddGroup(&openflow.GroupEntry{ID: 2, Type: openflow.GroupIndirect, Buckets: []openflow.Bucket{
+		{Actions: []openflow.Action{openflow.Group{ID: 1}}},
+	}})
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(),
+		Goto: openflow.NoGoto, Actions: []openflow.Action{openflow.Group{ID: 1}}, Cookie: "entry"})
+	errs := Errors(Switch(sw, Options{}))
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "loop") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("group loop not detected: %v", errs)
+	}
+}
+
+func TestVerifyFFWithoutTerminalBucket(t *testing.T) {
+	sw := brokenSwitch()
+	sw.AddGroup(&openflow.GroupEntry{ID: 1, Type: openflow.GroupFF, Buckets: []openflow.Bucket{
+		{WatchPort: 1, Actions: []openflow.Action{openflow.Output{Port: 1}}},
+	}})
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(),
+		Goto: openflow.NoGoto, Actions: []openflow.Action{openflow.Group{ID: 1}}, Cookie: "ff"})
+	issues := Switch(sw, Options{})
+	found := false
+	for _, i := range issues {
+		if i.Severity == Warn && strings.Contains(i.Msg, "no unconditional bucket") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("FF liveness gap not flagged: %v", issues)
+	}
+}
+
+func TestVerifyTagBounds(t *testing.T) {
+	sw := brokenSwitch()
+	big := openflow.Field{Name: "big", Off: 30, Bits: 8} // ends at bit 38 > 4 bytes
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1,
+		Match: openflow.MatchAll().WithField(big, 1),
+		Goto:  openflow.NoGoto,
+		Actions: []openflow.Action{
+			openflow.SetField{F: big, Value: 2},
+			openflow.Output{Port: 1},
+		}, Cookie: "oob"})
+	errs := Errors(Switch(sw, Options{TagBytes: 4}))
+	if len(errs) != 2 {
+		t.Fatalf("want 2 tag-bound errors (match + set), got %v", errs)
+	}
+	// Without a tag bound the same config is clean.
+	if errs := Errors(Switch(sw, Options{})); len(errs) != 0 {
+		t.Fatalf("unbounded check should pass: %v", errs)
+	}
+}
+
+func TestVerifyShadowingSemantics(t *testing.T) {
+	sw := brokenSwitch()
+	f := openflow.Field{Name: "x", Off: 0, Bits: 4}
+	// hi is strictly more general and higher priority: shadows lo.
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 10, Match: openflow.MatchEth(5),
+		Goto: openflow.NoGoto, Cookie: "hi"})
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 5, Match: openflow.MatchEth(5).WithField(f, 3),
+		Goto: openflow.NoGoto, Cookie: "lo"})
+	// unrelated does not shadow (different EthType).
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchEth(6),
+		Goto: openflow.NoGoto, Cookie: "other"})
+	issues := Switch(sw, Options{})
+	shadowed := map[string]bool{}
+	for _, i := range issues {
+		if strings.Contains(i.Msg, "shadowed") {
+			shadowed[i.Cookie] = true
+		}
+	}
+	if !shadowed["lo"] || shadowed["other"] || shadowed["hi"] {
+		t.Fatalf("shadow set wrong: %v", shadowed)
+	}
+	// Masked-field implication: hi pins the low 2 bits, lo pins all 4
+	// with an agreeing value -> shadowed.
+	sw2 := brokenSwitch()
+	sw2.AddFlow(0, &openflow.FlowEntry{Priority: 10,
+		Match: openflow.MatchAll().WithMasked(f, 0b11, 0b11), Goto: openflow.NoGoto, Cookie: "hi"})
+	sw2.AddFlow(0, &openflow.FlowEntry{Priority: 5,
+		Match: openflow.MatchAll().WithField(f, 0b0111), Goto: openflow.NoGoto, Cookie: "lo"})
+	sw2.AddFlow(0, &openflow.FlowEntry{Priority: 4,
+		Match: openflow.MatchAll().WithField(f, 0b0100), Goto: openflow.NoGoto, Cookie: "disagree"})
+	issues = Switch(sw2, Options{})
+	shadowed = map[string]bool{}
+	for _, i := range issues {
+		if strings.Contains(i.Msg, "shadowed") {
+			shadowed[i.Cookie] = true
+		}
+	}
+	if !shadowed["lo"] || shadowed["disagree"] {
+		t.Fatalf("masked shadow set wrong: %v", shadowed)
+	}
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the full evaluation: unit/integration/property tests, every
+# Table-2 and claims table, the benchmark metrics, and a randomized soak.
+# Outputs land next to the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build + vet =="
+go build ./...
+go vet ./...
+
+echo "== test suite =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== benchmarks (paper-vs-measured metrics) =="
+go test -bench=. -benchmem -benchtime=5x ./... 2>&1 | tee bench_output.txt
+
+echo "== evaluation tables =="
+go run ./cmd/benchtable -sizes 20,60,120,240 | tee benchtable_output.txt
+
+echo "== randomized soak (oracle cross-checks) =="
+go run ./cmd/soak -iters 300
+
+echo "done: test_output.txt, bench_output.txt, benchtable_output.txt"

@@ -1,0 +1,358 @@
+// Package smartsouth is a faithful, simulator-backed implementation of
+// "Reclaiming the Brain: Useful OpenFlow Functions in the Data Plane"
+// (Schiff, Borokhovich, Schmid — HotNets 2014).
+//
+// SmartSouth compiles an in-band depth-first network traversal — and the
+// paper's four case-study services on top of it — into ordinary OpenFlow
+// 1.3 flow and group entries. A generic match-action pipeline (package
+// internal/openflow) executes those rules inside a deterministic
+// discrete-event network simulator (package internal/network); nothing
+// service-specific runs at packet time, which is the paper's point: the
+// data plane stays dumb and formally inspectable, yet can take topology
+// snapshots, deliver anycast/priocast messages, detect blackholes and
+// packet loss with switch-local smart counters, and decide node
+// criticality — all with O(1) controller involvement.
+//
+// Typical use:
+//
+//	g := smartsouth.Grid(4, 4)
+//	d := smartsouth.Deploy(g, smartsouth.Options{})
+//	snap, _ := d.InstallSnapshot()
+//	snap.Trigger(0, 0)
+//	d.Run()
+//	res, _ := snap.Collect() // res.Nodes, res.Edges
+package smartsouth
+
+import (
+	"smartsouth/internal/controller"
+	"smartsouth/internal/core"
+	"smartsouth/internal/monitor"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/remote"
+	"smartsouth/internal/topo"
+	"smartsouth/internal/verify"
+)
+
+// Re-exported building blocks. The internal packages carry the full API;
+// these aliases are the supported public surface.
+type (
+	// Graph is a port-numbered undirected topology.
+	Graph = topo.Graph
+	// Edge is one link with its port numbers on both endpoints.
+	Edge = topo.Edge
+	// Network is the discrete-event data plane.
+	Network = network.Network
+	// Controller is the out-of-band control plane.
+	Controller = controller.Controller
+	// Packet is the unit the OpenFlow pipeline processes.
+	Packet = openflow.Packet
+	// Time is simulation time in nanoseconds.
+	Time = network.Time
+	// Hop is one in-band link crossing, as observed by Network.OnHop.
+	Hop = network.Hop
+
+	// Snapshot is the §3.1 in-band topology snapshot service.
+	Snapshot = core.Snapshot
+	// SnapshotSplit is the snapshot variant that splits its report across
+	// bounded-size fragments (the §3.1 splitting remark).
+	SnapshotSplit = core.SnapshotSplit
+	// SnapshotResult is a decoded snapshot.
+	SnapshotResult = core.Result
+	// Anycast is the §3.2 anycast service.
+	Anycast = core.Anycast
+	// Priocast is the §3.2 priority-anycast service.
+	Priocast = core.Priocast
+	// PrioMember is one priocast receiver with its priority.
+	PrioMember = core.PrioMember
+	// BlackholeTTL is the §3.3 TTL-binary-search blackhole detector.
+	BlackholeTTL = core.BlackholeTTL
+	// BlackholeCounter is the §3.3 smart-counter blackhole detector.
+	BlackholeCounter = core.BlackholeCounter
+	// BlackholeReport names a located blackhole.
+	BlackholeReport = core.Report
+	// PktLoss is the §3.3 packet-loss monitor.
+	PktLoss = core.PktLoss
+	// LossReport names a directed link with detected loss.
+	LossReport = core.LossReport
+	// Critical is the §3.4 critical-node service.
+	Critical = core.Critical
+	// Traversal is the bare SmartSouth template (an in-band liveness
+	// sweep).
+	Traversal = core.Traversal
+	// Chaincast is the §3.2 service-chaining extension (middlebox chains).
+	Chaincast = core.Chaincast
+	// LoadMap is the §4 load-inference extension built on smart counters.
+	LoadMap = core.LoadMap
+	// PortLoad identifies a sampled port in a LoadMap report.
+	PortLoad = core.PortLoad
+	// VerifyIssue is one finding of the static data-plane checker.
+	VerifyIssue = verify.Issue
+	// ControlPlane is the interface services program against; both the
+	// local controller and the TCP fabric implement it.
+	ControlPlane = core.ControlPlane
+	// Supervisor retries traversals whose trigger packet was lost to a
+	// mid-execution failure (the paper's stated limitation).
+	Supervisor = core.Supervisor
+	// Monitor is the troubleshooting application composing the services:
+	// periodic snapshot diffing plus a blackhole watchdog.
+	Monitor = monitor.Monitor
+	// MonitorEvent is one topology change or silent-failure detection.
+	MonitorEvent = monitor.Event
+	// Fabric is the OpenFlow-over-TCP control plane (see DeployRemote).
+	Fabric = remote.Fabric
+)
+
+// Topology generators.
+var (
+	Line            = topo.Line
+	Ring            = topo.Ring
+	Star            = topo.Star
+	Tree            = topo.Tree
+	Grid            = topo.Grid
+	RandomConnected = topo.RandomConnected
+	FatTree         = topo.FatTree
+	BarabasiAlbert  = topo.BarabasiAlbert
+	Waxman          = topo.Waxman
+	NewGraph        = topo.NewGraph
+)
+
+// Options configures a deployment's simulated network.
+type Options = network.Options
+
+// Deployment couples one topology with its simulated network and
+// controller, and hands out service slots so several SmartSouth services
+// coexist on the same switches.
+type Deployment struct {
+	Graph *Graph
+	Net   *Network
+	Ctl   *Controller
+
+	nextSlot int
+}
+
+// Deploy builds the network and attaches a controller.
+func Deploy(g *Graph, opts Options) *Deployment {
+	net := network.New(g, opts)
+	return &Deployment{Graph: g, Net: net, Ctl: controller.New(net)}
+}
+
+// Run drains the event queue (processing every in-flight packet).
+func (d *Deployment) Run() error {
+	_, err := d.Net.Run()
+	return err
+}
+
+// slot reserves the next service slot.
+func (d *Deployment) slot() int {
+	s := d.nextSlot
+	d.nextSlot++
+	return s
+}
+
+// RemoteDeployment is a deployment whose control plane speaks binary
+// OpenFlow 1.3 over real TCP sockets (one session per switch). Services
+// are installed with the package-level core installers against the
+// Fabric; the data plane is the same simulator either way.
+type RemoteDeployment struct {
+	Graph  *Graph
+	Net    *Network
+	Fabric *Fabric
+
+	nextSlot int
+}
+
+// DeployRemote builds the network and attaches the TCP control plane.
+// Close the deployment when done.
+func DeployRemote(g *Graph, opts Options) (*RemoteDeployment, error) {
+	net := network.New(g, opts)
+	f, err := remote.New(net)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteDeployment{Graph: g, Net: net, Fabric: f}, nil
+}
+
+// Slot reserves the next service slot for use with the core installers.
+func (d *RemoteDeployment) Slot() int {
+	s := d.nextSlot
+	d.nextSlot++
+	return s
+}
+
+// InstallSnapshot installs the snapshot service over the wire.
+func (d *RemoteDeployment) InstallSnapshot() (*Snapshot, error) {
+	return core.InstallSnapshot(d.Fabric, d.Graph, d.Slot())
+}
+
+// InstallAnycast installs the anycast service over the wire.
+func (d *RemoteDeployment) InstallAnycast(groups map[uint32][]int) (*Anycast, error) {
+	return core.InstallAnycast(d.Fabric, d.Graph, d.Slot(), groups)
+}
+
+// InstallCritical installs the critical-node service over the wire.
+func (d *RemoteDeployment) InstallCritical() (*Critical, error) {
+	return core.InstallCritical(d.Fabric, d.Graph, d.Slot())
+}
+
+// InstallBlackholeCounter installs the smart-counter detector over the
+// wire.
+func (d *RemoteDeployment) InstallBlackholeCounter() (*BlackholeCounter, error) {
+	return core.InstallBlackholeCounter(d.Fabric, d.Graph, d.Slot())
+}
+
+// Run synchronises all sessions and processes the data plane.
+func (d *RemoteDeployment) Run() error {
+	_, err := d.Fabric.RunNetwork()
+	return err
+}
+
+// Close tears down the TCP sessions.
+func (d *RemoteDeployment) Close() { d.Fabric.Close() }
+
+// InstallTraversal installs the bare template.
+func (d *Deployment) InstallTraversal() (*Traversal, error) {
+	return core.InstallTraversal(d.Ctl, d.Graph, d.slot())
+}
+
+// InstallSnapshot installs the topology snapshot service.
+func (d *Deployment) InstallSnapshot() (*Snapshot, error) {
+	return core.InstallSnapshot(d.Ctl, d.Graph, d.slot())
+}
+
+// InstallSnapshotSplit installs the splitting snapshot with the given
+// per-fragment record budget.
+func (d *Deployment) InstallSnapshotSplit(budget int) (*SnapshotSplit, error) {
+	return core.InstallSnapshotSplit(d.Ctl, d.Graph, d.slot(), budget)
+}
+
+// InstallAnycast installs the anycast service with the given groups
+// (group id -> member switches).
+func (d *Deployment) InstallAnycast(groups map[uint32][]int) (*Anycast, error) {
+	return core.InstallAnycast(d.Ctl, d.Graph, d.slot(), groups)
+}
+
+// InstallPriocast installs the priocast service with the given groups.
+func (d *Deployment) InstallPriocast(groups map[uint32][]PrioMember) (*Priocast, error) {
+	return core.InstallPriocast(d.Ctl, d.Graph, d.slot(), groups)
+}
+
+// InstallBlackholeTTL installs the TTL-probing blackhole detector.
+func (d *Deployment) InstallBlackholeTTL() (*BlackholeTTL, error) {
+	return core.InstallBlackholeTTL(d.Ctl, d.Graph, d.slot())
+}
+
+// InstallBlackholeCounter installs the smart-counter blackhole detector.
+func (d *Deployment) InstallBlackholeCounter() (*BlackholeCounter, error) {
+	return core.InstallBlackholeCounter(d.Ctl, d.Graph, d.slot())
+}
+
+// InstallPktLoss installs the packet-loss monitor (nil primes selects
+// core.DefaultPrimes).
+func (d *Deployment) InstallPktLoss(primes []int) (*PktLoss, error) {
+	return core.InstallPktLoss(d.Ctl, d.Graph, d.slot(), primes)
+}
+
+// InstallCritical installs the critical-node service.
+func (d *Deployment) InstallCritical() (*Critical, error) {
+	return core.InstallCritical(d.Ctl, d.Graph, d.slot())
+}
+
+// InstallChaincast installs the service-chaining extension over the given
+// ordered middlebox groups (one service slot per stage).
+func (d *Deployment) InstallChaincast(chain [][]int) (*Chaincast, error) {
+	base := d.nextSlot
+	cc, err := core.InstallChaincast(d.Ctl, d.Graph, base, chain)
+	if err != nil {
+		return nil, err
+	}
+	d.nextSlot = base + cc.NumSlots()
+	return cc, nil
+}
+
+// InstallLoadMap installs the load-inference extension. It owns the
+// EthData ingress rules, so it cannot share a deployment with PktLoss.
+func (d *Deployment) InstallLoadMap() (*LoadMap, error) {
+	return core.InstallLoadMap(d.Ctl, d.Graph, d.slot())
+}
+
+// InstallMonitor installs the troubleshooting monitor (snapshot diffing
+// from root; optional blackhole watchdog). It consumes two service slots.
+func (d *Deployment) InstallMonitor(root int, watchdog bool) (*Monitor, error) {
+	base := d.nextSlot
+	m, err := monitor.New(d.Ctl, d.Graph, base, root, watchdog)
+	if err != nil {
+		return nil, err
+	}
+	d.nextSlot = base + 2
+	return m, nil
+}
+
+// Uninstall removes every flow and group entry belonging to a service
+// slot (its table block, its group-ID range, and the table-0 dispatcher
+// rules steering into it) from all switches — flow-mod/group-mod DELETEs
+// in OpenFlow terms. Other services keep running; the slot is NOT reused
+// by future installs.
+func (d *Deployment) Uninstall(slot int) {
+	tLo, tHi := 1+slot*10, 1+(slot+1)*10
+	gLo, gHi := uint32(slot)<<20, uint32(slot+1)<<20
+	for i := 0; i < d.Net.NumSwitches(); i++ {
+		sw := d.Net.Switch(i)
+		for t := tLo; t < tHi; t++ {
+			sw.ClearTable(t)
+		}
+		sw.Table(0).RemoveIf(func(e *openflow.FlowEntry) bool {
+			return e.Goto >= tLo && e.Goto < tHi
+		})
+		sw.RemoveGroupRange(gLo, gHi)
+	}
+}
+
+// Verify statically checks the installed configuration of every switch
+// and returns all findings (see internal/verify for the property list).
+func (d *Deployment) Verify() []VerifyIssue {
+	var all []VerifyIssue
+	for i := 0; i < d.Net.NumSwitches(); i++ {
+		all = append(all, verify.Switch(d.Net.Switch(i), verify.Options{})...)
+	}
+	return all
+}
+
+// VerifyErrors returns only Err-severity findings from Verify.
+func (d *Deployment) VerifyErrors() []VerifyIssue {
+	return verify.Errors(d.Verify())
+}
+
+// OnDeliver registers a callback for packets delivered to a switch-local
+// host (the SELF port) — e.g. anycast receivers.
+func (d *Deployment) OnDeliver(fn func(sw int, pkt *Packet)) {
+	d.Net.OnSelf = fn
+}
+
+// ConfigBytes sums the modelled hardware footprint (flow + group entries)
+// over all switches — the rule-space metric of the scalability claim.
+func (d *Deployment) ConfigBytes() int {
+	total := 0
+	for i := 0; i < d.Net.NumSwitches(); i++ {
+		total += d.Net.Switch(i).ConfigBytes()
+	}
+	return total
+}
+
+// FlowEntries sums installed flow entries over all switches.
+func (d *Deployment) FlowEntries() int {
+	total := 0
+	for i := 0; i < d.Net.NumSwitches(); i++ {
+		total += d.Net.Switch(i).FlowEntryCount()
+	}
+	return total
+}
+
+// GroupEntries sums installed group entries over all switches.
+func (d *Deployment) GroupEntries() int {
+	total := 0
+	for i := 0; i < d.Net.NumSwitches(); i++ {
+		total += d.Net.Switch(i).GroupCount()
+	}
+	return total
+}
