@@ -320,9 +320,11 @@ func main() {
 		fmt.Printf("verification: %d findings, %d errors\n", len(issues), errs)
 	}
 
-	fmt.Printf("\ncontrol plane: %d flow-mods, %d group-mods (offline); %d packet-outs, %d packet-ins (runtime)\n",
-		d.Ctl.Stats.FlowMods, d.Ctl.Stats.GroupMods, d.Ctl.Stats.PacketOuts, d.Ctl.Stats.PacketIns)
+	fmt.Printf("\ncontrol plane: %d flow-mods, %d group-mods in %d install messages (offline); %d packet-outs, %d packet-ins (runtime)\n",
+		d.Ctl.Stats.FlowMods, d.Ctl.Stats.GroupMods, d.Ctl.Stats.InstallMsgs,
+		d.Ctl.Stats.PacketOuts, d.Ctl.Stats.PacketIns)
 	fmt.Printf("in-band messages: %d\n", d.Net.TotalInBand())
+	fmt.Print("installed programs:\n", dump.ProgramSummary(d.Programs()))
 	fmt.Printf("installed state: %d flow entries, %d groups, %d bytes total\n",
 		d.FlowEntries(), d.GroupEntries(), d.ConfigBytes())
 }

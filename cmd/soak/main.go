@@ -18,6 +18,7 @@ import (
 
 	"smartsouth"
 	"smartsouth/internal/topo"
+	"smartsouth/internal/verify"
 )
 
 var (
@@ -98,6 +99,14 @@ func iteration(s int64) error {
 	// Static verification of the full install.
 	if errs := d.VerifyErrors(); len(errs) > 0 {
 		return fmt.Errorf("verify: %v", errs[0])
+	}
+	// And of the retained programs: the pre-install check every install
+	// already passed must also hold for the recorded intent.
+	if errs := verify.Errors(d.VerifyPrograms()); len(errs) > 0 {
+		return fmt.Errorf("verify programs: %v", errs[0])
+	}
+	if len(d.Programs()) != 3 {
+		return fmt.Errorf("retained %d programs, want 3", len(d.Programs()))
 	}
 
 	// --- Snapshot from a random root, checked against reachability ----

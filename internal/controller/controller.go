@@ -32,6 +32,11 @@ type Stats struct {
 	PacketIns  int
 	// OutBandBytes sums the payload size of runtime messages only.
 	OutBandBytes int
+	// InstallMsgs counts the control-channel messages the offline stage
+	// actually used: one per flow-mod/group-mod on the per-rule path, one
+	// per batch on the program path. FlowMods/GroupMods stay logical rule
+	// counts, so batching shows up as InstallMsgs << FlowMods+GroupMods.
+	InstallMsgs int
 }
 
 // RuntimeMsgs is the Table-2 "out-band #msgs" figure: packet-outs plus
@@ -44,7 +49,8 @@ type Controller struct {
 	Net   *network.Network
 	Stats Stats
 
-	inbox []PacketIn
+	inbox    []PacketIn
+	programs []*openflow.Program
 	// OnPacketIn, if set, observes every packet-in as it arrives (the
 	// inbox is appended regardless).
 	OnPacketIn func(PacketIn)
@@ -71,15 +77,53 @@ func (c *Controller) Inbox() []PacketIn { return c.inbox }
 // ClearInbox empties the inbox (accounting is untouched).
 func (c *Controller) ClearInbox() { c.inbox = nil }
 
-// InstallFlow sends a flow-mod (offline stage).
+// InstallProgram applies a compiled program, batched per switch: entries
+// and groups are cloned onto each switch (a program is a reusable compile
+// artifact) and the program is retained for declarative accounting —
+// rule-space figures are read off installed programs, not live switches.
+func (c *Controller) InstallProgram(p *openflow.Program) {
+	for _, id := range p.SwitchIDs() {
+		sp := p.At(id)
+		c.Stats.FlowMods += len(sp.Flows)
+		c.Stats.GroupMods += len(sp.Groups)
+		c.Stats.InstallMsgs++ // one batched transaction per switch
+		sp.Materialize(c.Net.Switch(id))
+	}
+	if !p.Transient {
+		c.programs = append(c.programs, p)
+	}
+}
+
+// Programs returns every program installed so far, in install order.
+func (c *Controller) Programs() []*openflow.Program {
+	return append([]*openflow.Program(nil), c.programs...)
+}
+
+// DropPrograms forgets installed programs covering the given slot; the
+// deployment layer calls it when it uninstalls a service. The switches'
+// state is not touched here — rule removal stays with the caller.
+func (c *Controller) DropPrograms(slot int) {
+	kept := c.programs[:0]
+	for _, p := range c.programs {
+		if !p.CoversSlot(slot) {
+			kept = append(kept, p)
+		}
+	}
+	c.programs = kept
+}
+
+// InstallFlow sends a flow-mod (offline stage, per-rule compatibility
+// path; InstallProgram is the batched path).
 func (c *Controller) InstallFlow(sw, table int, e *openflow.FlowEntry) {
 	c.Stats.FlowMods++
+	c.Stats.InstallMsgs++
 	c.Net.Switch(sw).AddFlow(table, e)
 }
 
 // InstallGroup sends a group-mod (offline stage).
 func (c *Controller) InstallGroup(sw int, g *openflow.GroupEntry) {
 	c.Stats.GroupMods++
+	c.Stats.InstallMsgs++
 	c.Net.Switch(sw).AddGroup(g)
 }
 

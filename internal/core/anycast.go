@@ -19,21 +19,26 @@ type Anycast struct {
 	G      *topo.Graph
 	L      *Layout
 	Tmpl   *Template
+	Prog   *Program
 	FGid   openflow.Field
 	Groups map[uint32][]int // gid -> member nodes
 	ctl    ControlPlane
 }
 
-// InstallAnycast compiles and installs the anycast service with the given
-// group membership.
+// InstallAnycast compiles the anycast service with the given group
+// membership into a program, statically checks it, and installs it.
 func InstallAnycast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32][]int) (*Anycast, error) {
 	l := NewLayout(g)
 	a := &Anycast{
 		G: g, L: l, FGid: l.Alloc("gid", 16), Groups: groups, ctl: c,
 	}
 	t0, tFin, gb := Slot(slot)
-	a.Tmpl = &Template{G: g, L: l, Eth: EthAnycast, T0: t0, TFin: tFin, GroupBase: gb}
-	if err := a.Tmpl.Install(c); err != nil {
+	a.Tmpl = &Template{
+		G: g, L: l, Eth: EthAnycast, T0: t0, TFin: tFin, GroupBase: gb,
+		Hooks: Hooks{Uniform: true},
+	}
+	p := newProgram("anycast", slot, g, l)
+	if err := a.Tmpl.Compile(p); err != nil {
 		return nil, err
 	}
 	// Receiver exit rules: the "simple test at the beginning of the
@@ -44,7 +49,7 @@ func InstallAnycast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32][
 			if m < 0 || m >= g.NumNodes() {
 				return nil, fmt.Errorf("core: anycast member %d out of range", m)
 			}
-			c.InstallFlow(m, t0, &openflow.FlowEntry{
+			p.AddFlow(m, t0, &openflow.FlowEntry{
 				Priority: PrioService,
 				Match:    openflow.MatchEth(EthAnycast).WithField(a.FGid, uint64(gid)),
 				Actions:  []openflow.Action{openflow.Output{Port: openflow.PortSelf}},
@@ -53,6 +58,10 @@ func InstallAnycast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32][
 			})
 		}
 	}
+	if err := installProgram(c, p); err != nil {
+		return nil, err
+	}
+	a.Prog = p
 	return a, nil
 }
 

@@ -41,6 +41,7 @@ type BlackholeTTL struct {
 	G     *topo.Graph
 	L     *Layout
 	Tmpl  *Template
+	Prog  *Program
 	FKind openflow.Field // 1 = TTL expiry report, 2 = completion report
 	ctl   ControlPlane
 }
@@ -65,20 +66,23 @@ func InstallBlackholeTTL(c ControlPlane, g *topo.Graph, slot int) (*BlackholeTTL
 					openflow.Output{Port: openflow.PortController},
 				}
 			},
+			// The hooks write shared fields only, never the node id.
+			Uniform: true,
 		},
 	}
-	if err := b.Tmpl.Install(c); err != nil {
+	p := newProgram("blackhole-ttl", slot, g, l)
+	if err := b.Tmpl.Compile(p); err != nil {
 		return nil, err
 	}
 	eth := openflow.MatchEth(EthBlackhole)
 	for i := 0; i < g.NumNodes(); i++ {
 		// Steer the service through the TTL pre-table (overrides the
 		// template's dispatcher by priority).
-		c.InstallFlow(i, 0, &openflow.FlowEntry{
+		p.AddFlow(i, 0, &openflow.FlowEntry{
 			Priority: 101, Match: eth, Goto: preT,
 			Cookie: fmt.Sprintf("bh-ttl/n%d/dispatch", i),
 		})
-		c.InstallFlow(i, preT, &openflow.FlowEntry{
+		p.AddFlow(i, preT, &openflow.FlowEntry{
 			Priority: 200, Match: eth.WithTTL(0),
 			Actions: []openflow.Action{
 				openflow.SetField{F: b.FKind, Value: reportExpiry},
@@ -87,13 +91,17 @@ func InstallBlackholeTTL(c ControlPlane, g *topo.Graph, slot int) (*BlackholeTTL
 			Goto:   openflow.NoGoto,
 			Cookie: fmt.Sprintf("bh-ttl/n%d/expired", i),
 		})
-		c.InstallFlow(i, preT, &openflow.FlowEntry{
+		p.AddFlow(i, preT, &openflow.FlowEntry{
 			Priority: 100, Match: eth,
 			Actions: []openflow.Action{openflow.DecTTL{}},
 			Goto:    t0,
 			Cookie:  fmt.Sprintf("bh-ttl/n%d/dec", i),
 		})
 	}
+	if err := installProgram(c, p); err != nil {
+		return nil, err
+	}
+	b.Prog = p
 	return b, nil
 }
 
@@ -233,6 +241,7 @@ type BlackholeCounter struct {
 	L *Layout
 	// A is the dance traversal, B the checker traversal.
 	A, B     *Template
+	Prog     *Program
 	FRepeat  openflow.Field
 	FCtr     openflow.Field
 	FOut     openflow.Field
@@ -261,12 +270,14 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 	gb := uint32(slot) << 20
 	ctrGID := func(port int) uint32 { return gb + 0x80000 + uint32(port) }
 
+	prog := newProgram("blackhole-ctr", slot, g, l)
+
 	// Per-port smart counters, shared by both traversals.
 	b.Counters = make([][]*SmartCounter, g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
 		b.Counters[i] = make([]*SmartCounter, g.Degree(i))
 		for p := 1; p <= g.Degree(i); p++ {
-			sc, err := InstallSmartCounter(c, i, ctrGID(p), b.FCtr, counterModulus)
+			sc, err := CompileSmartCounter(prog, i, g.Degree(i), ctrGID(p), b.FCtr, counterModulus)
 			if err != nil {
 				return nil, err
 			}
@@ -295,9 +306,13 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 			},
 			// A healthy dance traversal ends silently at the root; only
 			// the checker reports.
+
+			// fetch(out) depends on the port only; counters share the
+			// degree-determined group-id scheme across nodes.
+			Uniform: true,
 		},
 	}
-	if err := b.A.Install(c); err != nil {
+	if err := b.A.Compile(prog); err != nil {
 		return nil, err
 	}
 
@@ -316,9 +331,10 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 				// Completion with out_port=0: "no blackhole found".
 				return []openflow.Action{openflow.Output{Port: openflow.PortController}}
 			},
+			Uniform: true,
 		},
 	}
-	if err := b.B.Install(c); err != nil {
+	if err := b.B.Compile(prog); err != nil {
 		return nil, err
 	}
 
@@ -329,12 +345,12 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 
 		// Dance pre-table: echo/resend/absorb the three dance messages
 		// before any traversal processing. Overrides A's dispatcher.
-		c.InstallFlow(i, 0, &openflow.FlowEntry{
+		prog.AddFlow(i, 0, &openflow.FlowEntry{
 			Priority: 101, Match: ethA, Goto: preT,
 			Cookie: fmt.Sprintf("bh-ctr/n%d/dispatch", i),
 		})
 		for q := 1; q <= d; q++ {
-			c.InstallFlow(i, preT, &openflow.FlowEntry{
+			prog.AddFlow(i, preT, &openflow.FlowEntry{
 				Priority: 300, Match: ethA.WithInPort(q).WithField(b.FRepeat, 3),
 				Actions: []openflow.Action{fetch(q),
 					openflow.SetField{F: b.FRepeat, Value: 2},
@@ -342,7 +358,7 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 				Goto:   openflow.NoGoto,
 				Cookie: fmt.Sprintf("bh-ctr/n%d/dance-echo-in%d", i, q),
 			})
-			c.InstallFlow(i, preT, &openflow.FlowEntry{
+			prog.AddFlow(i, preT, &openflow.FlowEntry{
 				Priority: 300, Match: ethA.WithInPort(q).WithField(b.FRepeat, 2),
 				Actions: []openflow.Action{fetch(q),
 					openflow.SetField{F: b.FRepeat, Value: 1},
@@ -350,7 +366,7 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 				Goto:   openflow.NoGoto,
 				Cookie: fmt.Sprintf("bh-ctr/n%d/dance-resend-in%d", i, q),
 			})
-			c.InstallFlow(i, preT, &openflow.FlowEntry{
+			prog.AddFlow(i, preT, &openflow.FlowEntry{
 				Priority: 290, Match: ethA.WithInPort(q).WithField(b.FRepeat, 1),
 				Actions: []openflow.Action{fetch(q),
 					openflow.SetField{F: b.FRepeat, Value: 0}},
@@ -358,7 +374,7 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 				Cookie: fmt.Sprintf("bh-ctr/n%d/dance-done-in%d", i, q),
 			})
 		}
-		c.InstallFlow(i, preT, &openflow.FlowEntry{
+		prog.AddFlow(i, preT, &openflow.FlowEntry{
 			Priority: 100, Match: ethA, Goto: t0A,
 			Cookie: fmt.Sprintf("bh-ctr/n%d/plain", i),
 		})
@@ -366,7 +382,7 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 		// Dance decision table (A's finish table): a fetched value of 0
 		// means this directed edge is fresh — dance it; otherwise plain.
 		for k := 1; k <= d; k++ {
-			c.InstallFlow(i, tFinA, &openflow.FlowEntry{
+			prog.AddFlow(i, tFinA, &openflow.FlowEntry{
 				Priority: PrioFinish + 60,
 				Match:    ethA.WithField(b.FOut, uint64(k)).WithField(b.FCtr, 0),
 				Actions: []openflow.Action{
@@ -375,7 +391,7 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 				Goto:   openflow.NoGoto,
 				Cookie: fmt.Sprintf("bh-ctr/n%d/dance-start-k%d", i, k),
 			})
-			c.InstallFlow(i, tFinA, &openflow.FlowEntry{
+			prog.AddFlow(i, tFinA, &openflow.FlowEntry{
 				Priority: PrioFinish + 40,
 				Match:    ethA.WithField(b.FOut, uint64(k)),
 				Actions: []openflow.Action{
@@ -389,14 +405,14 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 		// Checker decision table (B's finish table): a fetched value of 1
 		// marks the blackhole port — report it; otherwise forward.
 		for k := 1; k <= d; k++ {
-			c.InstallFlow(i, tFinB, &openflow.FlowEntry{
+			prog.AddFlow(i, tFinB, &openflow.FlowEntry{
 				Priority: PrioFinish + 60,
 				Match:    ethB.WithField(b.FOut, uint64(k)).WithField(b.FCtr, 1),
 				Actions:  []openflow.Action{openflow.Output{Port: openflow.PortController}},
 				Goto:     openflow.NoGoto,
 				Cookie:   fmt.Sprintf("bh-ctr/n%d/report-k%d", i, k),
 			})
-			c.InstallFlow(i, tFinB, &openflow.FlowEntry{
+			prog.AddFlow(i, tFinB, &openflow.FlowEntry{
 				Priority: PrioFinish + 40,
 				Match:    ethB.WithField(b.FOut, uint64(k)),
 				Actions:  []openflow.Action{openflow.Output{Port: k}},
@@ -405,6 +421,10 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 			})
 		}
 	}
+	if err := installProgram(c, prog); err != nil {
+		return nil, err
+	}
+	b.Prog = prog
 	return b, nil
 }
 

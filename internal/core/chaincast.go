@@ -29,6 +29,7 @@ type Chaincast struct {
 	Chain  [][]int
 	FStage openflow.Field
 	Stages []*Template
+	Prog   *Program
 	ctl    ControlPlane
 }
 
@@ -68,6 +69,9 @@ func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int
 		states = append(states, state{st, par, cur})
 	}
 
+	p := newProgram("chaincast", slotBase, g, l)
+	p.Slots = len(chain)
+
 	// One template per stage, dispatched on (EthType, stage).
 	var t0s []int
 	for s := range chain {
@@ -79,8 +83,9 @@ func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int
 			StatePar:       states[s].par,
 			StateCur:       states[s].cur,
 			DispatchFields: []openflow.FieldMatch{{F: cc.FStage, Value: uint64(s)}},
+			Hooks:          Hooks{Uniform: true},
 		}
-		if err := tmpl.Install(c); err != nil {
+		if err := tmpl.Compile(p); err != nil {
 			return nil, err
 		}
 		cc.Stages = append(cc.Stages, tmpl)
@@ -97,7 +102,7 @@ func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int
 				actions = append(actions, openflow.SetField{F: cc.FStage, Value: uint64(s + 1)})
 				gotoT = t0s[s+1]
 			}
-			c.InstallFlow(m, t0s[s], &openflow.FlowEntry{
+			p.AddFlow(m, t0s[s], &openflow.FlowEntry{
 				Priority: PrioService,
 				Match:    openflow.MatchEth(EthChaincast),
 				Actions:  actions,
@@ -106,6 +111,10 @@ func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int
 			})
 		}
 	}
+	if err := installProgram(c, p); err != nil {
+		return nil, err
+	}
+	cc.Prog = p
 	return cc, nil
 }
 

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+	"smartsouth/internal/verify"
+)
+
+// TestAllServiceProgramsCheckClean compiles every service and statically
+// checks the emitted program: CheckProgram must pass (no Err findings)
+// on the declarative IR itself, before any switch sees a rule.
+func TestAllServiceProgramsCheckClean(t *testing.T) {
+	g := topo.RandomConnected(10, 6, 3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+
+	var programs []*Program
+	collect := func(name string, p *Program, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("%s: no program recorded", name)
+		}
+		programs = append(programs, p)
+	}
+
+	tr, err := InstallTraversal(c, g, 0)
+	collect("traversal", tr.Prog, err)
+	snap, err := InstallSnapshot(c, g, 1)
+	collect("snapshot", snap.Prog, err)
+	any, err := InstallAnycast(c, g, 2, map[uint32][]int{1: {3}})
+	collect("anycast", any.Prog, err)
+	prio, err := InstallPriocast(c, g, 3, map[uint32][]PrioMember{2: {{Node: 4, Prio: 5}}})
+	collect("priocast", prio.Prog, err)
+	cr, err := InstallCritical(c, g, 4)
+	collect("critical", cr.Prog, err)
+	bhc, err := InstallBlackholeCounter(c, g, 5)
+	collect("blackhole-counter", bhc.Prog, err)
+	bht, err := InstallBlackholeTTL(c, g, 7)
+	collect("blackhole-ttl", bht.Prog, err)
+	pl, err := InstallPktLoss(c, g, 8, nil)
+	collect("pktloss", pl.Prog, err)
+	cc, err := InstallChaincast(c, g, 9, [][]int{{2}, {7}})
+	collect("chaincast", cc.Prog, err)
+	split, err := InstallSnapshotSplit(c, g, 11, 8)
+	collect("snapsplit", split.Prog, err)
+
+	for _, p := range programs {
+		issues := verify.CheckProgram(p, verify.Options{SkipShadowing: true})
+		for _, iss := range issues {
+			if iss.Severity == verify.Err {
+				t.Errorf("program %q: %s", p.Service, iss)
+			}
+		}
+		if p.FlowCount() == 0 {
+			t.Errorf("program %q is empty", p.Service)
+		}
+	}
+
+	// The controller retained exactly these programs, in install order.
+	got := c.Programs()
+	if len(got) != len(programs) {
+		t.Fatalf("controller retains %d programs, want %d", len(got), len(programs))
+	}
+	for i := range got {
+		if got[i].Service != programs[i].Service {
+			t.Errorf("retained[%d] = %q, want %q", i, got[i].Service, programs[i].Service)
+		}
+	}
+}
+
+// TestCompileMemoizationMatchesDirect compiles the same uniform template
+// with and without per-degree memoization: the programs must be identical
+// entry for entry.
+func TestCompileMemoizationMatchesDirect(t *testing.T) {
+	g := topo.RandomConnected(14, 9, 7)
+	l := NewLayout(g)
+	t0, tFin, gb := Slot(0)
+	build := func(noMemo bool) *Program {
+		tmpl := &Template{
+			G: g, L: l, Eth: EthTraversal, T0: t0, TFin: tFin, GroupBase: gb,
+			Hooks:  Hooks{Finish: finishToController, Uniform: true},
+			noMemo: noMemo,
+		}
+		p := newProgram("traversal", 0, g, l)
+		if err := tmpl.Compile(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	memo, direct := build(false), build(true)
+	if memo.FlowCount() != direct.FlowCount() || memo.GroupCount() != direct.GroupCount() {
+		t.Fatalf("memo %d/%d entries, direct %d/%d",
+			memo.FlowCount(), memo.GroupCount(), direct.FlowCount(), direct.GroupCount())
+	}
+	for _, id := range direct.SwitchIDs() {
+		ms, ds := memo.At(id), direct.At(id)
+		for i := range ds.Flows {
+			me, de := ms.Flows[i].Entry, ds.Flows[i].Entry
+			if ms.Flows[i].Table != ds.Flows[i].Table || me.Priority != de.Priority ||
+				me.Cookie != de.Cookie || me.Match.String() != de.Match.String() ||
+				len(me.Actions) != len(de.Actions) || me.Goto != de.Goto {
+				t.Fatalf("switch %d flow %d: memo %v, direct %v", id, i, me, de)
+			}
+		}
+		for i := range ds.Groups {
+			if ms.Groups[i].ID != ds.Groups[i].ID || len(ms.Groups[i].Buckets) != len(ds.Groups[i].Buckets) {
+				t.Fatalf("switch %d group %d diverges", id, i)
+			}
+		}
+	}
+}
+
+// BenchmarkCompile measures the compile-once/retarget-many memoization win
+// on a large regular topology, where every node shares one degree class.
+func BenchmarkCompile(b *testing.B) {
+	g := topo.Ring(400)
+	l := NewLayout(g)
+	t0, tFin, gb := Slot(0)
+	for _, mode := range []struct {
+		name   string
+		noMemo bool
+	}{{"memoized", false}, {"direct", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tmpl := &Template{
+					G: g, L: l, Eth: EthTraversal, T0: t0, TFin: tFin, GroupBase: gb,
+					Hooks:  Hooks{Finish: finishToController, Uniform: true},
+					noMemo: mode.noMemo,
+				}
+				p := openflow.NewProgram("bench", 0)
+				for n := 0; n < g.NumNodes(); n++ {
+					p.Ensure(n, g.Degree(n))
+				}
+				if err := tmpl.Compile(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ type Critical struct {
 	G      *topo.Graph
 	L      *Layout
 	Tmpl   *Template
+	Prog   *Program
 	FFirst openflow.Field
 	FToPar openflow.Field
 	FVerd  openflow.Field
@@ -105,11 +106,19 @@ func InstallCritical(c ControlPlane, g *topo.Graph, slot int) (*Critical, error)
 					openflow.Output{Port: openflow.PortController},
 				}
 			},
+			// Hooks depend only on degree and port arguments (the state
+			// fields FFirst/FToPar/FVerd are shared across nodes).
+			Uniform: true,
 		},
 	}
-	if err := cr.Tmpl.Install(c); err != nil {
+	p := newProgram("critical", slot, g, l)
+	if err := cr.Tmpl.Compile(p); err != nil {
 		return nil, err
 	}
+	if err := installProgram(c, p); err != nil {
+		return nil, err
+	}
+	cr.Prog = p
 	return cr, nil
 }
 

@@ -25,6 +25,7 @@ type LoadMap struct {
 	G    *topo.Graph
 	L    *Layout
 	Tmpl *Template
+	Prog *Program
 	// Counters[node][port-1] is the per-port ingress data counter.
 	Counters [][]*SmartCounter
 	// Modulus is the counter size: loads are reported modulo this value.
@@ -64,10 +65,12 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 	gb := uint32(slot) << 20
 	ctrGID := func(port int) uint32 { return gb + 0x80000 + uint32(port) }
 
+	prog := newProgram("loadmap", slot, g, l)
+
 	lm.Counters = make([][]*SmartCounter, g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
 		for p := 1; p <= g.Degree(i); p++ {
-			sc, err := InstallSmartCounter(c, i, ctrGID(p), lm.FVal, loadModulus)
+			sc, err := CompileSmartCounter(prog, i, g.Degree(i), ctrGID(p), lm.FVal, loadModulus)
 			if err != nil {
 				return nil, err
 			}
@@ -77,9 +80,9 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 
 	lm.Tmpl = &Template{
 		G: g, L: l, Eth: EthLoadMap, T0: t0, TFin: tFin, GroupBase: gb,
-		Hooks: Hooks{Finish: finishToController},
+		Hooks: Hooks{Finish: finishToController, Uniform: true},
 	}
-	if err := lm.Tmpl.Install(c); err != nil {
+	if err := lm.Tmpl.Compile(prog); err != nil {
 		return nil, err
 	}
 
@@ -89,12 +92,12 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 		d := g.Degree(i)
 
 		// Monitor dispatch: sample the ingress counter, then record.
-		c.InstallFlow(i, 0, &openflow.FlowEntry{
+		prog.AddFlow(i, 0, &openflow.FlowEntry{
 			Priority: 101, Match: ethLM, Goto: preT,
 			Cookie: fmt.Sprintf("loadmap/n%d/dispatch", i),
 		})
 		for q := 1; q <= d; q++ {
-			c.InstallFlow(i, preT, &openflow.FlowEntry{
+			prog.AddFlow(i, preT, &openflow.FlowEntry{
 				Priority: 200, Match: ethLM.WithInPort(q),
 				Actions: []openflow.Action{
 					openflow.SetField{F: lm.FPort, Value: uint64(q)},
@@ -104,7 +107,7 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 				Cookie: fmt.Sprintf("loadmap/n%d/sample-in%d", i, q),
 			})
 		}
-		c.InstallFlow(i, preT, &openflow.FlowEntry{
+		prog.AddFlow(i, preT, &openflow.FlowEntry{
 			Priority: 100, Match: ethLM, Goto: t0,
 			Cookie: fmt.Sprintf("loadmap/n%d/inject", i),
 		})
@@ -114,7 +117,7 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 		// counter into the packet.
 		for q := 1; q <= d; q++ {
 			for x := 0; x < loadModulus; x++ {
-				c.InstallFlow(i, recT, &openflow.FlowEntry{
+				prog.AddFlow(i, recT, &openflow.FlowEntry{
 					Priority: 200,
 					Match:    ethLM.WithField(lm.FPort, uint64(q)).WithField(lm.FVal, uint64(x)),
 					Actions:  []openflow.Action{openflow.PushLabel{Value: encLoad(i, q, x)}},
@@ -126,18 +129,18 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 
 		// Data plane: ingress counting plus destination forwarding.
 		for q := 1; q <= d; q++ {
-			c.InstallFlow(i, 0, &openflow.FlowEntry{
+			prog.AddFlow(i, 0, &openflow.FlowEntry{
 				Priority: 90, Match: ethData.WithInPort(q),
 				Actions: []openflow.Action{openflow.Group{ID: ctrGID(q)}},
 				Goto:    fwdT,
 				Cookie:  fmt.Sprintf("loadmap/n%d/data-rx-in%d", i, q),
 			})
 		}
-		c.InstallFlow(i, 0, &openflow.FlowEntry{
+		prog.AddFlow(i, 0, &openflow.FlowEntry{
 			Priority: 80, Match: ethData, Goto: fwdT,
 			Cookie: fmt.Sprintf("loadmap/n%d/data-inject", i),
 		})
-		c.InstallFlow(i, fwdT, &openflow.FlowEntry{
+		prog.AddFlow(i, fwdT, &openflow.FlowEntry{
 			Priority: 200, Match: ethData.WithField(lm.FDst, uint64(i)),
 			Actions: []openflow.Action{openflow.Output{Port: openflow.PortSelf}},
 			Goto:    openflow.NoGoto,
@@ -147,7 +150,7 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 	for dst := 0; dst < g.NumNodes(); dst++ {
 		next := topo.BFSPaths(g, dst)
 		for node, port := range next {
-			c.InstallFlow(node, fwdT, &openflow.FlowEntry{
+			prog.AddFlow(node, fwdT, &openflow.FlowEntry{
 				Priority: 100, Match: ethData.WithField(lm.FDst, uint64(dst)),
 				Actions: []openflow.Action{openflow.Output{Port: port}},
 				Goto:    openflow.NoGoto,
@@ -155,6 +158,10 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 			})
 		}
 	}
+	if err := installProgram(c, prog); err != nil {
+		return nil, err
+	}
+	lm.Prog = prog
 	return lm, nil
 }
 

@@ -29,6 +29,7 @@ type PktLoss struct {
 	G      *topo.Graph
 	L      *Layout
 	Tmpl   *Template
+	Prog   *Program
 	Primes []int
 
 	// CIn[node][port-1][j] / COut[node][port-1][j] are the per-port
@@ -83,6 +84,8 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 	inGID := func(port, j int) uint32 { return gb + 0x80000 + uint32(port*8+j) }
 	outGID := func(port, j int) uint32 { return gb + 0xC0000 + uint32(port*8+j) }
 
+	prog := newProgram("pktloss", slot, g, l)
+
 	// Counters.
 	pl.CIn = make([][][]*SmartCounter, g.NumNodes())
 	pl.COut = make([][][]*SmartCounter, g.NumNodes())
@@ -92,11 +95,11 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 		pl.COut[i] = make([][]*SmartCounter, d)
 		for p := 1; p <= d; p++ {
 			for j, prime := range primes {
-				in, err := InstallSmartCounter(c, i, inGID(p, j), pl.FVIn[j], prime)
+				in, err := CompileSmartCounter(prog, i, d, inGID(p, j), pl.FVIn[j], prime)
 				if err != nil {
 					return nil, err
 				}
-				out, err := InstallSmartCounter(c, i, outGID(p, j), pl.FVOut[j], prime)
+				out, err := CompileSmartCounter(prog, i, d, outGID(p, j), pl.FVOut[j], prime)
 				if err != nil {
 					return nil, err
 				}
@@ -147,9 +150,11 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 					openflow.Output{Port: openflow.PortController},
 				}
 			},
+			// The counter group-ids depend on ports only, never nodes.
+			Uniform: true,
 		},
 	}
-	if err := pl.Tmpl.Install(c); err != nil {
+	if err := pl.Tmpl.Compile(prog); err != nil {
 		return nil, err
 	}
 
@@ -159,21 +164,21 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 		d := g.Degree(i)
 
 		// Monitor dispatch through the comparison chain.
-		c.InstallFlow(i, 0, &openflow.FlowEntry{
+		prog.AddFlow(i, 0, &openflow.FlowEntry{
 			Priority: 101, Match: ethPL, Goto: preT,
 			Cookie: fmt.Sprintf("pktloss/n%d/dispatch", i),
 		})
 		for q := 1; q <= d; q++ {
 			acts := []openflow.Action{openflow.SetField{F: pl.FPort, Value: uint64(q)}}
 			acts = append(acts, fetchIn(q)...)
-			c.InstallFlow(i, preT, &openflow.FlowEntry{
+			prog.AddFlow(i, preT, &openflow.FlowEntry{
 				Priority: 200, Match: ethPL.WithInPort(q),
 				Actions: acts, Goto: cmpT(0),
 				Cookie: fmt.Sprintf("pktloss/n%d/rx-in%d", i, q),
 			})
 		}
 		// Injected trigger (no ingress port): skip the comparison chain.
-		c.InstallFlow(i, preT, &openflow.FlowEntry{
+		prog.AddFlow(i, preT, &openflow.FlowEntry{
 			Priority: 100, Match: ethPL, Goto: t0,
 			Cookie: fmt.Sprintf("pktloss/n%d/inject", i),
 		})
@@ -186,14 +191,14 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 				next = t0
 			}
 			for x := 0; x < prime; x++ {
-				c.InstallFlow(i, cmpT(j), &openflow.FlowEntry{
+				prog.AddFlow(i, cmpT(j), &openflow.FlowEntry{
 					Priority: 200,
 					Match:    ethPL.WithField(pl.FVOut[j], uint64(x)).WithField(pl.FVIn[j], uint64(x)),
 					Goto:     next,
 					Cookie:   fmt.Sprintf("pktloss/n%d/cmp%d-eq%d", i, j, x),
 				})
 			}
-			c.InstallFlow(i, cmpT(j), &openflow.FlowEntry{
+			prog.AddFlow(i, cmpT(j), &openflow.FlowEntry{
 				Priority: 100, Match: ethPL,
 				Actions: []openflow.Action{openflow.Output{Port: openflow.PortController}},
 				Goto:    next,
@@ -204,17 +209,17 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 		// Data plane: ingress counting, then destination forwarding with
 		// egress counting.
 		for q := 1; q <= d; q++ {
-			c.InstallFlow(i, 0, &openflow.FlowEntry{
+			prog.AddFlow(i, 0, &openflow.FlowEntry{
 				Priority: 90, Match: ethData.WithInPort(q),
 				Actions: fetchIn(q), Goto: fwdT,
 				Cookie: fmt.Sprintf("pktloss/n%d/data-rx-in%d", i, q),
 			})
 		}
-		c.InstallFlow(i, 0, &openflow.FlowEntry{
+		prog.AddFlow(i, 0, &openflow.FlowEntry{
 			Priority: 80, Match: ethData, Goto: fwdT,
 			Cookie: fmt.Sprintf("pktloss/n%d/data-inject", i),
 		})
-		c.InstallFlow(i, fwdT, &openflow.FlowEntry{
+		prog.AddFlow(i, fwdT, &openflow.FlowEntry{
 			Priority: 200, Match: ethData.WithField(pl.FDst, uint64(i)),
 			Actions: []openflow.Action{openflow.Output{Port: openflow.PortSelf}},
 			Goto:    openflow.NoGoto,
@@ -226,13 +231,17 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 		next := topo.BFSPaths(g, dst)
 		for node, port := range next {
 			acts := append(fetchOut(port), openflow.Output{Port: port})
-			c.InstallFlow(node, fwdT, &openflow.FlowEntry{
+			prog.AddFlow(node, fwdT, &openflow.FlowEntry{
 				Priority: 100, Match: ethData.WithField(pl.FDst, uint64(dst)),
 				Actions: acts, Goto: openflow.NoGoto,
 				Cookie: fmt.Sprintf("pktloss/n%d/data-to-%d", node, dst),
 			})
 		}
 	}
+	if err := installProgram(c, prog); err != nil {
+		return nil, err
+	}
+	pl.Prog = prog
 	return pl, nil
 }
 

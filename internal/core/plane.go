@@ -17,7 +17,12 @@ import (
 // same switches through binary OpenFlow 1.3 over TCP (package ofconn).
 // Services behave identically on both — that is tested.
 type ControlPlane interface {
-	// InstallFlow adds a flow entry (a FLOW_MOD) on switch sw.
+	// InstallProgram applies a compiled program: every flow rule and group
+	// entry it holds, batched per switch. This is the primary install path;
+	// services compile to a Program and install it in one shot.
+	InstallProgram(p *openflow.Program)
+	// InstallFlow adds a flow entry (a FLOW_MOD) on switch sw. Kept as a
+	// per-rule compatibility shim; InstallProgram is the batched path.
 	InstallFlow(sw, table int, e *openflow.FlowEntry)
 	// InstallGroup adds a group entry (a GROUP_MOD) on switch sw.
 	InstallGroup(sw int, g *openflow.GroupEntry)

@@ -33,6 +33,7 @@ type Priocast struct {
 	G       *topo.Graph
 	L       *Layout
 	Tmpl    *Template
+	Prog    *Program
 	FGid    openflow.Field
 	FOptID  openflow.Field // winner node + 1; 0 = none
 	FOptVal openflow.Field
@@ -116,9 +117,12 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 				}
 				return vs
 			},
+			// Not Uniform: FirstVisit compiles this node's group
+			// memberships into the rules.
 		},
 	}
-	if err := p.Tmpl.Install(c); err != nil {
+	prog := newProgram("priocast", slot, g, l)
+	if err := p.Tmpl.Compile(prog); err != nil {
 		return nil, err
 	}
 
@@ -128,7 +132,7 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 		S, P, C := l.Start, l.Par[i], l.Cur[i]
 
 		// Phase 2, winner exit: outranks everything else.
-		c.InstallFlow(i, t0, &openflow.FlowEntry{
+		prog.AddFlow(i, t0, &openflow.FlowEntry{
 			Priority: PrioService + 20,
 			Match:    eth.WithField(S, 2).WithField(p.FOptID, uint64(i+1)),
 			Actions:  []openflow.Action{openflow.Output{Port: openflow.PortSelf}},
@@ -138,7 +142,7 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 		// Phase-2 entry: packet from the parent while finished — restart
 		// this node's scan from port 1.
 		for par := 1; par <= d; par++ {
-			c.InstallFlow(i, t0, &openflow.FlowEntry{
+			prog.AddFlow(i, t0, &openflow.FlowEntry{
 				Priority: PrioService + 10,
 				Match: eth.WithField(S, 2).WithInPort(par).
 					WithField(P, uint64(par)).WithField(C, uint64(par)),
@@ -153,7 +157,7 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 		// the root itself is the winner; deliver locally.
 		for _, mb := range memberships[i] {
 			for w := 0; w < mb.prio; w++ {
-				c.InstallFlow(i, tFin, &openflow.FlowEntry{
+				prog.AddFlow(i, tFin, &openflow.FlowEntry{
 					Priority: PrioFinish + 60,
 					Match: finBase.WithField(S, 1).
 						WithField(p.FGid, uint64(mb.gid)).WithField(p.FOptVal, uint64(w)),
@@ -164,7 +168,7 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 			}
 		}
 		// Phase-1 finish with no receiver at all: report to controller.
-		c.InstallFlow(i, tFin, &openflow.FlowEntry{
+		prog.AddFlow(i, tFin, &openflow.FlowEntry{
 			Priority: PrioFinish + 50,
 			Match:    finBase.WithField(S, 1).WithField(p.FOptID, 0),
 			Actions:  []openflow.Action{openflow.Output{Port: openflow.PortController}},
@@ -174,7 +178,7 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 		// Phase-1 finish, winner elsewhere: flip to phase 2 and restart
 		// the traversal from the recorded first port.
 		for k := 1; k <= d; k++ {
-			c.InstallFlow(i, tFin, &openflow.FlowEntry{
+			prog.AddFlow(i, tFin, &openflow.FlowEntry{
 				Priority: PrioFinish + 30,
 				Match:    finBase.WithField(S, 1).WithField(p.FFirst, uint64(k)),
 				Actions: []openflow.Action{
@@ -186,7 +190,7 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 			})
 		}
 		// Phase-2 finish without delivery: the winner became unreachable.
-		c.InstallFlow(i, tFin, &openflow.FlowEntry{
+		prog.AddFlow(i, tFin, &openflow.FlowEntry{
 			Priority: PrioFinish + 20,
 			Match:    finBase.WithField(S, 2),
 			Actions:  []openflow.Action{openflow.Output{Port: openflow.PortController}},
@@ -194,6 +198,10 @@ func InstallPriocast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32]
 			Cookie:   fmt.Sprintf("priocast/n%d/phase2-failed", i),
 		})
 	}
+	if err := installProgram(c, prog); err != nil {
+		return nil, err
+	}
+	p.Prog = prog
 	return p, nil
 }
 

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+	"smartsouth/internal/verify"
+)
+
+// Program is the declarative compile artifact every service produces; see
+// openflow.Program. The alias keeps service code and callers in one
+// vocabulary without forcing a dependency direction.
+type Program = openflow.Program
+
+// newProgram starts a service program covering every node of the graph
+// (port counts recorded for the static check) with the layout's tag
+// budget, so the pre-install check can bound tag fields.
+func newProgram(service string, slot int, g *topo.Graph, l *Layout) *Program {
+	p := openflow.NewProgram(service, slot)
+	p.TagBytes = l.TagBytes()
+	for i := 0; i < g.NumNodes(); i++ {
+		p.Ensure(i, g.Degree(i))
+	}
+	return p
+}
+
+// installProgram statically checks a compiled program and, only if it is
+// free of hard errors, hands it to the control plane. This is the single
+// choke point between compilation and live switches: no service rule
+// reaches a switch without passing verification first. Shadowing analysis
+// is skipped here — it is O(rules²) and only ever yields warnings; the
+// deployment-level Verify still runs it on demand.
+func installProgram(c ControlPlane, p *Program) error {
+	issues := verify.Errors(verify.CheckProgram(p, verify.Options{SkipShadowing: true}))
+	if len(issues) > 0 {
+		return fmt.Errorf("core: program %q rejected by pre-install check: %s (%d issues)",
+			p.Service, issues[0], len(issues))
+	}
+	c.InstallProgram(p)
+	return nil
+}

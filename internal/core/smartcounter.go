@@ -22,24 +22,46 @@ type SmartCounter struct {
 	Modulus int
 }
 
-// InstallSmartCounter builds and installs one smart counter on a switch.
-// Applying openflow.Group{ID: sc.GroupID} anywhere in the pipeline is the
-// fetch-and-increment.
-func InstallSmartCounter(c ControlPlane, sw int, groupID uint32, field openflow.Field, modulus int) (*SmartCounter, error) {
+// CompileSmartCounter builds one smart counter into a program. Applying
+// openflow.Group{ID: sc.GroupID} anywhere in the pipeline is the
+// fetch-and-increment. numPorts records the switch's port count for the
+// pre-install static check.
+func CompileSmartCounter(p *Program, sw, numPorts int, groupID uint32, field openflow.Field, modulus int) (*SmartCounter, error) {
 	if modulus < 2 {
 		return nil, fmt.Errorf("core: smart counter modulus must be >= 2, got %d", modulus)
 	}
 	if max := int(field.Max()); modulus-1 > max {
 		return nil, fmt.Errorf("core: modulus %d does not fit field %s", modulus, field)
 	}
-	buckets := make([]openflow.Bucket, modulus)
-	for j := 0; j < modulus; j++ {
+	sc := &SmartCounter{Switch: sw, GroupID: groupID, Field: field, Modulus: modulus}
+	p.Ensure(sw, numPorts)
+	p.AddGroup(sw, sc.groupEntry())
+	return sc, nil
+}
+
+// InstallSmartCounter compiles a standalone smart counter into a transient
+// single-group program and installs it.
+func InstallSmartCounter(c ControlPlane, sw int, groupID uint32, field openflow.Field, modulus int) (*SmartCounter, error) {
+	p := openflow.NewProgram("smart-counter", int(groupID>>20))
+	p.Transient = true
+	sc, err := CompileSmartCounter(p, sw, 0, groupID, field, modulus)
+	if err != nil {
+		return nil, err
+	}
+	c.InstallProgram(p)
+	return sc, nil
+}
+
+// groupEntry builds the counter's round-robin SELECT group: bucket j
+// writes j into the field.
+func (sc *SmartCounter) groupEntry() *openflow.GroupEntry {
+	buckets := make([]openflow.Bucket, sc.Modulus)
+	for j := 0; j < sc.Modulus; j++ {
 		buckets[j] = openflow.Bucket{Actions: []openflow.Action{
-			openflow.SetField{F: field, Value: uint64(j)},
+			openflow.SetField{F: sc.Field, Value: uint64(j)},
 		}}
 	}
-	c.InstallGroup(sw, &openflow.GroupEntry{ID: groupID, Type: openflow.GroupSelectRR, Buckets: buckets})
-	return &SmartCounter{Switch: sw, GroupID: groupID, Field: field, Modulus: modulus}, nil
+	return &openflow.GroupEntry{ID: sc.GroupID, Type: openflow.GroupSelectRR, Buckets: buckets}
 }
 
 // FetchInc returns the action that performs the fetch-and-increment.
@@ -52,16 +74,13 @@ func (sc *SmartCounter) Value(c ControlPlane) int {
 	return c.GroupCounter(sc.Switch, sc.GroupID)
 }
 
-// Reset sets the counter to zero via a group-mod (an offline-stage
-// controller message).
+// Reset sets the counter to zero by re-sending the group in a transient
+// program: a real controller would send OFPGC_MODIFY, which resets bucket
+// state.
 func (sc *SmartCounter) Reset(c ControlPlane) {
-	// Reinstall the group: a real controller would send OFPGC_MODIFY,
-	// which resets bucket state.
-	buckets := make([]openflow.Bucket, sc.Modulus)
-	for j := 0; j < sc.Modulus; j++ {
-		buckets[j] = openflow.Bucket{Actions: []openflow.Action{
-			openflow.SetField{F: sc.Field, Value: uint64(j)},
-		}}
-	}
-	c.InstallGroup(sc.Switch, &openflow.GroupEntry{ID: sc.GroupID, Type: openflow.GroupSelectRR, Buckets: buckets})
+	p := openflow.NewProgram("smart-counter-reset", int(sc.GroupID>>20))
+	p.Transient = true
+	p.Ensure(sc.Switch, 0)
+	p.AddGroup(sc.Switch, sc.groupEntry())
+	c.InstallProgram(p)
 }

@@ -34,6 +34,7 @@ type Snapshot struct {
 	G    *topo.Graph
 	L    *Layout
 	Tmpl *Template
+	Prog *Program
 	ctl  ControlPlane
 }
 
@@ -103,11 +104,18 @@ func installSnapshot(c ControlPlane, g *topo.Graph, slot, reportPort int) (*Snap
 			Finish: func(int) []openflow.Action {
 				return []openflow.Action{openflow.Output{Port: reportPort}}
 			},
+			// Not Uniform: the pushed records embed the node id, so rule
+			// blocks cannot be shared between same-degree nodes.
 		},
 	}
-	if err := s.Tmpl.Install(c); err != nil {
+	p := newProgram("snapshot", slot, g, l)
+	if err := s.Tmpl.Compile(p); err != nil {
 		return nil, err
 	}
+	if err := installProgram(c, p); err != nil {
+		return nil, err
+	}
+	s.Prog = p
 	return s, nil
 }
 

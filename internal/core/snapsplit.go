@@ -38,6 +38,7 @@ type SnapshotSplit struct {
 	G      *topo.Graph
 	L      *Layout
 	Tmpl   *Template
+	Prog   *Program
 	Budget int
 	FCnt   openflow.Field
 	FOut   openflow.Field
@@ -116,9 +117,12 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 				return safePush(encRec(recBounce, node, in))
 			},
 			Finish: finishToController,
+			// Not Uniform: the pushed NODE/BOUNCE records embed the node
+			// id, so rule blocks differ between same-degree nodes.
 		},
 	}
-	if err := s.Tmpl.Install(c); err != nil {
+	p := newProgram("snapsplit", slot, g, l)
+	if err := s.Tmpl.Compile(p); err != nil {
 		return nil, err
 	}
 
@@ -144,7 +148,7 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 					acts = append(acts, openflow.SetField{F: s.FCnt, Value: uint64(x + 1)})
 				}
 				acts = append(acts, openflow.Output{Port: k})
-				c.InstallFlow(i, tFin, &openflow.FlowEntry{
+				p.AddFlow(i, tFin, &openflow.FlowEntry{
 					Priority: PrioFinish + 60,
 					Match: eth.WithField(s.FOut, uint64(k)).WithField(P, uint64(k)).
 						WithField(s.FCnt, uint64(x)),
@@ -153,7 +157,7 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 				})
 
 				// Advance: push OUT and increment, never flush.
-				c.InstallFlow(i, tFin, &openflow.FlowEntry{
+				p.AddFlow(i, tFin, &openflow.FlowEntry{
 					Priority: PrioFinish + 40,
 					Match:    eth.WithField(s.FOut, uint64(k)).WithField(s.FCnt, uint64(x)),
 					Actions: []openflow.Action{
@@ -167,6 +171,10 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 			}
 		}
 	}
+	if err := installProgram(c, p); err != nil {
+		return nil, err
+	}
+	s.Prog = p
 	return s, nil
 }
 

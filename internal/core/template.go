@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"smartsouth/internal/openflow"
 	"smartsouth/internal/topo"
@@ -94,6 +95,16 @@ type Hooks struct {
 	// root's finish sets OutField to 0. Bounce rules still emit directly.
 	DeferOutput bool
 	OutField    openflow.Field
+
+	// Uniform declares that every hook's output depends only on the node's
+	// degree and the port/state arguments — never on the node id itself
+	// (no node-id constants in pushed labels, match values or actions).
+	// The compiler then memoizes rule blocks per degree: one representative
+	// node per degree is compiled in full and every other node of the same
+	// degree receives a copy with only its per-node state fields and rule
+	// cookies rewritten. On regular topologies this turns an O(n·Δ²)
+	// compile into O(Δ²) + O(n·Δ) copying.
+	Uniform bool
 }
 
 // Template compiles Algorithm 1 for every node of a graph into flow and
@@ -121,6 +132,10 @@ type Template struct {
 	// several templates sharing an EtherType (e.g. chaincast stages) can
 	// demultiplex on a stage field.
 	DispatchFields []openflow.FieldMatch
+
+	// noMemo disables the per-degree memoization even for Uniform hooks;
+	// the compile benchmark uses it to measure the win.
+	noMemo bool
 }
 
 // stateFields resolves the effective DFS state fields for node i.
@@ -152,9 +167,61 @@ func (t *Template) AdvGroup(node, s, par int) uint32 {
 	return t.GroupBase + uint32(s*(d+2)+par)
 }
 
-// Install compiles and installs the template on every switch through the
-// controller (the paper's offline stage).
-func (t *Template) Install(c ControlPlane) error {
+// nodeBlock is the compiled rule block of one node: every flow rule and
+// group entry the template produces for it. Blocks are the unit of the
+// per-degree memoization — a block compiled for a representative node can
+// be re-targeted to any other node of the same degree.
+type nodeBlock struct {
+	node   int
+	flows  []openflow.FlowRule
+	groups []*openflow.GroupEntry
+}
+
+func (b *nodeBlock) addFlow(table int, e *openflow.FlowEntry) {
+	b.flows = append(b.flows, openflow.FlowRule{Table: table, Entry: e})
+}
+
+func (b *nodeBlock) addGroup(g *openflow.GroupEntry) {
+	b.groups = append(b.groups, g)
+}
+
+// Compile compiles the template for every node of the graph into the
+// program (the paper's offline stage, minus installation). With
+// Hooks.Uniform set, nodes sharing a degree share one compiled block,
+// re-targeted per node by rewriting state fields and cookies.
+func (t *Template) Compile(p *openflow.Program) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if t.L.TagBytes() > p.TagBytes {
+		p.TagBytes = t.L.TagBytes()
+	}
+	memo := map[int]*nodeBlock{}
+	for node := 0; node < t.G.NumNodes(); node++ {
+		d := t.G.Degree(node)
+		p.Ensure(node, d)
+		var b *nodeBlock
+		if t.Hooks.Uniform && !t.noMemo {
+			if rep, ok := memo[d]; ok {
+				b = t.retarget(rep, node)
+			} else {
+				b = t.compileNode(node)
+				memo[d] = b
+			}
+		} else {
+			b = t.compileNode(node)
+		}
+		for _, fr := range b.flows {
+			p.AddFlow(node, fr.Table, fr.Entry)
+		}
+		for _, g := range b.groups {
+			p.AddGroup(node, g)
+		}
+	}
+	return nil
+}
+
+func (t *Template) validate() error {
 	if t.T0 < 1 || t.TFin <= t.T0 {
 		return fmt.Errorf("core: invalid table block T0=%d TFin=%d", t.T0, t.TFin)
 	}
@@ -164,13 +231,83 @@ func (t *Template) Install(c ControlPlane) error {
 	if t.Hooks.DeferOutput && !t.Hooks.OutField.Valid() {
 		return fmt.Errorf("core: DeferOutput requires a valid OutField")
 	}
-	for node := 0; node < t.G.NumNodes(); node++ {
-		t.installNode(c, node)
-	}
 	return nil
 }
 
-func (t *Template) installNode(c ControlPlane, i int) {
+// Install compiles the template into a standalone program and hands it to
+// the control plane in one batch. Services that add their own rules
+// compose Compile into a shared service program instead.
+func (t *Template) Install(c ControlPlane) error {
+	p := openflow.NewProgram(fmt.Sprintf("svc%04x", t.Eth), (t.T0-1)/10)
+	if err := t.Compile(p); err != nil {
+		return err
+	}
+	c.InstallProgram(p)
+	return nil
+}
+
+// retarget produces node's block from a representative block of the same
+// degree: per-node DFS state fields are remapped (the layout gives every
+// node its own Par/Cur bits) and the node id inside rule cookies is
+// rewritten. Everything else — group IDs, priorities, port constants — is
+// degree-determined and carried over as-is; Hooks.Uniform is the caller's
+// promise that no other node-specific constant exists.
+func (t *Template) retarget(rep *nodeBlock, node int) *nodeBlock {
+	_, repP, repC := t.stateFields(rep.node)
+	_, nodeP, nodeC := t.stateFields(node)
+	fm := map[openflow.Field]openflow.Field{repP: nodeP, repC: nodeC}
+	oldTag := fmt.Sprintf("/n%d/", rep.node)
+	newTag := fmt.Sprintf("/n%d/", node)
+
+	out := &nodeBlock{node: node}
+	out.flows = make([]openflow.FlowRule, len(rep.flows))
+	for i, fr := range rep.flows {
+		ne := *fr.Entry
+		ne.Cookie = strings.ReplaceAll(ne.Cookie, oldTag, newTag)
+		if len(ne.Match.Fields) > 0 {
+			fs := make([]openflow.FieldMatch, len(ne.Match.Fields))
+			copy(fs, ne.Match.Fields)
+			for j := range fs {
+				if nf, ok := fm[fs[j].F]; ok {
+					fs[j].F = nf
+				}
+			}
+			ne.Match.Fields = fs
+		}
+		ne.Actions = remapActions(ne.Actions, fm)
+		out.flows[i] = openflow.FlowRule{Table: fr.Table, Entry: &ne}
+	}
+	out.groups = make([]*openflow.GroupEntry, len(rep.groups))
+	for i, g := range rep.groups {
+		ng := &openflow.GroupEntry{ID: g.ID, Type: g.Type, Buckets: make([]openflow.Bucket, len(g.Buckets))}
+		for j, bk := range g.Buckets {
+			ng.Buckets[j] = openflow.Bucket{WatchPort: bk.WatchPort, Actions: remapActions(bk.Actions, fm)}
+		}
+		out.groups[i] = ng
+	}
+	return out
+}
+
+// remapActions rewrites SetField targets through fm. SetField is the only
+// action kind that names a tag field, so the remap is complete by
+// construction.
+func remapActions(acts []openflow.Action, fm map[openflow.Field]openflow.Field) []openflow.Action {
+	out := make([]openflow.Action, len(acts))
+	for i, a := range acts {
+		if sf, ok := a.(openflow.SetField); ok {
+			if nf, ok := fm[sf.F]; ok {
+				sf.F = nf
+			}
+			out[i] = sf
+			continue
+		}
+		out[i] = a
+	}
+	return out
+}
+
+func (t *Template) compileNode(i int) *nodeBlock {
+	b := &nodeBlock{node: i}
 	d := t.G.Degree(i)
 	S, P, C := t.stateFields(i)
 	base := openflow.MatchEth(t.Eth)
@@ -181,7 +318,7 @@ func (t *Template) installNode(c ControlPlane, i int) {
 	for _, fm := range t.DispatchFields {
 		disp = disp.WithMasked(fm.F, fm.Value, fm.Mask)
 	}
-	c.InstallFlow(i, 0, &openflow.FlowEntry{
+	b.addFlow(0, &openflow.FlowEntry{
 		Priority: 100, Match: disp, Goto: t.T0,
 		Cookie: fmt.Sprintf("svc%04x/dispatch", t.Eth),
 	})
@@ -229,7 +366,7 @@ func (t *Template) installNode(c ControlPlane, i int) {
 				}
 				buckets = append(buckets, openflow.Bucket{WatchPort: openflow.WatchNone, Actions: acts})
 			}
-			c.InstallGroup(i, &openflow.GroupEntry{ID: t.AdvGroup(i, s, par), Type: openflow.GroupFF, Buckets: buckets})
+			b.addGroup(&openflow.GroupEntry{ID: t.AdvGroup(i, s, par), Type: openflow.GroupFF, Buckets: buckets})
 		}
 	}
 
@@ -249,7 +386,7 @@ func (t *Template) installNode(c ControlPlane, i int) {
 		}
 		vs = conditional
 		all := append(append([]openflow.Action{}, pre...), cont...)
-		c.InstallFlow(i, table, &openflow.FlowEntry{
+		b.addFlow(table, &openflow.FlowEntry{
 			Priority: prio, Match: m, Actions: all, Goto: gotoT, Cookie: cookie,
 		})
 		for vi, v := range vs {
@@ -265,7 +402,7 @@ func (t *Template) installNode(c ControlPlane, i int) {
 			} else {
 				acts = append(append(append([]openflow.Action{}, pre...), v.Do...), cont...)
 			}
-			c.InstallFlow(i, table, &openflow.FlowEntry{
+			b.addFlow(table, &openflow.FlowEntry{
 				Priority: prio + 1 + vi, Match: vm, Actions: acts, Goto: g,
 				Cookie: fmt.Sprintf("%s/v%d", cookie, vi),
 			})
@@ -384,10 +521,11 @@ func (t *Template) installNode(c ControlPlane, i int) {
 	if t.Hooks.Finish != nil {
 		fin = t.Hooks.Finish(i)
 	}
-	c.InstallFlow(i, t.TFin, &openflow.FlowEntry{
+	b.addFlow(t.TFin, &openflow.FlowEntry{
 		Priority: PrioFinish,
 		Match:    base.WithField(C, 0).WithField(P, 0),
 		Actions:  fin, Goto: openflow.NoGoto,
 		Cookie: fmt.Sprintf("svc%04x/n%d/finish", t.Eth, i),
 	})
+	return b
 }

@@ -33,22 +33,28 @@ type Traversal struct {
 	G    *topo.Graph
 	L    *Layout
 	Tmpl *Template
+	Prog *Program
 	ctl  ControlPlane
 }
 
-// InstallTraversal compiles and installs the bare template at the given
-// service slot.
+// InstallTraversal compiles the bare template at the given service slot
+// into a program, statically checks it, and installs it.
 func InstallTraversal(c ControlPlane, g *topo.Graph, slot int) (*Traversal, error) {
 	l := NewLayout(g)
 	t0, tFin, gb := Slot(slot)
 	tr := &Traversal{G: g, L: l, ctl: c}
 	tr.Tmpl = &Template{
 		G: g, L: l, Eth: EthTraversal, T0: t0, TFin: tFin, GroupBase: gb,
-		Hooks: Hooks{Finish: finishToController},
+		Hooks: Hooks{Finish: finishToController, Uniform: true},
 	}
-	if err := tr.Tmpl.Install(c); err != nil {
+	p := newProgram("traversal", slot, g, l)
+	if err := tr.Tmpl.Compile(p); err != nil {
 		return nil, err
 	}
+	if err := installProgram(c, p); err != nil {
+		return nil, err
+	}
+	tr.Prog = p
 	return tr, nil
 }
 

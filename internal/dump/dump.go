@@ -65,6 +65,45 @@ func Summary(switches []*openflow.Switch) string {
 	return b.String()
 }
 
+// Program renders a compiled (not necessarily installed) program: the
+// declarative IR a service compiler emits before installation. The same
+// inspectability argument applies one stage earlier — the program is the
+// complete specification of what installing it will do.
+func Program(p *openflow.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q slot %d (%d switches, %d flows, %d groups, ~%d config bytes)\n",
+		p.Service, p.Slot, len(p.SwitchIDs()), p.FlowCount(), p.GroupCount(), p.Bytes())
+	for _, id := range p.SwitchIDs() {
+		sp := p.At(id)
+		fmt.Fprintf(&b, "  switch %d (%d ports): %d flows, %d groups\n",
+			id, sp.NumPorts, len(sp.Flows), len(sp.Groups))
+		for _, fr := range sp.Flows {
+			e := fr.Entry
+			gotoStr := ""
+			if e.Goto != openflow.NoGoto {
+				gotoStr = fmt.Sprintf(" goto:%d", e.Goto)
+			}
+			fmt.Fprintf(&b, "    t%-2d [%5d] %s -> %s%s  #%s\n",
+				fr.Table, e.Priority, e.Match, actionsString(e.Actions), gotoStr, e.Cookie)
+		}
+		for _, g := range sp.Groups {
+			fmt.Fprintf(&b, "    group %d type=%s (%d buckets)\n", g.ID, g.Type, len(g.Buckets))
+		}
+	}
+	return b.String()
+}
+
+// ProgramSummary renders a one-line-per-program overview: the installed
+// service inventory as the control plane records it.
+func ProgramSummary(ps []*openflow.Program) string {
+	var b strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&b, "slot %2d %-14q %3d switches, %5d flows, %4d groups, %7d bytes\n",
+			p.Slot, p.Service, len(p.SwitchIDs()), p.FlowCount(), p.GroupCount(), p.Bytes())
+	}
+	return b.String()
+}
+
 func actionsString(acts []openflow.Action) string {
 	if len(acts) == 0 {
 		return "(none)"

@@ -79,6 +79,37 @@ func (a *Agent) handle(conn *Conn, h ofwire.Header, body []byte) error {
 		}
 		a.SW.AddGroup(g)
 		return nil
+	case ofwire.TypeBatch:
+		subs, err := ofwire.ParseBatch(body)
+		if err != nil {
+			return err
+		}
+		for _, sub := range subs {
+			sh, err := ofwire.ParseHeader(sub)
+			if err != nil {
+				return err
+			}
+			sb := sub[ofwire.HeaderLen:sh.Length]
+			switch sh.Type {
+			case ofwire.TypeFlowMod:
+				fm, err := ofwire.ParseFlowMod(sb)
+				if err != nil {
+					return err
+				}
+				a.SW.AddFlow(fm.Table, fm.Entry)
+			case ofwire.TypeGroupMod:
+				g, err := ofwire.ParseGroupMod(sb)
+				if err != nil {
+					return err
+				}
+				a.SW.AddGroup(g)
+			default:
+				// Only installation messages batch; anything else would
+				// need its own reply correlation.
+				return fmt.Errorf("ofconn: agent: message type %d not allowed in a batch", sh.Type)
+			}
+		}
+		return nil
 	case ofwire.TypePacketOut:
 		po, err := ofwire.ParsePacketOut(body)
 		if err != nil {
@@ -114,13 +145,14 @@ func (a *Agent) handle(conn *Conn, h ofwire.Header, body []byte) error {
 				return err
 			}
 			var stats []ofwire.FlowStat
-			for _, e := range a.SW.Table(table).Entries() {
+			a.SW.Table(table).Each(func(e *openflow.FlowEntry) bool {
 				stats = append(stats, ofwire.FlowStat{
 					Priority: e.Priority,
 					Cookie:   ofwire.CookieHash(e.Cookie),
 					Packets:  e.Packets,
 				})
-			}
+				return true
+			})
 			return conn.Send(ofwire.MarshalFlowStatsReply(h.XID, stats))
 		default:
 			return fmt.Errorf("ofconn: unsupported multipart kind %d", kind)

@@ -191,6 +191,36 @@ func (cl *Client) InstallGroup(g *openflow.GroupEntry) error {
 	return cl.conn.Send(msg)
 }
 
+// InstallBatch sends one switch's share of a compiled program — groups
+// first (flow rules may reference them), then flow rules — framed into as
+// few TypeBatch messages as the size cap allows. It returns the number of
+// control-channel messages actually written, the figure the batched-vs-
+// per-rule comparison is made of.
+func (cl *Client) InstallBatch(flows []openflow.FlowRule, groups []*openflow.GroupEntry) (int, error) {
+	subs := make([][]byte, 0, len(flows)+len(groups))
+	for _, g := range groups {
+		msg, err := ofwire.MarshalGroupMod(cl.conn.NextXID(), g)
+		if err != nil {
+			return 0, err
+		}
+		subs = append(subs, msg)
+	}
+	for _, fr := range flows {
+		msg, err := ofwire.MarshalFlowMod(cl.conn.NextXID(), fr.Table, fr.Entry)
+		if err != nil {
+			return 0, err
+		}
+		subs = append(subs, msg)
+	}
+	batches := ofwire.MarshalBatches(cl.conn.NextXID, subs)
+	for i, b := range batches {
+		if err := cl.conn.Send(b); err != nil {
+			return i, err
+		}
+	}
+	return len(batches), nil
+}
+
 // PacketOut injects a packet at the switch, optionally with an explicit
 // action list (none means "run the pipeline").
 func (cl *Client) PacketOut(inPort int, actions []openflow.Action, pkt *openflow.Packet) error {

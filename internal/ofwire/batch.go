@@ -1,0 +1,61 @@
+package ofwire
+
+import "fmt"
+
+// TypeBatch is a batched installation message: its body is a concatenation
+// of complete, individually framed flow-mod/group-mod messages that the
+// switch applies in order. It plays the role of OpenFlow 1.4's bundle
+// (OFPT_BUNDLE_ADD_MESSAGE, type 34) collapsed into a single message —
+// the whole point is to pay one control-channel message per switch per
+// program instead of one per rule.
+const TypeBatch = 34
+
+// MaxBatchBody caps a batch message's body size. The ofp_header length
+// field is a uint16, so a single message can never exceed 65535 bytes;
+// staying well under leaves room and keeps any one write bounded. Programs
+// larger than this are split into several batch messages.
+const MaxBatchBody = 32 * 1024
+
+// MarshalBatches frames the given sub-messages (each already a complete
+// header+body message) into as few batch messages as possible, splitting
+// whenever MaxBatchBody would be exceeded. nextXID is called once per
+// produced batch. A sub-message larger than MaxBatchBody gets a batch of
+// its own (sub-messages are flow/group mods, far below the cap in
+// practice).
+func MarshalBatches(nextXID func() uint32, subs [][]byte) [][]byte {
+	var out [][]byte
+	var cur []byte
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, message(TypeBatch, nextXID(), cur))
+			cur = nil
+		}
+	}
+	for _, sub := range subs {
+		if len(cur) > 0 && len(cur)+len(sub) > MaxBatchBody {
+			flush()
+		}
+		cur = append(cur, sub...)
+	}
+	flush()
+	return out
+}
+
+// ParseBatch splits a batch body back into its framed sub-messages. Each
+// returned slice is one complete message (header included).
+func ParseBatch(body []byte) ([][]byte, error) {
+	var subs [][]byte
+	for off := 0; off < len(body); {
+		h, err := ParseHeader(body[off:])
+		if err != nil {
+			return nil, fmt.Errorf("ofwire: batch sub-message at offset %d: %w", off, err)
+		}
+		end := off + int(h.Length)
+		if end > len(body) {
+			return nil, fmt.Errorf("ofwire: batch sub-message at offset %d truncated (%d > %d)", off, end, len(body))
+		}
+		subs = append(subs, body[off:end])
+		off = end
+	}
+	return subs, nil
+}

@@ -1,0 +1,89 @@
+package ofwire
+
+import (
+	"bytes"
+	"testing"
+
+	"smartsouth/internal/openflow"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	var subs [][]byte
+	for i := 0; i < 5; i++ {
+		e := &openflow.FlowEntry{
+			Priority: 100 + i,
+			Match:    openflow.MatchEth(0x8801).WithInPort(i + 1),
+			Actions:  []openflow.Action{openflow.Output{Port: 1}},
+			Goto:     openflow.NoGoto,
+			Cookie:   "batch/test",
+		}
+		sub, err := MarshalFlowMod(uint32(i), 3, e)
+		if err != nil {
+			t.Fatalf("MarshalFlowMod: %v", err)
+		}
+		subs = append(subs, sub)
+	}
+
+	xid := uint32(100)
+	batches := MarshalBatches(func() uint32 { xid++; return xid }, subs)
+	if len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(batches))
+	}
+	h, err := ParseHeader(batches[0])
+	if err != nil || h.Type != TypeBatch {
+		t.Fatalf("header = %+v, err %v", h, err)
+	}
+	got, err := ParseBatch(batches[0][HeaderLen:])
+	if err != nil {
+		t.Fatalf("ParseBatch: %v", err)
+	}
+	if len(got) != len(subs) {
+		t.Fatalf("got %d sub-messages, want %d", len(got), len(subs))
+	}
+	for i := range subs {
+		if !bytes.Equal(got[i], subs[i]) {
+			t.Fatalf("sub-message %d does not round-trip", i)
+		}
+	}
+	// Sub-messages must parse back into the original entries.
+	fm, err := ParseFlowMod(got[2][HeaderLen:])
+	if err != nil || fm.Table != 3 || fm.Entry.Priority != 102 {
+		t.Fatalf("embedded flow-mod = %+v, err %v", fm, err)
+	}
+}
+
+func TestBatchSplitsAtSizeCap(t *testing.T) {
+	sub := message(TypeFlowMod, 0, make([]byte, 1024))
+	var subs [][]byte
+	total := 0
+	for total <= MaxBatchBody { // guarantee an overflow into a second batch
+		subs = append(subs, sub)
+		total += len(sub)
+	}
+	n := uint32(0)
+	batches := MarshalBatches(func() uint32 { n++; return n }, subs)
+	if len(batches) < 2 {
+		t.Fatalf("got %d batches, want >= 2 for %d bytes of sub-messages", len(batches), total)
+	}
+	parsed := 0
+	for _, b := range batches {
+		if len(b) > HeaderLen+MaxBatchBody {
+			t.Fatalf("batch of %d bytes exceeds cap", len(b))
+		}
+		got, err := ParseBatch(b[HeaderLen:])
+		if err != nil {
+			t.Fatalf("ParseBatch: %v", err)
+		}
+		parsed += len(got)
+	}
+	if parsed != len(subs) {
+		t.Fatalf("round-tripped %d sub-messages, want %d", parsed, len(subs))
+	}
+}
+
+func TestParseBatchRejectsTruncation(t *testing.T) {
+	sub := message(TypeFlowMod, 7, make([]byte, 32))
+	if _, err := ParseBatch(sub[:len(sub)-4]); err == nil {
+		t.Fatalf("truncated batch body parsed without error")
+	}
+}

@@ -50,11 +50,16 @@ type FlowTable struct {
 }
 
 // Add inserts an entry, keeping the table sorted by descending priority.
+// The insertion point is found by binary search and equal-priority entries
+// are inserted after existing ones, preserving first-add-wins lookup order
+// without re-sorting the whole table on every install.
 func (t *FlowTable) Add(e *FlowEntry) {
-	t.entries = append(t.entries, e)
-	sort.SliceStable(t.entries, func(i, j int) bool {
-		return t.entries[i].Priority > t.entries[j].Priority
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < e.Priority
 	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
 }
 
 // Lookup returns the first matching entry, or nil for a table miss.
@@ -110,9 +115,24 @@ func (t *FlowTable) Clear() int {
 // Len returns the number of entries installed.
 func (t *FlowTable) Len() int { return len(t.entries) }
 
-// Entries returns the installed entries in match order. The slice is the
-// table's own backing store; callers must not mutate it.
-func (t *FlowTable) Entries() []*FlowEntry { return t.entries }
+// Entries returns the installed entries in match order. The returned slice
+// is a copy, so callers cannot corrupt the table's priority order by
+// mutating it; use Each to iterate without allocating.
+func (t *FlowTable) Entries() []*FlowEntry {
+	out := make([]*FlowEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// Each calls fn for every entry in match order until fn returns false.
+// It does not allocate; dump and verify use it on their hot paths.
+func (t *FlowTable) Each(fn func(*FlowEntry) bool) {
+	for _, e := range t.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
 
 // Bytes sums the modelled hardware footprint of all entries.
 func (t *FlowTable) Bytes() int {

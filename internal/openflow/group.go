@@ -90,6 +90,17 @@ func (g *GroupEntry) Bytes() int {
 	return n
 }
 
+// Clone returns a copy of the group entry with fresh runtime state: bucket
+// packet counters and the round-robin pointer are reset. Programs hand
+// clones to switches so two deployments never share counter state.
+func (g *GroupEntry) Clone() *GroupEntry {
+	ng := &GroupEntry{ID: g.ID, Type: g.Type, Buckets: make([]Bucket, len(g.Buckets))}
+	for i, b := range g.Buckets {
+		ng.Buckets[i] = Bucket{WatchPort: b.WatchPort, Actions: b.Actions}
+	}
+	return ng
+}
+
 // apply executes the group against the packet per its type semantics.
 func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 	switch g.Type {

@@ -1,0 +1,171 @@
+package openflow
+
+import "sort"
+
+// FlowRule pairs a flow entry with the table it belongs to. It is the unit
+// a compiled Program stores per switch; the entry is still *declarative*
+// state — nothing is installed until the program is materialized onto a
+// switch.
+type FlowRule struct {
+	Table int
+	Entry *FlowEntry
+}
+
+// SwitchProgram is one switch's share of a Program: every flow rule and
+// group entry the service wants on that switch. NumPorts records the
+// switch's port count so the program can be statically checked (port
+// ranges, watch ports) without touching a live switch.
+type SwitchProgram struct {
+	Switch   int
+	NumPorts int
+	Flows    []FlowRule
+	Groups   []*GroupEntry
+}
+
+// FlowBytes sums the modelled hardware footprint of the flow rules.
+func (sp *SwitchProgram) FlowBytes() int {
+	n := 0
+	for _, r := range sp.Flows {
+		n += r.Entry.EntryBytes()
+	}
+	return n
+}
+
+// GroupBytes sums the modelled hardware footprint of the group entries.
+func (sp *SwitchProgram) GroupBytes() int {
+	n := 0
+	for _, g := range sp.Groups {
+		n += g.Bytes()
+	}
+	return n
+}
+
+// Materialize installs the switch program onto a live switch. Entries and
+// groups are cloned first: a Program is a reusable compile artifact, and
+// runtime state (packet counters, round-robin pointers) must never be
+// shared between the program and a deployment, or between two deployments
+// of the same program.
+func (sp *SwitchProgram) Materialize(sw *Switch) {
+	for _, g := range sp.Groups {
+		sw.AddGroup(g.Clone())
+	}
+	for _, r := range sp.Flows {
+		ne := *r.Entry
+		ne.Packets = 0
+		sw.AddFlow(r.Table, &ne)
+	}
+}
+
+// Program is the declarative intermediate representation every SmartSouth
+// service compiles to: a per-switch set of flow rules and group entries,
+// tagged with the service name and the slot it occupies. Separating this
+// from installation lets the pipeline verify a configuration before any
+// rule is live, batch the wire installation per switch, and account for
+// rule space (claim C3) without re-walking switches.
+type Program struct {
+	// Service is the service label, e.g. "snapshot" or "blackhole-ctr".
+	Service string
+	// Slot is the table/group slot the program occupies. Slots spans
+	// multi-slot services (chaincast); single-slot programs have Slots=1.
+	Slot  int
+	Slots int
+	// TagBytes is the tag budget the program's layout assumed; the static
+	// checker uses it to detect out-of-bounds tag fields.
+	TagBytes int
+	// Transient marks modify-style programs (e.g. a smart-counter reset
+	// re-sends an existing group). Control planes apply them but do not
+	// retain them for accounting — the state they touch is already owned
+	// by an installed program.
+	Transient bool
+
+	switches map[int]*SwitchProgram
+}
+
+// NewProgram returns an empty program for a service occupying one slot.
+func NewProgram(service string, slot int) *Program {
+	return &Program{
+		Service:  service,
+		Slot:     slot,
+		Slots:    1,
+		switches: make(map[int]*SwitchProgram),
+	}
+}
+
+// CoversSlot reports whether the program occupies the given slot.
+func (p *Program) CoversSlot(slot int) bool {
+	return slot >= p.Slot && slot < p.Slot+p.Slots
+}
+
+// Ensure returns the switch program for sw, creating it with the given
+// port count if absent.
+func (p *Program) Ensure(sw, numPorts int) *SwitchProgram {
+	sp, ok := p.switches[sw]
+	if !ok {
+		sp = &SwitchProgram{Switch: sw, NumPorts: numPorts}
+		p.switches[sw] = sp
+	}
+	return sp
+}
+
+// At returns the switch program for sw, or nil if the program has no rules
+// there.
+func (p *Program) At(sw int) *SwitchProgram { return p.switches[sw] }
+
+// AddFlow appends a flow rule for switch sw. The switch program must have
+// been created with Ensure (so its port count is known).
+func (p *Program) AddFlow(sw, table int, e *FlowEntry) {
+	sp := p.switches[sw]
+	if sp == nil {
+		panic("openflow: Program.AddFlow before Ensure")
+	}
+	sp.Flows = append(sp.Flows, FlowRule{Table: table, Entry: e})
+}
+
+// AddGroup appends a group entry for switch sw.
+func (p *Program) AddGroup(sw int, g *GroupEntry) {
+	sp := p.switches[sw]
+	if sp == nil {
+		panic("openflow: Program.AddGroup before Ensure")
+	}
+	sp.Groups = append(sp.Groups, g)
+}
+
+// SwitchIDs returns the switches the program touches, ascending.
+func (p *Program) SwitchIDs() []int {
+	ids := make([]int, 0, len(p.switches))
+	for id := range p.switches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// FlowCount returns the total number of flow rules across all switches.
+func (p *Program) FlowCount() int {
+	n := 0
+	for _, sp := range p.switches {
+		n += len(sp.Flows)
+	}
+	return n
+}
+
+// GroupCount returns the total number of group entries across all
+// switches.
+func (p *Program) GroupCount() int {
+	n := 0
+	for _, sp := range p.switches {
+		n += len(sp.Groups)
+	}
+	return n
+}
+
+// Bytes estimates the total hardware footprint of the program using the
+// same per-entry model as Switch.ConfigBytes, so rule-space numbers can be
+// read off the compile artifact.
+func (p *Program) Bytes() int {
+	n := 0
+	for _, sp := range p.switches {
+		n += sp.FlowBytes() + sp.GroupBytes()
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package openflow
+
+import "testing"
+
+func TestProgramMaterializeClonesState(t *testing.T) {
+	p := NewProgram("test", 0)
+	p.Ensure(0, 2)
+	f := Field{Name: "f", Off: 0, Bits: 4}
+	p.AddFlow(0, 0, &FlowEntry{
+		Priority: 10, Match: MatchEth(0x8801),
+		Actions: []Action{Group{ID: 7}}, Goto: NoGoto, Cookie: "test/n0/x",
+	})
+	p.AddGroup(0, &GroupEntry{ID: 7, Type: GroupSelectRR, Buckets: []Bucket{
+		{Actions: []Action{SetField{F: f, Value: 0}}},
+		{Actions: []Action{SetField{F: f, Value: 1}}},
+	}})
+
+	sw1 := NewSwitch(0, 2)
+	sw2 := NewSwitch(0, 2)
+	p.At(0).Materialize(sw1)
+	p.At(0).Materialize(sw2)
+
+	pkt := &Packet{EthType: 0x8801}
+	sw1.Receive(pkt, PortController)
+
+	// sw1's entry counter and group round-robin pointer moved; sw2 and the
+	// program itself must be untouched.
+	if got := sw1.Table(0).Entries()[0].Packets; got != 1 {
+		t.Fatalf("sw1 entry packets = %d, want 1", got)
+	}
+	if got := sw2.Table(0).Entries()[0].Packets; got != 0 {
+		t.Fatalf("sw2 entry packets = %d, want 0 (state shared with sw1)", got)
+	}
+	if got := p.At(0).Flows[0].Entry.Packets; got != 0 {
+		t.Fatalf("program entry packets = %d, want 0 (state shared with switch)", got)
+	}
+	if v1, v2 := sw1.GroupByID(7).CounterValue(), sw2.GroupByID(7).CounterValue(); v1 != 1 || v2 != 0 {
+		t.Fatalf("group counters = %d, %d; want 1, 0", v1, v2)
+	}
+}
+
+func TestProgramAccountingMatchesSwitchWalk(t *testing.T) {
+	p := NewProgram("test", 3)
+	p.Ensure(1, 4)
+	p.Ensure(2, 4)
+	p.AddFlow(1, 0, &FlowEntry{Priority: 1, Match: MatchEth(0x8801), Goto: NoGoto})
+	p.AddFlow(1, 5, &FlowEntry{Priority: 2, Match: MatchEth(0x8801).WithInPort(1), Goto: NoGoto})
+	p.AddFlow(2, 0, &FlowEntry{Priority: 1, Match: MatchEth(0x8801), Goto: NoGoto})
+	p.AddGroup(2, &GroupEntry{ID: 9, Type: GroupIndirect, Buckets: []Bucket{{Actions: []Action{Output{Port: 1}}}}})
+
+	if p.FlowCount() != 3 || p.GroupCount() != 1 {
+		t.Fatalf("counts = %d flows, %d groups; want 3, 1", p.FlowCount(), p.GroupCount())
+	}
+	if ids := p.SwitchIDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("SwitchIDs = %v", ids)
+	}
+	if !p.CoversSlot(3) || p.CoversSlot(2) || p.CoversSlot(4) {
+		t.Fatalf("CoversSlot wrong for single-slot program at slot 3")
+	}
+
+	total := 0
+	for _, id := range p.SwitchIDs() {
+		sw := NewSwitch(id, p.At(id).NumPorts)
+		p.At(id).Materialize(sw)
+		total += sw.ConfigBytes()
+	}
+	if p.Bytes() != total {
+		t.Fatalf("Program.Bytes = %d, switch walk = %d", p.Bytes(), total)
+	}
+}

@@ -157,6 +157,66 @@ func TestBlackholeCounterOverWire(t *testing.T) {
 	}
 }
 
+// TestBatchedInstallUsesFewerWireMessages installs one service through the
+// batched program path and then replays the identical program rule by rule
+// on a fresh fabric: the per-rule compat path must cost one control-channel
+// message per entry, the batched path a small fraction of that.
+func TestBatchedInstallUsesFewerWireMessages(t *testing.T) {
+	g := topo.Grid(3, 3)
+
+	f, _ := fabricRig(t, g)
+	tr, err := core.InstallTraversal(f, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := f.Stats.InstallMsgs
+	if batched == 0 {
+		t.Fatal("batched install sent no messages")
+	}
+
+	f2, nw2 := fabricRig(t, g)
+	p := tr.Prog
+	for _, id := range p.SwitchIDs() {
+		sp := p.At(id)
+		for _, gr := range sp.Groups {
+			f2.InstallGroup(id, gr)
+		}
+		for _, fr := range sp.Flows {
+			f2.InstallFlow(id, fr.Table, fr.Entry)
+		}
+	}
+	perRule := f2.Stats.InstallMsgs
+	if want := p.FlowCount() + p.GroupCount(); perRule != want {
+		t.Errorf("per-rule path sent %d messages, want one per entry (%d)", perRule, want)
+	}
+	if batched*4 > perRule {
+		t.Errorf("batching ineffective: %d batched messages vs %d per-rule", batched, perRule)
+	}
+	// Logical rule counts are path-independent.
+	if f.Stats.FlowMods != f2.Stats.FlowMods || f.Stats.GroupMods != f2.Stats.GroupMods {
+		t.Errorf("logical counts diverge: batched %d/%d, per-rule %d/%d",
+			f.Stats.FlowMods, f.Stats.GroupMods, f2.Stats.FlowMods, f2.Stats.GroupMods)
+	}
+	// Both installs produce a working traversal.
+	tr.Trigger(0, f.Now()+1)
+	if _, err := f.RunNetwork(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Completed() {
+		t.Error("batched-installed traversal did not complete")
+	}
+	if nw2.Switch(0).FlowEntryCount() != f.Net.Switch(0).FlowEntryCount() {
+		t.Errorf("switch 0 entry counts diverge: per-rule %d, batched %d",
+			nw2.Switch(0).FlowEntryCount(), f.Net.Switch(0).FlowEntryCount())
+	}
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPortStatusOverWire verifies the controller's liveness view is built
 // from OFPT_PORT_STATUS messages, and that a failed link routes the wire-
 // installed traversal around it.

@@ -1,0 +1,34 @@
+package verify
+
+import (
+	"sort"
+
+	"smartsouth/internal/openflow"
+)
+
+// CheckProgram statically checks a compiled Program before anything is
+// installed on a switch: each switch program is materialized onto a
+// transient model switch (cloning entries, so the program itself is not
+// consumed) and run through the same verifier as live switches. This is
+// the "verify before install" half of the paper's X3 claim — a service's
+// whole configuration can be rejected while it is still just data.
+//
+// When opts.TagBytes is zero the program's own recorded tag budget is
+// used, so tag-bound violations are caught without the caller having to
+// thread the layout through.
+func CheckProgram(p *openflow.Program, opts Options) []Issue {
+	if opts.TagBytes == 0 {
+		opts.TagBytes = p.TagBytes
+	}
+	var all []Issue
+	for _, id := range p.SwitchIDs() {
+		sp := p.At(id)
+		sw := openflow.NewSwitch(id, sp.NumPorts)
+		sp.Materialize(sw)
+		all = append(all, Switch(sw, opts)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return all[i].Severity > all[j].Severity
+	})
+	return all
+}

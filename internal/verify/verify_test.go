@@ -1,4 +1,4 @@
-package verify
+package verify_test
 
 import (
 	"strings"
@@ -9,6 +9,7 @@ import (
 	"smartsouth/internal/network"
 	"smartsouth/internal/openflow"
 	"smartsouth/internal/topo"
+	"smartsouth/internal/verify"
 )
 
 // TestAllServicesVerifyClean installs every SmartSouth service and runs
@@ -43,8 +44,8 @@ func TestAllServicesVerifyClean(t *testing.T) {
 	}
 
 	for i := 0; i < net.NumSwitches(); i++ {
-		issues := Switch(net.Switch(i), Options{})
-		if errs := Errors(issues); len(errs) > 0 {
+		issues := verify.Switch(net.Switch(i), verify.Options{})
+		if errs := verify.Errors(issues); len(errs) > 0 {
 			for _, e := range errs {
 				t.Errorf("%s", e)
 			}
@@ -62,13 +63,13 @@ func TestVerifyExpectedShadowWarnings(t *testing.T) {
 	if _, err := core.InstallBlackholeCounter(c, g, 0); err != nil {
 		t.Fatal(err)
 	}
-	issues := Switch(net.Switch(1), Options{})
+	issues := verify.Switch(net.Switch(1), verify.Options{})
 	foundShadow := false
 	for _, i := range issues {
-		if i.Severity == Warn && strings.Contains(i.Msg, "shadowed") {
+		if i.Severity == verify.Warn && strings.Contains(i.Msg, "shadowed") {
 			foundShadow = true
 		}
-		if i.Severity == Err {
+		if i.Severity == verify.Err {
 			t.Errorf("unexpected error: %s", i)
 		}
 	}
@@ -85,7 +86,7 @@ func TestVerifyBackwardGoto(t *testing.T) {
 	sw := brokenSwitch()
 	sw.AddFlow(3, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(), Goto: 1, Cookie: "bad"})
 	sw.AddFlow(1, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(), Goto: openflow.NoGoto, Cookie: "t1"})
-	issues := Errors(Switch(sw, Options{}))
+	issues := verify.Errors(verify.Switch(sw, verify.Options{}))
 	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "backward goto") {
 		t.Fatalf("issues = %v", issues)
 	}
@@ -95,13 +96,13 @@ func TestVerifyDanglingGotoAndGroup(t *testing.T) {
 	sw := brokenSwitch()
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(), Goto: 9,
 		Actions: []openflow.Action{openflow.Group{ID: 42}}, Cookie: "dangling"})
-	issues := Switch(sw, Options{})
+	issues := verify.Switch(sw, verify.Options{})
 	var gotoWarn, groupErr bool
 	for _, i := range issues {
-		if strings.Contains(i.Msg, "goto empty table") && i.Severity == Warn {
+		if strings.Contains(i.Msg, "goto empty table") && i.Severity == verify.Warn {
 			gotoWarn = true
 		}
-		if strings.Contains(i.Msg, "missing group") && i.Severity == Err {
+		if strings.Contains(i.Msg, "missing group") && i.Severity == verify.Err {
 			groupErr = true
 		}
 	}
@@ -119,7 +120,7 @@ func TestVerifyInvalidOutputs(t *testing.T) {
 	}})
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 2, Match: openflow.MatchEth(5),
 		Goto: openflow.NoGoto, Actions: []openflow.Action{openflow.Group{ID: 1}}, Cookie: "viagroup"})
-	errs := Errors(Switch(sw, Options{}))
+	errs := verify.Errors(verify.Switch(sw, verify.Options{}))
 	if len(errs) != 2 {
 		t.Fatalf("want 2 errors (rule port + bucket port), got %v", errs)
 	}
@@ -135,7 +136,7 @@ func TestVerifyGroupLoop(t *testing.T) {
 	}})
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(),
 		Goto: openflow.NoGoto, Actions: []openflow.Action{openflow.Group{ID: 1}}, Cookie: "entry"})
-	errs := Errors(Switch(sw, Options{}))
+	errs := verify.Errors(verify.Switch(sw, verify.Options{}))
 	found := false
 	for _, e := range errs {
 		if strings.Contains(e.Msg, "loop") {
@@ -154,10 +155,10 @@ func TestVerifyFFWithoutTerminalBucket(t *testing.T) {
 	}})
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll(),
 		Goto: openflow.NoGoto, Actions: []openflow.Action{openflow.Group{ID: 1}}, Cookie: "ff"})
-	issues := Switch(sw, Options{})
+	issues := verify.Switch(sw, verify.Options{})
 	found := false
 	for _, i := range issues {
-		if i.Severity == Warn && strings.Contains(i.Msg, "no unconditional bucket") {
+		if i.Severity == verify.Warn && strings.Contains(i.Msg, "no unconditional bucket") {
 			found = true
 		}
 	}
@@ -176,12 +177,12 @@ func TestVerifyTagBounds(t *testing.T) {
 			openflow.SetField{F: big, Value: 2},
 			openflow.Output{Port: 1},
 		}, Cookie: "oob"})
-	errs := Errors(Switch(sw, Options{TagBytes: 4}))
+	errs := verify.Errors(verify.Switch(sw, verify.Options{TagBytes: 4}))
 	if len(errs) != 2 {
 		t.Fatalf("want 2 tag-bound errors (match + set), got %v", errs)
 	}
 	// Without a tag bound the same config is clean.
-	if errs := Errors(Switch(sw, Options{})); len(errs) != 0 {
+	if errs := verify.Errors(verify.Switch(sw, verify.Options{})); len(errs) != 0 {
 		t.Fatalf("unbounded check should pass: %v", errs)
 	}
 }
@@ -197,7 +198,7 @@ func TestVerifyShadowingSemantics(t *testing.T) {
 	// unrelated does not shadow (different EthType).
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchEth(6),
 		Goto: openflow.NoGoto, Cookie: "other"})
-	issues := Switch(sw, Options{})
+	issues := verify.Switch(sw, verify.Options{})
 	shadowed := map[string]bool{}
 	for _, i := range issues {
 		if strings.Contains(i.Msg, "shadowed") {
@@ -216,7 +217,7 @@ func TestVerifyShadowingSemantics(t *testing.T) {
 		Match: openflow.MatchAll().WithField(f, 0b0111), Goto: openflow.NoGoto, Cookie: "lo"})
 	sw2.AddFlow(0, &openflow.FlowEntry{Priority: 4,
 		Match: openflow.MatchAll().WithField(f, 0b0100), Goto: openflow.NoGoto, Cookie: "disagree"})
-	issues = Switch(sw2, Options{})
+	issues = verify.Switch(sw2, verify.Options{})
 	shadowed = map[string]bool{}
 	for _, i := range issues {
 		if strings.Contains(i.Msg, "shadowed") {

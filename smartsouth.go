@@ -101,6 +101,10 @@ type (
 	MonitorEvent = monitor.Event
 	// Fabric is the OpenFlow-over-TCP control plane (see DeployRemote).
 	Fabric = remote.Fabric
+	// Program is the declarative install unit every service compiles to:
+	// the full set of flow and group entries, per switch, checked before
+	// installation and retained by the control plane for accounting.
+	Program = openflow.Program
 )
 
 // Topology generators.
@@ -207,6 +211,20 @@ func (d *RemoteDeployment) Run() error {
 	return err
 }
 
+// Programs returns the installed programs the fabric retains.
+func (d *RemoteDeployment) Programs() []*Program {
+	return d.Fabric.Programs()
+}
+
+// ConfigBytes sums the rule-space footprint over all retained programs.
+func (d *RemoteDeployment) ConfigBytes() int {
+	total := 0
+	for _, p := range d.Fabric.Programs() {
+		total += p.Bytes()
+	}
+	return total
+}
+
 // Close tears down the TCP sessions.
 func (d *RemoteDeployment) Close() { d.Fabric.Close() }
 
@@ -306,6 +324,24 @@ func (d *Deployment) Uninstall(slot int) {
 		})
 		sw.RemoveGroupRange(gLo, gHi)
 	}
+	d.Ctl.DropPrograms(slot)
+}
+
+// Programs returns the installed programs the controller retains — the
+// declarative record of every service's rule footprint.
+func (d *Deployment) Programs() []*Program {
+	return d.Ctl.Programs()
+}
+
+// VerifyPrograms re-runs the pre-install static check over every retained
+// program. Installation already enforces it; this re-checks the recorded
+// intent (e.g. after topology or code changes) without touching switches.
+func (d *Deployment) VerifyPrograms() []VerifyIssue {
+	var all []VerifyIssue
+	for _, p := range d.Ctl.Programs() {
+		all = append(all, verify.CheckProgram(p, verify.Options{})...)
+	}
+	return all
 }
 
 // Verify statically checks the installed configuration of every switch
@@ -330,29 +366,30 @@ func (d *Deployment) OnDeliver(fn func(sw int, pkt *Packet)) {
 }
 
 // ConfigBytes sums the modelled hardware footprint (flow + group entries)
-// over all switches — the rule-space metric of the scalability claim.
+// over all retained programs — the rule-space metric of the scalability
+// claim, read off the declarative record rather than by walking switches.
 func (d *Deployment) ConfigBytes() int {
 	total := 0
-	for i := 0; i < d.Net.NumSwitches(); i++ {
-		total += d.Net.Switch(i).ConfigBytes()
+	for _, p := range d.Ctl.Programs() {
+		total += p.Bytes()
 	}
 	return total
 }
 
-// FlowEntries sums installed flow entries over all switches.
+// FlowEntries sums flow entries over all retained programs.
 func (d *Deployment) FlowEntries() int {
 	total := 0
-	for i := 0; i < d.Net.NumSwitches(); i++ {
-		total += d.Net.Switch(i).FlowEntryCount()
+	for _, p := range d.Ctl.Programs() {
+		total += p.FlowCount()
 	}
 	return total
 }
 
-// GroupEntries sums installed group entries over all switches.
+// GroupEntries sums group entries over all retained programs.
 func (d *Deployment) GroupEntries() int {
 	total := 0
-	for i := 0; i < d.Net.NumSwitches(); i++ {
-		total += d.Net.Switch(i).GroupCount()
+	for _, p := range d.Ctl.Programs() {
+		total += p.GroupCount()
 	}
 	return total
 }
