@@ -35,6 +35,8 @@ var (
 	verbose   = flag.Bool("v", false, "print every in-band hop")
 	doVerify  = flag.Bool("verify", false, "statically verify the installed configuration")
 	dumpSw    = flag.Int("dump", -1, "print the full rule dump of this switch after the run")
+	traceCap  = flag.Int("trace", 0, "record a hop trace of the last N pipeline executions and print it (0 = off)")
+	metricsTo = flag.String("metrics", "", "write the per-service metrics snapshot as JSON to this file ('-' = stdout)")
 )
 
 func buildTopo() *smartsouth.Graph {
@@ -86,7 +88,11 @@ func parsePair(s string) (int, int) {
 func main() {
 	flag.Parse()
 	g := buildTopo()
-	d := smartsouth.Deploy(g, smartsouth.Options{Seed: *seed})
+	opts := []smartsouth.Option{smartsouth.WithSeed(*seed)}
+	if *traceCap > 0 {
+		opts = append(opts, smartsouth.WithTrace(*traceCap))
+	}
+	d := smartsouth.Deploy(g, opts...)
 	fmt.Printf("topology: %s, %d switches, %d links\n", *topoName, g.NumNodes(), g.NumEdges())
 
 	if *verbose {
@@ -320,6 +326,12 @@ func main() {
 		fmt.Printf("verification: %d findings, %d errors\n", len(issues), errs)
 	}
 
+	if *traceCap > 0 {
+		events := d.TraceEvents()
+		fmt.Printf("\nhop trace (%d executions retained, %d dropped):\n", len(events), d.Trace.Dropped())
+		fmt.Print(dump.Trace(events))
+	}
+
 	fmt.Printf("\ncontrol plane: %d flow-mods, %d group-mods in %d install messages (offline); %d packet-outs, %d packet-ins (runtime)\n",
 		d.Ctl.Stats.FlowMods, d.Ctl.Stats.GroupMods, d.Ctl.Stats.InstallMsgs,
 		d.Ctl.Stats.PacketOuts, d.Ctl.Stats.PacketIns)
@@ -327,6 +339,18 @@ func main() {
 	fmt.Print("installed programs:\n", dump.ProgramSummary(d.Programs()))
 	fmt.Printf("installed state: %d flow entries, %d groups, %d bytes total\n",
 		d.FlowEntries(), d.GroupEntries(), d.ConfigBytes())
+
+	if *metricsTo != "" {
+		fmt.Print("\nper-service metrics:\n", dump.Metrics(d.MetricsSnapshot()))
+		js, err := d.MetricsJSON()
+		fatal(err)
+		if *metricsTo == "-" {
+			fmt.Printf("metrics JSON:\n%s\n", js)
+		} else {
+			fatal(os.WriteFile(*metricsTo, append(js, '\n'), 0o644))
+			fmt.Printf("metrics JSON written to %s\n", *metricsTo)
+		}
+	}
 }
 
 // applyFailures applies -fail and -blackhole.

@@ -29,7 +29,7 @@ func main() {
 		}
 	}
 
-	d := smartsouth.Deploy(g, smartsouth.Options{})
+	d := smartsouth.Deploy(g)
 	crit, err := d.InstallCritical()
 	if err != nil {
 		log.Fatal(err)

@@ -17,7 +17,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := smartsouth.Deploy(g, smartsouth.Options{})
+	d := smartsouth.Deploy(g)
 	mon, err := d.InstallMonitor(0, true)
 	if err != nil {
 		log.Fatal(err)

@@ -33,8 +33,10 @@ func printSnapshot(res *smartsouth.SnapshotResult) {
 
 func main() {
 	// A random connected 12-switch network with a few redundant links.
+	// WithTrace turns on the per-packet hop trace so we can watch the DFS
+	// walk the network rule by rule.
 	g := smartsouth.RandomConnected(12, 6, 42)
-	d := smartsouth.Deploy(g, smartsouth.Options{})
+	d := smartsouth.Deploy(g, smartsouth.WithTrace(2048))
 
 	snap, err := d.InstallSnapshot()
 	if err != nil {
@@ -67,6 +69,7 @@ func main() {
 		log.Fatal(err)
 	}
 	d.Ctl.ClearInbox()
+	d.Trace.Reset() // keep only the post-failure sweep in the trace
 	snap.Trigger(0, d.Net.Sim.Now()+1)
 	if err := d.Run(); err != nil {
 		log.Fatal(err)
@@ -80,4 +83,21 @@ func main() {
 
 	fmt.Printf("\ncontrol-plane cost: %d packet-outs, %d packet-ins for two snapshots\n",
 		d.Ctl.Stats.PacketOuts, d.Ctl.Stats.PacketIns)
+
+	// The observability layer saw every hop: show the first few pipeline
+	// executions (switch, matched rules, decoded DFS tag state) and the
+	// aggregated per-service metrics.
+	fmt.Println("\n== first hops of the second sweep, from the trace ==")
+	events := d.TraceEvents()
+	for i, ev := range events {
+		if i >= 5 {
+			fmt.Printf("  ... %d more\n", len(events)-i)
+			break
+		}
+		fmt.Printf("  %s\n", ev)
+	}
+	for _, m := range d.MetricsSnapshot() {
+		fmt.Printf("\nservice %q: %d in-band messages (%d bytes) over %d ns, %d flow-mods to install\n",
+			m.Service, m.InBandMsgs, m.InBandBytes, int64(m.WallClock), m.FlowMods)
+	}
 }

@@ -45,6 +45,13 @@ type ControlPlane interface {
 	// GroupCounter reads a round-robin group's bucket pointer for
 	// diagnostics; implementations without access return -1.
 	GroupCounter(sw int, id uint32) int
+	// Programs returns the retained (non-transient) programs, install
+	// order. The deployment layer derives uninstall ranges and per-service
+	// hit counters from them.
+	Programs() []*openflow.Program
+	// DropPrograms forgets retained programs covering the slot, after the
+	// deployment layer has cleared their rules.
+	DropPrograms(slot int)
 }
 
 // The local controller satisfies the interface.

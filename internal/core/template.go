@@ -153,12 +153,6 @@ func (t *Template) stateFields(i int) (S, P, C openflow.Field) {
 	return S, P, C
 }
 
-// Slot returns conventional table/group assignments for the slot-th
-// service on a network (slot 0, 1, 2, …).
-func Slot(slot int) (t0, tFin int, groupBase uint32) {
-	return 1 + slot*10, 2 + slot*10, uint32(slot) << 20
-}
-
 // AdvGroup returns the ID of node's fast-failover advance group that
 // scans ports s, s+1, …, Δ (skipping par) and falls back to the parent.
 // Group IDs only need to be unique per switch.

@@ -9,7 +9,9 @@ import (
 	"sort"
 	"strings"
 
+	"smartsouth/internal/metrics"
 	"smartsouth/internal/openflow"
+	"smartsouth/internal/trace"
 )
 
 // Switch renders one switch's tables and groups.
@@ -100,6 +102,60 @@ func ProgramSummary(ps []*openflow.Program) string {
 	for _, p := range ps {
 		fmt.Fprintf(&b, "slot %2d %-14q %3d switches, %5d flows, %4d groups, %7d bytes\n",
 			p.Slot, p.Service, len(p.SwitchIDs()), p.FlowCount(), p.GroupCount(), p.Bytes())
+	}
+	return b.String()
+}
+
+// Trace renders retained hop-trace events, one line per pipeline
+// execution, in sequence order.
+func Trace(events []trace.Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Metrics renders a per-service metrics snapshot as an aligned table plus
+// (when present) the per-rule hit counters of each service.
+func Metrics(snap []metrics.ServiceMetrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %4s %6s %6s %5s %8s %7s %7s %9s %10s\n",
+		"service", "slot", "flows", "groups", "trig", "pktins", "inband", "ibytes", "outbytes", "wallclock")
+	for _, m := range snap {
+		fmt.Fprintf(&b, "%-14s %4d %6d %6d %5d %8d %7d %7d %9d %8dns\n",
+			m.Service, m.Slot, m.FlowMods, m.GroupMods, m.TriggerPackets,
+			m.PacketIns, m.InBandMsgs, m.InBandBytes, m.OutBandBytes, int64(m.WallClock))
+	}
+	for _, m := range snap {
+		if len(m.RuleHits) == 0 && len(m.GroupHits) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s hits:\n", m.Service)
+		b.WriteString(Hits(m.RuleHits, m.GroupHits))
+	}
+	return b.String()
+}
+
+// Hits renders rule-hit and group-bucket counters, skipping zero-hit
+// entries (a deployed service's rule set is large; the interesting part
+// is where packets actually went).
+func Hits(rules []openflow.RuleHit, groups []openflow.GroupHit) string {
+	var b strings.Builder
+	for _, r := range rules {
+		if r.Packets == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  sw %3d t%-3d [%5d] %-28s %6d pkts\n",
+			r.Switch, r.Table, r.Priority, r.Cookie, r.Packets)
+	}
+	for _, g := range groups {
+		if g.Packets == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  sw %3d group %d bucket %d %6d pkts\n",
+			g.Switch, g.Group, g.Bucket, g.Packets)
 	}
 	return b.String()
 }

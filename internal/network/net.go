@@ -46,6 +46,8 @@ type Network struct {
 	links    []*Link          // indexed like Graph.Edges()
 	byPort   map[[2]int]*Link // (switch, port) -> link
 	delay    Time
+	execObs  []ExecObserver
+	hopObs   []HopObserver
 
 	// InBandMsgs / InBandBytes count link transmissions per EtherType, the
 	// "in-band #msgs / size" columns of Table 2. Every transmission
@@ -80,6 +82,33 @@ func New(g *topo.Graph, opts Options) *Network {
 		n.byPort[[2]int{e.V, e.PV}] = l
 	}
 	return n
+}
+
+// ExecObserver observes one pipeline execution: the switch that ran it,
+// the ingress port, the packet as it arrived (pre-execution state), and
+// the execution result, whose Steps/GroupSteps record the matched rules
+// and group-bucket choices when structured recording is on.
+type ExecObserver func(sw, inPort int, pkt *openflow.Packet, res *openflow.Result)
+
+// HopObserver observes one attempted link crossing, delivered or not —
+// the same signature as the legacy OnHop field.
+type HopObserver func(hop Hop, pkt *openflow.Packet, delivered bool)
+
+// ObserveExec registers an execution observer and turns on structured
+// step recording on every switch. Unlike the OnHop/OnPacketIn fields,
+// observers are additive: several subsystems (trace, metrics, tests) can
+// watch the same network without clobbering each other.
+func (n *Network) ObserveExec(fn ExecObserver) {
+	n.execObs = append(n.execObs, fn)
+	for _, sw := range n.switches {
+		sw.Record = true
+	}
+}
+
+// ObserveHops registers an additional hop observer. The legacy OnHop field
+// keeps working; observers fire after it.
+func (n *Network) ObserveHops(fn HopObserver) {
+	n.hopObs = append(n.hopObs, fn)
 }
 
 // Switch returns the switch for node id.
@@ -193,6 +222,9 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 	p := pkt.Clone()
 	n.Sim.At(t, func() {
 		res := n.switches[sw].Execute(p, actions)
+		for _, ob := range n.execObs {
+			ob(sw, openflow.PortController, p, &res)
+		}
 		n.dispatch(sw, res)
 	})
 }
@@ -200,6 +232,9 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 // process runs the pipeline and dispatches the emissions.
 func (n *Network) process(sw int, inPort int, pkt *openflow.Packet) {
 	res := n.switches[sw].Receive(pkt, inPort)
+	for _, ob := range n.execObs {
+		ob(sw, inPort, pkt, &res)
+	}
 	n.dispatch(sw, res)
 }
 
@@ -233,8 +268,14 @@ func (n *Network) send(sw, port int, pkt *openflow.Packet) {
 	n.InBandMsgs[pkt.EthType]++
 	n.InBandBytes[pkt.EthType] += pkt.Size()
 	to, toPort, delivered := l.transmit(sw)
-	if n.OnHop != nil {
-		n.OnHop(Hop{From: sw, FromPort: port, To: to, ToPort: toPort}, pkt, delivered)
+	if n.OnHop != nil || len(n.hopObs) > 0 {
+		h := Hop{From: sw, FromPort: port, To: to, ToPort: toPort}
+		if n.OnHop != nil {
+			n.OnHop(h, pkt, delivered)
+		}
+		for _, ob := range n.hopObs {
+			ob(h, pkt, delivered)
+		}
 	}
 	if !delivered {
 		return

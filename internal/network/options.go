@@ -1,0 +1,62 @@
+package network
+
+// Config is the resolved deployment configuration: the simulated-network
+// knobs (Options) plus the observability knobs the deployment layer reads.
+// It is produced by Resolve from a list of Option values.
+type Config struct {
+	Opts Options
+
+	// TraceCap, when positive, asks the deployment to record pipeline
+	// executions into a hop-trace ring buffer of this capacity.
+	TraceCap int
+}
+
+// Option configures a deployment. Two kinds of values satisfy it: the
+// functional options below (WithSeed, WithTrace, …) and the legacy Options
+// struct itself, which is accepted for compatibility and applied wholesale.
+type Option interface {
+	ApplyOption(*Config)
+}
+
+// ApplyOption makes the Options struct usable as an Option: it replaces
+// the network knobs in one shot. This keeps every pre-functional-options
+// call site (`Deploy(g, Options{Seed: 1})`) compiling unchanged.
+func (o Options) ApplyOption(c *Config) { c.Opts = o }
+
+type optionFunc func(*Config)
+
+func (f optionFunc) ApplyOption(c *Config) { f(c) }
+
+// WithSeed seeds the loss process of lossy links.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *Config) { c.Opts.Seed = seed })
+}
+
+// WithLinkDelay sets the one-way latency of every link.
+func WithLinkDelay(d Time) Option {
+	return optionFunc(func(c *Config) { c.Opts.LinkDelay = d })
+}
+
+// WithEventLimit bounds the number of simulator events per Run call.
+func WithEventLimit(n int) Option {
+	return optionFunc(func(c *Config) { c.Opts.MaxSteps = n })
+}
+
+// WithTrace enables the per-packet hop trace with a ring buffer retaining
+// the last cap pipeline executions. cap <= 0 leaves tracing off.
+func WithTrace(cap int) Option {
+	return optionFunc(func(c *Config) { c.TraceCap = cap })
+}
+
+// Resolve folds a list of options into a Config. Options are applied in
+// order, so later options win; a legacy Options struct resets all network
+// knobs at once.
+func Resolve(opts ...Option) Config {
+	var c Config
+	for _, o := range opts {
+		if o != nil {
+			o.ApplyOption(&c)
+		}
+	}
+	return c
+}

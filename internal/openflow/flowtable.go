@@ -72,6 +72,19 @@ func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
 	return nil
 }
 
+// ByCookie returns the first entry with exactly the given cookie, or nil.
+// SmartSouth cookies are unique per rule within a table, so this is the
+// reverse mapping from a retained Program's declarative rules to their
+// live hit counters.
+func (t *FlowTable) ByCookie(cookie string) *FlowEntry {
+	for _, e := range t.entries {
+		if e.Cookie == cookie {
+			return e
+		}
+	}
+	return nil
+}
+
 // RemoveByCookiePrefix deletes every entry whose cookie starts with
 // prefix (the OFPFC_DELETE-by-cookie-mask idiom), returning how many were
 // removed.

@@ -108,6 +108,7 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 		for i := range g.Buckets {
 			c := p.Clone()
 			x.trace("group %d bucket %d (all)", g.ID, i)
+			x.step(g, i)
 			g.Buckets[i].Packets++
 			for _, a := range g.Buckets[i].Actions {
 				a.Apply(x, c)
@@ -116,6 +117,7 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 	case GroupIndirect:
 		if len(g.Buckets) > 0 {
 			x.trace("group %d bucket 0 (indirect)", g.ID)
+			x.step(g, 0)
 			g.Buckets[0].Packets++
 			for _, a := range g.Buckets[0].Actions {
 				a.Apply(x, p)
@@ -127,6 +129,7 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 				continue
 			}
 			x.trace("group %d bucket %d (ff, watch %d)", g.ID, i, b.WatchPort)
+			x.step(g, i)
 			g.Buckets[i].Packets++
 			for _, a := range b.Actions {
 				a.Apply(x, p)
@@ -134,6 +137,7 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 			return
 		}
 		x.trace("group %d: no live bucket, drop", g.ID)
+		x.step(g, -1)
 	case GroupSelectRR:
 		if len(g.Buckets) == 0 {
 			return
@@ -141,6 +145,7 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 		i := g.rr
 		g.rr = (g.rr + 1) % len(g.Buckets)
 		x.trace("group %d bucket %d (select-rr)", g.ID, i)
+		x.step(g, i)
 		g.Buckets[i].Packets++
 		for _, a := range g.Buckets[i].Actions {
 			a.Apply(x, p)

@@ -159,6 +159,66 @@ func (p *Program) GroupCount() int {
 	return n
 }
 
+// RuleHit is the live hit counter of one flow rule a program installed:
+// the OF 1.3 per-entry packet counter, read back per retained Program so
+// per-service rule activity is measured rather than inferred.
+type RuleHit struct {
+	Switch   int    `json:"switch"`
+	Table    int    `json:"table"`
+	Priority int    `json:"priority"`
+	Cookie   string `json:"cookie"`
+	Packets  uint64 `json:"packets"`
+}
+
+// GroupHit is the live execution counter of one group bucket a program
+// installed (ofp_bucket_counter).
+type GroupHit struct {
+	Switch  int    `json:"switch"`
+	Group   uint32 `json:"group"`
+	Bucket  int    `json:"bucket"`
+	Packets uint64 `json:"packets"`
+}
+
+// HitCounters reads the live rule-hit and group-bucket counters of every
+// rule this program installed, via the lookup function (switch id -> live
+// switch). Rules are correlated by (table, cookie) and groups by ID —
+// exactly what an OFPMP_FLOW / OFPMP_GROUP multipart request returns in a
+// real deployment. Rules whose live entry is gone (e.g. uninstalled) are
+// skipped; zero-hit rules and buckets are included.
+func (p *Program) HitCounters(lookup func(sw int) *Switch) ([]RuleHit, []GroupHit) {
+	var rules []RuleHit
+	var groups []GroupHit
+	for _, id := range p.SwitchIDs() {
+		sw := lookup(id)
+		if sw == nil {
+			continue
+		}
+		sp := p.switches[id]
+		for _, fr := range sp.Flows {
+			live := sw.FindFlow(fr.Table, fr.Entry.Cookie)
+			if live == nil {
+				continue
+			}
+			rules = append(rules, RuleHit{
+				Switch: id, Table: fr.Table, Priority: live.Priority,
+				Cookie: live.Cookie, Packets: live.Packets,
+			})
+		}
+		for _, g := range sp.Groups {
+			live := sw.GroupByID(g.ID)
+			if live == nil {
+				continue
+			}
+			for b := range live.Buckets {
+				groups = append(groups, GroupHit{
+					Switch: id, Group: g.ID, Bucket: b, Packets: live.Buckets[b].Packets,
+				})
+			}
+		}
+	}
+	return rules, groups
+}
+
 // Bytes estimates the total hardware footprint of the program using the
 // same per-entry model as Switch.ConfigBytes, so rule-space numbers can be
 // read off the compile artifact.

@@ -12,6 +12,26 @@ type Emission struct {
 	Pkt  *Packet
 }
 
+// Step records one matched flow entry during pipeline execution — the
+// OF 1.3 rule-hit information (table, priority, cookie) plus the entry's
+// action list, for the hop-trace layer. Steps are only collected when the
+// switch has structured recording on (Switch.Record).
+type Step struct {
+	Table    int
+	Priority int
+	Cookie   string
+	Actions  []Action
+}
+
+// GroupStep records one group-bucket decision during pipeline execution.
+// Bucket is the index of the executed bucket, or -1 when no bucket ran
+// (fast-failover group with no live bucket, or an uninstalled group).
+type GroupStep struct {
+	Group  uint32
+	Type   GroupType
+	Bucket int
+}
+
 // Result is the outcome of processing one packet through the pipeline.
 type Result struct {
 	// Emissions lists every packet copy the pipeline emitted, in action
@@ -23,6 +43,11 @@ type Result struct {
 	// Trace is a human-readable execution log (rule cookies and group
 	// bucket choices), populated only when the switch has tracing on.
 	Trace []string
+	// Steps lists the matched flow entries and GroupSteps the group-bucket
+	// choices, in execution order; both are populated only when the switch
+	// has structured recording on (Switch.Record).
+	Steps      []Step
+	GroupSteps []GroupStep
 }
 
 // ExecContext threads pipeline state through action execution.
@@ -42,6 +67,13 @@ func (x *ExecContext) trace(format string, args ...any) {
 	}
 }
 
+// step records a group-bucket decision when structured recording is on.
+func (x *ExecContext) step(g *GroupEntry, bucket int) {
+	if x.sw.Record {
+		x.res.GroupSteps = append(x.res.GroupSteps, GroupStep{Group: g.ID, Type: g.Type, Bucket: bucket})
+	}
+}
+
 // maxGroupDepth bounds group-to-group recursion. OpenFlow forbids group
 // chaining loops; a small fixed depth keeps a buggy configuration from
 // hanging the simulator.
@@ -57,6 +89,11 @@ type Switch struct {
 
 	// Tracing enables per-packet execution traces in Result.Trace.
 	Tracing bool
+	// Record enables structured step recording in Result.Steps and
+	// Result.GroupSteps — the machine-readable counterpart of Tracing,
+	// used by the hop-trace layer. Cheap (no string formatting), but off
+	// by default so the hot path stays allocation-free.
+	Record bool
 
 	tables map[int]*FlowTable
 	groups map[uint32]*GroupEntry
@@ -110,6 +147,17 @@ func (sw *Switch) TableIDs() []int {
 
 // AddFlow installs a flow entry into table id.
 func (sw *Switch) AddFlow(id int, e *FlowEntry) { sw.Table(id).Add(e) }
+
+// FindFlow returns the installed entry with the given cookie in table id,
+// or nil. Unlike Table, it never creates the table; the hit-counter layer
+// uses it to map a retained Program's rules to their live counters.
+func (sw *Switch) FindFlow(table int, cookie string) *FlowEntry {
+	t, ok := sw.tables[table]
+	if !ok {
+		return nil
+	}
+	return t.ByCookie(cookie)
+}
 
 // AddGroup installs a group entry, replacing any previous entry with the
 // same ID (group-mod semantics).
@@ -175,6 +223,9 @@ func (sw *Switch) applyGroup(x *ExecContext, id uint32, p *Packet) {
 	g := sw.groups[id]
 	if g == nil {
 		x.trace("group %d: not installed, drop", id)
+		if sw.Record {
+			x.res.GroupSteps = append(x.res.GroupSteps, GroupStep{Group: id, Bucket: -1})
+		}
 		return
 	}
 	if x.groupDepth >= maxGroupDepth {
@@ -215,6 +266,11 @@ func (sw *Switch) Receive(pkt *Packet, inPort int) Result {
 		res.Matched = true
 		e.Packets++
 		x.trace("table %d: hit %q", table, e.Cookie)
+		if sw.Record {
+			res.Steps = append(res.Steps, Step{
+				Table: table, Priority: e.Priority, Cookie: e.Cookie, Actions: e.Actions,
+			})
+		}
 		for _, a := range e.Actions {
 			a.Apply(x, p)
 		}

@@ -27,6 +27,10 @@ type Fabric struct {
 	Net *network.Network
 	// Stats counts control-channel traffic like the local controller.
 	Stats controller.Stats
+	// OnPacketIn, if set, observes every packet-in as it arrives off the
+	// wire (the inbox is appended regardless). Set it before RunNetwork;
+	// it is called from the per-session reader goroutines.
+	OnPacketIn func(controller.PacketIn)
 
 	agents    []*ofconn.Agent
 	clients   []*ofconn.Client
@@ -159,10 +163,15 @@ func New(nw *network.Network) (*Fabric, error) {
 				if q := f.inTimes[sw]; len(q) > 0 {
 					at, f.inTimes[sw] = q[0], q[1:]
 				}
-				f.inbox = append(f.inbox, controller.PacketIn{Switch: sw, Pkt: pi.Pkt, At: at})
+				rec := controller.PacketIn{Switch: sw, Pkt: pi.Pkt, At: at}
+				f.inbox = append(f.inbox, rec)
 				f.gotIns++
+				hook := f.OnPacketIn
 				f.cond.Broadcast()
 				f.mu.Unlock()
+				if hook != nil {
+					hook(rec)
+				}
 			}
 		}(i, cl)
 	}
@@ -215,6 +224,21 @@ func (f *Fabric) Programs() []*openflow.Program {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return append([]*openflow.Program(nil), f.programs...)
+}
+
+// DropPrograms forgets retained programs covering the given slot; the
+// deployment layer calls it when it uninstalls a service. Switch state is
+// not touched here — rule removal stays with the caller.
+func (f *Fabric) DropPrograms(slot int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	kept := f.programs[:0]
+	for _, p := range f.programs {
+		if !p.CoversSlot(slot) {
+			kept = append(kept, p)
+		}
+	}
+	f.programs = kept
 }
 
 // InstallFlow sends the entry as a wire FLOW_MOD (per-rule compatibility

@@ -1,0 +1,243 @@
+// Package trace records per-packet hop traces of the simulated data
+// plane: for every pipeline execution, which switch ran it, on which
+// ingress port, which flow entries matched (table/priority/cookie), which
+// group bucket was chosen, and the decoded SmartSouth tag fields
+// (start/par/cur) of the packet as it arrived. Retention is a fixed-size
+// ring buffer, so tracing a Ring(400)-scale traversal keeps the tail of
+// the execution without unbounded memory.
+//
+// The recorder is fed by network.ObserveExec and is entirely passive: it
+// never mutates packets or switches, and it is opt-in (WithTrace), so the
+// untraced hot path stays allocation-free.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+)
+
+// Rule is one matched flow entry in an event, with its actions rendered.
+type Rule struct {
+	Table    int    `json:"table"`
+	Priority int    `json:"priority"`
+	Cookie   string `json:"cookie"`
+	Actions  string `json:"actions"`
+}
+
+// BucketChoice is one group-bucket decision in an event. Bucket -1 means
+// the group dropped the packet (no live bucket, or not installed).
+type BucketChoice struct {
+	Group  uint32 `json:"group"`
+	Type   string `json:"type"`
+	Bucket int    `json:"bucket"`
+}
+
+// TagField is one decoded tag field of the packet as it arrived at the
+// switch (pre-execution state); for SmartSouth services these are the
+// traversal-phase field and the switch's own par/cur DFS state.
+type TagField struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// Event is one recorded pipeline execution.
+type Event struct {
+	// Seq is the global execution sequence number (0-based); with a full
+	// ring, Events() returns the tail of the sequence.
+	Seq uint64 `json:"seq"`
+	// At is the simulation time of the execution.
+	At network.Time `json:"at"`
+
+	Switch  int    `json:"switch"`
+	InPort  int    `json:"inPort"`
+	Eth     uint16 `json:"eth"`
+	Service string `json:"service,omitempty"`
+	Matched bool   `json:"matched"`
+
+	Rules   []Rule         `json:"rules,omitempty"`
+	Buckets []BucketChoice `json:"buckets,omitempty"`
+	Tags    []TagField     `json:"tags,omitempty"`
+	// Out lists the emission ports (physical ports >= 1; the reserved
+	// controller/self ports appear as their negative constants).
+	Out []int `json:"out,omitempty"`
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d t=%dns sw=%d in=%d eth=%#04x", e.Seq, int64(e.At), e.Switch, e.InPort, e.Eth)
+	if e.Service != "" {
+		fmt.Fprintf(&b, " svc=%s", e.Service)
+	}
+	for _, tf := range e.Tags {
+		fmt.Fprintf(&b, " %s=%d", tf.Name, tf.Value)
+	}
+	if !e.Matched {
+		b.WriteString(" MISS")
+	}
+	for _, r := range e.Rules {
+		fmt.Fprintf(&b, " | t%d[%d] %s", r.Table, r.Priority, r.Cookie)
+	}
+	for _, g := range e.Buckets {
+		if g.Bucket < 0 {
+			fmt.Fprintf(&b, " | group %d %s: drop", g.Group, g.Type)
+		} else {
+			fmt.Fprintf(&b, " | group %d %s bucket %d", g.Group, g.Type, g.Bucket)
+		}
+	}
+	if len(e.Out) > 0 {
+		fmt.Fprintf(&b, " -> out %v", e.Out)
+	}
+	return b.String()
+}
+
+// FieldsFunc returns the tag fields to decode for a packet of a service
+// at a given switch. For SmartSouth services this is typically
+// {start, par[sw], cur[sw]} from the service's Layout.
+type FieldsFunc func(sw int) []openflow.Field
+
+type decoder struct {
+	service string
+	fields  FieldsFunc
+}
+
+// DefaultCapacity is the ring size used when WithTrace is given a
+// non-positive capacity by the resolver.
+const DefaultCapacity = 4096
+
+// Recorder retains the last capacity pipeline executions in a ring
+// buffer. It is safe for concurrent use (remote deployments feed it from
+// the simulator goroutine while tests read it).
+type Recorder struct {
+	mu       sync.Mutex
+	ring     []Event
+	capacity int
+	seq      uint64
+	decoders map[uint16]decoder
+}
+
+// NewRecorder returns a recorder retaining the last capacity events
+// (DefaultCapacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		ring:     make([]Event, 0, capacity),
+		capacity: capacity,
+		decoders: make(map[uint16]decoder),
+	}
+}
+
+// RegisterService associates an EtherType with a service name and a tag
+// decoder, so events of that EtherType carry decoded SmartSouth state.
+// The first registration of an EtherType wins (a monitor's inner snapshot
+// does not displace a standalone snapshot's decoder).
+func (r *Recorder) RegisterService(eth uint16, service string, fields FieldsFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.decoders[eth]; !ok {
+		r.decoders[eth] = decoder{service: service, fields: fields}
+	}
+}
+
+// OnExec records one pipeline execution; wire it to network.ObserveExec.
+// The packet's tag is decoded eagerly (the packet mutates as it travels).
+func (r *Recorder) OnExec(at network.Time, sw, inPort int, pkt *openflow.Packet, res *openflow.Result) {
+	e := Event{
+		At: at, Switch: sw, InPort: inPort, Eth: pkt.EthType, Matched: res.Matched,
+	}
+	r.mu.Lock()
+	d, haveDec := r.decoders[pkt.EthType]
+	r.mu.Unlock()
+	if haveDec {
+		e.Service = d.service
+		if d.fields != nil {
+			for _, f := range d.fields(sw) {
+				if f.Valid() {
+					e.Tags = append(e.Tags, TagField{Name: f.Name, Value: pkt.Load(f)})
+				}
+			}
+		}
+	}
+	for _, s := range res.Steps {
+		e.Rules = append(e.Rules, Rule{
+			Table: s.Table, Priority: s.Priority, Cookie: s.Cookie, Actions: actionsString(s.Actions),
+		})
+	}
+	for _, g := range res.GroupSteps {
+		e.Buckets = append(e.Buckets, BucketChoice{Group: g.Group, Type: g.Type.String(), Bucket: g.Bucket})
+	}
+	for _, em := range res.Emissions {
+		e.Out = append(e.Out, em.Port)
+	}
+
+	r.mu.Lock()
+	e.Seq = r.seq
+	if len(r.ring) < r.capacity {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[int(r.seq)%r.capacity] = e
+	}
+	r.seq++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < r.capacity {
+		return append([]Event(nil), r.ring...)
+	}
+	head := int(r.seq) % r.capacity
+	out := make([]Event, 0, r.capacity)
+	out = append(out, r.ring[head:]...)
+	out = append(out, r.ring[:head]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Total returns the number of executions observed since creation (or the
+// last Reset), including those evicted from the ring.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped returns how many events were evicted by the ring.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - uint64(len(r.ring))
+}
+
+// Reset discards retained events and the sequence counter; registered
+// decoders survive.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ring = r.ring[:0]
+	r.seq = 0
+}
+
+func actionsString(acts []openflow.Action) string {
+	if len(acts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(acts))
+	for i, a := range acts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

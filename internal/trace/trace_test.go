@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"smartsouth/internal/openflow"
+)
+
+func exec(r *Recorder, seqSwitch int) {
+	pkt := openflow.NewPacket(0x8802, 4)
+	res := &openflow.Result{Matched: true}
+	r.OnExec(0, seqSwitch, 1, pkt, res)
+}
+
+func TestRingRetainsTail(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		exec(r, i)
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events returned %d", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first tail)", i, e.Seq, want)
+		}
+		if e.Switch != 6+i {
+			t.Fatalf("event %d switch %d", i, e.Switch)
+		}
+	}
+}
+
+func TestPartialRingOrder(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 3; i++ {
+		exec(r, i)
+	}
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].Seq != 0 || ev[2].Seq != 2 {
+		t.Fatalf("partial ring events: %+v", ev)
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("nothing should be dropped below capacity")
+	}
+}
+
+func TestDecoderFirstRegistrationWins(t *testing.T) {
+	r := NewRecorder(8)
+	f := openflow.Field{Name: "start", Off: 0, Bits: 2}
+	r.RegisterService(0x8802, "snapshot", func(int) []openflow.Field { return []openflow.Field{f} })
+	r.RegisterService(0x8802, "monitor", nil) // must not displace
+	pkt := openflow.NewPacket(0x8802, 4)
+	f.Store(pkt.Tag, 2)
+	r.OnExec(5, 3, 2, pkt, &openflow.Result{Matched: true})
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Service != "snapshot" {
+		t.Fatalf("service label: %+v", ev)
+	}
+	if len(ev[0].Tags) != 1 || ev[0].Tags[0].Name != "start" || ev[0].Tags[0].Value != 2 {
+		t.Fatalf("decoded tags: %+v", ev[0].Tags)
+	}
+}
+
+func TestEventRecordsStepsBucketsEmissions(t *testing.T) {
+	r := NewRecorder(8)
+	pkt := openflow.NewPacket(0x8801, 2)
+	res := &openflow.Result{
+		Matched: true,
+		Steps: []openflow.Step{{Table: 1, Priority: 9000, Cookie: "svc/x",
+			Actions: []openflow.Action{openflow.Output{Port: 2}}}},
+		GroupSteps: []openflow.GroupStep{{Group: 7, Type: openflow.GroupFF, Bucket: 1}},
+		Emissions:  []openflow.Emission{{Port: 2, Pkt: pkt}},
+	}
+	r.OnExec(1000, 4, 3, pkt, res)
+	e := r.Events()[0]
+	if len(e.Rules) != 1 || e.Rules[0].Cookie != "svc/x" || e.Rules[0].Actions == "" {
+		t.Fatalf("rules: %+v", e.Rules)
+	}
+	if len(e.Buckets) != 1 || e.Buckets[0].Group != 7 || e.Buckets[0].Bucket != 1 || e.Buckets[0].Type != "ff" {
+		t.Fatalf("buckets: %+v", e.Buckets)
+	}
+	if len(e.Out) != 1 || e.Out[0] != 2 {
+		t.Fatalf("out ports: %v", e.Out)
+	}
+	s := e.String()
+	for _, want := range []string{"sw=4", "svc/x", "group 7 ff bucket 1", "out [2]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestResetKeepsDecoders(t *testing.T) {
+	r := NewRecorder(4)
+	r.RegisterService(0x8802, "snapshot", nil)
+	exec(r, 0)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("reset must clear events")
+	}
+	exec(r, 1)
+	if r.Events()[0].Service != "snapshot" {
+		t.Fatal("decoders must survive reset")
+	}
+}

@@ -16,21 +16,34 @@
 // Typical use:
 //
 //	g := smartsouth.Grid(4, 4)
-//	d := smartsouth.Deploy(g, smartsouth.Options{})
+//	d := smartsouth.Deploy(g, smartsouth.WithTrace(1024))
 //	snap, _ := d.InstallSnapshot()
 //	snap.Trigger(0, 0)
 //	d.Run()
 //	res, _ := snap.Collect() // res.Nodes, res.Edges
+//	for _, m := range d.MetricsSnapshot() { ... }
+//	for _, ev := range d.TraceEvents() { ... }
+//
+// Deploy and DeployRemote return the same Deployment type: the only
+// difference is the control plane underneath — direct calls into the
+// simulated switches (local) or binary OpenFlow 1.3 over per-switch TCP
+// sessions (remote). Every service installer, the observability layer
+// (hop traces, rule-hit counters, per-service metrics), Uninstall and the
+// verifiers work identically on both.
 package smartsouth
 
 import (
+	"encoding/json"
+
 	"smartsouth/internal/controller"
 	"smartsouth/internal/core"
+	"smartsouth/internal/metrics"
 	"smartsouth/internal/monitor"
 	"smartsouth/internal/network"
 	"smartsouth/internal/openflow"
 	"smartsouth/internal/remote"
 	"smartsouth/internal/topo"
+	"smartsouth/internal/trace"
 	"smartsouth/internal/verify"
 )
 
@@ -105,6 +118,25 @@ type (
 	// the full set of flow and group entries, per switch, checked before
 	// installation and retained by the control plane for accounting.
 	Program = openflow.Program
+
+	// Stats counts control-channel traffic (flow-mods, packet-outs,
+	// packet-ins, bytes) on either control plane.
+	Stats = controller.Stats
+	// TraceEvent is one recorded pipeline execution: switch, in-port,
+	// matched rules, group-bucket choices, decoded tag fields, emissions.
+	TraceEvent = trace.Event
+	// TraceRecorder is the ring-buffer hop-trace store (see WithTrace).
+	TraceRecorder = trace.Recorder
+	// ServiceMetrics is the aggregated observability view of one deployed
+	// service: install cost, trigger/collect messages, in-band messages
+	// and bytes (the Table 2 columns), traversal wall-clock, rule hits.
+	ServiceMetrics = metrics.ServiceMetrics
+	// MetricsRegistry aggregates ServiceMetrics for a deployment.
+	MetricsRegistry = metrics.Registry
+	// RuleHit is the live packet counter of one installed flow rule.
+	RuleHit = openflow.RuleHit
+	// GroupHit is the live execution counter of one group bucket.
+	GroupHit = openflow.GroupHit
 )
 
 // Topology generators.
@@ -121,216 +153,397 @@ var (
 	NewGraph        = topo.NewGraph
 )
 
-// Options configures a deployment's simulated network.
+// Options configures a deployment's simulated network. It remains
+// accepted everywhere an Option is: Deploy(g, Options{Seed: 7}) and
+// Deploy(g, WithSeed(7)) are equivalent; the functional options are the
+// preferred form because they compose and can carry settings (WithTrace)
+// beyond the network struct.
 type Options = network.Options
 
-// Deployment couples one topology with its simulated network and
-// controller, and hands out service slots so several SmartSouth services
-// coexist on the same switches.
+// Option configures a deployment. Options (the struct) satisfies it too.
+type Option = network.Option
+
+// Functional options.
+var (
+	// WithSeed seeds the loss process of lossy links.
+	WithSeed = network.WithSeed
+	// WithLinkDelay sets the one-way latency of every link.
+	WithLinkDelay = network.WithLinkDelay
+	// WithEventLimit bounds simulator events per Run.
+	WithEventLimit = network.WithEventLimit
+	// WithTrace enables the per-packet hop trace, retaining the last n
+	// pipeline executions (n <= 0 selects the default capacity).
+	WithTrace = network.WithTrace
+)
+
+// Deployment couples one topology with its simulated network and a
+// control plane — local (Ctl) or OpenFlow-over-TCP (Fabric) — and hands
+// out service slots so several SmartSouth services coexist on the same
+// switches. All installers, the observability layer and the verifiers
+// behave identically on both planes; that is tested.
 type Deployment struct {
 	Graph *Graph
 	Net   *Network
-	Ctl   *Controller
 
-	nextSlot int
-}
-
-// Deploy builds the network and attaches a controller.
-func Deploy(g *Graph, opts Options) *Deployment {
-	net := network.New(g, opts)
-	return &Deployment{Graph: g, Net: net, Ctl: controller.New(net)}
-}
-
-// Run drains the event queue (processing every in-flight packet).
-func (d *Deployment) Run() error {
-	_, err := d.Net.Run()
-	return err
-}
-
-// slot reserves the next service slot.
-func (d *Deployment) slot() int {
-	s := d.nextSlot
-	d.nextSlot++
-	return s
-}
-
-// RemoteDeployment is a deployment whose control plane speaks binary
-// OpenFlow 1.3 over real TCP sockets (one session per switch). Services
-// are installed with the package-level core installers against the
-// Fabric; the data plane is the same simulator either way.
-type RemoteDeployment struct {
-	Graph  *Graph
-	Net    *Network
+	// CP is the control plane services are installed through. It is the
+	// metrics-metered decoration of Ctl or Fabric; use it for anything
+	// the ControlPlane interface offers.
+	CP ControlPlane
+	// Ctl is the local controller, nil on remote deployments.
+	Ctl *Controller
+	// Fabric is the TCP control plane, nil on local deployments.
 	Fabric *Fabric
 
-	nextSlot int
+	// Trace is the hop-trace recorder, nil unless WithTrace was given.
+	Trace *TraceRecorder
+
+	reg   *metrics.Registry
+	slots *core.SlotAllocator
 }
 
-// DeployRemote builds the network and attaches the TCP control plane.
-// Close the deployment when done.
-func DeployRemote(g *Graph, opts Options) (*RemoteDeployment, error) {
-	net := network.New(g, opts)
-	f, err := remote.New(net)
+// RemoteDeployment is the remote-control-plane deployment.
+//
+// Deprecated: local and remote deployments share the Deployment type
+// since the unified Deploy API; the alias keeps old code compiling.
+type RemoteDeployment = Deployment
+
+func newDeployment(g *Graph, cfg network.Config) *Deployment {
+	net := network.New(g, cfg.Opts)
+	d := &Deployment{
+		Graph: g,
+		Net:   net,
+		reg:   metrics.NewRegistry(),
+		slots: core.NewSlotAllocator(0),
+	}
+	// In-band attribution: every link transmission of a claimed EtherType
+	// is credited to its service, with the simulation timestamp feeding
+	// the traversal wall-clock.
+	net.ObserveHops(func(_ Hop, pkt *Packet, _ bool) {
+		d.reg.NoteHop(net.Sim.Now(), pkt.EthType, pkt.Size())
+	})
+	if cfg.TraceCap > 0 {
+		d.Trace = trace.NewRecorder(cfg.TraceCap)
+		net.ObserveExec(func(sw, inPort int, pkt *openflow.Packet, res *openflow.Result) {
+			d.Trace.OnExec(net.Sim.Now(), sw, inPort, pkt, res)
+		})
+	}
+	return d
+}
+
+// Deploy builds the network and attaches the local controller.
+func Deploy(g *Graph, opts ...Option) *Deployment {
+	d := newDeployment(g, network.Resolve(opts...))
+	d.Ctl = controller.New(d.Net)
+	d.CP = metrics.Meter(d.Ctl, d.reg)
+	d.Ctl.OnPacketIn = func(pi controller.PacketIn) {
+		d.reg.NotePacketIn(pi.At, pi.Pkt.EthType, pi.Pkt.Size())
+	}
+	return d
+}
+
+// DeployRemote builds the network and attaches the TCP control plane (one
+// OpenFlow 1.3 session per switch). Close the deployment when done. The
+// returned Deployment offers the same installers and observability as a
+// local one.
+func DeployRemote(g *Graph, opts ...Option) (*Deployment, error) {
+	d := newDeployment(g, network.Resolve(opts...))
+	f, err := remote.New(d.Net)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteDeployment{Graph: g, Net: net, Fabric: f}, nil
+	d.Fabric = f
+	d.CP = metrics.Meter(f, d.reg)
+	f.OnPacketIn = func(pi controller.PacketIn) {
+		d.reg.NotePacketIn(pi.At, pi.Pkt.EthType, pi.Pkt.Size())
+	}
+	return d, nil
 }
 
-// Slot reserves the next service slot for use with the core installers.
-func (d *RemoteDeployment) Slot() int {
-	s := d.nextSlot
-	d.nextSlot++
-	return s
-}
-
-// InstallSnapshot installs the snapshot service over the wire.
-func (d *RemoteDeployment) InstallSnapshot() (*Snapshot, error) {
-	return core.InstallSnapshot(d.Fabric, d.Graph, d.Slot())
-}
-
-// InstallAnycast installs the anycast service over the wire.
-func (d *RemoteDeployment) InstallAnycast(groups map[uint32][]int) (*Anycast, error) {
-	return core.InstallAnycast(d.Fabric, d.Graph, d.Slot(), groups)
-}
-
-// InstallCritical installs the critical-node service over the wire.
-func (d *RemoteDeployment) InstallCritical() (*Critical, error) {
-	return core.InstallCritical(d.Fabric, d.Graph, d.Slot())
-}
-
-// InstallBlackholeCounter installs the smart-counter detector over the
-// wire.
-func (d *RemoteDeployment) InstallBlackholeCounter() (*BlackholeCounter, error) {
-	return core.InstallBlackholeCounter(d.Fabric, d.Graph, d.Slot())
-}
-
-// Run synchronises all sessions and processes the data plane.
-func (d *RemoteDeployment) Run() error {
-	_, err := d.Fabric.RunNetwork()
+// Run processes the data plane to quiescence. On a remote deployment this
+// synchronises all sessions (barrier), runs the simulator, and waits for
+// relayed packet-ins.
+func (d *Deployment) Run() error {
+	_, err := d.CP.RunNetwork()
 	return err
 }
 
-// Programs returns the installed programs the fabric retains.
-func (d *RemoteDeployment) Programs() []*Program {
-	return d.Fabric.Programs()
-}
-
-// ConfigBytes sums the rule-space footprint over all retained programs.
-func (d *RemoteDeployment) ConfigBytes() int {
-	total := 0
-	for _, p := range d.Fabric.Programs() {
-		total += p.Bytes()
+// Close tears down the TCP sessions of a remote deployment; it is a no-op
+// on a local one, so generic code can defer it unconditionally.
+func (d *Deployment) Close() {
+	if d.Fabric != nil {
+		d.Fabric.Close()
 	}
-	return total
 }
 
-// Close tears down the TCP sessions.
-func (d *RemoteDeployment) Close() { d.Fabric.Close() }
+// Stats returns the control-channel traffic counters of the underlying
+// plane.
+func (d *Deployment) Stats() Stats {
+	if d.Ctl != nil {
+		return d.Ctl.Stats
+	}
+	return d.Fabric.Stats
+}
+
+// Slot reserves the next service slot, for callers driving the core
+// installers directly against CP.
+func (d *Deployment) Slot() int { return d.slots.Next() }
+
+// observe registers a service's EtherTypes with the hop-trace decoder so
+// its events carry the decoded DFS state (start, par, cur). l may be nil
+// when the inner layout is not exposed (monitor); events are then labeled
+// but not decoded.
+func (d *Deployment) observe(m *metrics.ServiceMetrics, l *core.Layout) {
+	if d.Trace == nil {
+		return
+	}
+	var fields trace.FieldsFunc
+	if l != nil {
+		fields = func(sw int) []openflow.Field {
+			return []openflow.Field{l.Start, l.Par[sw], l.Cur[sw]}
+		}
+	}
+	for _, eth := range m.EtherTypes {
+		d.Trace.RegisterService(eth, m.Service, fields)
+	}
+}
 
 // InstallTraversal installs the bare template.
 func (d *Deployment) InstallTraversal() (*Traversal, error) {
-	return core.InstallTraversal(d.Ctl, d.Graph, d.slot())
+	slot := d.slots.Next()
+	m := d.reg.Register("traversal", slot, 1, core.EthTraversal)
+	tr, err := core.InstallTraversal(d.CP, d.Graph, slot)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, tr.L)
+	return tr, nil
 }
 
 // InstallSnapshot installs the topology snapshot service.
 func (d *Deployment) InstallSnapshot() (*Snapshot, error) {
-	return core.InstallSnapshot(d.Ctl, d.Graph, d.slot())
+	slot := d.slots.Next()
+	m := d.reg.Register("snapshot", slot, 1, core.EthSnapshot)
+	snap, err := core.InstallSnapshot(d.CP, d.Graph, slot)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, snap.L)
+	return snap, nil
 }
 
 // InstallSnapshotSplit installs the splitting snapshot with the given
 // per-fragment record budget.
 func (d *Deployment) InstallSnapshotSplit(budget int) (*SnapshotSplit, error) {
-	return core.InstallSnapshotSplit(d.Ctl, d.Graph, d.slot(), budget)
+	slot := d.slots.Next()
+	m := d.reg.Register("snapsplit", slot, 1, core.EthSnapSplit)
+	ss, err := core.InstallSnapshotSplit(d.CP, d.Graph, slot, budget)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, ss.L)
+	return ss, nil
 }
 
 // InstallAnycast installs the anycast service with the given groups
 // (group id -> member switches).
 func (d *Deployment) InstallAnycast(groups map[uint32][]int) (*Anycast, error) {
-	return core.InstallAnycast(d.Ctl, d.Graph, d.slot(), groups)
+	slot := d.slots.Next()
+	m := d.reg.Register("anycast", slot, 1, core.EthAnycast)
+	ac, err := core.InstallAnycast(d.CP, d.Graph, slot, groups)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, ac.L)
+	return ac, nil
 }
 
 // InstallPriocast installs the priocast service with the given groups.
 func (d *Deployment) InstallPriocast(groups map[uint32][]PrioMember) (*Priocast, error) {
-	return core.InstallPriocast(d.Ctl, d.Graph, d.slot(), groups)
+	slot := d.slots.Next()
+	m := d.reg.Register("priocast", slot, 1, core.EthPriocast)
+	pc, err := core.InstallPriocast(d.CP, d.Graph, slot, groups)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, pc.L)
+	return pc, nil
 }
 
 // InstallBlackholeTTL installs the TTL-probing blackhole detector.
 func (d *Deployment) InstallBlackholeTTL() (*BlackholeTTL, error) {
-	return core.InstallBlackholeTTL(d.Ctl, d.Graph, d.slot())
+	slot := d.slots.Next()
+	m := d.reg.Register("blackhole-ttl", slot, 1, core.EthBlackhole)
+	bh, err := core.InstallBlackholeTTL(d.CP, d.Graph, slot)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, bh.L)
+	return bh, nil
 }
 
 // InstallBlackholeCounter installs the smart-counter blackhole detector.
 func (d *Deployment) InstallBlackholeCounter() (*BlackholeCounter, error) {
-	return core.InstallBlackholeCounter(d.Ctl, d.Graph, d.slot())
+	slot := d.slots.Next()
+	m := d.reg.Register("blackhole-ctr", slot, 1, core.EthBlackhole, core.EthBlackholeChk)
+	bh, err := core.InstallBlackholeCounter(d.CP, d.Graph, slot)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, bh.L)
+	return bh, nil
 }
 
 // InstallPktLoss installs the packet-loss monitor (nil primes selects
 // core.DefaultPrimes).
 func (d *Deployment) InstallPktLoss(primes []int) (*PktLoss, error) {
-	return core.InstallPktLoss(d.Ctl, d.Graph, d.slot(), primes)
+	slot := d.slots.Next()
+	m := d.reg.Register("pktloss", slot, 1, core.EthPktLoss, core.EthData)
+	pl, err := core.InstallPktLoss(d.CP, d.Graph, slot, primes)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, pl.L)
+	return pl, nil
 }
 
 // InstallCritical installs the critical-node service.
 func (d *Deployment) InstallCritical() (*Critical, error) {
-	return core.InstallCritical(d.Ctl, d.Graph, d.slot())
+	slot := d.slots.Next()
+	m := d.reg.Register("critical", slot, 1, core.EthCritical)
+	cr, err := core.InstallCritical(d.CP, d.Graph, slot)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, cr.L)
+	return cr, nil
 }
 
 // InstallChaincast installs the service-chaining extension over the given
 // ordered middlebox groups (one service slot per stage).
 func (d *Deployment) InstallChaincast(chain [][]int) (*Chaincast, error) {
-	base := d.nextSlot
-	cc, err := core.InstallChaincast(d.Ctl, d.Graph, base, chain)
+	base := d.slots.Reserve(len(chain))
+	m := d.reg.Register("chaincast", base, len(chain), core.EthChaincast)
+	cc, err := core.InstallChaincast(d.CP, d.Graph, base, chain)
 	if err != nil {
 		return nil, err
 	}
-	d.nextSlot = base + cc.NumSlots()
+	d.observe(m, cc.L)
 	return cc, nil
 }
 
 // InstallLoadMap installs the load-inference extension. It owns the
 // EthData ingress rules, so it cannot share a deployment with PktLoss.
 func (d *Deployment) InstallLoadMap() (*LoadMap, error) {
-	return core.InstallLoadMap(d.Ctl, d.Graph, d.slot())
+	slot := d.slots.Next()
+	m := d.reg.Register("loadmap", slot, 1, core.EthLoadMap, core.EthData)
+	lm, err := core.InstallLoadMap(d.CP, d.Graph, slot)
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, lm.L)
+	return lm, nil
 }
 
 // InstallMonitor installs the troubleshooting monitor (snapshot diffing
 // from root; optional blackhole watchdog). It consumes two service slots.
 func (d *Deployment) InstallMonitor(root int, watchdog bool) (*Monitor, error) {
-	base := d.nextSlot
-	m, err := monitor.New(d.Ctl, d.Graph, base, root, watchdog)
+	base := d.slots.Reserve(2)
+	m := d.reg.Register("monitor", base, 2,
+		core.EthSnapshot, core.EthBlackhole, core.EthBlackholeChk)
+	mon, err := monitor.New(d.CP, d.Graph, base, root, watchdog)
 	if err != nil {
 		return nil, err
 	}
-	d.nextSlot = base + 2
-	return m, nil
+	d.observe(m, nil)
+	return mon, nil
 }
 
 // Uninstall removes every flow and group entry belonging to a service
-// slot (its table block, its group-ID range, and the table-0 dispatcher
-// rules steering into it) from all switches — flow-mod/group-mod DELETEs
-// in OpenFlow terms. Other services keep running; the slot is NOT reused
-// by future installs.
+// (its table blocks, its group-ID ranges, and the table-0 dispatcher
+// rules steering into them) from all switches — flow-mod/group-mod
+// DELETEs in OpenFlow terms. The slots to clear are derived from the
+// retained Programs: uninstalling any slot of a multi-slot service
+// (chaincast, monitor) removes the whole service. Other services keep
+// running; cleared slots are NOT reused by future installs.
 func (d *Deployment) Uninstall(slot int) {
-	tLo, tHi := 1+slot*10, 1+(slot+1)*10
-	gLo, gHi := uint32(slot)<<20, uint32(slot+1)<<20
-	for i := 0; i < d.Net.NumSwitches(); i++ {
-		sw := d.Net.Switch(i)
-		for t := tLo; t < tHi; t++ {
-			sw.ClearTable(t)
+	covered := map[int]bool{slot: true}
+	for _, p := range d.CP.Programs() {
+		if p.CoversSlot(slot) {
+			for s := p.Slot; s < p.Slot+core.SlotSpan(p); s++ {
+				covered[s] = true
+			}
 		}
-		sw.Table(0).RemoveIf(func(e *openflow.FlowEntry) bool {
-			return e.Goto >= tLo && e.Goto < tHi
-		})
-		sw.RemoveGroupRange(gLo, gHi)
 	}
-	d.Ctl.DropPrograms(slot)
+	for s := range covered {
+		tLo, tHi := core.SlotTables(s)
+		gLo, gHi := core.SlotGroups(s)
+		for i := 0; i < d.Net.NumSwitches(); i++ {
+			sw := d.Net.Switch(i)
+			for t := tLo; t < tHi; t++ {
+				sw.ClearTable(t)
+			}
+			sw.Table(0).RemoveIf(func(e *openflow.FlowEntry) bool {
+				return e.Goto >= tLo && e.Goto < tHi
+			})
+			sw.RemoveGroupRange(gLo, gHi)
+		}
+		d.CP.DropPrograms(s)
+	}
 }
 
-// Programs returns the installed programs the controller retains — the
+// Programs returns the installed programs the control plane retains — the
 // declarative record of every service's rule footprint.
 func (d *Deployment) Programs() []*Program {
-	return d.Ctl.Programs()
+	return d.CP.Programs()
+}
+
+// HitCounters reads the live rule-hit and group-bucket counters of the
+// programs covering slot — the per-rule view of where a service's packets
+// actually went (OFPMP_FLOW / OFPMP_GROUP in OpenFlow terms).
+func (d *Deployment) HitCounters(slot int) ([]RuleHit, []GroupHit) {
+	var rules []RuleHit
+	var groups []GroupHit
+	for _, p := range d.CP.Programs() {
+		if !p.CoversSlot(slot) {
+			continue
+		}
+		r, g := p.HitCounters(d.liveSwitch)
+		rules = append(rules, r...)
+		groups = append(groups, g...)
+	}
+	return rules, groups
+}
+
+func (d *Deployment) liveSwitch(sw int) *openflow.Switch { return d.Net.Switch(sw) }
+
+// MetricsSnapshot returns the per-service observability metrics, ordered
+// by slot, with the live rule-hit/group-bucket counters of each service's
+// retained programs attached.
+func (d *Deployment) MetricsSnapshot() []ServiceMetrics {
+	d.reg.ClearHits()
+	for _, p := range d.CP.Programs() {
+		r, g := p.HitCounters(d.liveSwitch)
+		d.reg.AttachHits(p.Slot, r, g)
+	}
+	return d.reg.Snapshot()
+}
+
+// MetricsJSON renders MetricsSnapshot as indented JSON.
+func (d *Deployment) MetricsJSON() ([]byte, error) {
+	return json.MarshalIndent(d.MetricsSnapshot(), "", "  ")
+}
+
+// Metrics exposes the live registry, for callers that want to reset it or
+// look up a service by EtherType.
+func (d *Deployment) Metrics() *MetricsRegistry { return d.reg }
+
+// TraceEvents returns the retained hop-trace events, oldest first (nil
+// without WithTrace).
+func (d *Deployment) TraceEvents() []TraceEvent {
+	if d.Trace == nil {
+		return nil
+	}
+	return d.Trace.Events()
 }
 
 // VerifyPrograms re-runs the pre-install static check over every retained
@@ -338,7 +551,7 @@ func (d *Deployment) Programs() []*Program {
 // intent (e.g. after topology or code changes) without touching switches.
 func (d *Deployment) VerifyPrograms() []VerifyIssue {
 	var all []VerifyIssue
-	for _, p := range d.Ctl.Programs() {
+	for _, p := range d.CP.Programs() {
 		all = append(all, verify.CheckProgram(p, verify.Options{})...)
 	}
 	return all
@@ -370,7 +583,7 @@ func (d *Deployment) OnDeliver(fn func(sw int, pkt *Packet)) {
 // claim, read off the declarative record rather than by walking switches.
 func (d *Deployment) ConfigBytes() int {
 	total := 0
-	for _, p := range d.Ctl.Programs() {
+	for _, p := range d.CP.Programs() {
 		total += p.Bytes()
 	}
 	return total
@@ -379,7 +592,7 @@ func (d *Deployment) ConfigBytes() int {
 // FlowEntries sums flow entries over all retained programs.
 func (d *Deployment) FlowEntries() int {
 	total := 0
-	for _, p := range d.Ctl.Programs() {
+	for _, p := range d.CP.Programs() {
 		total += p.FlowCount()
 	}
 	return total
@@ -388,7 +601,7 @@ func (d *Deployment) FlowEntries() int {
 // GroupEntries sums group entries over all retained programs.
 func (d *Deployment) GroupEntries() int {
 	total := 0
-	for _, p := range d.Ctl.Programs() {
+	for _, p := range d.CP.Programs() {
 		total += p.GroupCount()
 	}
 	return total
