@@ -48,7 +48,7 @@ func BenchmarkTable2Snapshot(b *testing.B) {
 				if err != nil || res == nil || len(res.Edges) != g.NumEdges() {
 					b.Fatal("bad snapshot")
 				}
-				inband = d.Net.InBandMsgs[core.EthSnapshot]
+				inband = d.Net.InBandCount(core.EthSnapshot)
 				outband = d.Ctl.Stats.RuntimeMsgs()
 				for _, pi := range d.Ctl.Inbox() {
 					reportBytes = pi.Pkt.Size()
@@ -87,7 +87,7 @@ func BenchmarkTable2Anycast(b *testing.B) {
 				if delivered != before+1 {
 					b.Fatal("not delivered")
 				}
-				inband = d.Net.InBandMsgs[core.EthAnycast]
+				inband = d.Net.InBandCount(core.EthAnycast)
 				outband = d.Ctl.Stats.RuntimeMsgs()
 			}
 			b.ReportMetric(float64(inband), "inband-msgs")
@@ -121,7 +121,7 @@ func BenchmarkTable2Priocast(b *testing.B) {
 				if delivered != n-1 {
 					b.Fatalf("delivered at %d, want the prio-9 member %d", delivered, n-1)
 				}
-				inband = d.Net.InBandMsgs[core.EthPriocast]
+				inband = d.Net.InBandCount(core.EthPriocast)
 				outband = d.Ctl.Stats.RuntimeMsgs()
 			}
 			b.ReportMetric(float64(inband), "inband-msgs")
@@ -157,7 +157,7 @@ func BenchmarkTable2Blackhole1(b *testing.B) {
 				if err != nil || rep == nil {
 					b.Fatalf("locate failed: %v %v", rep, err)
 				}
-				inband = d.Net.InBandMsgs[core.EthBlackhole]
+				inband = d.Net.InBandCount(core.EthBlackhole)
 				outband = d.Ctl.Stats.RuntimeMsgs()
 			}
 			b.ReportMetric(float64(outband), "outband-msgs")
@@ -201,7 +201,7 @@ func BenchmarkTable2Blackhole2(b *testing.B) {
 				if _, found, done := bh.Outcome(); !done || !found {
 					b.Fatal("detection failed")
 				}
-				inband = d.Net.InBandMsgs[core.EthBlackhole] + d.Net.InBandMsgs[core.EthBlackholeChk]
+				inband = d.Net.InBandCount(core.EthBlackhole) + d.Net.InBandCount(core.EthBlackholeChk)
 				outband = d.Ctl.Stats.RuntimeMsgs()
 			}
 			b.ReportMetric(float64(outband), "outband-msgs") // paper: 3
@@ -241,7 +241,7 @@ func BenchmarkTable2Critical(b *testing.B) {
 				if crit, ok := cr.Verdict(); !ok || crit {
 					b.Fatal("wrong verdict")
 				}
-				inband = d.Net.InBandMsgs[core.EthCritical]
+				inband = d.Net.InBandCount(core.EthCritical)
 				outband = d.Ctl.Stats.RuntimeMsgs()
 			}
 			b.ReportMetric(float64(inband), "inband-msgs")
@@ -291,7 +291,7 @@ func BenchmarkPacketLoss(b *testing.B) {
 			if _, done := pl.Reports(); !done {
 				b.Fatal("monitor incomplete")
 			}
-			inband = d.Net.InBandMsgs[core.EthPktLoss]
+			inband = d.Net.InBandCount(core.EthPktLoss)
 		}
 		b.ReportMetric(float64(inband), "inband-msgs")
 		b.ReportMetric(float64(fullSweep(g)), "paper-4E-2n")
@@ -328,7 +328,7 @@ func BenchmarkFailover(b *testing.B) {
 				if !tr.Completed() {
 					b.Fatal("traversal lost")
 				}
-				inband = d.Net.InBandMsgs[core.EthTraversal]
+				inband = d.Net.InBandCount(core.EthTraversal)
 			}
 			b.ReportMetric(float64(inband), "inband-msgs")
 			b.ReportMetric(0, "outband-msgs-during-failover")
@@ -392,7 +392,7 @@ func BenchmarkChaincast(b *testing.B) {
 				if visits != before+stages {
 					b.Fatal("chain incomplete")
 				}
-				inband = d.Net.InBandMsgs[core.EthChaincast]
+				inband = d.Net.InBandCount(core.EthChaincast)
 			}
 			b.ReportMetric(float64(inband), "inband-msgs")
 			b.ReportMetric(float64(stages*fullSweep(g)), "bound-stages-x-sweep")
@@ -444,7 +444,7 @@ func BenchmarkAblationDance(b *testing.B) {
 			if err := d.Run(); err != nil {
 				b.Fatal(err)
 			}
-			inband = d.Net.InBandMsgs[core.EthTraversal]
+			inband = d.Net.InBandCount(core.EthTraversal)
 		}
 		b.ReportMetric(float64(inband), "inband-msgs")
 	})
@@ -465,7 +465,7 @@ func BenchmarkAblationDance(b *testing.B) {
 			if _, found, done := bh.Outcome(); !done || found {
 				b.Fatal("healthy detection failed")
 			}
-			inband = d.Net.InBandMsgs[core.EthBlackhole]
+			inband = d.Net.InBandCount(core.EthBlackhole)
 		}
 		b.ReportMetric(float64(inband), "inband-msgs-dance-only")
 		b.ReportMetric(float64(6*g.NumEdges()-2*g.NumNodes()+2), "bound-6E-2n")
@@ -493,7 +493,7 @@ func BenchmarkMonitorRound(b *testing.B) {
 					b.Fatal(err)
 				}
 				outband = d.Ctl.Stats.RuntimeMsgs()
-				inband = d.Net.InBandMsgs[core.EthSnapshot]
+				inband = d.Net.InBandCount(core.EthSnapshot)
 			}
 			b.ReportMetric(float64(outband), "outband-msgs/round") // constant 2
 			b.ReportMetric(float64(inband), "inband-msgs/round")

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"smartsouth"
 	"smartsouth/internal/controller"
@@ -23,6 +24,7 @@ import (
 var (
 	sizes    = flag.String("sizes", "20,60,120,240", "comma-separated network sizes")
 	topoName = flag.String("topo", "random", "topology family: random|grid|fattree|ba|waxman")
+	parallel = flag.Int("parallel", 1, "worker count for the Table 2 sweep; 0 = GOMAXPROCS, >1 also reports the wall-clock speedup vs sequential")
 )
 
 func parseSizes() []int {
@@ -90,14 +92,36 @@ func main() {
 
 	fmt.Fprintln(w, "== Table 2: SmartSouth service complexities (paper formula vs measured) ==")
 	fmt.Fprintln(w, "service\tn\tE\tout-band paper\tout-band meas.\tin-band paper\tin-band meas.")
-	for _, n := range parseSizes() {
-		g := graph(n)
-		for _, r := range measureAll(g) {
+	ns := parseSizes()
+	rowsBySize := make([][]row, len(ns))
+	runTable2 := func(workers int) time.Duration {
+		start := time.Now()
+		// Each job deploys on its own graph and network; they share no
+		// state, which is what lets network.Sweep fan them out.
+		must(network.Sweep(len(ns), workers, func(i int) error {
+			rowsBySize[i] = measureAll(graph(ns[i]))
+			return nil
+		}))
+		return time.Since(start)
+	}
+	seqElapsed := runTable2(1)
+	var parElapsed time.Duration
+	if *parallel != 1 {
+		parElapsed = runTable2(*parallel)
+	}
+	for _, rs := range rowsBySize {
+		for _, r := range rs {
 			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d\t%s\t%d\n",
 				r.service, r.n, r.e, r.outPaper, r.outMeasured, r.inPaper, r.inMeasured)
 		}
 	}
 	w.Flush()
+	if *parallel != 1 {
+		fmt.Printf("(table 2 sweep: sequential %v, parallel[%d workers] %v, speedup %.2fx)\n",
+			seqElapsed.Round(time.Millisecond), *parallel,
+			parElapsed.Round(time.Millisecond),
+			float64(seqElapsed)/float64(parElapsed))
+	}
 
 	metricsTable()
 	latencyTable()
@@ -177,8 +201,8 @@ func latencyTable() {
 			trigger, eth := install(d)
 			trigger()
 			must(d.Run())
-			msgs := d.Net.InBandMsgs[eth]
-			bytes := d.Net.InBandBytes[eth]
+			msgs := d.Net.InBandCount(eth)
+			bytes := d.Net.InBandSize(eth)
 			avg := 0
 			if msgs > 0 {
 				avg = bytes / msgs
@@ -256,7 +280,7 @@ func measureAll(g *topo.Graph) []row {
 		must(d.Run())
 		rows = append(rows, row{"snapshot", n, e,
 			"1·O(1)+1·O(E)", d.Ctl.Stats.RuntimeMsgs(),
-			fmt.Sprintf("4E-2n=%d", sweep(g)), d.Net.InBandMsgs[core.EthSnapshot]})
+			fmt.Sprintf("4E-2n=%d", sweep(g)), d.Net.InBandCount(core.EthSnapshot)})
 	}
 	// Anycast (worst case: member is the last first-visited node).
 	{
@@ -269,7 +293,7 @@ func measureAll(g *topo.Graph) []row {
 		must(d.Run())
 		rows = append(rows, row{"anycast", n, e,
 			"0", d.Ctl.Stats.RuntimeMsgs(),
-			fmt.Sprintf("<=4E-2n=%d", sweep(g)), d.Net.InBandMsgs[core.EthAnycast]})
+			fmt.Sprintf("<=4E-2n=%d", sweep(g)), d.Net.InBandCount(core.EthAnycast)})
 	}
 	// Priocast (winner far from the root).
 	{
@@ -284,7 +308,7 @@ func measureAll(g *topo.Graph) []row {
 		must(d.Run())
 		rows = append(rows, row{"priocast", n, e,
 			"0", d.Ctl.Stats.RuntimeMsgs(),
-			fmt.Sprintf("<=8E-4n=%d", 2*sweep(g)), d.Net.InBandMsgs[core.EthPriocast]})
+			fmt.Sprintf("<=8E-4n=%d", 2*sweep(g)), d.Net.InBandCount(core.EthPriocast)})
 	}
 	// Blackhole 1 (TTL binary search) — only while 4E+2 fits the TTL.
 	if 4*e+2 <= 255 {
@@ -300,7 +324,7 @@ func measureAll(g *topo.Graph) []row {
 		}
 		rows = append(rows, row{"blackhole-1", n, e,
 			fmt.Sprintf("2·logE=%d", 2*log2ceil(e)), d.Ctl.Stats.RuntimeMsgs(),
-			fmt.Sprintf("~8E-4n=%d", 2*sweep(g)), d.Net.InBandMsgs[core.EthBlackhole]})
+			fmt.Sprintf("~8E-4n=%d", 2*sweep(g)), d.Net.InBandCount(core.EthBlackhole)})
 	}
 	// Blackhole 2 (smart counters).
 	{
@@ -316,7 +340,7 @@ func measureAll(g *topo.Graph) []row {
 		}
 		rows = append(rows, row{"blackhole-2", n, e,
 			"3", d.Ctl.Stats.RuntimeMsgs(),
-			fmt.Sprintf("~4E=%d", 4*e), d.Net.InBandMsgs[core.EthBlackhole] + d.Net.InBandMsgs[core.EthBlackholeChk]})
+			fmt.Sprintf("~4E=%d", 4*e), d.Net.InBandCount(core.EthBlackhole) + d.Net.InBandCount(core.EthBlackholeChk)})
 	}
 	// Critical (non-critical node: full sweep).
 	{
@@ -335,7 +359,7 @@ func measureAll(g *topo.Graph) []row {
 		must(d.Run())
 		rows = append(rows, row{"critical", n, e,
 			"2", d.Ctl.Stats.RuntimeMsgs(),
-			fmt.Sprintf("4E-2n=%d", sweep(g)), d.Net.InBandMsgs[core.EthCritical]})
+			fmt.Sprintf("4E-2n=%d", sweep(g)), d.Net.InBandCount(core.EthCritical)})
 	}
 	return rows
 }
@@ -399,7 +423,7 @@ func failoverTable() {
 			covered = len(res.Nodes)
 		}
 		fmt.Fprintf(w, "%d\t%v\t%d/%d\t%d\n", kills, res != nil, covered, g.NumNodes(),
-			d.Net.InBandMsgs[core.EthSnapshot])
+			d.Net.InBandCount(core.EthSnapshot))
 	}
 	w.Flush()
 }

@@ -51,8 +51,8 @@ func TestAnycastDeliversToAMember(t *testing.T) {
 		t.Errorf("out-band msgs = %d, want 0", c.Stats.RuntimeMsgs())
 	}
 	// In-band bounded by a full sweep.
-	if max := 4*g.NumEdges() - 2*g.NumNodes() + 2; net.InBandMsgs[EthAnycast] > max {
-		t.Errorf("in-band msgs = %d > full sweep %d", net.InBandMsgs[EthAnycast], max)
+	if max := 4*g.NumEdges() - 2*g.NumNodes() + 2; net.InBandCount(EthAnycast) > max {
+		t.Errorf("in-band msgs = %d > full sweep %d", net.InBandCount(EthAnycast), max)
 	}
 }
 
@@ -70,8 +70,8 @@ func TestAnycastSourceIsMember(t *testing.T) {
 	if len(*got) != 1 || (*got)[0].sw != 2 {
 		t.Fatalf("deliveries = %v", *got)
 	}
-	if net.InBandMsgs[EthAnycast] != 0 {
-		t.Errorf("in-band msgs = %d, want 0 (local exit)", net.InBandMsgs[EthAnycast])
+	if net.InBandCount(EthAnycast) != 0 {
+		t.Errorf("in-band msgs = %d, want 0 (local exit)", net.InBandCount(EthAnycast))
 	}
 }
 

@@ -257,8 +257,8 @@ func TestBlackholeCounterInBandLinear(t *testing.T) {
 		t.Fatal("no outcome")
 	}
 	e, n := g.NumEdges(), g.NumNodes()
-	dance := net.InBandMsgs[EthBlackhole]
-	check := net.InBandMsgs[EthBlackholeChk]
+	dance := net.InBandCount(EthBlackhole)
+	check := net.InBandCount(EthBlackholeChk)
 	if dance > 6*e-2*n+2 {
 		t.Errorf("dance in-band = %d > 6E-2n+2 = %d", dance, 6*e-2*n+2)
 	}

@@ -53,8 +53,8 @@ func TestChaincastVisitsStagesInOrder(t *testing.T) {
 		t.Errorf("out-band msgs = %d, want 0", c.Stats.RuntimeMsgs())
 	}
 	// Bounded by one sweep per stage.
-	if max := 3 * (4*g.NumEdges() - 2*g.NumNodes() + 2); net.InBandMsgs[EthChaincast] > max {
-		t.Errorf("in-band = %d > %d", net.InBandMsgs[EthChaincast], max)
+	if max := 3 * (4*g.NumEdges() - 2*g.NumNodes() + 2); net.InBandCount(EthChaincast) > max {
+		t.Errorf("in-band = %d > %d", net.InBandCount(EthChaincast), max)
 	}
 }
 

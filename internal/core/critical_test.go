@@ -88,7 +88,7 @@ func TestCriticalTable2Complexity(t *testing.T) {
 		t.Errorf("out-band msgs = %d, want 2 (request + verdict)", c.Stats.RuntimeMsgs())
 	}
 	want := 4*g.NumEdges() - 2*g.NumNodes() + 2
-	if got := net.InBandMsgs[EthCritical]; got != want {
+	if got := net.InBandCount(EthCritical); got != want {
 		t.Errorf("in-band msgs = %d, want %d", got, want)
 	}
 }

@@ -51,8 +51,8 @@ func TestTwoNodeSnapshot(t *testing.T) {
 		t.Fatalf("%d nodes %d edges", len(res.Nodes), len(res.Edges))
 	}
 	// 2 crossings on the single edge.
-	if net.InBandMsgs[EthSnapshot] != 2 {
-		t.Errorf("in-band = %d, want 2", net.InBandMsgs[EthSnapshot])
+	if net.InBandCount(EthSnapshot) != 2 {
+		t.Errorf("in-band = %d, want 2", net.InBandCount(EthSnapshot))
 	}
 }
 

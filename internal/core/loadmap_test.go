@@ -60,7 +60,7 @@ func TestLoadMapMatchesGroundTruth(t *testing.T) {
 		totalData += l.StatsAB.Delivered + l.StatsBA.Delivered
 	}
 	// Subtract monitor crossings (EthLoadMap) from the link ground truth:
-	monitorCrossings := net.InBandMsgs[EthLoadMap] // all delivered (no failures)
+	monitorCrossings := net.InBandCount(EthLoadMap) // all delivered (no failures)
 	if totalInferred != totalData-monitorCrossings {
 		t.Errorf("inferred total %d, ground truth data crossings %d",
 			totalInferred, totalData-monitorCrossings)

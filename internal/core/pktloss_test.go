@@ -69,7 +69,7 @@ func TestPktLossHealthyMonitorReportsNothing(t *testing.T) {
 		t.Errorf("out-band msgs = %d, want 2", c.Stats.RuntimeMsgs())
 	}
 	wantInBand := 4*g.NumEdges() - 2*g.NumNodes() + 2
-	if got := net.InBandMsgs[EthPktLoss]; got != wantInBand {
+	if got := net.InBandCount(EthPktLoss); got != wantInBand {
 		t.Errorf("monitor in-band = %d, want %d", got, wantInBand)
 	}
 }

@@ -36,8 +36,8 @@ func TestPriocastPicksHighestPriority(t *testing.T) {
 		t.Errorf("out-band msgs = %d, want 0 on success", c.Stats.RuntimeMsgs())
 	}
 	// Two traversals bound the in-band cost: 2*(4E-2n+2).
-	if max := 2 * (4*g.NumEdges() - 2*g.NumNodes() + 2); net.InBandMsgs[EthPriocast] > max {
-		t.Errorf("in-band = %d > %d", net.InBandMsgs[EthPriocast], max)
+	if max := 2 * (4*g.NumEdges() - 2*g.NumNodes() + 2); net.InBandCount(EthPriocast) > max {
+		t.Errorf("in-band = %d > %d", net.InBandCount(EthPriocast), max)
 	}
 }
 

@@ -183,7 +183,7 @@ func TestSnapshotTable2Complexity(t *testing.T) {
 		t.Errorf("out-band msgs: %d out + %d in, want 1+1", c.Stats.PacketOuts, c.Stats.PacketIns)
 	}
 	wantInBand := 4*g.NumEdges() - 2*g.NumNodes() + 2
-	if got := net.InBandMsgs[EthSnapshot]; got != wantInBand {
+	if got := net.InBandCount(EthSnapshot); got != wantInBand {
 		t.Errorf("in-band msgs = %d, want %d", got, wantInBand)
 	}
 	// The report message carries O(E) records: between E and 4E labels.

@@ -21,6 +21,14 @@ type Options struct {
 	MaxSteps int
 }
 
+// ethCounter is one interned per-EtherType accounting slot. The hot path
+// bumps these by index; the public map views are rebuilt on demand.
+type ethCounter struct {
+	eth   uint16
+	msgs  int
+	bytes int
+}
+
 // Network instantiates one openflow.Switch per graph node, one Link per
 // edge, and moves packets between them under the discrete-event clock.
 //
@@ -31,6 +39,11 @@ type Options struct {
 //     host, e.g. an anycast receiver).
 //   - OnHop, if set, observes every attempted link crossing, delivered or
 //     not — the ground-truth trace tests compare against the golden model.
+//
+// Packet ownership: packets passed to OnPacketIn and OnSelf belong to the
+// callback and may be retained. Packets seen by hop observers are only
+// valid for the duration of the callback — the simulator recycles them
+// once processed.
 type Network struct {
 	Sim   *Sim
 	Graph *topo.Graph
@@ -43,17 +56,28 @@ type Network struct {
 	OnPortChange func(sw, port int, up bool)
 
 	switches []*openflow.Switch
-	links    []*Link          // indexed like Graph.Edges()
-	byPort   map[[2]int]*Link // (switch, port) -> link
-	delay    Time
-	execObs  []ExecObserver
-	hopObs   []HopObserver
+	links    []*Link // indexed like Graph.Edges()
+	// portLinks[sw][port] is the link attached to (sw, port), nil for
+	// unconnected ports — a dense replacement for the old (switch, port)
+	// map, probed once per transmission.
+	portLinks [][]*Link
+	delay     Time
+	execObs   []ExecObserver
+	hopObs    []HopObserver
 
-	// InBandMsgs / InBandBytes count link transmissions per EtherType, the
-	// "in-band #msgs / size" columns of Table 2. Every transmission
-	// attempt counts (a message swallowed by a blackhole was still sent).
-	InBandMsgs  map[uint16]int
-	InBandBytes map[uint16]int
+	// scratch is the reusable pipeline Result for this network's
+	// single-threaded event loop; its slices are reset and reused on every
+	// execution so the steady-state hop path does not allocate.
+	scratch openflow.Result
+
+	// Interned in-band accounting (the "in-band #msgs / size" columns of
+	// Table 2). Every transmission attempt counts (a message swallowed by
+	// a blackhole was still sent). lastIdx caches the slot of the most
+	// recently counted EtherType: traversals send long runs of one type,
+	// so the common case is a single comparison instead of a map probe.
+	counters []ethCounter
+	ethIdx   map[uint16]int
+	lastIdx  int
 }
 
 // New builds a network for the graph.
@@ -62,24 +86,25 @@ func New(g *topo.Graph, opts Options) *Network {
 		opts.LinkDelay = 1000 // 1µs
 	}
 	n := &Network{
-		Sim:         &Sim{MaxSteps: opts.MaxSteps},
-		Graph:       g,
-		byPort:      make(map[[2]int]*Link),
-		delay:       opts.LinkDelay,
-		InBandMsgs:  make(map[uint16]int),
-		InBandBytes: make(map[uint16]int),
+		Sim:    &Sim{MaxSteps: opts.MaxSteps},
+		Graph:  g,
+		delay:  opts.LinkDelay,
+		ethIdx: make(map[uint16]int),
 	}
+	n.Sim.net = n
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n.switches = make([]*openflow.Switch, g.NumNodes())
+	n.portLinks = make([][]*Link, g.NumNodes())
 	for i := range n.switches {
 		n.switches[i] = openflow.NewSwitch(i, g.Degree(i))
+		n.portLinks[i] = make([]*Link, g.Degree(i)+1)
 	}
 	for _, e := range g.Edges() {
 		l := &Link{A: e.U, B: e.V, PortA: e.PU, PortB: e.PV, Delay: opts.LinkDelay,
 			rng: rand.New(rand.NewSource(rng.Int63()))}
 		n.links = append(n.links, l)
-		n.byPort[[2]int{e.U, e.PU}] = l
-		n.byPort[[2]int{e.V, e.PV}] = l
+		n.portLinks[e.U][e.PU] = l
+		n.portLinks[e.V][e.PV] = l
 	}
 	return n
 }
@@ -117,13 +142,22 @@ func (n *Network) Switch(id int) *openflow.Switch { return n.switches[id] }
 // NumSwitches returns the number of switches.
 func (n *Network) NumSwitches() int { return len(n.switches) }
 
+// linkAt returns the link attached to (sw, port), or nil.
+func (n *Network) linkAt(sw, port int) *Link {
+	pl := n.portLinks[sw]
+	if port < 1 || port >= len(pl) {
+		return nil
+	}
+	return pl[port]
+}
+
 // LinkBetween returns the link connecting u and v, or nil.
 func (n *Network) LinkBetween(u, v int) *Link {
 	p := n.Graph.PortTo(u, v)
 	if p == 0 {
 		return nil
 	}
-	return n.byPort[[2]int{u, p}]
+	return n.linkAt(u, p)
 }
 
 // Links returns all links, indexed like Graph.Edges().
@@ -210,63 +244,93 @@ func (n *Network) SetLoss(u, v int, p float64) error {
 
 // Inject schedules pkt to be processed by switch sw as if it arrived on
 // inPort at time t. Use openflow.PortController as inPort for packet-outs.
+// The caller keeps ownership of pkt: it is cloned at call time.
 func (n *Network) Inject(sw int, inPort int, pkt *openflow.Packet, t Time) {
-	p := pkt.Clone()
-	n.Sim.At(t, func() { n.process(sw, inPort, p) })
+	n.Sim.schedule(t, event{kind: evProcess, sw: sw, port: inPort, pkt: pkt.ClonePooled()})
 }
 
 // InjectActions schedules an action-list packet-out at switch sw (an
 // OFPT_PACKET_OUT that bypasses the tables), e.g. the LLDP probes of the
 // baseline discovery app.
 func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow.Packet, t Time) {
-	p := pkt.Clone()
+	p := pkt.ClonePooled()
 	n.Sim.At(t, func() {
 		res := n.switches[sw].Execute(p, actions)
 		for _, ob := range n.execObs {
 			ob(sw, openflow.PortController, p, &res)
 		}
-		n.dispatch(sw, res)
+		n.dispatch(sw, &res)
+		p.Release()
 	})
 }
 
-// process runs the pipeline and dispatches the emissions.
+// process runs the pipeline and dispatches the emissions. It reuses the
+// network's scratch Result; the simulator is single-threaded and the
+// emissions are consumed synchronously by dispatch, so nothing outlives
+// the call.
 func (n *Network) process(sw int, inPort int, pkt *openflow.Packet) {
-	res := n.switches[sw].Receive(pkt, inPort)
+	n.switches[sw].ReceiveInto(pkt, inPort, &n.scratch)
 	for _, ob := range n.execObs {
-		ob(sw, inPort, pkt, &res)
+		ob(sw, inPort, pkt, &n.scratch)
 	}
-	n.dispatch(sw, res)
+	n.dispatch(sw, &n.scratch)
 }
 
 // dispatch routes pipeline emissions to links, the controller, or the
-// local host.
-func (n *Network) dispatch(sw int, res openflow.Result) {
+// local host. It consumes the emission packets: every packet is either
+// handed to an attachment callback (which takes ownership), scheduled for
+// delivery (released after processing), or released here.
+func (n *Network) dispatch(sw int, res *openflow.Result) {
 	for _, em := range res.Emissions {
 		switch {
 		case em.Port == openflow.PortController:
 			if n.OnPacketIn != nil {
-				p := em.Pkt
-				n.Sim.After(0, func() { n.OnPacketIn(sw, p) })
+				n.Sim.schedule(n.Sim.now, event{kind: evPacketIn, sw: sw, pkt: em.Pkt})
+			} else {
+				em.Pkt.Release()
 			}
 		case em.Port == openflow.PortSelf:
 			if n.OnSelf != nil {
-				p := em.Pkt
-				n.Sim.After(0, func() { n.OnSelf(sw, p) })
+				n.Sim.schedule(n.Sim.now, event{kind: evSelf, sw: sw, pkt: em.Pkt})
+			} else {
+				em.Pkt.Release()
 			}
 		case em.Port >= 1:
 			n.send(sw, em.Port, em.Pkt)
+		default:
+			em.Pkt.Release()
 		}
 	}
 }
 
-// send puts a packet on the link attached to (sw, port).
-func (n *Network) send(sw, port int, pkt *openflow.Packet) {
-	l := n.byPort[[2]int{sw, port}]
-	if l == nil {
-		return // unconnected port: frame disappears, like real hardware
+// countInBand bumps the interned per-EtherType transmission counters.
+func (n *Network) countInBand(eth uint16, size int) {
+	idx := n.lastIdx
+	if idx >= len(n.counters) || n.counters[idx].eth != eth {
+		var ok bool
+		idx, ok = n.ethIdx[eth]
+		if !ok {
+			idx = len(n.counters)
+			n.counters = append(n.counters, ethCounter{eth: eth})
+			n.ethIdx[eth] = idx
+		}
+		n.lastIdx = idx
 	}
-	n.InBandMsgs[pkt.EthType]++
-	n.InBandBytes[pkt.EthType] += pkt.Size()
+	c := &n.counters[idx]
+	c.msgs++
+	c.bytes += size
+}
+
+// send puts a packet on the link attached to (sw, port), taking ownership
+// of pkt.
+func (n *Network) send(sw, port int, pkt *openflow.Packet) {
+	l := n.linkAt(sw, port)
+	if l == nil {
+		// Unconnected port: frame disappears, like real hardware.
+		pkt.Release()
+		return
+	}
+	n.countInBand(pkt.EthType, pkt.Size())
 	to, toPort, delivered := l.transmit(sw)
 	if n.OnHop != nil || len(n.hopObs) > 0 {
 		h := Hop{From: sw, FromPort: port, To: to, ToPort: toPort}
@@ -278,29 +342,73 @@ func (n *Network) send(sw, port int, pkt *openflow.Packet) {
 		}
 	}
 	if !delivered {
+		pkt.Release()
 		return
 	}
-	p := pkt // already a private clone from the emission
-	n.Sim.After(l.Delay, func() { n.process(to, toPort, p) })
+	n.Sim.schedule(n.Sim.now+l.Delay, event{kind: evProcess, sw: to, port: toPort, pkt: pkt})
 }
 
 // Run drains the event queue.
 func (n *Network) Run() (int, error) { return n.Sim.Run() }
 
+// InBandMsgs returns the per-EtherType link-transmission counts as a map,
+// rebuilt from the interned counters on every call. Use InBandCount for a
+// single EtherType on a hot path.
+func (n *Network) InBandMsgs() map[uint16]int {
+	out := make(map[uint16]int, len(n.counters))
+	for _, c := range n.counters {
+		if c.msgs > 0 {
+			out[c.eth] = c.msgs
+		}
+	}
+	return out
+}
+
+// InBandBytes returns the per-EtherType transmitted byte counts as a map,
+// rebuilt on every call. Use InBandSize for a single EtherType.
+func (n *Network) InBandBytes() map[uint16]int {
+	out := make(map[uint16]int, len(n.counters))
+	for _, c := range n.counters {
+		if c.msgs > 0 {
+			out[c.eth] = c.bytes
+		}
+	}
+	return out
+}
+
+// InBandCount returns the transmission count of one EtherType.
+func (n *Network) InBandCount(eth uint16) int {
+	if idx, ok := n.ethIdx[eth]; ok {
+		return n.counters[idx].msgs
+	}
+	return 0
+}
+
+// InBandSize returns the transmitted bytes of one EtherType.
+func (n *Network) InBandSize(eth uint16) int {
+	if idx, ok := n.ethIdx[eth]; ok {
+		return n.counters[idx].bytes
+	}
+	return 0
+}
+
 // TotalInBand sums message counts across all EtherTypes.
 func (n *Network) TotalInBand() int {
 	total := 0
-	for _, c := range n.InBandMsgs {
-		total += c
+	for _, c := range n.counters {
+		total += c.msgs
 	}
 	return total
 }
 
 // ResetAccounting clears the in-band counters (link DirStats included) so
-// an experiment can measure a single phase.
+// an experiment can measure a single phase. The EtherType intern table
+// survives — only the counts reset.
 func (n *Network) ResetAccounting() {
-	n.InBandMsgs = make(map[uint16]int)
-	n.InBandBytes = make(map[uint16]int)
+	for i := range n.counters {
+		n.counters[i].msgs = 0
+		n.counters[i].bytes = 0
+	}
 	for _, l := range n.links {
 		l.StatsAB = DirStats{}
 		l.StatsBA = DirStats{}

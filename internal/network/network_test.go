@@ -51,8 +51,8 @@ func TestDeliveryAcrossALine(t *testing.T) {
 		t.Fatalf("delivered to %v, want [4]", got)
 	}
 	// 3 link crossings: 1->2, 2->3, 3->4.
-	if n.InBandMsgs[testEth] != 3 {
-		t.Errorf("in-band msgs = %d, want 3", n.InBandMsgs[testEth])
+	if n.InBandCount(testEth) != 3 {
+		t.Errorf("in-band msgs = %d, want 3", n.InBandCount(testEth))
 	}
 	if n.Sim.Now() != 3*1000 {
 		t.Errorf("clock = %d, want 3000 (3 hops at 1µs)", n.Sim.Now())

@@ -1,0 +1,7 @@
+//go:build !race
+
+package network
+
+// raceEnabled reports whether the race detector is compiled in; see the
+// race-tagged counterpart.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package network
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, so the alloc-guard tests skip themselves under -race.
+const raceEnabled = true

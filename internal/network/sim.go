@@ -6,38 +6,68 @@
 // the paper's Table 2.
 package network
 
-import "container/heap"
+import "smartsouth/internal/openflow"
 
 // Time is simulation time in nanoseconds.
 type Time int64
 
-// event is one scheduled callback. seq breaks ties so simultaneous events
-// run in schedule order, keeping the simulation deterministic.
+// eventKind selects the typed payload of an event. The per-hop path
+// (process, packet-in, self-delivery) uses typed records carrying switch,
+// port and packet fields so that scheduling a hop allocates nothing; the
+// generic callback kind remains for control-plane timers and scheduled
+// topology changes, which are rare.
+type eventKind uint8
+
+const (
+	// evFunc runs a generic callback (timers, scheduled link failures,
+	// explicit action-list packet-outs).
+	evFunc eventKind = iota
+	// evProcess runs the pipeline of switch sw for pkt arriving on port,
+	// then releases pkt to the packet freelist — the simulator owns every
+	// in-fabric packet between its emission and its processing.
+	evProcess
+	// evPacketIn delivers pkt to the network's OnPacketIn attachment (the
+	// out-of-band controller channel). The callback takes ownership; the
+	// packet is never recycled.
+	evPacketIn
+	// evSelf delivers pkt to OnSelf (the switch-local host). The callback
+	// takes ownership.
+	evSelf
+)
+
+// event is one scheduled occurrence. seq breaks ties so simultaneous
+// events run in schedule order, keeping the simulation deterministic: the
+// (at, seq) pair is a strict total order, so the pop sequence is the same
+// for any correct heap implementation.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	kind eventKind
+	sw   int
+	port int
+	pkt  *openflow.Packet
+	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// Sim is a minimal deterministic discrete-event loop.
+// Sim is a minimal deterministic discrete-event loop. The heap is
+// hand-rolled over a plain event slice: container/heap would box every
+// pushed event into an interface value, which is an allocation per
+// scheduled hop.
 type Sim struct {
 	now    Time
 	seq    uint64
-	events eventHeap
-	steps  int
+	events []event
+
+	// net receives the typed packet events; set by network.New. A zero
+	// Sim still runs evFunc events.
+	net *Network
 
 	// MaxSteps bounds the number of events processed per Run call, so a
 	// miscompiled rule set that ping-pongs a packet forever surfaces as
@@ -50,14 +80,66 @@ const defaultMaxSteps = 10_000_000
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }
 
-// At schedules fn to run at absolute time t (clamped to now for past
-// times).
-func (s *Sim) At(t Time, fn func()) {
+// push inserts e into the heap (sift-up).
+func (s *Sim) push(e event) {
+	s.events = append(s.events, e)
+	h := s.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated tail
+// slot is zeroed so the heap's backing array does not pin packets or
+// closures after they run.
+func (s *Sim) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	s.events = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l].less(&h[min]) {
+			min = l
+		}
+		if r < n && h[r].less(&h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// schedule enqueues a typed event at absolute time t (clamped to now for
+// past times).
+func (s *Sim) schedule(t Time, e event) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	e.at, e.seq = t, s.seq
+	s.push(e)
+}
+
+// At schedules fn to run at absolute time t (clamped to now for past
+// times).
+func (s *Sim) At(t Time, fn func()) {
+	s.schedule(t, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -81,9 +163,23 @@ func (s *Sim) Run() (int, error) {
 		if processed >= limit {
 			return processed, ErrEventLimit{Steps: processed}
 		}
-		e := heap.Pop(&s.events).(event)
+		e := s.pop()
 		s.now = e.at
-		e.fn()
+		switch e.kind {
+		case evFunc:
+			e.fn()
+		case evProcess:
+			s.net.process(e.sw, e.port, e.pkt)
+			e.pkt.Release()
+		case evPacketIn:
+			if s.net.OnPacketIn != nil {
+				s.net.OnPacketIn(e.sw, e.pkt)
+			}
+		case evSelf:
+			if s.net.OnSelf != nil {
+				s.net.OnSelf(e.sw, e.pkt)
+			}
+		}
 		processed++
 	}
 	return processed, nil

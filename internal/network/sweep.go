@@ -1,0 +1,63 @@
+package network
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs n independent jobs across a bounded worker pool and returns
+// the join of their errors (nil when all succeed).
+//
+// Each job must be self-contained: build its own Network (or deployment),
+// run it, and record results into caller-owned per-index storage. A
+// Network and its Sim are single-goroutine structures — they must never be
+// shared between jobs — but independent networks compose freely: the only
+// process-global state on the hot path is the packet freelist, which is a
+// sync.Pool and safe under concurrency. Within one job the simulation is
+// exactly as deterministic as a sequential run; only the interleaving
+// *between* jobs varies, which is unobservable as long as jobs do not
+// share state.
+//
+// workers <= 0 selects GOMAXPROCS. With workers == 1 (or n == 1) the jobs
+// run sequentially on the calling goroutine in index order, which is the
+// reference behaviour parallel runs are compared against.
+func Sweep(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = job(i)
+		}
+		return errors.Join(errs...)
+	}
+	// Dynamic work stealing via a shared counter: jobs vary wildly in cost
+	// (a Ring(240) sweep dwarfs a Ring(20) one), so pre-partitioning the
+	// index space would leave workers idle behind the largest stratum.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -62,6 +62,39 @@ func BenchmarkTableLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkTableLookupIndexed measures lookup with exact-EtherType rules —
+// the shape every SmartSouth-compiled rule has — against how many services
+// share the table. The (EtherType, InPort) dispatch index confines a probe
+// to the querying service's own bucket, so cost stays flat as services
+// multiply, where a flat scan would grow linearly.
+func BenchmarkTableLookupIndexed(b *testing.B) {
+	f := Field{Off: 0, Bits: 16}
+	const rulesPerService = 16
+	for _, services := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("services=%d", services), func(b *testing.B) {
+			t := &FlowTable{}
+			for s := 0; s < services; s++ {
+				eth := uint16(0x0900 + s)
+				for i := 0; i < rulesPerService; i++ {
+					t.Add(&FlowEntry{Priority: i,
+						Match: MatchEth(eth).WithInPort(1).WithField(f, uint64(i)),
+						Goto:  NoGoto})
+				}
+			}
+			// Worst case within the bucket: the lowest-priority rule.
+			p := NewPacket(0x0900, 4)
+			p.InPort = 1
+			p.Store(f, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if t.Lookup(p) == nil {
+					b.Fatal("lookup failed")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPipeline runs a 3-table pipeline with a fast-failover group,
 // approximating one SmartSouth hop.
 func BenchmarkPipeline(b *testing.B) {

@@ -3,6 +3,7 @@ package openflow
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // NoGoto marks a flow entry that ends pipeline processing at this table.
@@ -25,6 +26,13 @@ type FlowEntry struct {
 	// *match* on this counter — that limitation is exactly why the paper
 	// introduces smart counters built from round-robin groups.
 	Packets uint64
+
+	// seq is the table-assigned insertion sequence number; together with
+	// Priority it totally orders entries (priority desc, insertion asc),
+	// which is what lets the dispatch index compare candidates from
+	// different buckets. Assigned by FlowTable.Add — an entry therefore
+	// belongs to at most one table, like a real ofp_flow_mod.
+	seq uint64
 }
 
 func (e *FlowEntry) String() string {
@@ -40,36 +48,140 @@ func (e *FlowEntry) EntryBytes() int {
 	return 56 + 8*e.Match.NumCriteria() + 8*len(e.Actions)
 }
 
+// anyInPort is the bucket-key sentinel for entries that wildcard the
+// ingress port. It cannot collide with a packet's InPort: reserved ports
+// are small negative constants and physical ports are small positives.
+const anyInPort = int32(-1 << 30)
+
+// ftKey is the exact-match dispatch key of an entry: its EtherType plus,
+// where present, its ingress port. Entries that wildcard the EtherType do
+// not get a key and live on the wildcard list instead.
+type ftKey struct {
+	eth int32
+	in  int32
+}
+
 // FlowTable is a priority-ordered set of flow entries. Lookup returns the
 // highest-priority matching entry; ties are broken by insertion order,
 // matching the "overlapping entries are unspecified, first-add wins"
 // behaviour switches exhibit in practice.
+//
+// Internally the table keeps a dispatch index alongside the ordered entry
+// list: entries with an exact EtherType are bucketed by (EtherType,
+// InPort) — InPort collapsing to a wildcard slot when the entry does not
+// constrain it — so a lookup probes two small buckets plus the wildcard
+// list instead of scanning every entry. Every SmartSouth-compiled rule
+// carries an exact EtherType, so the wildcard list is empty in practice
+// and the probe cost is bounded by the handful of same-service,
+// same-port rules.
 type FlowTable struct {
 	ID      int
 	entries []*FlowEntry
+
+	seq     uint64                 // next insertion sequence number
+	buckets map[ftKey][]*FlowEntry // exact-EtherType dispatch index
+	wild    []*FlowEntry           // entries with a wildcarded EtherType
+}
+
+// keyOf classifies an entry for the dispatch index. ok is false when the
+// entry wildcards the EtherType and must go on the wildcard list.
+func keyOf(m Match) (k ftKey, ok bool) {
+	if m.EthType == AnyEthType {
+		return ftKey{}, false
+	}
+	k = ftKey{eth: int32(m.EthType), in: anyInPort}
+	if m.InPort != AnyPort {
+		k.in = int32(m.InPort)
+	}
+	return k, true
+}
+
+// insertOrdered places e into list keeping (priority desc, seq asc) order.
+// Equal-priority entries are ordered by insertion sequence, so a bucket
+// scan preserves first-add-wins exactly like the flat entry list.
+func insertOrdered(list []*FlowEntry, e *FlowEntry) []*FlowEntry {
+	i := sort.Search(len(list), func(i int) bool {
+		if list[i].Priority != e.Priority {
+			return list[i].Priority < e.Priority
+		}
+		return list[i].seq > e.seq
+	})
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
 }
 
 // Add inserts an entry, keeping the table sorted by descending priority.
 // The insertion point is found by binary search and equal-priority entries
 // are inserted after existing ones, preserving first-add-wins lookup order
-// without re-sorting the whole table on every install.
+// without re-sorting the whole table on every install. The dispatch index
+// is maintained incrementally.
 func (t *FlowTable) Add(e *FlowEntry) {
+	e.seq = t.seq
+	t.seq++
 	i := sort.Search(len(t.entries), func(i int) bool {
 		return t.entries[i].Priority < e.Priority
 	})
 	t.entries = append(t.entries, nil)
 	copy(t.entries[i+1:], t.entries[i:])
 	t.entries[i] = e
+
+	if k, ok := keyOf(e.Match); ok {
+		if t.buckets == nil {
+			t.buckets = make(map[ftKey][]*FlowEntry)
+		}
+		t.buckets[k] = insertOrdered(t.buckets[k], e)
+	} else {
+		t.wild = insertOrdered(t.wild, e)
+	}
 }
 
-// Lookup returns the first matching entry, or nil for a table miss.
-func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
-	for _, e := range t.entries {
+// firstMatch returns the first entry of list matching p. Lists are kept in
+// (priority desc, seq asc) order, so the first match is the best of its
+// list.
+func firstMatch(list []*FlowEntry, p *Packet) *FlowEntry {
+	for _, e := range list {
 		if e.Match.Matches(p) {
 			return e
 		}
 	}
 	return nil
+}
+
+// better returns the entry that wins overall ordering: higher priority, or
+// earlier insertion on a tie. Either argument may be nil.
+func better(a, b *FlowEntry) *FlowEntry {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.Priority != b.Priority {
+		if a.Priority > b.Priority {
+			return a
+		}
+		return b
+	}
+	if a.seq <= b.seq {
+		return a
+	}
+	return b
+}
+
+// Lookup returns the first matching entry, or nil for a table miss. It
+// probes the (EtherType, InPort) bucket, the (EtherType, any-port) bucket
+// and the wildcard list; each is internally ordered, so the best of the
+// three first-matches is exactly the entry a full priority-ordered scan
+// would have returned. Lookup does not allocate.
+func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
+	var best *FlowEntry
+	if t.buckets != nil {
+		best = firstMatch(t.buckets[ftKey{eth: int32(p.EthType), in: int32(p.InPort)}], p)
+		best = better(best, firstMatch(t.buckets[ftKey{eth: int32(p.EthType), in: anyInPort}], p))
+	}
+	return better(best, firstMatch(t.wild, p))
 }
 
 // ByCookie returns the first entry with exactly the given cookie, or nil.
@@ -89,21 +201,15 @@ func (t *FlowTable) ByCookie(cookie string) *FlowEntry {
 // prefix (the OFPFC_DELETE-by-cookie-mask idiom), returning how many were
 // removed.
 func (t *FlowTable) RemoveByCookiePrefix(prefix string) int {
-	kept := t.entries[:0]
-	removed := 0
-	for _, e := range t.entries {
-		if len(e.Cookie) >= len(prefix) && e.Cookie[:len(prefix)] == prefix {
-			removed++
-			continue
-		}
-		kept = append(kept, e)
-	}
-	t.entries = kept
-	return removed
+	return t.RemoveIf(func(e *FlowEntry) bool {
+		return strings.HasPrefix(e.Cookie, prefix)
+	})
 }
 
 // RemoveIf deletes every entry the predicate selects, returning the
-// count.
+// count. The compacted tail of the backing array is cleared so removed
+// entries do not linger half-alive, and the dispatch index is rebuilt from
+// the survivors.
 func (t *FlowTable) RemoveIf(pred func(*FlowEntry) bool) int {
 	kept := t.entries[:0]
 	removed := 0
@@ -114,14 +220,42 @@ func (t *FlowTable) RemoveIf(pred func(*FlowEntry) bool) int {
 		}
 		kept = append(kept, e)
 	}
+	// Nil out the compaction tail: the backing array otherwise keeps the
+	// removed entries (and their action lists) reachable indefinitely.
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
 	t.entries = kept
+	if removed > 0 {
+		t.reindex()
+	}
 	return removed
 }
 
-// Clear removes every entry.
+// reindex rebuilds the dispatch index from the (already ordered) entry
+// list. Removal is a control-plane operation, so an O(n) rebuild is the
+// simple way to keep the index exact.
+func (t *FlowTable) reindex() {
+	t.buckets = nil
+	t.wild = nil
+	for _, e := range t.entries {
+		if k, ok := keyOf(e.Match); ok {
+			if t.buckets == nil {
+				t.buckets = make(map[ftKey][]*FlowEntry)
+			}
+			t.buckets[k] = append(t.buckets[k], e)
+		} else {
+			t.wild = append(t.wild, e)
+		}
+	}
+}
+
+// Clear removes every entry and drops the dispatch index.
 func (t *FlowTable) Clear() int {
 	n := len(t.entries)
 	t.entries = nil
+	t.buckets = nil
+	t.wild = nil
 	return n
 }
 

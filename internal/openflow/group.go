@@ -106,17 +106,22 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 	switch g.Type {
 	case GroupAll:
 		for i := range g.Buckets {
-			c := p.Clone()
-			x.trace("group %d bucket %d (all)", g.ID, i)
+			c := p.ClonePooled()
+			if x.sw.Tracing {
+				x.trace("group %d bucket %d (all)", g.ID, i)
+			}
 			x.step(g, i)
 			g.Buckets[i].Packets++
 			for _, a := range g.Buckets[i].Actions {
 				a.Apply(x, c)
 			}
+			c.Release()
 		}
 	case GroupIndirect:
 		if len(g.Buckets) > 0 {
-			x.trace("group %d bucket 0 (indirect)", g.ID)
+			if x.sw.Tracing {
+				x.trace("group %d bucket 0 (indirect)", g.ID)
+			}
 			x.step(g, 0)
 			g.Buckets[0].Packets++
 			for _, a := range g.Buckets[0].Actions {
@@ -128,7 +133,9 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 			if b.WatchPort != WatchNone && !x.sw.PortLive(b.WatchPort) {
 				continue
 			}
-			x.trace("group %d bucket %d (ff, watch %d)", g.ID, i, b.WatchPort)
+			if x.sw.Tracing {
+				x.trace("group %d bucket %d (ff, watch %d)", g.ID, i, b.WatchPort)
+			}
 			x.step(g, i)
 			g.Buckets[i].Packets++
 			for _, a := range b.Actions {
@@ -136,7 +143,9 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 			}
 			return
 		}
-		x.trace("group %d: no live bucket, drop", g.ID)
+		if x.sw.Tracing {
+			x.trace("group %d: no live bucket, drop", g.ID)
+		}
 		x.step(g, -1)
 	case GroupSelectRR:
 		if len(g.Buckets) == 0 {
@@ -144,7 +153,9 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 		}
 		i := g.rr
 		g.rr = (g.rr + 1) % len(g.Buckets)
-		x.trace("group %d bucket %d (select-rr)", g.ID, i)
+		if x.sw.Tracing {
+			x.trace("group %d bucket %d (select-rr)", g.ID, i)
+		}
 		x.step(g, i)
 		g.Buckets[i].Packets++
 		for _, a := range g.Buckets[i].Actions {

@@ -1,6 +1,9 @@
 package openflow
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Reserved output port numbers, mirroring the OFPP_* reserved ports of
 // OpenFlow 1.3. Physical ports are numbered 1..NumPorts; 0 is never a valid
@@ -50,6 +53,37 @@ func (p *Packet) Clone() *Packet {
 	q.Labels = append([]uint32(nil), p.Labels...)
 	q.Payload = append([]byte(nil), p.Payload...)
 	return q
+}
+
+// pktPool is the process-wide packet freelist. Pooled packets keep their
+// Tag/Labels/Payload backing arrays between uses, so a steady-state hop
+// (clone at emission, clone at pipeline entry) recycles buffers instead of
+// allocating. The pool is safe for concurrent use, which is what lets the
+// parallel sweep runner share it across simulations.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// ClonePooled returns a deep copy of p backed by the packet freelist.
+//
+// Ownership rules: the caller owns the clone and must either hand it off
+// permanently (e.g. deliver it to user code, which may retain it — such
+// packets are simply never released) or call Release exactly once when the
+// packet is dead. Releasing a packet that anyone still references is a
+// use-after-free-style bug: the pool will recycle and overwrite it.
+func (p *Packet) ClonePooled() *Packet {
+	q := pktPool.Get().(*Packet)
+	q.EthType, q.TTL, q.InPort = p.EthType, p.TTL, p.InPort
+	q.Tag = append(q.Tag[:0], p.Tag...)
+	q.Labels = append(q.Labels[:0], p.Labels...)
+	q.Payload = append(q.Payload[:0], p.Payload...)
+	return q
+}
+
+// Release returns a dead packet to the freelist. Only release packets you
+// own (see ClonePooled); never release a packet delivered to a callback or
+// stored in a Result you returned to a caller. Releasing a non-pooled
+// packet is allowed — it just donates its buffers to the pool.
+func (p *Packet) Release() {
+	pktPool.Put(p)
 }
 
 // Size returns the wire size of the packet in bytes, used for the message

@@ -50,6 +50,16 @@ type Result struct {
 	GroupSteps []GroupStep
 }
 
+// reset clears the result for reuse, keeping the backing arrays so a
+// steady-state pipeline execution appends into already-grown slices.
+func (r *Result) reset() {
+	r.Emissions = r.Emissions[:0]
+	r.Matched = false
+	r.Trace = r.Trace[:0]
+	r.Steps = r.Steps[:0]
+	r.GroupSteps = r.GroupSteps[:0]
+}
+
 // ExecContext threads pipeline state through action execution.
 type ExecContext struct {
 	sw         *Switch
@@ -58,7 +68,7 @@ type ExecContext struct {
 }
 
 func (x *ExecContext) emit(port int, p *Packet) {
-	x.res.Emissions = append(x.res.Emissions, Emission{Port: port, Pkt: p.Clone()})
+	x.res.Emissions = append(x.res.Emissions, Emission{Port: port, Pkt: p.ClonePooled()})
 }
 
 func (x *ExecContext) trace(format string, args ...any) {
@@ -98,6 +108,12 @@ type Switch struct {
 	tables map[int]*FlowTable
 	groups map[uint32]*GroupEntry
 	live   []bool // index 1..NumPorts
+
+	// xc is the reusable execution context for ReceiveInto. A switch
+	// processes one packet at a time (the simulator is single-threaded per
+	// network), so a single scratch context per switch suffices and keeps
+	// the hot path from allocating one per packet.
+	xc ExecContext
 
 	// RxPackets / TxPackets count per-port traffic (ofp_port_stats).
 	RxPackets []uint64
@@ -222,14 +238,18 @@ func (sw *Switch) SetPortLive(port int, up bool) {
 func (sw *Switch) applyGroup(x *ExecContext, id uint32, p *Packet) {
 	g := sw.groups[id]
 	if g == nil {
-		x.trace("group %d: not installed, drop", id)
+		if x.sw.Tracing {
+			x.trace("group %d: not installed, drop", id)
+		}
 		if sw.Record {
 			x.res.GroupSteps = append(x.res.GroupSteps, GroupStep{Group: id, Bucket: -1})
 		}
 		return
 	}
 	if x.groupDepth >= maxGroupDepth {
-		x.trace("group %d: max chaining depth, drop", id)
+		if x.sw.Tracing {
+			x.trace("group %d: max chaining depth, drop", id)
+		}
 		return
 	}
 	x.groupDepth++
@@ -240,32 +260,51 @@ func (sw *Switch) applyGroup(x *ExecContext, id uint32, p *Packet) {
 // Receive runs one packet through the pipeline starting at table 0. The
 // packet is cloned internally, so the caller's packet is never mutated.
 // inPort is the ingress physical port (or PortController for a packet-out
-// that requests pipeline processing).
+// that requests pipeline processing). The returned Result is fresh and
+// belongs to the caller; the network's event loop uses ReceiveInto with a
+// reusable Result instead.
 func (sw *Switch) Receive(pkt *Packet, inPort int) Result {
+	var res Result
+	sw.ReceiveInto(pkt, inPort, &res)
+	return res
+}
+
+// ReceiveInto runs one packet through the pipeline, writing the outcome
+// into res (which is reset first, reusing its backing arrays). Emission
+// packets are pool-backed clones owned by the caller: each must be handed
+// off or released exactly once. The steady-state path allocates nothing.
+func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
+	res.reset()
 	if inPort >= 1 && inPort <= sw.NumPorts {
 		sw.RxPackets[inPort]++
 	}
-	p := pkt.Clone()
+	p := pkt.ClonePooled()
 	p.InPort = inPort
 
-	res := Result{}
-	x := &ExecContext{sw: sw, res: &res}
+	x := &sw.xc
+	x.sw, x.res, x.groupDepth = sw, res, 0
 
 	table := 0
 	for {
 		t := sw.tables[table]
 		if t == nil {
-			x.trace("table %d: absent, miss", table)
+			if x.sw.Tracing {
+				x.trace("table %d: absent, miss", table)
+			}
 			break
 		}
 		e := t.Lookup(p)
 		if e == nil {
-			x.trace("table %d: miss", table)
+			if x.sw.Tracing {
+				x.trace("table %d: miss", table)
+			}
 			break
 		}
 		res.Matched = true
 		e.Packets++
-		x.trace("table %d: hit %q", table, e.Cookie)
+		if x.sw.Tracing {
+			x.trace("table %d: hit %q", table, e.Cookie)
+		}
 		if sw.Record {
 			res.Steps = append(res.Steps, Step{
 				Table: table, Priority: e.Priority, Cookie: e.Cookie, Actions: e.Actions,
@@ -280,7 +319,9 @@ func (sw *Switch) Receive(pkt *Packet, inPort int) Result {
 		if e.Goto <= table {
 			// OpenFlow mandates forward-only goto; treat violation as a
 			// configuration bug and stop rather than loop.
-			x.trace("table %d: illegal backward goto %d, stop", table, e.Goto)
+			if x.sw.Tracing {
+				x.trace("table %d: illegal backward goto %d, stop", table, e.Goto)
+			}
 			break
 		}
 		table = e.Goto
@@ -291,14 +332,16 @@ func (sw *Switch) Receive(pkt *Packet, inPort int) Result {
 			sw.TxPackets[em.Port]++
 		}
 	}
-	return res
+	x.res = nil
+	p.Release()
 }
 
 // Execute runs an explicit action list against the packet without any
 // table lookup — the semantics of an OFPT_PACKET_OUT carrying actions.
 // The caller's packet is not mutated.
 func (sw *Switch) Execute(pkt *Packet, actions []Action) Result {
-	p := pkt.Clone()
+	p := pkt.ClonePooled()
+	defer p.Release()
 	res := Result{Matched: true}
 	x := &ExecContext{sw: sw, res: &res}
 	for _, a := range actions {

@@ -61,7 +61,7 @@ func TestTraceAndMetricsOnSnapshot(t *testing.T) {
 	if m.InBandMsgs != sweepMsgs(g) {
 		t.Fatalf("in-band %d, want 4E-2n+2 = %d", m.InBandMsgs, sweepMsgs(g))
 	}
-	if m.InBandMsgs != d.Net.InBandMsgs[core.EthSnapshot] {
+	if m.InBandMsgs != d.Net.InBandCount(core.EthSnapshot) {
 		t.Fatal("metrics and network accounting disagree")
 	}
 	if m.TriggerPackets != 1 || m.PacketIns != 1 {
@@ -276,7 +276,7 @@ func TestFunctionalOptionsAndStructCompat(t *testing.T) {
 		if err := d.Run(); err != nil {
 			t.Fatal(err)
 		}
-		js, err := json.Marshal(d.Net.InBandMsgs)
+		js, err := json.Marshal(d.Net.InBandMsgs())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -155,8 +155,8 @@ func TestLocalRemoteProgramParity(t *testing.T) {
 		t.Fatalf("snapshot results differ: local %d nodes %d edges, remote %d nodes %d edges",
 			len(lRes.Nodes), len(lRes.Edges), len(rRes.Nodes), len(rRes.Edges))
 	}
-	li := local.Net.InBandMsgs[core.EthSnapshot]
-	ri := remote.Net.InBandMsgs[core.EthSnapshot]
+	li := local.Net.InBandCount(core.EthSnapshot)
+	ri := remote.Net.InBandCount(core.EthSnapshot)
 	if li != ri || li != 4*g.NumEdges()-2*g.NumNodes()+2 {
 		t.Fatalf("in-band parity: local %d, remote %d, want %d", li, ri,
 			4*g.NumEdges()-2*g.NumNodes()+2)
