@@ -1,6 +1,7 @@
 GO ?= go
+TMPDIR ?= /tmp
 
-.PHONY: all build vet test race bench tables soak fuzz reproduce clean
+.PHONY: all build vet lint analyze test race bench tables soak fuzz reproduce clean
 
 all: build vet test
 
@@ -9,6 +10,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own vettool (pooled-packet discipline) on top of
+# go vet. CI additionally runs staticcheck (pinned; see staticcheck.conf).
+lint: vet
+	$(GO) build -o $(TMPDIR)/poollint ./tools/poollint
+	$(GO) vet -vettool=$(TMPDIR)/poollint ./...
+
+# analyze statically checks the four paper services sharing Ring(20):
+# cross-service conflicts, loops, blackholes, and the DFS invariant.
+analyze:
+	$(GO) run ./cmd/smartsouth -topo ring -n 20 -service snapshot \
+		-install anycast,blackhole-counter,critical \
+		-programs $(TMPDIR)/progs.json -topo-json $(TMPDIR)/topo.json >/dev/null
+	$(GO) run ./cmd/oflint -topo $(TMPDIR)/topo.json -prove-dfs snapshot $(TMPDIR)/progs.json
 
 test:
 	$(GO) test ./...

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ var (
 	n         = flag.Int("n", 16, "size parameter (nodes; rows*cols for grid; arity for fattree)")
 	seed      = flag.Int64("seed", 1, "random topology seed")
 	service   = flag.String("service", "snapshot", "traversal|snapshot|anycast|priocast|chaincast|critical|blackhole-ttl|blackhole-counter|pktloss|loadmap|monitor")
+	coinstall = flag.String("install", "", "additional services to install (not run) alongside -service, comma-separated; exercises slot sharing for -programs/-verify")
 	root      = flag.Int("root", 0, "switch the trigger is injected at")
 	node      = flag.Int("node", 0, "node under test (critical)")
 	members   = flag.String("members", "", "anycast: m1,m2,…  priocast: m1:prio1,m2:prio2,…")
@@ -37,6 +39,8 @@ var (
 	dumpSw    = flag.Int("dump", -1, "print the full rule dump of this switch after the run")
 	traceCap  = flag.Int("trace", 0, "record a hop trace of the last N pipeline executions and print it (0 = off)")
 	metricsTo = flag.String("metrics", "", "write the per-service metrics snapshot as JSON to this file ('-' = stdout)")
+	progsTo   = flag.String("programs", "", "write the compiled programs as JSON to this file ('-' = stdout); feed to oflint")
+	topoTo    = flag.String("topo-json", "", "write the topology as JSON to this file ('-' = stdout); feed to oflint")
 )
 
 func buildTopo() *smartsouth.Graph {
@@ -122,6 +126,33 @@ func main() {
 		for _, s := range strings.Split(spec, ",") {
 			u, v := parsePair(s)
 			f(u, v)
+		}
+	}
+
+	// Co-installed services take the low slots; the -service under test
+	// gets the next free one. They are never triggered — they only share
+	// the rule space, which is exactly what -programs dumps and the
+	// static analysis want to see.
+	if *coinstall != "" {
+		for _, name := range strings.Split(*coinstall, ",") {
+			var err error
+			switch name {
+			case "traversal":
+				_, err = d.InstallTraversal()
+			case "snapshot":
+				_, err = d.InstallSnapshot()
+			case "anycast":
+				_, err = d.InstallAnycast(map[uint32][]int{1: {0, g.NumNodes() - 1}})
+			case "critical":
+				_, err = d.InstallCritical()
+			case "blackhole-ttl":
+				_, err = d.InstallBlackholeTTL()
+			case "blackhole-counter":
+				_, err = d.InstallBlackholeCounter()
+			default:
+				log.Fatalf("unknown -install service %q", name)
+			}
+			fatal(err)
 		}
 	}
 
@@ -339,6 +370,25 @@ func main() {
 	fmt.Print("installed programs:\n", dump.ProgramSummary(d.Programs()))
 	fmt.Printf("installed state: %d flow entries, %d groups, %d bytes total\n",
 		d.FlowEntries(), d.GroupEntries(), d.ConfigBytes())
+
+	writeOut := func(name, what string, data []byte) {
+		if name == "-" {
+			fmt.Printf("%s JSON:\n%s\n", what, data)
+		} else {
+			fatal(os.WriteFile(name, append(data, '\n'), 0o644))
+			fmt.Printf("%s JSON written to %s\n", what, name)
+		}
+	}
+	if *progsTo != "" {
+		js, err := dump.MarshalPrograms(d.Programs())
+		fatal(err)
+		writeOut(*progsTo, "programs", js)
+	}
+	if *topoTo != "" {
+		js, err := json.Marshal(g)
+		fatal(err)
+		writeOut(*topoTo, "topology", js)
+	}
 
 	if *metricsTo != "" {
 		fmt.Print("\nper-service metrics:\n", dump.Metrics(d.MetricsSnapshot()))

@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// CheckDeployment statically analyzes a set of compiled programs
+// against the topology they will be installed on, without simulating a
+// packet. It composes the programs per switch and reports:
+//
+//   - cross-service conflicts (KindOverlap, KindCrossShadow,
+//     KindSlotCollision, KindCookieCollision, KindGroupCollision, and —
+//     when Options provides the slot geometry — KindSlotViolation);
+//   - symbolic reachability defects (KindLoop, KindBlackhole, and with
+//     Options.ReportDeadRules, KindDeadRule);
+//   - KindBudget when the exploration budget is exhausted.
+//
+// Findings come back most severe first, each carrying the provenance
+// (service, slot, switch, rule cookie) needed to act on it. An empty
+// Errors(findings) means the deployment is safe to install under the
+// analysis' fault-free model; see docs/ANALYSIS.md for what the model
+// does and does not decide.
+func CheckDeployment(progs []*openflow.Program, g *topo.Graph, opts Options) []Finding {
+	a := newAnalyzer(progs, g, opts)
+	a.conflicts()
+	a.reach()
+	if opts.ReportDeadRules {
+		a.deadRules()
+	}
+	sortFindings(a.findings)
+	return a.findings
+}

@@ -1,0 +1,174 @@
+// Package analysis statically checks a *deployment*: the set of compiled
+// openflow.Programs destined for one fabric, against the concrete
+// topology they will be installed on. Where package verify checks one
+// program on one model switch, this package composes all programs per
+// switch and reasons network-wide, without simulating a single packet:
+//
+//   - cross-service conflicts: overlapping matches at equal priority,
+//     cross-program shadowing, slot-range and cookie-prefix collisions,
+//     group-ID clashes;
+//   - symbolic reachability: EtherType/tag-field value sets are walked
+//     through pipelines and across links, reporting forwarding loops
+//     (a (switch, in-port, tag-state) revisit), blackholes (a packet
+//     with no matching rule, or dropped mid-service), and — opt-in —
+//     rules no reachable packet can hit;
+//   - the DFS traversal invariant: ProveDFS abstract-interprets the
+//     compiled par/cur tag transitions and proves every edge is crossed
+//     exactly once per direction and the trigger returns to its root.
+//
+// The symbolic domain and its limits are documented in docs/ANALYSIS.md.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"smartsouth/internal/verify"
+)
+
+// Kind classifies a finding.
+type Kind string
+
+const (
+	// KindOverlap: two programs install overlapping matches at the same
+	// priority in the same table — which rule wins depends on install
+	// order.
+	KindOverlap Kind = "conflict-overlap"
+	// KindCrossShadow: a rule of one program covers a lower-priority
+	// rule of another program in the same table, making it dead.
+	KindCrossShadow Kind = "conflict-shadow"
+	// KindSlotCollision: two programs claim overlapping slot ranges.
+	KindSlotCollision Kind = "slot-collision"
+	// KindSlotViolation: a program's rule or group lives outside the
+	// table/group ranges its slot owns.
+	KindSlotViolation Kind = "slot-violation"
+	// KindCookieCollision: two programs share a cookie prefix, so
+	// uninstall-by-cookie-prefix would tear down both.
+	KindCookieCollision Kind = "cookie-collision"
+	// KindGroupCollision: two programs install the same group ID on the
+	// same switch.
+	KindGroupCollision Kind = "group-collision"
+	// KindLoop: a symbolic packet revisits a (switch, in-port,
+	// tag-state), so the fabric forwards it forever.
+	KindLoop Kind = "loop"
+	// KindBlackhole: a symbolic packet reaches a switch with no
+	// matching rule, or is dropped mid-service without being emitted.
+	KindBlackhole Kind = "blackhole"
+	// KindDeadRule: no symbolically reachable packet hits the rule
+	// (reported only with Options.ReportDeadRules — bounce rules are
+	// intentionally unreachable in a fault-free walk).
+	KindDeadRule Kind = "dead-rule"
+	// KindBudget: the exploration state budget was exhausted; the
+	// reachability verdicts are incomplete.
+	KindBudget Kind = "budget-exceeded"
+	// KindDFS: the DFS traversal invariant does not hold (or could not
+	// be proven) on the given topology.
+	KindDFS Kind = "dfs-invariant"
+)
+
+// Finding is one analysis result with rule provenance: which service,
+// slot and switch the offending state belongs to. Switch and Table are
+// -1 for network-level findings.
+type Finding struct {
+	Kind     Kind            `json:"kind"`
+	Severity verify.Severity `json:"severity"`
+	Service  string          `json:"service,omitempty"`
+	Slot     int             `json:"slot"`
+	Switch   int             `json:"switch"`
+	Table    int             `json:"table"`
+	Cookie   string          `json:"cookie,omitempty"`
+	Detail   string          `json:"detail"`
+}
+
+func (f Finding) String() string {
+	where := "net"
+	if f.Switch >= 0 {
+		where = fmt.Sprintf("sw%d", f.Switch)
+		if f.Table >= 0 {
+			where += fmt.Sprintf("/t%d", f.Table)
+		}
+	}
+	who := f.Service
+	if who == "" {
+		who = "?"
+	}
+	if f.Cookie != "" {
+		who += "/" + f.Cookie
+	}
+	return fmt.Sprintf("[%s] %s %s (%s slot %d): %s", f.Severity, f.Kind, where, who, f.Slot, f.Detail)
+}
+
+// Errors filters findings of severity Err.
+func Errors(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity == verify.Err {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Warnings filters findings of severity Warn.
+func Warnings(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity == verify.Warn {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// sortFindings orders most severe first, then by kind, switch, table and
+// cookie so output is deterministic.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Switch != b.Switch {
+			return a.Switch < b.Switch
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		return a.Cookie < b.Cookie
+	})
+}
+
+// Options tunes a deployment check.
+type Options struct {
+	// HostEthTypes lists EtherTypes whose packets originate outside the
+	// fabric (e.g. data traffic): their tag contents are analyzed as
+	// unknown (Top) rather than controller-zeroed.
+	HostEthTypes []uint16
+
+	// ReportDeadRules adds Info findings for rules no reachable packet
+	// hits. Off by default: fault-recovery rules (FF bounce paths) are
+	// legitimately unreachable in the fault-free symbolic walk.
+	ReportDeadRules bool
+
+	// MaxStates bounds the number of distinct (switch, in-port, state)
+	// nodes explored before the walk gives up with a KindBudget Warn.
+	// Defaults to 200000.
+	MaxStates int
+
+	// SlotTables and SlotGroups, when set, give the table-ID and
+	// group-ID ranges owned by a slot, enabling slot-discipline checks
+	// (KindSlotViolation). The core package's geometry is passed in by
+	// callers; the analyzer itself is layout-agnostic.
+	SlotTables func(slot int) (lo, hi int)
+	SlotGroups func(slot int) (lo, hi uint32)
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates > 0 {
+		return o.MaxStates
+	}
+	return 200000
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/verify"
+)
+
+// reach computes symbolic reachability network-wide. Seeds model every
+// way a packet enters the fabric: for each switch with dispatch rules,
+// one seed per dispatched EtherType injected as the controller would
+// (zeroed tag, TTL 255, in-port = controller). EtherTypes listed in
+// Options.HostEthTypes are additionally seeded with an unconstrained
+// (Top) tag, modelling host-originated traffic. The walk follows
+// emissions across topology links; a revisit of a (switch, in-port,
+// state) node on the current path is a forwarding loop, and a state
+// with no matching rule (or dropped mid-service without having been
+// emitted) is a blackhole.
+func (a *analyzer) reach() {
+	host := make(map[uint16]bool, len(a.opts.HostEthTypes))
+	for _, et := range a.opts.HostEthTypes {
+		host[et] = true
+	}
+	for _, id := range a.switchIDs() {
+		cs := a.switches[id]
+		for _, et := range dispatchEthTypes(cs) {
+			a.explore(id, newSymPacket(et, openflow.PortController, false))
+			if host[et] {
+				a.explore(id, newSymPacket(et, openflow.PortController, true))
+			}
+		}
+	}
+}
+
+// dispatchEthTypes collects the EtherTypes a composed switch
+// demultiplexes in table 0, in rule order.
+func dispatchEthTypes(cs *compSwitch) []uint16 {
+	seen := map[uint16]bool{}
+	var out []uint16
+	for _, r := range cs.tables[0] {
+		if r.entry.Match.EthType == openflow.AnyEthType {
+			continue
+		}
+		et := uint16(r.entry.Match.EthType)
+		if !seen[et] {
+			seen[et] = true
+			out = append(out, et)
+		}
+	}
+	return out
+}
+
+const (
+	colorGray  int8 = 1
+	colorBlack int8 = 2
+)
+
+// explore walks the transition graph depth-first from one (switch,
+// state) node. The pipeline is deterministic in the symbolic state, so
+// finished nodes are memoized globally; nodes on the current path are
+// marked gray, and reaching a gray node means the fabric forwards this
+// packet class forever.
+func (a *analyzer) explore(sw int, σ *symPacket) {
+	key := "s" + strconv.Itoa(sw) + "|" + σ.key()
+	switch a.color[key] {
+	case colorGray:
+		a.reportLoop(sw, σ, key)
+		return
+	case colorBlack:
+		return
+	}
+	a.states++
+	if a.states > a.opts.maxStates() {
+		if !a.budgetHit {
+			a.budgetHit = true
+			a.add(Finding{
+				Kind: KindBudget, Severity: verify.Warn, Switch: -1, Table: -1, Slot: -1,
+				Detail: fmt.Sprintf("state budget %d exhausted: reachability verdicts are incomplete", a.opts.maxStates()),
+			})
+		}
+		a.color[key] = colorBlack
+		return
+	}
+	a.color[key] = colorGray
+	a.stack = append(a.stack, hop{key: key, sw: sw, in: σ.inPort})
+
+	for _, end := range a.pipelineAt(sw, σ) {
+		a.classifyEnd(sw, σ, end)
+		for _, em := range end.emits {
+			switch {
+			case em.port == openflow.PortController, em.port == openflow.PortSelf:
+				// Delivered out of the fabric: controller or local host.
+			case em.port >= 1:
+				v, vport, ok := a.g.Neighbor(sw, em.port)
+				if !ok {
+					svc, slot := a.owner(σ.eth)
+					a.add(Finding{
+						Kind: KindBlackhole, Severity: verify.Err,
+						Service: svc, Slot: slot, Switch: sw, Table: -1,
+						Detail: fmt.Sprintf("packet (%s) emitted on port %d, which has no link", em.pkt, em.port),
+					})
+					continue
+				}
+				np := em.pkt.clone()
+				np.inPort = vport
+				a.explore(v, np)
+			}
+		}
+	}
+
+	a.stack = a.stack[:len(a.stack)-1]
+	a.color[key] = colorBlack
+}
+
+// classifyEnd turns one pipeline outcome into blackhole findings.
+func (a *analyzer) classifyEnd(sw int, σ *symPacket, end pathEnd) {
+	svc, slot := a.owner(σ.eth)
+	switch {
+	case end.missTable == 0 && !end.matched:
+		// No rule at all for this packet. For a forwarded packet that is
+		// a silent drop mid-flight; a controller-injected seed always
+		// matches its own dispatch rule, so in-port filters are the only
+		// way to get here from a seed.
+		if σ.inPort == openflow.PortController {
+			return
+		}
+		a.add(Finding{
+			Kind: KindBlackhole, Severity: verify.Err,
+			Service: svc, Slot: slot, Switch: sw, Table: 0,
+			Detail: fmt.Sprintf("forwarded packet (%s) matches no rule: silently dropped", σ),
+		})
+	case end.missTable > 0 && len(end.emits) == 0 && !end.dropped:
+		// Entered the service pipeline, then fell off a goto chain
+		// without emitting anything or explicitly dropping.
+		a.add(Finding{
+			Kind: KindBlackhole, Severity: verify.Err,
+			Service: svc, Slot: slot, Switch: sw, Table: end.missTable,
+			Detail: fmt.Sprintf("packet (%s) dropped mid-service: no matching rule in table %d and nothing emitted", σ, end.missTable),
+		})
+	}
+	// A miss after an emission is the normal goto-to-finish pattern; an
+	// explicit drop is intended behaviour. Neither is reported.
+}
+
+// reportLoop emits a loop finding describing the cycle from the current
+// walk stack.
+func (a *analyzer) reportLoop(sw int, σ *symPacket, key string) {
+	svc, slot := a.owner(σ.eth)
+	start := 0
+	for i, h := range a.stack {
+		if h.key == key {
+			start = i
+			break
+		}
+	}
+	var cyc []string
+	for _, h := range a.stack[start:] {
+		cyc = append(cyc, fmt.Sprintf("sw%d[in%d]", h.sw, h.in))
+	}
+	cyc = append(cyc, fmt.Sprintf("sw%d[in%d]", sw, σ.inPort))
+	a.add(Finding{
+		Kind: KindLoop, Severity: verify.Err,
+		Service: svc, Slot: slot, Switch: sw, Table: -1,
+		Detail: fmt.Sprintf("forwarding loop: %s revisits state (%s)", strings.Join(cyc, " -> "), σ),
+	})
+}
+
+// deadRules reports rules no reachable packet class hit, network-wide.
+func (a *analyzer) deadRules() {
+	for _, id := range a.switchIDs() {
+		cs := a.switches[id]
+		for _, t := range tableIDs(cs) {
+			for _, r := range cs.tables[t] {
+				if r.hit {
+					continue
+				}
+				a.add(Finding{
+					Kind: KindDeadRule, Severity: verify.Info,
+					Service: r.prog.Service, Slot: r.prog.Slot,
+					Switch: id, Table: t, Cookie: r.entry.Cookie,
+					Detail: "no symbolically reachable packet hits this rule (expected for fault-recovery paths)",
+				})
+			}
+		}
+	}
+}
+
+func tableIDs(cs *compSwitch) []int {
+	ids := make([]int, 0, len(cs.tables))
+	for t := range cs.tables {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"fmt"
+	"strconv"
+
+	"smartsouth/internal/openflow"
+)
+
+// fkey identifies a tag field by its bit geometry. Matching operates on
+// bits, so two criteria with the same offset and width constrain the
+// same thing regardless of diagnostic name. The analysis treats
+// distinct geometries as independent (the compiler allocates
+// non-overlapping fields per service, and packets only traverse their
+// own service's rules — see docs/ANALYSIS.md for the limits).
+type fkey struct {
+	off, bits int
+}
+
+func keyOfField(f openflow.Field) fkey { return fkey{off: f.Off, bits: f.Bits} }
+
+// fieldSet is a small ordered association of tag fields to value sets,
+// sorted by (off, bits). A slice beats a map here: states hold a handful
+// of fields, cloning is the hot path (one allocation and a memmove), and
+// the canonical key needs sorted iteration anyway.
+type fieldSet []fentry
+
+type fentry struct {
+	k fkey
+	v ValueSet
+}
+
+func (fs fieldSet) get(k fkey) (ValueSet, bool) {
+	for i := range fs {
+		if fs[i].k == k {
+			return fs[i].v, true
+		}
+	}
+	return ValueSet{}, false
+}
+
+// set inserts or replaces in place, keeping the order.
+func (fs fieldSet) set(k fkey, v ValueSet) fieldSet {
+	i := 0
+	for i < len(fs) && (fs[i].k.off < k.off || (fs[i].k.off == k.off && fs[i].k.bits < k.bits)) {
+		i++
+	}
+	if i < len(fs) && fs[i].k == k {
+		fs[i].v = v
+		return fs
+	}
+	fs = append(fs, fentry{})
+	copy(fs[i+1:], fs[i:])
+	fs[i] = fentry{k: k, v: v}
+	return fs
+}
+
+// symPacket is the abstract state of one packet class: a concrete
+// EtherType and ingress port, a value set for the TTL, and a value set
+// per constrained tag field. Absent fields default to Singleton(0) —
+// controller-injected triggers carry a zeroed tag — unless wild is set,
+// in which case they default to Top (host-originated packets).
+//
+// The label stack is deliberately NOT part of the state: no match can
+// observe it, so pipeline behaviour is identical for any stack contents
+// and excluding it keeps the loop check exact for label-pushing
+// encodings (snapshot would otherwise never revisit a state).
+type symPacket struct {
+	eth    uint16
+	inPort int
+	wild   bool
+	ttl    ValueSet
+	fields fieldSet
+}
+
+func newSymPacket(eth uint16, inPort int, wild bool) *symPacket {
+	return &symPacket{
+		eth:    eth,
+		inPort: inPort,
+		wild:   wild,
+		ttl:    Singleton(255),
+	}
+}
+
+func (p *symPacket) clone() *symPacket {
+	q := &symPacket{eth: p.eth, inPort: p.inPort, wild: p.wild, ttl: p.ttl}
+	if len(p.fields) > 0 {
+		q.fields = append(make(fieldSet, 0, len(p.fields)), p.fields...)
+	}
+	return q
+}
+
+// field returns the value set of a tag field, applying the default for
+// unconstrained fields.
+func (p *symPacket) field(f openflow.Field) ValueSet {
+	if s, ok := p.fields.get(keyOfField(f)); ok {
+		return s
+	}
+	if p.wild {
+		return Top()
+	}
+	return Singleton(0)
+}
+
+// key returns the canonical state identity used for loop detection and
+// memoization: switch-independent packet state only.
+func (p *symPacket) key() string {
+	var b []byte
+	b = append(b, 'e')
+	b = strconv.AppendUint(b, uint64(p.eth), 16)
+	b = append(b, '|', 'i')
+	b = strconv.AppendInt(b, int64(p.inPort), 10)
+	b = append(b, '|', 't')
+	b = append(b, p.ttl.Key()...)
+	if p.wild {
+		b = append(b, '|', 'w')
+	}
+	for _, fe := range p.fields { // already sorted by (off, bits)
+		b = append(b, '|', 'f')
+		b = strconv.AppendInt(b, int64(fe.k.off), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(fe.k.bits), 10)
+		b = append(b, '=')
+		b = append(b, fe.v.Key()...)
+	}
+	return string(b)
+}
+
+func (p *symPacket) String() string {
+	s := fmt.Sprintf("eth=%#04x in=%d ttl=%s", p.eth, p.inPort, p.ttl)
+	for _, fe := range p.fields {
+		s += fmt.Sprintf(" tag[%d:%d]=%s", fe.k.off, fe.k.off+fe.k.bits, fe.v)
+	}
+	return s
+}
+
+// restrict intersects the packet state with a match, returning the
+// restricted state and whether the intersection is non-empty (i.e.
+// whether some concretization of p satisfies m). The result aliases p
+// when the match imposes no new constraint; callers must treat it as
+// immutable (action execution is copy-on-write, so this holds).
+func restrict(p *symPacket, m openflow.Match) (*symPacket, bool) {
+	if m.InPort != openflow.AnyPort && m.InPort != p.inPort {
+		return nil, false
+	}
+	if m.EthType != openflow.AnyEthType && m.EthType != int(p.eth) {
+		return nil, false
+	}
+	q := p
+	cloned := false
+	mut := func() *symPacket {
+		if !cloned {
+			q = p.clone()
+			cloned = true
+		}
+		return q
+	}
+	if m.TTL != openflow.AnyTTL {
+		ts := p.ttl.RestrictTo(uint64(m.TTL))
+		if ts.Empty() {
+			return nil, false
+		}
+		mut().ttl = ts
+	}
+	for _, fm := range m.Fields {
+		cur := q.field(fm.F)
+		next := cur.RestrictMask(fm.Value, fm.AcceptedMask(), fm.F.Max())
+		if next.Empty() {
+			return nil, false
+		}
+		p2 := mut()
+		p2.fields = p2.fields.set(keyOfField(fm.F), next)
+	}
+	return q, true
+}
+
+// coveredBy reports whether every concretization of p satisfies m — the
+// cutoff that makes the priority scan exact for concrete states: the
+// first covering rule consumes the whole state, so lower-priority rules
+// are not explored.
+func coveredBy(p *symPacket, m openflow.Match) bool {
+	if m.InPort != openflow.AnyPort && m.InPort != p.inPort {
+		return false
+	}
+	if m.EthType != openflow.AnyEthType && m.EthType != int(p.eth) {
+		return false
+	}
+	if m.TTL != openflow.AnyTTL && !p.ttl.AllEqual(uint64(m.TTL)) {
+		return false
+	}
+	for _, fm := range m.Fields {
+		if !p.field(fm.F).AllSatisfy(fm.Value, fm.AcceptedMask()) {
+			return false
+		}
+	}
+	return true
+}
+
+// symEmit is one packet class leaving a switch on a port.
+type symEmit struct {
+	port int
+	pkt  *symPacket
+}
+
+// pathEnd is the outcome of one execution path through a composed
+// pipeline: the emissions along it, whether any rule matched, whether an
+// explicit drop was executed, and the table of a definite miss (-1 when
+// the path ended normally).
+type pathEnd struct {
+	emits     []symEmit
+	matched   bool
+	dropped   bool
+	missTable int
+}
+
+// branch threads mutable state through symbolic action execution; forks
+// (round-robin groups) multiply branches.
+type branch struct {
+	pkt     *symPacket
+	emits   []symEmit
+	dropped bool
+}
+
+func (b branch) forkPkt() branch {
+	nb := branch{pkt: b.pkt.clone(), dropped: b.dropped}
+	nb.emits = append(nb.emits, b.emits...)
+	return nb
+}
+
+// symGroupDepth bounds group chaining, mirroring the pipeline model.
+const symGroupDepth = 8
+
+// pipelineAt symbolically executes the composed pipeline of switch sw
+// on state σ. A switch no program installs rules on behaves as an empty
+// pipeline: a definite table-0 miss.
+func (a *analyzer) pipelineAt(sw int, σ *symPacket) []pathEnd {
+	cs := a.switches[sw]
+	if cs == nil {
+		return []pathEnd{{missTable: 0}}
+	}
+	return a.runPipeline(cs, σ)
+}
+
+// runPipeline symbolically executes the composed pipeline of cs on
+// state σ from table 0, returning every execution path's outcome.
+func (a *analyzer) runPipeline(cs *compSwitch, σ *symPacket) []pathEnd {
+	var out []pathEnd
+	a.runTable(cs, 0, branch{pkt: σ}, false, &out)
+	return out
+}
+
+func (a *analyzer) runTable(cs *compSwitch, table int, b branch, matched bool, out *[]pathEnd) {
+	rules := cs.tables[table]
+	anyMatch := false
+	for _, r := range rules {
+		σ2, ok := restrict(b.pkt, r.entry.Match)
+		if !ok {
+			continue
+		}
+		anyMatch = true
+		r.hit = true
+		nb := branch{pkt: σ2, dropped: b.dropped}
+		nb.emits = append(nb.emits, b.emits...)
+		for _, br := range a.applyActions(cs, r.entry.Actions, nb, 0) {
+			if r.entry.Goto != openflow.NoGoto && r.entry.Goto > table {
+				a.runTable(cs, r.entry.Goto, br, true, out)
+			} else {
+				*out = append(*out, pathEnd{emits: br.emits, matched: true, dropped: br.dropped, missTable: -1})
+			}
+		}
+		if coveredBy(b.pkt, r.entry.Match) {
+			return // rule consumes the whole state: scan is complete
+		}
+	}
+	if !anyMatch {
+		*out = append(*out, pathEnd{emits: b.emits, matched: matched, dropped: b.dropped, missTable: table})
+	}
+	// A partial residual (some rules matched subsets but none covered the
+	// state) is over-approximated away; see docs/ANALYSIS.md.
+}
+
+// applyActions executes an action list symbolically on branch b,
+// returning the resulting branches (one unless a round-robin group
+// forks).
+func (a *analyzer) applyActions(cs *compSwitch, acts []openflow.Action, b branch, depth int) []branch {
+	branches := []branch{b}
+	for _, act := range acts {
+		var next []branch
+		for _, br := range branches {
+			next = append(next, a.applyAction(cs, act, br, depth)...)
+		}
+		branches = next
+	}
+	return branches
+}
+
+func (a *analyzer) applyAction(cs *compSwitch, act openflow.Action, b branch, depth int) []branch {
+	switch ac := act.(type) {
+	case openflow.Output:
+		port := ac.Port
+		if port == openflow.PortInPort {
+			port = b.pkt.inPort
+		}
+		if port == openflow.PortDrop {
+			b.dropped = true
+			return []branch{b}
+		}
+		b.emits = append(b.emits, symEmit{port: port, pkt: b.pkt.clone()})
+		return []branch{b}
+	case openflow.SetField:
+		b.pkt = b.pkt.clone()
+		b.pkt.fields = b.pkt.fields.set(keyOfField(ac.F), Singleton(ac.Value&ac.F.Max()))
+		return []branch{b}
+	case openflow.DecTTL:
+		b.pkt = b.pkt.clone()
+		b.pkt.ttl = b.pkt.ttl.Map(func(v uint64) uint64 {
+			if v > 0 {
+				return v - 1
+			}
+			return 0
+		})
+		return []branch{b}
+	case openflow.Group:
+		return a.applyGroup(cs, ac.ID, b, depth)
+	default:
+		// PushLabel / PopLabel: the label stack is invisible to matching.
+		return []branch{b}
+	}
+}
+
+// applyGroup executes a group entry symbolically. The analysis models a
+// fault-free network: every port is live, so a fast-failover group
+// always takes its first bucket. A round-robin SELECT group's counter
+// is unknown, so every bucket is a possible branch.
+func (a *analyzer) applyGroup(cs *compSwitch, id uint32, b branch, depth int) []branch {
+	cg := cs.groups[id]
+	if cg == nil || depth >= symGroupDepth {
+		// Missing groups are package verify's finding; chaining depth is
+		// bounded like the pipeline model. Both drop the packet here.
+		return []branch{b}
+	}
+	g := cg.g
+	switch g.Type {
+	case openflow.GroupAll:
+		// Each bucket runs on its own copy; only its emissions survive.
+		// The packet itself continues unchanged past the group action.
+		outer := []branch{b}
+		for i := range g.Buckets {
+			var next []branch
+			for _, ob := range outer {
+				sub := a.applyActions(cs, g.Buckets[i].Actions,
+					branch{pkt: ob.pkt.clone()}, depth+1)
+				for _, sb := range sub {
+					nb := branch{pkt: ob.pkt, dropped: ob.dropped || sb.dropped}
+					nb.emits = append(nb.emits, ob.emits...)
+					nb.emits = append(nb.emits, sb.emits...)
+					next = append(next, nb)
+				}
+			}
+			outer = next
+		}
+		return outer
+	case openflow.GroupIndirect, openflow.GroupFF:
+		if len(g.Buckets) == 0 {
+			return []branch{b}
+		}
+		// Fault-free: the first FF bucket's watch port is live.
+		return a.applyActions(cs, g.Buckets[0].Actions, b, depth+1)
+	case openflow.GroupSelectRR:
+		var out []branch
+		for i := range g.Buckets {
+			out = append(out, a.applyActions(cs, g.Buckets[i].Actions, b.forkPkt(), depth+1)...)
+		}
+		if len(out) == 0 {
+			return []branch{b}
+		}
+		return out
+	}
+	return []branch{b}
+}

@@ -25,17 +25,38 @@ func newProgram(service string, slot int, g *topo.Graph, l *Layout) *Program {
 	return p
 }
 
+// ProgramGater is an optional ControlPlane extension: a control plane
+// (or a decorator around one) that wants to veto program installations
+// implements it, and installProgram consults it after the per-program
+// static check. The deployment layer uses this to run the network-wide
+// symbolic analysis (internal/analysis) as an opt-in install gate
+// without core depending on the analyzer.
+type ProgramGater interface {
+	// GateProgram returns a non-nil error to reject the program before
+	// any of its rules reach a switch.
+	GateProgram(p *Program) error
+}
+
 // installProgram statically checks a compiled program and, only if it is
 // free of hard errors, hands it to the control plane. This is the single
 // choke point between compilation and live switches: no service rule
 // reaches a switch without passing verification first. Shadowing analysis
 // is skipped here — it is O(rules²) and only ever yields warnings; the
 // deployment-level Verify still runs it on demand.
+//
+// Transient programs (modify-style re-sends of state an installed
+// program owns) skip the gate: they are not new deployments, and the
+// gate's composition model already accounts for their owner.
 func installProgram(c ControlPlane, p *Program) error {
 	issues := verify.Errors(verify.CheckProgram(p, verify.Options{SkipShadowing: true}))
 	if len(issues) > 0 {
 		return fmt.Errorf("core: program %q rejected by pre-install check: %s (%d issues)",
 			p.Service, issues[0], len(issues))
+	}
+	if g, ok := c.(ProgramGater); ok && !p.Transient {
+		if err := g.GateProgram(p); err != nil {
+			return fmt.Errorf("core: program %q rejected by deployment gate: %w", p.Service, err)
+		}
 	}
 	c.InstallProgram(p)
 	return nil

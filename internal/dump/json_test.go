@@ -1,0 +1,164 @@
+package dump
+
+import (
+	"reflect"
+	"testing"
+
+	"smartsouth/internal/openflow"
+)
+
+// buildRichProgram exercises every encodable construct: all match
+// dimensions, all six action kinds, all four group types, multi-switch,
+// multi-slot, transient.
+func buildRichProgram() *openflow.Program {
+	f := openflow.Field{Name: "st", Off: 3, Bits: 5}
+	p := openflow.NewProgram("rich", 2)
+	p.Slots = 2
+	p.TagBytes = 4
+	p.Transient = true
+
+	p.Ensure(0, 3)
+	p.AddFlow(0, 0, &openflow.FlowEntry{
+		Priority: 101,
+		Match:    openflow.MatchEth(0x8801).WithInPort(2).WithTTL(7).WithField(f, 9),
+		Goto:     21,
+		Cookie:   "rich/dispatch",
+	})
+	p.AddFlow(0, 21, &openflow.FlowEntry{
+		Priority: 50,
+		Match: openflow.Match{InPort: openflow.AnyPort, EthType: openflow.AnyEthType,
+			TTL: openflow.AnyTTL, Fields: []openflow.FieldMatch{{F: f, Value: 4, Mask: 0x6}}},
+		Actions: []openflow.Action{
+			openflow.SetField{F: f, Value: 11},
+			openflow.PushLabel{Value: 0xabcdef},
+			openflow.PopLabel{},
+			openflow.DecTTL{},
+			openflow.Group{ID: 41},
+			openflow.Output{Port: openflow.PortController},
+		},
+		Goto:   openflow.NoGoto,
+		Cookie: "rich/work",
+	})
+	p.AddGroup(0, &openflow.GroupEntry{ID: 41, Type: openflow.GroupFF, Buckets: []openflow.Bucket{
+		{WatchPort: 1, Actions: []openflow.Action{openflow.Output{Port: 1}}},
+		{WatchPort: openflow.WatchNone, Actions: []openflow.Action{openflow.Output{Port: openflow.PortInPort}}},
+	}})
+	p.AddGroup(0, &openflow.GroupEntry{ID: 42, Type: openflow.GroupSelectRR, Buckets: []openflow.Bucket{
+		{Actions: []openflow.Action{openflow.SetField{F: f, Value: 0}}},
+		{Actions: []openflow.Action{openflow.SetField{F: f, Value: 1}}},
+	}})
+
+	p.Ensure(5, 1)
+	p.AddFlow(5, 0, &openflow.FlowEntry{
+		Priority: 1, Match: openflow.MatchAll(), Goto: openflow.NoGoto,
+		Actions: []openflow.Action{openflow.Output{Port: openflow.PortDrop}},
+		Cookie:  "rich/sink",
+	})
+	p.AddGroup(5, &openflow.GroupEntry{ID: 43, Type: openflow.GroupAll, Buckets: []openflow.Bucket{
+		{Actions: []openflow.Action{openflow.Output{Port: 1}}},
+	}})
+	p.AddGroup(5, &openflow.GroupEntry{ID: 44, Type: openflow.GroupIndirect, Buckets: []openflow.Bucket{
+		{Actions: []openflow.Action{openflow.Output{Port: openflow.PortSelf}}},
+	}})
+	return p
+}
+
+func TestProgramJSONRoundTrip(t *testing.T) {
+	p := buildRichProgram()
+	raw, err := MarshalProgram(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	q, err := UnmarshalProgram(raw)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+
+	if q.Service != p.Service || q.Slot != p.Slot || q.Slots != p.Slots ||
+		q.TagBytes != p.TagBytes || q.Transient != p.Transient {
+		t.Errorf("header changed: %+v vs %+v", q, p)
+	}
+	if !reflect.DeepEqual(q.SwitchIDs(), p.SwitchIDs()) {
+		t.Fatalf("switch set changed: %v vs %v", q.SwitchIDs(), p.SwitchIDs())
+	}
+	for _, id := range p.SwitchIDs() {
+		sp, sq := p.At(id), q.At(id)
+		if sq.NumPorts != sp.NumPorts {
+			t.Errorf("sw%d: num ports %d vs %d", id, sq.NumPorts, sp.NumPorts)
+		}
+		if len(sq.Flows) != len(sp.Flows) {
+			t.Fatalf("sw%d: %d flows vs %d", id, len(sq.Flows), len(sp.Flows))
+		}
+		for i := range sp.Flows {
+			ep, eq := sp.Flows[i].Entry, sq.Flows[i].Entry
+			if sq.Flows[i].Table != sp.Flows[i].Table ||
+				eq.Priority != ep.Priority || eq.Goto != ep.Goto || eq.Cookie != ep.Cookie ||
+				!eq.Match.Equal(ep.Match) || !reflect.DeepEqual(eq.Actions, ep.Actions) {
+				t.Errorf("sw%d flow %d changed:\n  %+v\n  %+v", id, i, eq, ep)
+			}
+		}
+		if !reflect.DeepEqual(sq.Groups, sp.Groups) {
+			t.Errorf("sw%d groups changed:\n  %+v\n  %+v", id, sq.Groups, sp.Groups)
+		}
+	}
+
+	// A second trip must be byte-identical: the encoding is canonical.
+	raw2, err := MarshalProgram(q)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(raw) != string(raw2) {
+		t.Errorf("encoding is not canonical:\n%s\n---\n%s", raw, raw2)
+	}
+}
+
+func TestProgramsJSONListAndSingle(t *testing.T) {
+	p := buildRichProgram()
+	raw, err := MarshalPrograms([]*openflow.Program{p, p})
+	if err != nil {
+		t.Fatalf("marshal list: %v", err)
+	}
+	progs, err := UnmarshalPrograms(raw)
+	if err != nil {
+		t.Fatalf("unmarshal list: %v", err)
+	}
+	if len(progs) != 2 || progs[0].Service != "rich" {
+		t.Fatalf("list decoded to %d programs", len(progs))
+	}
+
+	single, err := MarshalProgram(p)
+	if err != nil {
+		t.Fatalf("marshal single: %v", err)
+	}
+	progs, err = UnmarshalPrograms(single)
+	if err != nil {
+		t.Fatalf("unmarshal single as deployment: %v", err)
+	}
+	if len(progs) != 1 || progs[0].FlowCount() != p.FlowCount() {
+		t.Fatalf("single-object deployment decoded to %d programs", len(progs))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"unknown op":     `{"service":"x","slot":0,"slots":1,"switches":[{"switch":0,"num_ports":1,"flows":[{"table":0,"priority":1,"match":{"in_port":-1,"eth_type":-1,"ttl":-1},"actions":[{"op":"teleport"}]}]}]}`,
+		"output no port": `{"service":"x","slot":0,"slots":1,"switches":[{"switch":0,"num_ports":1,"flows":[{"table":0,"priority":1,"match":{"in_port":-1,"eth_type":-1,"ttl":-1},"actions":[{"op":"output"}]}]}]}`,
+		"bad group type": `{"service":"x","slot":0,"slots":1,"switches":[{"switch":0,"num_ports":1,"groups":[{"id":1,"type":"mystery","buckets":[]}]}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := UnmarshalProgram([]byte(raw)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestOmittedGotoIsNoGoto(t *testing.T) {
+	raw := `{"service":"x","slot":0,"slots":1,"switches":[{"switch":0,"num_ports":1,"flows":[{"table":0,"priority":1,"match":{"in_port":-1,"eth_type":-1,"ttl":-1}}]}]}`
+	p, err := UnmarshalProgram([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := p.At(0).Flows[0].Entry.Goto; g != openflow.NoGoto {
+		t.Fatalf("omitted goto decoded as %d, want NoGoto", g)
+	}
+}

@@ -9,6 +9,13 @@ type Config struct {
 	// TraceCap, when positive, asks the deployment to record pipeline
 	// executions into a hop-trace ring buffer of this capacity.
 	TraceCap int
+
+	// Analysis asks the deployment to gate every program installation on
+	// the network-wide static analysis: a program whose composition with
+	// the already-installed programs yields an error-severity finding
+	// (conflict, loop, blackhole) is rejected before any rule reaches a
+	// switch.
+	Analysis bool
 }
 
 // Option configures a deployment. Two kinds of values satisfy it: the
@@ -46,6 +53,13 @@ func WithEventLimit(n int) Option {
 // the last cap pipeline executions. cap <= 0 leaves tracing off.
 func WithTrace(cap int) Option {
 	return optionFunc(func(c *Config) { c.TraceCap = cap })
+}
+
+// WithAnalysis gates every program installation on the network-wide
+// static analysis (internal/analysis): conflicts with installed
+// services, forwarding loops and blackholes reject the install.
+func WithAnalysis() Option {
+	return optionFunc(func(c *Config) { c.Analysis = true })
 }
 
 // Resolve folds a list of options into a Config. Options are applied in

@@ -1,0 +1,46 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the wire form of a Graph: the node count and the edges in
+// insertion order. Port numbers are not serialized — AddEdge assigns
+// them deterministically from edge order, so replaying the edge list
+// reproduces the exact port numbering of the original graph. That
+// property is what makes the encoding safe to feed to tools (oflint)
+// that resolve ports against compiled programs.
+type graphJSON struct {
+	Nodes int      `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"nodes": n, "edges": [[u,v], ...]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	gj := graphJSON{Nodes: g.NumNodes(), Edges: make([][2]int, 0, g.NumEdges())}
+	for _, e := range g.edges {
+		gj.Edges = append(gj.Edges, [2]int{e.U, e.V})
+	}
+	return json.Marshal(gj)
+}
+
+// UnmarshalJSON rebuilds the graph by replaying the edge list, restoring
+// the original port numbering.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return err
+	}
+	if gj.Nodes < 0 {
+		return fmt.Errorf("topo: negative node count %d", gj.Nodes)
+	}
+	ng := NewGraph(gj.Nodes)
+	for _, e := range gj.Edges {
+		if _, err := ng.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	*g = *ng
+	return nil
+}

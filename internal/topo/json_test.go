@@ -1,0 +1,56 @@
+package topo
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"ring":  Ring(8),
+		"star":  Star(5),
+		"tree":  Tree(2, 3),
+		"empty": NewGraph(3),
+	} {
+		raw, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Graph
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if back.NumNodes() != g.NumNodes() {
+			t.Errorf("%s: %d nodes, want %d", name, back.NumNodes(), g.NumNodes())
+		}
+		// Edge replay must reproduce the exact port numbering.
+		if !reflect.DeepEqual(back.Edges(), g.Edges()) {
+			t.Errorf("%s: edges changed:\n  %v\n  %v", name, back.Edges(), g.Edges())
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for p := 1; p <= g.Degree(u); p++ {
+				v1, p1, ok1 := g.Neighbor(u, p)
+				v2, p2, ok2 := back.Neighbor(u, p)
+				if v1 != v2 || p1 != p2 || ok1 != ok2 {
+					t.Errorf("%s: neighbor(%d,%d) = (%d,%d,%v), want (%d,%d,%v)",
+						name, u, p, v2, p2, ok2, v1, p1, ok1)
+				}
+			}
+		}
+	}
+}
+
+func TestGraphJSONRejectsBadEdges(t *testing.T) {
+	var g Graph
+	for name, raw := range map[string]string{
+		"out of range": `{"nodes":2,"edges":[[0,5]]}`,
+		"self loop":    `{"nodes":2,"edges":[[1,1]]}`,
+		"duplicate":    `{"nodes":2,"edges":[[0,1],[1,0]]}`,
+		"negative":     `{"nodes":-1,"edges":[]}`,
+	} {
+		if err := json.Unmarshal([]byte(raw), &g); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

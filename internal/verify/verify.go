@@ -43,6 +43,25 @@ func (s Severity) String() string {
 	return "?"
 }
 
+// MarshalText encodes the severity as its name, so JSON findings read
+// "error" rather than an opaque integer.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText decodes a severity name produced by MarshalText.
+func (s *Severity) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "info":
+		*s = Info
+	case "warn":
+		*s = Warn
+	case "error":
+		*s = Err
+	default:
+		return fmt.Errorf("unknown severity %q", b)
+	}
+	return nil
+}
+
 // Issue is one finding.
 type Issue struct {
 	Severity Severity
@@ -272,65 +291,37 @@ func (v *verifier) groups() {
 }
 
 // shadowing flags rules that can never match because a strictly
-// higher-priority rule in the same table covers every packet they cover.
+// higher-priority rule in the same table covers every packet they match.
+// Coverage is decided on the full match map (openflow.Match.Covers), so
+// two rules with disjoint matches never shadow each other regardless of
+// priority. Coverage by an identical match map, or by a deliberately
+// broader rule that constrains fewer dimensions, is the SmartSouth
+// override idiom (dispatcher overrides, multi-slot service exit rules)
+// and is reported at Info; coverage by a rule with the same footprint
+// that merely accepts more values — the shape an accidental shadow
+// takes — is a Warn. Each shadowed rule is reported once, against the
+// highest-priority rule covering it.
 func (v *verifier) shadowing() {
 	for _, id := range v.sw.TableIDs() {
 		entries := v.sw.Table(id).Entries() // sorted by priority desc
-		for i, hi := range entries {
-			for _, lo := range entries[i+1:] {
+		for i, lo := range entries {
+			for _, hi := range entries[:i] {
 				if hi.Priority <= lo.Priority {
 					continue
 				}
-				if covers(hi.Match, lo.Match) {
-					v.add(Warn, id, lo.Cookie, "shadowed by higher-priority rule %q", hi.Cookie)
-					break // one report per shadowed rule
+				if !hi.Match.Covers(lo.Match) {
+					continue
 				}
+				switch {
+				case hi.Match.Equal(lo.Match):
+					v.add(Info, id, lo.Cookie, "overridden by higher-priority rule %q (identical match)", hi.Cookie)
+				case !hi.Match.SameFootprint(lo.Match):
+					v.add(Info, id, lo.Cookie, "overridden by broader higher-priority rule %q", hi.Cookie)
+				default:
+					v.add(Warn, id, lo.Cookie, "shadowed by higher-priority rule %q", hi.Cookie)
+				}
+				break // one report per shadowed rule
 			}
 		}
 	}
-}
-
-// covers reports whether every packet matching b also matches a.
-func covers(a, b openflow.Match) bool {
-	if a.InPort != openflow.AnyPort && a.InPort != b.InPort {
-		return false // b wildcard or different port: some b-packet escapes a
-	}
-	if a.EthType != openflow.AnyEthType && a.EthType != b.EthType {
-		return false
-	}
-	if a.TTL != openflow.AnyTTL && a.TTL != b.TTL {
-		return false
-	}
-	for _, fa := range a.Fields {
-		if !fieldImplied(fa, b.Fields) {
-			return false
-		}
-	}
-	return true
-}
-
-// fieldImplied reports whether constraint fa is implied by the b-side
-// constraints: some b-constraint on overlapping bits must pin every bit fa
-// cares about to fa's value.
-func fieldImplied(fa openflow.FieldMatch, bs []openflow.FieldMatch) bool {
-	maskA := fa.Mask
-	if maskA == 0 {
-		maskA = fa.F.Max()
-	}
-	for _, fb := range bs {
-		if fb.F.Off != fa.F.Off || fb.F.Bits != fa.F.Bits {
-			continue // conservatively require identical field geometry
-		}
-		maskB := fb.Mask
-		if maskB == 0 {
-			maskB = fb.F.Max()
-		}
-		if maskA&^maskB != 0 {
-			continue // b leaves some bit free that a pins
-		}
-		if fa.Value&maskA == fb.Value&maskA {
-			return true
-		}
-	}
-	return false
 }

@@ -53,10 +53,11 @@ func TestAllServicesVerifyClean(t *testing.T) {
 	}
 }
 
-func TestVerifyExpectedShadowWarnings(t *testing.T) {
-	// The blackhole detectors deliberately shadow the template dispatcher
-	// with a higher-priority rule steering into the pre-table; the checker
-	// must surface that as a warning, not an error.
+func TestVerifyDispatcherOverrideIsInfo(t *testing.T) {
+	// The blackhole detectors deliberately override the template dispatcher
+	// with an identical-match higher-priority rule steering into the
+	// pre-table; the checker must surface that as an informational
+	// override, not a shadow warning and not an error.
 	g := topo.Line(3)
 	net := network.New(g, network.Options{})
 	c := controller.New(net)
@@ -64,17 +65,59 @@ func TestVerifyExpectedShadowWarnings(t *testing.T) {
 		t.Fatal(err)
 	}
 	issues := verify.Switch(net.Switch(1), verify.Options{})
-	foundShadow := false
+	foundOverride := false
 	for _, i := range issues {
+		if i.Severity == verify.Info && strings.Contains(i.Msg, "overridden") {
+			foundOverride = true
+		}
 		if i.Severity == verify.Warn && strings.Contains(i.Msg, "shadowed") {
-			foundShadow = true
+			t.Errorf("deliberate override misreported as shadow: %s", i)
 		}
 		if i.Severity == verify.Err {
 			t.Errorf("unexpected error: %s", i)
 		}
 	}
-	if !foundShadow {
-		t.Error("expected a shadowing warning for the dispatcher override")
+	if !foundOverride {
+		t.Error("expected an override note for the dispatcher override")
+	}
+}
+
+func TestVerifyMultiSlotServiceNoShadowWarn(t *testing.T) {
+	// Chaincast installs broad per-member exit rules above its own slot
+	// rules — the multi-slot override idiom. Those must not surface as
+	// shadow warnings.
+	g := topo.Line(4)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	if _, err := core.InstallChaincast(c, g, 0, [][]int{{0, 2}, {1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.NumSwitches(); i++ {
+		for _, is := range verify.Switch(net.Switch(i), verify.Options{}) {
+			if is.Severity == verify.Warn && strings.Contains(is.Msg, "shadowed") {
+				t.Errorf("sw%d: multi-slot override misreported as shadow: %s", i, is)
+			}
+			if is.Severity == verify.Err {
+				t.Errorf("sw%d: unexpected error: %s", i, is)
+			}
+		}
+	}
+}
+
+func TestVerifyDisjointMatchesNotShadowed(t *testing.T) {
+	// Regression: two rules at descending priority with disjoint matches
+	// on the same EtherType are independent — neither shadows nor
+	// overrides the other.
+	sw := brokenSwitch()
+	f := openflow.Field{Name: "x", Off: 0, Bits: 4}
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 10, Match: openflow.MatchEth(5).WithField(f, 1),
+		Goto: openflow.NoGoto, Cookie: "first"})
+	sw.AddFlow(0, &openflow.FlowEntry{Priority: 5, Match: openflow.MatchEth(5).WithField(f, 2),
+		Goto: openflow.NoGoto, Cookie: "second"})
+	for _, i := range verify.Switch(sw, verify.Options{}) {
+		if strings.Contains(i.Msg, "shadowed") || strings.Contains(i.Msg, "overridden") {
+			t.Errorf("disjoint rules flagged: %s", i)
+		}
 	}
 }
 
@@ -190,7 +233,9 @@ func TestVerifyTagBounds(t *testing.T) {
 func TestVerifyShadowingSemantics(t *testing.T) {
 	sw := brokenSwitch()
 	f := openflow.Field{Name: "x", Off: 0, Bits: 4}
-	// hi is strictly more general and higher priority: shadows lo.
+	// hi is strictly more general and higher priority: it makes lo dead,
+	// but constraining fewer dimensions is the deliberate-override shape,
+	// so the finding is an Info override, not a shadow warning.
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 10, Match: openflow.MatchEth(5),
 		Goto: openflow.NoGoto, Cookie: "hi"})
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 5, Match: openflow.MatchEth(5).WithField(f, 3),
@@ -199,14 +244,17 @@ func TestVerifyShadowingSemantics(t *testing.T) {
 	sw.AddFlow(0, &openflow.FlowEntry{Priority: 1, Match: openflow.MatchEth(6),
 		Goto: openflow.NoGoto, Cookie: "other"})
 	issues := verify.Switch(sw, verify.Options{})
-	shadowed := map[string]bool{}
+	overridden := map[string]bool{}
 	for _, i := range issues {
 		if strings.Contains(i.Msg, "shadowed") {
-			shadowed[i.Cookie] = true
+			t.Errorf("broader override misreported as shadow: %s", i)
+		}
+		if i.Severity == verify.Info && strings.Contains(i.Msg, "overridden") {
+			overridden[i.Cookie] = true
 		}
 	}
-	if !shadowed["lo"] || shadowed["other"] || shadowed["hi"] {
-		t.Fatalf("shadow set wrong: %v", shadowed)
+	if !overridden["lo"] || overridden["other"] || overridden["hi"] {
+		t.Fatalf("override set wrong: %v", overridden)
 	}
 	// Masked-field implication: hi pins the low 2 bits, lo pins all 4
 	// with an agreeing value -> shadowed.
@@ -218,7 +266,7 @@ func TestVerifyShadowingSemantics(t *testing.T) {
 	sw2.AddFlow(0, &openflow.FlowEntry{Priority: 4,
 		Match: openflow.MatchAll().WithField(f, 0b0100), Goto: openflow.NoGoto, Cookie: "disagree"})
 	issues = verify.Switch(sw2, verify.Options{})
-	shadowed = map[string]bool{}
+	shadowed := map[string]bool{}
 	for _, i := range issues {
 		if strings.Contains(i.Msg, "shadowed") {
 			shadowed[i.Cookie] = true

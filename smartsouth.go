@@ -34,7 +34,9 @@ package smartsouth
 
 import (
 	"encoding/json"
+	"fmt"
 
+	"smartsouth/internal/analysis"
 	"smartsouth/internal/controller"
 	"smartsouth/internal/core"
 	"smartsouth/internal/metrics"
@@ -101,6 +103,11 @@ type (
 	PortLoad = core.PortLoad
 	// VerifyIssue is one finding of the static data-plane checker.
 	VerifyIssue = verify.Issue
+	// AnalysisFinding is one finding of the network-wide symbolic
+	// analyzer (conflicts, loops, blackholes; see internal/analysis).
+	AnalysisFinding = analysis.Finding
+	// AnalysisOptions tunes the network-wide analyzer.
+	AnalysisOptions = analysis.Options
 	// ControlPlane is the interface services program against; both the
 	// local controller and the TCP fabric implement it.
 	ControlPlane = core.ControlPlane
@@ -174,6 +181,12 @@ var (
 	// WithTrace enables the per-packet hop trace, retaining the last n
 	// pipeline executions (n <= 0 selects the default capacity).
 	WithTrace = network.WithTrace
+	// WithAnalysis gates every install on the network-wide symbolic
+	// analysis: a service whose composition with the already-installed
+	// services produces an error-severity finding (cross-service
+	// conflict, forwarding loop, blackhole) is rejected before any rule
+	// reaches a switch.
+	WithAnalysis = network.WithAnalysis
 )
 
 // Deployment couples one topology with its simulated network and a
@@ -230,11 +243,54 @@ func newDeployment(g *Graph, cfg network.Config) *Deployment {
 	return d
 }
 
+// analysisGate decorates a control plane with the network-wide symbolic
+// install gate (see WithAnalysis). It satisfies core.ProgramGater, so
+// core's installProgram choke point consults it for every non-transient
+// program before any rule reaches a switch.
+type analysisGate struct {
+	ControlPlane
+	d *Deployment
+}
+
+// GateProgram composes the candidate with the retained programs and
+// rejects it if the analyzer finds any error-severity defect.
+func (g *analysisGate) GateProgram(p *Program) error {
+	progs := append(g.ControlPlane.Programs(), p)
+	errs := analysis.Errors(analysis.CheckDeployment(progs, g.d.Graph, g.d.analysisOptions()))
+	if len(errs) > 0 {
+		return fmt.Errorf("static analysis found %d error(s), first: %s", len(errs), errs[0])
+	}
+	return nil
+}
+
+// analysisOptions is the deployment's standard analyzer configuration:
+// the slot geometry every service compiles against, and host data
+// traffic as an additional symbolic seed.
+func (d *Deployment) analysisOptions() AnalysisOptions {
+	return AnalysisOptions{
+		HostEthTypes: []uint16{core.EthData},
+		SlotTables:   core.SlotTables,
+		SlotGroups:   core.SlotGroups,
+	}
+}
+
+// Analyze runs the network-wide symbolic analysis over the retained
+// programs on demand: cross-service conflicts, forwarding loops,
+// blackholes and unreachable rules, without simulating a packet.
+// Findings come back most severe first; analysis.Errors filters.
+func (d *Deployment) Analyze() []AnalysisFinding {
+	return analysis.CheckDeployment(d.CP.Programs(), d.Graph, d.analysisOptions())
+}
+
 // Deploy builds the network and attaches the local controller.
 func Deploy(g *Graph, opts ...Option) *Deployment {
-	d := newDeployment(g, network.Resolve(opts...))
+	cfg := network.Resolve(opts...)
+	d := newDeployment(g, cfg)
 	d.Ctl = controller.New(d.Net)
 	d.CP = metrics.Meter(d.Ctl, d.reg)
+	if cfg.Analysis {
+		d.CP = &analysisGate{ControlPlane: d.CP, d: d}
+	}
 	d.Ctl.OnPacketIn = func(pi controller.PacketIn) {
 		d.reg.NotePacketIn(pi.At, pi.Pkt.EthType, pi.Pkt.Size())
 	}
@@ -246,13 +302,17 @@ func Deploy(g *Graph, opts ...Option) *Deployment {
 // returned Deployment offers the same installers and observability as a
 // local one.
 func DeployRemote(g *Graph, opts ...Option) (*Deployment, error) {
-	d := newDeployment(g, network.Resolve(opts...))
+	cfg := network.Resolve(opts...)
+	d := newDeployment(g, cfg)
 	f, err := remote.New(d.Net)
 	if err != nil {
 		return nil, err
 	}
 	d.Fabric = f
 	d.CP = metrics.Meter(f, d.reg)
+	if cfg.Analysis {
+		d.CP = &analysisGate{ControlPlane: d.CP, d: d}
+	}
 	f.OnPacketIn = func(pi controller.PacketIn) {
 		d.reg.NotePacketIn(pi.At, pi.Pkt.EthType, pi.Pkt.Size())
 	}

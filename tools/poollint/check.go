@@ -1,0 +1,219 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// diagnostic is one finding, positioned for the usual file:line:col vet
+// output format.
+type diagnostic struct {
+	pos token.Position
+	msg string
+}
+
+// checkFile runs the pooled-packet checks over one parsed file.
+func checkFile(fset *token.FileSet, file *ast.File) []diagnostic {
+	var diags []diagnostic
+	ast.Inspect(file, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		diags = append(diags, checkStmts(fset, list)...)
+		return true
+	})
+	return diags
+}
+
+// checkStmts scans one statement list in order, tracking which plain
+// identifiers have been passed to Release. Any later statement that
+// reads such an identifier — including a second Release — is reported.
+// An assignment that rebinds the identifier ends the tracking: the name
+// now holds a different packet.
+//
+// The scan is deliberately shallow: only a top-level `x.Release()`
+// statement starts tracking (a Release buried in a branch may not
+// execute), and only identifier receivers are tracked (selector
+// receivers like em.Pkt are re-evaluated each use, so name identity
+// says nothing). Both choices trade missed bugs for zero false
+// positives on correct code.
+func checkStmts(fset *token.FileSet, list []ast.Stmt) []diagnostic {
+	var diags []diagnostic
+	released := make(map[string]token.Pos)
+	for _, st := range list {
+		if len(released) > 0 {
+			for name, rpos := range released {
+				if use, ok := firstUse(st, name); ok {
+					diags = append(diags, diagnostic{
+						pos: fset.Position(use),
+						msg: fmt.Sprintf("use of pooled packet %q after Release (released at line %d); the pool may have recycled it",
+							name, fset.Position(rpos).Line),
+					})
+					delete(released, name) // one report per release
+				}
+			}
+		}
+		for _, name := range reboundNames(st) {
+			delete(released, name)
+		}
+		if name, ok := releaseReceiver(st); ok {
+			released[name] = st.Pos()
+		}
+		if call, ok := discardedClone(st); ok {
+			diags = append(diags, diagnostic{
+				pos: fset.Position(call.Pos()),
+				msg: "result of ClonePooled discarded; the clone can never be handed off or released",
+			})
+		}
+	}
+	return diags
+}
+
+// releaseReceiver reports the identifier x of a statement of the exact
+// form `x.Release()`.
+func releaseReceiver(st ast.Stmt) (string, bool) {
+	call := callStmt(st)
+	if call == nil || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// discardedClone matches a statement of the form `expr.ClonePooled()`
+// whose result is dropped.
+func discardedClone(st ast.Stmt) (*ast.CallExpr, bool) {
+	call := callStmt(st)
+	if call == nil {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ClonePooled" {
+		return nil, false
+	}
+	return call, true
+}
+
+// callStmt unwraps an expression statement holding a call.
+func callStmt(st ast.Stmt) *ast.CallExpr {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return call
+}
+
+// firstUse reports the position of the first read of name anywhere in
+// the statement subtree. Idents that are not variable reads — selector
+// fields, struct-literal keys, declared names, assignment targets — are
+// excluded, as are occurrences rebound deeper in the subtree (they name
+// a different packet by the time they run).
+func firstUse(st ast.Stmt, name string) (token.Pos, bool) {
+	skip := make(map[*ast.Ident]bool)
+	rebound := false
+	bind := func(id *ast.Ident) {
+		skip[id] = true
+		if id.Name == name {
+			rebound = true
+		}
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			skip[n.Sel] = true
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					bind(id)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				bind(id)
+			}
+		case *ast.Field:
+			for _, id := range n.Names {
+				bind(id)
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				bind(id)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				bind(id)
+			}
+		case *ast.LabeledStmt:
+			skip[n.Label] = true
+		case *ast.BranchStmt:
+			if n.Label != nil {
+				skip[n.Label] = true
+			}
+		}
+		return true
+	})
+	// If the subtree rebinds the name anywhere (:=, =, var, range var,
+	// func-literal parameter), reads inside it are ambiguous; stay quiet.
+	if rebound {
+		return token.NoPos, false
+	}
+	var pos token.Pos
+	ast.Inspect(st, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && !skip[id] {
+			pos = id.Pos()
+		}
+		return true
+	})
+	return pos, pos.IsValid()
+}
+
+// reboundNames lists plain identifiers this statement assigns or
+// declares at its top level, ending use-after-release tracking for them.
+func reboundNames(st ast.Stmt) []string {
+	var names []string
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		for _, l := range st.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				names = append(names, id.Name)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						names = append(names, id.Name)
+					}
+				}
+			}
+		}
+	}
+	return names
+}

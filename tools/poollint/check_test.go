@@ -1,0 +1,161 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lint parses src as a file and returns the diagnostics, formatted as
+// "line: message" for easy assertion.
+func lint(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	var out []string
+	for _, d := range checkFile(fset, file) {
+		out = append(out, strings.TrimPrefix(d.pos.String(), "fixture.go:")+": "+d.msg)
+	}
+	return out
+}
+
+func wantDiags(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %q, want %d %q", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if !strings.Contains(got[i], want[i]) {
+			t.Errorf("diagnostic %d = %q, want it to contain %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUseAfterRelease(t *testing.T) {
+	got := lint(t, `package x
+func f(pkt *Packet, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	sink(p)
+	p.Release()
+	sink(p)
+}`)
+	wantDiags(t, got, `6:7: use of pooled packet "p" after Release (released at line 5)`)
+}
+
+func TestDoubleRelease(t *testing.T) {
+	got := lint(t, `package x
+func f(pkt *Packet) {
+	p := pkt.ClonePooled()
+	p.Release()
+	p.Release()
+}`)
+	wantDiags(t, got, `5:2: use of pooled packet "p" after Release`)
+}
+
+func TestFieldReadAfterRelease(t *testing.T) {
+	got := lint(t, `package x
+func f(pkt *Packet) int {
+	p := pkt.ClonePooled()
+	p.Release()
+	return len(p.Tag)
+}`)
+	wantDiags(t, got, `use of pooled packet "p" after Release`)
+}
+
+func TestDiscardedClone(t *testing.T) {
+	got := lint(t, `package x
+func f(pkt *Packet) {
+	pkt.ClonePooled()
+}`)
+	wantDiags(t, got, "3:2: result of ClonePooled discarded")
+}
+
+// TestCleanPatterns covers every sanctioned shape that appears in the
+// simulator: release as last use, deferred release, rebinding after
+// release, selector receivers, and release inside a loop body whose next
+// iteration rebinds.
+func TestCleanPatterns(t *testing.T) {
+	got := lint(t, `package x
+func f(pkt *Packet, ems []Emission, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	sink(p)
+	p.Release()
+
+	q := pkt.ClonePooled()
+	defer q.Release()
+	sink(q)
+
+	p = pkt.ClonePooled() // rebinding ends the tracking
+	sink(p)
+	p.Release()
+
+	for _, em := range ems {
+		em.Pkt.Release() // selector receiver: not tracked
+	}
+	for range ems {
+		c := pkt.ClonePooled()
+		sink(c)
+		c.Release()
+	}
+}`)
+	wantDiags(t, got)
+}
+
+// TestReleaseInBranchNotTracked: a conditional Release may not execute,
+// so a later use must not be reported.
+func TestReleaseInBranchNotTracked(t *testing.T) {
+	got := lint(t, `package x
+func f(pkt *Packet, drop bool, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	if drop {
+		p.Release()
+		return
+	}
+	sink(p)
+}`)
+	wantDiags(t, got)
+}
+
+// TestSwitchCaseBodies: case clauses are statement lists of their own.
+func TestSwitchCaseBodies(t *testing.T) {
+	got := lint(t, `package x
+func f(pkt *Packet, mode int, sink func(*Packet)) {
+	switch mode {
+	case 1:
+		p := pkt.ClonePooled()
+		p.Release()
+		sink(p)
+	}
+}`)
+	wantDiags(t, got, `use of pooled packet "p" after Release`)
+}
+
+// TestVetProtocol builds the tool and runs it under the real
+// `go vet -vettool` protocol over the packages that use the pool. The
+// tree must be clean — this is the same invocation CI runs.
+func TestVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets packages; skipped with -short")
+	}
+	tool := filepath.Join(t.TempDir(), "poollint")
+	root := "../.."
+	build := exec.Command("go", "build", "-o", tool, "./tools/poollint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building poollint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool,
+		"./internal/openflow/", "./internal/network/", "./internal/core/")
+	vet.Dir = root
+	vet.Env = append(os.Environ(), "GOFLAGS=")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=poollint reported findings on a clean tree: %v\n%s", err, out)
+	}
+}
