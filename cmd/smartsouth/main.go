@@ -41,6 +41,9 @@ var (
 	metricsTo = flag.String("metrics", "", "write the per-service metrics snapshot as JSON to this file ('-' = stdout)")
 	progsTo   = flag.String("programs", "", "write the compiled programs as JSON to this file ('-' = stdout); feed to oflint")
 	topoTo    = flag.String("topo-json", "", "write the topology as JSON to this file ('-' = stdout); feed to oflint")
+	serveAddr = flag.String("serve", "", "serve /metrics, /telemetry, /debug/vars and /debug/pprof on this address (e.g. :9090) and block after the run")
+	telemTo   = flag.String("telemetry", "", "write the process telemetry snapshot as JSON to this file ('-' = stdout)")
+	flightTo  = flag.String("flight", "", "write the flight-recorder JSONL to this file ('-' = stdout) after the run; also the dump path on failure")
 )
 
 func buildTopo() *smartsouth.Graph {
@@ -97,6 +100,14 @@ func main() {
 		opts = append(opts, smartsouth.WithTrace(*traceCap))
 	}
 	d := smartsouth.Deploy(g, opts...)
+	if *flightTo != "" && *flightTo != "-" {
+		d.FlightDumpPath = *flightTo
+	}
+	if *serveAddr != "" {
+		addr, err := smartsouth.ServeTelemetry(*serveAddr)
+		fatal(err)
+		fmt.Printf("telemetry: serving http://%s/metrics (and /telemetry, /debug/vars, /debug/pprof)\n", addr)
+	}
 	fmt.Printf("topology: %s, %d switches, %d links\n", *topoName, g.NumNodes(), g.NumEdges())
 
 	if *verbose {
@@ -400,6 +411,26 @@ func main() {
 			fatal(os.WriteFile(*metricsTo, append(js, '\n'), 0o644))
 			fmt.Printf("metrics JSON written to %s\n", *metricsTo)
 		}
+	}
+
+	if *telemTo != "" {
+		js, err := json.MarshalIndent(smartsouth.TelemetrySnapshot(), "", "  ")
+		fatal(err)
+		writeOut(*telemTo, "telemetry", js)
+	}
+	if *flightTo != "" {
+		if *flightTo == "-" {
+			fmt.Println("flight recorder JSONL:")
+			fatal(d.DumpFlight(os.Stdout))
+		} else {
+			fatal(d.WriteFlightDump(*flightTo))
+			fmt.Printf("flight recorder JSONL written to %s\n", *flightTo)
+		}
+	}
+
+	if *serveAddr != "" {
+		fmt.Println("telemetry: run finished, serving until interrupted")
+		select {}
 	}
 }
 

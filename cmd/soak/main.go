@@ -3,18 +3,24 @@
 // services, injects random failures (link-down before the run, silent
 // blackholes, mid-flight failures), runs the services and cross-checks
 // every result against its graph-theoretic oracle. Any divergence aborts
-// with a reproducible seed.
+// with a reproducible seed and a flight-recorder post-mortem: the JSONL
+// dump's final records replay the failing traversal hop by hop with the
+// decoded DFS tag state.
 //
 //	go run ./cmd/soak -iters 200
 //	go run ./cmd/soak -seed 12345 -iters 1    # replay one iteration
+//	go run ./cmd/soak -iters 50 -json         # machine-readable summary
+//	go run ./cmd/soak -force-fail -iters 1    # exercise the failure path
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"smartsouth"
 	"smartsouth/internal/topo"
@@ -22,49 +28,121 @@ import (
 )
 
 var (
-	iters   = flag.Int("iters", 100, "iterations")
-	seed    = flag.Int64("seed", 1, "base seed (iteration i uses seed+i)")
-	verbose = flag.Bool("v", false, "log every iteration")
+	iters     = flag.Int("iters", 100, "iterations")
+	seed      = flag.Int64("seed", 1, "base seed (iteration i uses seed+i)")
+	verbose   = flag.Bool("v", false, "log every iteration")
+	jsonOut   = flag.Bool("json", false, "print a JSON summary instead of the one-line tally")
+	serveAddr = flag.String("serve", "", "serve /metrics, /telemetry and /debug/pprof on this address while soaking")
+	forceFail = flag.Bool("force-fail", false, "report a synthetic oracle divergence on every iteration (tests the failure path)")
+	dumpDir   = flag.String("dump-dir", os.TempDir(), "directory for flight-recorder dumps of failed iterations ('' = no dumps)")
 )
+
+// iterFailure describes one failed iteration in the JSON summary.
+type iterFailure struct {
+	Seed       int64  `json:"seed"`
+	Family     string `json:"family"`
+	Error      string `json:"error"`
+	FlightDump string `json:"flightDump,omitempty"`
+}
+
+// summary is the -json output: the tally plus everything needed to
+// reproduce a failure (seed, family, dump path).
+type summary struct {
+	Iterations int            `json:"iterations"`
+	Passed     int            `json:"passed"`
+	Failed     int            `json:"failed"`
+	Families   map[string]int `json:"families"`
+	Failures   []iterFailure  `json:"failures,omitempty"`
+}
 
 func main() {
 	flag.Parse()
-	pass := 0
+	if *serveAddr != "" {
+		addr, err := smartsouth.ServeTelemetry(*serveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: serving http://%s/metrics\n", addr)
+	}
+
+	sum := summary{Families: map[string]int{}}
+	exitCode := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + int64(i)
-		if err := iteration(s); err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", s, err)
-			os.Exit(1)
+		family, dumpPath, err := runIteration(s, *forceFail, *dumpDir)
+		sum.Iterations++
+		sum.Families[family]++
+		if err != nil {
+			sum.Failed++
+			sum.Failures = append(sum.Failures, iterFailure{
+				Seed: s, Family: family, Error: err.Error(), FlightDump: dumpPath,
+			})
+			msg := fmt.Sprintf("FAIL seed=%d family=%s: %v", s, family, err)
+			if dumpPath != "" {
+				msg += fmt.Sprintf(" (flight dump: %s)", dumpPath)
+			}
+			fmt.Fprintln(os.Stderr, msg)
+			exitCode = 1
+			break
 		}
-		pass++
+		sum.Passed++
 		if *verbose {
-			log.Printf("seed=%d ok", s)
+			log.Printf("seed=%d ok (%s)", s, family)
 		}
 	}
-	fmt.Printf("soak: %d/%d iterations passed\n", pass, *iters)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("soak: %d/%d iterations passed\n", sum.Passed, sum.Iterations)
+	}
+	os.Exit(exitCode)
 }
 
-func buildTopo(rng *rand.Rand) *smartsouth.Graph {
+func buildTopo(rng *rand.Rand) (*smartsouth.Graph, string) {
 	n := 5 + rng.Intn(26)
 	switch rng.Intn(5) {
 	case 0:
-		return topo.RandomConnected(n, rng.Intn(n), rng.Int63())
+		return topo.RandomConnected(n, rng.Intn(n), rng.Int63()), "random"
 	case 1:
 		side := 2 + rng.Intn(4)
-		return topo.Grid(side, 2+rng.Intn(4))
+		return topo.Grid(side, 2+rng.Intn(4)), "grid"
 	case 2:
-		return topo.BarabasiAlbert(n, 1+rng.Intn(3), rng.Int63())
+		return topo.BarabasiAlbert(n, 1+rng.Intn(3), rng.Int63()), "ba"
 	case 3:
-		return topo.Waxman(n, 0.3+rng.Float64()*0.4, 0.1+rng.Float64()*0.3, rng.Int63())
+		return topo.Waxman(n, 0.3+rng.Float64()*0.4, 0.1+rng.Float64()*0.3, rng.Int63()), "waxman"
 	default:
-		return topo.Ring(3 + rng.Intn(20))
+		return topo.Ring(3 + rng.Intn(20)), "ring"
 	}
 }
 
-func iteration(s int64) error {
+// runIteration executes one soak iteration. On divergence it marks the
+// flight ring with a note and writes the post-mortem JSONL to dumpDir, so
+// the FAIL line always points at a replayable trace.
+func runIteration(s int64, forceFail bool, dumpDir string) (family, dumpPath string, err error) {
 	rng := rand.New(rand.NewSource(s))
-	g := buildTopo(rng)
+	g, family := buildTopo(rng)
 	d := smartsouth.Deploy(g, smartsouth.Options{Seed: s})
+	err = oracles(d, g, rng, forceFail)
+	if err != nil && dumpDir != "" && d.Flight() != nil {
+		d.Net.FlightNote("soak oracle divergence: " + err.Error())
+		p := filepath.Join(dumpDir, fmt.Sprintf("soak-flight-seed%d.jsonl", s))
+		if werr := d.WriteFlightDump(p); werr != nil {
+			fmt.Fprintf(os.Stderr, "soak: flight dump failed: %v\n", werr)
+		} else {
+			dumpPath = p
+		}
+	}
+	return family, dumpPath, err
+}
+
+// oracles installs the service mix, injects failures and cross-checks
+// every result against its graph-theoretic oracle.
+func oracles(d *smartsouth.Deployment, g *smartsouth.Graph, rng *rand.Rand, forceFail bool) error {
 	n := g.NumNodes()
 
 	snap, err := d.InstallSnapshot()
@@ -124,6 +202,12 @@ func iteration(s int64) error {
 		if res.HasEdge(e.U, e.V) != want {
 			return fmt.Errorf("snapshot edge %d-%d presence=%v want %v", e.U, e.V, res.HasEdge(e.U, e.V), want)
 		}
+	}
+
+	// The sweep just completed, so the flight ring now holds its final
+	// hops — exactly what the forced divergence must leave behind.
+	if forceFail {
+		return fmt.Errorf("forced oracle divergence (-force-fail): snapshot root %d saw %d nodes", root, len(res.Nodes))
 	}
 
 	// --- Anycast delivered iff reachable -------------------------------

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestIterationPasses: a normal iteration converges against its oracles
+// and leaves no dump behind.
+func TestIterationPasses(t *testing.T) {
+	for s := int64(1); s <= 5; s++ {
+		family, dumpPath, err := runIteration(s, false, t.TempDir())
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", s, family, err)
+		}
+		if dumpPath != "" {
+			t.Fatalf("seed %d: dump %s written for a passing iteration", s, dumpPath)
+		}
+	}
+}
+
+// TestForcedFailureDumpsFlight is the post-mortem acceptance test: a
+// forced oracle divergence must produce a flight-recorder JSONL whose
+// final records replay the failing traversal — pipeline executions with
+// the decoded DFS tag state (start, par, cur) at every hop — and whose
+// last line is the divergence note.
+func TestForcedFailureDumpsFlight(t *testing.T) {
+	dir := t.TempDir()
+	family, dumpPath, err := runIteration(7, true, dir)
+	if err == nil {
+		t.Fatal("-force-fail must report a divergence")
+	}
+	if !strings.Contains(err.Error(), "forced oracle divergence") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if family == "" {
+		t.Fatal("family missing")
+	}
+	if dumpPath == "" {
+		t.Fatal("failure produced no flight dump")
+	}
+
+	f, err := os.Open(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	type tag struct {
+		Name string `json:"name"`
+		Val  uint64 `json:"val"`
+	}
+	type rec struct {
+		Seq    uint64 `json:"seq"`
+		Kind   string `json:"kind"`
+		Sw     int32  `json:"sw"`
+		Cookie string `json:"cookie"`
+		Tags   []tag  `json:"tags"`
+	}
+	var recs []rec
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("dump too short: %d records", len(recs))
+	}
+
+	last := recs[len(recs)-1]
+	if last.Kind != "note" || !strings.Contains(last.Cookie, "soak oracle divergence") {
+		t.Fatalf("last record must be the divergence note, got %+v", last)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("records out of order at %d: seq %d after %d", i, recs[i].Seq, recs[i-1].Seq)
+		}
+	}
+
+	// The records before the note are the failing traversal: executions
+	// carrying the decoded DFS state.
+	decoded := 0
+	for _, r := range recs {
+		if r.Kind != "exec" || len(r.Tags) == 0 {
+			continue
+		}
+		names := map[string]bool{}
+		for _, tg := range r.Tags {
+			names[tg.Name] = true
+		}
+		if !names["start"] || !names["par"] || !names["cur"] {
+			t.Fatalf("exec record missing decoded DFS state: %+v", r)
+		}
+		decoded++
+	}
+	if decoded == 0 {
+		t.Fatal("no exec record carries decoded tag state; the dump cannot replay the traversal")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"smartsouth/internal/core"
+	"smartsouth/internal/telemetry"
 	"smartsouth/internal/topo"
 )
 
@@ -121,7 +122,9 @@ func key(u, v int) edgeKey {
 // Round runs one monitoring round and returns the events it produced.
 func (m *Monitor) Round() ([]Event, error) {
 	m.round++
+	telemetry.M.MonitorRounds.Inc()
 	var events []Event
+	defer func() { m.noteEvents(events) }()
 
 	res, _, err := m.super.SnapshotWithRetry(m.snap, m.Root)
 	if err != nil {
@@ -170,6 +173,7 @@ func (m *Monitor) Round() ([]Event, error) {
 // watchdogRound runs one smart-counter blackhole detection and appends a
 // BlackholeFound event when a silent failure is located.
 func (m *Monitor) watchdogRound(events *[]Event) (found bool, err error) {
+	telemetry.M.MonitorWatchdog.Inc()
 	m.bh.ResetCounters()
 	m.ctl.ClearInbox()
 	m.bh.Detect(m.Root, m.ctl.Now()+1, 0)
@@ -184,6 +188,19 @@ func (m *Monitor) watchdogRound(events *[]Event) (found bool, err error) {
 		return true, nil
 	}
 	return false, nil
+}
+
+// noteEvents publishes a round's event tally to the process telemetry.
+func (m *Monitor) noteEvents(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	telemetry.M.MonitorEvents.Add(int64(len(events)))
+	for _, e := range events {
+		if e.Kind == BlackholeFound {
+			telemetry.M.MonitorBlackholes.Inc()
+		}
+	}
 }
 
 // diff compares the new snapshot with the previous one.

@@ -5,6 +5,7 @@ import (
 
 	"smartsouth/internal/controller"
 	"smartsouth/internal/network"
+	"smartsouth/internal/telemetry"
 	"smartsouth/internal/topo"
 )
 
@@ -163,6 +164,67 @@ func TestMonitorWithoutWatchdogFailsOnSwallowedSweep(t *testing.T) {
 	}
 	if _, err := m.Round(); err == nil {
 		t.Fatal("expected the round to fail without a watchdog")
+	}
+}
+
+// TestMonitorTelemetryAndWatchdogCost pins the paper's message economics
+// under the process telemetry: a quiet round costs exactly 2 out-of-band
+// messages, and a blackhole round adds exactly the watchdog's 3 — all of
+// it visible as telemetry counter deltas.
+func TestMonitorTelemetryAndWatchdogCost(t *testing.T) {
+	rounds0 := telemetry.M.MonitorRounds.Load()
+	wd0 := telemetry.M.MonitorWatchdog.Load()
+	bh0 := telemetry.M.MonitorBlackholes.Load()
+	ev0 := telemetry.M.MonitorEvents.Load()
+
+	g := topo.Ring(6)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	m, err := New(c, g, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.ResetRuntimeStats()
+	if _, err := m.Round(); err != nil { // baseline
+		t.Fatal(err)
+	}
+	if got := c.Stats.RuntimeMsgs(); got != 2 {
+		t.Fatalf("quiet round cost %d out-of-band messages, want 2", got)
+	}
+
+	// Silent failure on the sweep's echo path. The watchdog round itself
+	// is the paper's 3 out-of-band messages, exactly: 2 packet-outs
+	// (dance + delayed checker) and 1 packet-in (the verdict).
+	if err := net.SetBlackhole(3, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetRuntimeStats()
+	var events []Event
+	found, err := m.watchdogRound(&events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || kinds(events)[BlackholeFound] != 1 {
+		t.Fatalf("watchdog missed the blackhole: %v", events)
+	}
+	if c.Stats.PacketOuts != 2 || c.Stats.PacketIns != 1 {
+		t.Fatalf("watchdog round cost %d packet-outs + %d packet-ins, want the paper's 2+1",
+			c.Stats.PacketOuts, c.Stats.PacketIns)
+	}
+	m.noteEvents(events)
+
+	if d := telemetry.M.MonitorRounds.Load() - rounds0; d != 1 {
+		t.Errorf("MonitorRounds delta %d, want 1", d)
+	}
+	if d := telemetry.M.MonitorWatchdog.Load() - wd0; d != 1 {
+		t.Errorf("MonitorWatchdog delta %d, want 1", d)
+	}
+	if d := telemetry.M.MonitorBlackholes.Load() - bh0; d != 1 {
+		t.Errorf("MonitorBlackholes delta %d, want 1", d)
+	}
+	if d := telemetry.M.MonitorEvents.Load() - ev0; d != int64(len(events)) {
+		t.Errorf("MonitorEvents delta %d, want %d", d, len(events))
 	}
 }
 

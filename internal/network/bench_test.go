@@ -8,11 +8,12 @@ import (
 	"smartsouth/internal/topo"
 )
 
-// BenchmarkLinkCrossing measures raw simulator throughput: one injection,
-// one link crossing, one local delivery.
-func BenchmarkLinkCrossing(b *testing.B) {
+// benchLinkCrossing is the shared body of the link-crossing benchmarks:
+// one injection, one link crossing, one local delivery per iteration.
+func benchLinkCrossing(b *testing.B, opts Options) {
 	g := topo.Line(2)
-	n := New(g, Options{MaxSteps: 1 << 30})
+	opts.MaxSteps = 1 << 30
+	n := New(g, opts)
 	for i := 0; i < 2; i++ {
 		n.Switch(i).AddFlow(0, &openflow.FlowEntry{
 			Priority: 1, Match: openflow.MatchAll().WithInPort(1),
@@ -33,6 +34,24 @@ func BenchmarkLinkCrossing(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkLinkCrossing measures raw simulator throughput. Telemetry is
+// off so the number stays comparable to the committed baselines, which
+// predate telemetry; BenchmarkLinkCrossingTelemetry measures the same
+// loop with the always-on instrumentation.
+func BenchmarkLinkCrossing(b *testing.B) {
+	benchLinkCrossing(b, Options{NoTelemetry: true})
+}
+
+// BenchmarkLinkCrossingTelemetry is BenchmarkLinkCrossing with telemetry
+// on. Each iteration is a full Inject+Run of only ~3 events, so the
+// per-Run flush (two clock reads, counter and histogram publication,
+// FlowTable scan deltas) dominates — this is the worst case for the
+// always-on cost, not the steady-state per-event overhead, which
+// BenchmarkTelemetryOverhead measures on a realistic traversal.
+func BenchmarkLinkCrossingTelemetry(b *testing.B) {
+	benchLinkCrossing(b, Options{})
 }
 
 // BenchmarkFanoutInjection stresses heap churn and dispatch cost: one

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"smartsouth/internal/openflow"
+	"smartsouth/internal/telemetry"
 	"smartsouth/internal/topo"
 )
 
@@ -19,6 +20,15 @@ type Options struct {
 	Seed int64
 	// MaxSteps bounds events per Run (see Sim.MaxSteps).
 	MaxSteps int
+	// NoTelemetry disables the always-on instrumentation (per-event
+	// counters, latency histograms, flight recorder) for this network.
+	// The telemetry-off arm of the overhead benchmark uses it; everything
+	// else should leave it false.
+	NoTelemetry bool
+	// FlightCap sizes the flight-recorder ring: 0 selects the default
+	// capacity, negative disables the recorder while keeping the rest of
+	// the telemetry on.
+	FlightCap int
 }
 
 // ethCounter is one interned per-EtherType accounting slot. The hot path
@@ -78,6 +88,18 @@ type Network struct {
 	counters []ethCounter
 	ethIdx   map[uint16]int
 	lastIdx  int
+
+	// Flight recorder and its per-EtherType tag decoders (telemetry.go);
+	// nil/empty when telemetry is off. prevLookups/prevScanned remember
+	// the switches' cumulative FlowTable scan stats at the last flush so
+	// Run can publish deltas.
+	flightDec []flightDecoder
+	lastDec   int
+	flight    *telemetry.Flight
+
+	prevLookups    uint64
+	prevScanned    uint64
+	prevFlightRecs uint64
 }
 
 // New builds a network for the graph.
@@ -92,6 +114,12 @@ func New(g *topo.Graph, opts Options) *Network {
 		ethIdx: make(map[uint16]int),
 	}
 	n.Sim.net = n
+	if !opts.NoTelemetry {
+		n.Sim.stats = &telemetry.SimLocal{}
+		if opts.FlightCap >= 0 {
+			n.flight = telemetry.NewFlight(opts.FlightCap)
+		}
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n.switches = make([]*openflow.Switch, g.NumNodes())
 	n.portLinks = make([][]*Link, g.NumNodes())
@@ -246,6 +274,9 @@ func (n *Network) SetLoss(u, v int, p float64) error {
 // inPort at time t. Use openflow.PortController as inPort for packet-outs.
 // The caller keeps ownership of pkt: it is cloned at call time.
 func (n *Network) Inject(sw int, inPort int, pkt *openflow.Packet, t Time) {
+	if st := n.Sim.stats; st != nil {
+		st.PoolGets++
+	}
 	n.Sim.schedule(t, event{kind: evProcess, sw: sw, port: inPort, pkt: pkt.ClonePooled()})
 }
 
@@ -256,6 +287,11 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 	p := pkt.ClonePooled()
 	n.Sim.At(t, func() {
 		res := n.switches[sw].Execute(p, actions)
+		if st := n.Sim.stats; st != nil {
+			// The clone above, Execute's internal clone, and one per
+			// emission.
+			st.PoolGets += 2 + uint64(len(res.Emissions))
+		}
 		for _, ob := range n.execObs {
 			ob(sw, openflow.PortController, p, &res)
 		}
@@ -270,6 +306,13 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 // the call.
 func (n *Network) process(sw int, inPort int, pkt *openflow.Packet) {
 	n.switches[sw].ReceiveInto(pkt, inPort, &n.scratch)
+	if st := n.Sim.stats; st != nil {
+		// One entry clone plus one clone per emission (see ReceiveInto).
+		st.PoolGets += 1 + uint64(len(n.scratch.Emissions))
+		if n.flight != nil {
+			n.recordExec(sw, inPort, pkt, &n.scratch)
+		}
+	}
 	for _, ob := range n.execObs {
 		ob(sw, inPort, pkt, &n.scratch)
 	}
@@ -332,6 +375,26 @@ func (n *Network) send(sw, port int, pkt *openflow.Packet) {
 	}
 	n.countInBand(pkt.EthType, pkt.Size())
 	to, toPort, delivered := l.transmit(sw)
+	if st := n.Sim.stats; st != nil {
+		st.Hops++
+		if !delivered {
+			st.HopsDropped++
+			// Only failed transmissions earn a ring entry: a delivered
+			// hop is already visible as the receiving switch's exec
+			// record, while a drop is precisely the event a post-mortem
+			// needs and would otherwise be invisible.
+			if n.flight != nil {
+				r := n.flight.Slot()
+				r.At = int64(n.Sim.now)
+				r.Kind = telemetry.FlightSend
+				r.Sw = int16(sw)
+				r.Port = int16(port)
+				r.To = int16(to)
+				r.ToPort = int16(toPort)
+				r.Eth = pkt.EthType
+			}
+		}
+	}
 	if n.OnHop != nil || len(n.hopObs) > 0 {
 		h := Hop{From: sw, FromPort: port, To: to, ToPort: toPort}
 		if n.OnHop != nil {
@@ -347,9 +410,6 @@ func (n *Network) send(sw, port int, pkt *openflow.Packet) {
 	}
 	n.Sim.schedule(n.Sim.now+l.Delay, event{kind: evProcess, sw: to, port: toPort, pkt: pkt})
 }
-
-// Run drains the event queue.
-func (n *Network) Run() (int, error) { return n.Sim.Run() }
 
 // InBandMsgs returns the per-EtherType link-transmission counts as a map,
 // rebuilt from the interned counters on every call. Use InBandCount for a

@@ -55,6 +55,20 @@ func WithTrace(cap int) Option {
 	return optionFunc(func(c *Config) { c.TraceCap = cap })
 }
 
+// WithoutTelemetry disables the always-on instrumentation (per-event
+// counters, latency histograms, flight recorder) for this deployment —
+// the telemetry-off arm of the overhead benchmark.
+func WithoutTelemetry() Option {
+	return optionFunc(func(c *Config) { c.Opts.NoTelemetry = true })
+}
+
+// WithFlightCap sizes the flight-recorder ring: 0 keeps the default
+// capacity, negative disables the recorder while keeping counters and
+// histograms on.
+func WithFlightCap(n int) Option {
+	return optionFunc(func(c *Config) { c.Opts.FlightCap = n })
+}
+
 // WithAnalysis gates every program installation on the network-wide
 // static analysis (internal/analysis): conflicts with installed
 // services, forwarding loops and blackholes reject the install.

@@ -6,7 +6,12 @@
 // the paper's Table 2.
 package network
 
-import "smartsouth/internal/openflow"
+import (
+	"time"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/telemetry"
+)
 
 // Time is simulation time in nanoseconds.
 type Time int64
@@ -41,6 +46,7 @@ const (
 // for any correct heap implementation.
 type event struct {
 	at   Time
+	enq  Time // schedule time, for the queue-wait telemetry
 	seq  uint64
 	kind eventKind
 	sw   int
@@ -73,7 +79,19 @@ type Sim struct {
 	// miscompiled rule set that ping-pongs a packet forever surfaces as
 	// ErrEventLimit instead of a hang. Zero means the default.
 	MaxSteps int
+
+	// stats is the telemetry scratchpad of this (single-goroutine) loop;
+	// nil disables recording. Plain increments here, flushed into the
+	// process-wide atomics by Network.Run at Run boundaries.
+	stats *telemetry.SimLocal
 }
+
+// The typed event kinds double as telemetry kind indices; the two enums
+// must stay aligned.
+var _ = [1]struct{}{}[int(evFunc)-telemetry.KindFunc]
+var _ = [1]struct{}{}[int(evProcess)-telemetry.KindProcess]
+var _ = [1]struct{}{}[int(evPacketIn)-telemetry.KindPacketIn]
+var _ = [1]struct{}{}[int(evSelf)-telemetry.KindSelf]
 
 const defaultMaxSteps = 10_000_000
 
@@ -132,7 +150,7 @@ func (s *Sim) schedule(t Time, e event) {
 		t = s.now
 	}
 	s.seq++
-	e.at, e.seq = t, s.seq
+	e.at, e.seq, e.enq = t, s.seq, s.now
 	s.push(e)
 }
 
@@ -159,12 +177,38 @@ func (s *Sim) Run() (int, error) {
 		limit = defaultMaxSteps
 	}
 	processed := 0
+	st := s.stats
 	for len(s.events) > 0 {
 		if processed >= limit {
 			return processed, ErrEventLimit{Steps: processed}
 		}
+		var t0 time.Time
+		sampled := false
+		histSample := false
+		if st != nil {
+			// The depth and queue-wait histograms are sampled 1-in-8
+			// events: stride sampling preserves the distributions while
+			// keeping the two Observe calls (~7ns together) off the
+			// per-event budget. The counters stay exact. Wall-clock cost
+			// is sampled more sparsely still (1-in-64) because each
+			// sample costs two time.Now calls.
+			if processed&7 == 0 {
+				histSample = true
+				st.ObserveHeapDepth(int64(len(s.events)))
+				if processed&63 == 0 {
+					t0 = time.Now()
+					sampled = true
+				}
+			}
+		}
 		e := s.pop()
 		s.now = e.at
+		if st != nil {
+			st.Events[e.kind]++
+			if histSample {
+				st.QueueWait.Observe(int64(e.at - e.enq))
+			}
+		}
 		switch e.kind {
 		case evFunc:
 			e.fn()
@@ -172,13 +216,22 @@ func (s *Sim) Run() (int, error) {
 			s.net.process(e.sw, e.port, e.pkt)
 			e.pkt.Release()
 		case evPacketIn:
+			if st != nil {
+				st.PacketIns++
+			}
 			if s.net.OnPacketIn != nil {
 				s.net.OnPacketIn(e.sw, e.pkt)
 			}
 		case evSelf:
+			if st != nil {
+				st.SelfDeliver++
+			}
 			if s.net.OnSelf != nil {
 				s.net.OnSelf(e.sw, e.pkt)
 			}
+		}
+		if sampled {
+			st.HopWallNs.Observe(time.Since(t0).Nanoseconds())
 		}
 		processed++
 	}

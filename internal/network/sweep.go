@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"smartsouth/internal/telemetry"
 )
 
 // Sweep runs n independent jobs across a bounded worker pool and returns
@@ -34,30 +37,44 @@ func Sweep(n, workers int, job func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	m := telemetry.M
+	m.SweepRuns.Inc()
+	m.SweepWorkers.Set(int64(workers))
+	m.ResetSweepWorkers(workers)
+	sweepStart := time.Now()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			t0 := time.Now()
 			errs[i] = job(i)
+			m.NoteSweepJob(0, time.Since(t0).Nanoseconds())
 		}
+		m.SweepWallNs.Add(time.Since(sweepStart).Nanoseconds())
 		return errors.Join(errs...)
 	}
 	// Dynamic work stealing via a shared counter: jobs vary wildly in cost
 	// (a Ring(240) sweep dwarfs a Ring(20) one), so pre-partitioning the
 	// index space would leave workers idle behind the largest stratum.
+	// Per-worker busy time and job counts feed the utilization telemetry:
+	// a worker whose busy time is far below the sweep wall time is idling
+	// behind a straggler.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				t0 := time.Now()
 				errs[i] = job(i)
+				m.NoteSweepJob(w, time.Since(t0).Nanoseconds())
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	m.SweepWallNs.Add(time.Since(sweepStart).Nanoseconds())
 	return errors.Join(errs...)
 }

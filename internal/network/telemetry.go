@@ -1,0 +1,208 @@
+package network
+
+import (
+	"time"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/telemetry"
+)
+
+// FlightTagFields resolves the (up to three) tag fields decoded into
+// flight-recorder records for one EtherType at one switch. The DFS state
+// of a SmartSouth service is laid out per switch (par/cur live in
+// switch-indexed field tables), hence the sw parameter. The returned
+// array is by value, so resolution does not allocate.
+type FlightTagFields func(sw int) [3]openflow.Field
+
+// tagExtract is one precompiled narrow-field read: the (at most two)
+// byte indices a ≤9-bit field spans, the right shift of the 16-bit
+// window they form, and the width mask. Eight bytes instead of the 40 of
+// an openflow.Field, and the extraction inlines to a handful of shifts —
+// the record path never calls Field.Load.
+type tagExtract struct {
+	first uint16
+	last  uint16
+	shift uint8
+	_     uint8
+	mask  uint16
+}
+
+// load reads the field from a packet tag area; tags too short for the
+// field read as zero, like Field.Load.
+func (e *tagExtract) load(tag []byte) uint32 {
+	if int(e.first) < len(tag) && int(e.last) < len(tag) {
+		v := uint32(tag[e.first])<<8 | uint32(tag[e.last])
+		return v >> e.shift & uint32(e.mask)
+	}
+	return 0
+}
+
+// flightDecoder is one registered EtherType -> tag-field mapping. The
+// name set is interned in the Flight recorder; records carry its index.
+// The per-switch resolvers are materialized at registration, so the
+// record path is a slice index instead of a closure call: extBySw when
+// every field is narrow enough for tagExtract (the always case for DFS
+// state), fieldsBySw (with Field.Load) when any field is wider.
+type flightDecoder struct {
+	eth        uint16
+	nameIdx    uint8
+	n          uint8
+	wide       bool
+	extBySw    [][3]tagExtract
+	fieldsBySw [][3]openflow.Field
+}
+
+// RegisterFlightTags registers named tag fields for packets of the given
+// EtherType: every flight-recorder execution record for such packets
+// carries the decoded values (e.g. the DFS start/par/cur state), which is
+// what makes a post-mortem dump replayable. fields is evaluated once per
+// switch now, not on the record path. Re-registering an EtherType
+// replaces its decoder. No-op when the flight recorder is disabled.
+func (n *Network) RegisterFlightTags(eth uint16, names [3]string, fields FlightTagFields) {
+	if n.flight == nil || fields == nil {
+		return
+	}
+	var cnt uint8
+	for _, nm := range names {
+		if nm != "" {
+			cnt++
+		}
+	}
+	bySw := make([][3]openflow.Field, len(n.switches))
+	wide := false
+	for sw := range bySw {
+		bySw[sw] = fields(sw)
+		for i := uint8(0); i < cnt; i++ {
+			if f := bySw[sw][i]; f.Bits > 9 || f.Bits < 1 || f.Off < 0 || (f.Off+f.Bits-1)>>3 > 0xFFFF {
+				wide = true
+			}
+		}
+	}
+	d := flightDecoder{eth: eth, nameIdx: n.flight.RegisterTagNames(names), n: cnt, wide: wide}
+	if wide {
+		d.fieldsBySw = bySw
+	} else {
+		d.extBySw = make([][3]tagExtract, len(bySw))
+		for sw := range bySw {
+			for i := uint8(0); i < cnt; i++ {
+				f := bySw[sw][i]
+				first, last := f.Off>>3, (f.Off+f.Bits-1)>>3
+				d.extBySw[sw][i] = tagExtract{
+					first: uint16(first),
+					last:  uint16(last),
+					shift: uint8(16 - (f.Off + f.Bits - first*8)),
+					mask:  uint16(1<<uint(f.Bits) - 1),
+				}
+			}
+		}
+	}
+	for i := range n.flightDec {
+		if n.flightDec[i].eth == eth {
+			n.flightDec[i] = d
+			return
+		}
+	}
+	n.flightDec = append(n.flightDec, d)
+}
+
+// decoderFor returns the decoder of an EtherType, or nil. The last hit is
+// cached: traversals send long runs of one type, so the common case is a
+// single comparison, like the in-band accounting intern table.
+func (n *Network) decoderFor(eth uint16) *flightDecoder {
+	if i := n.lastDec; i < len(n.flightDec) && n.flightDec[i].eth == eth {
+		return &n.flightDec[i]
+	}
+	for i := range n.flightDec {
+		if n.flightDec[i].eth == eth {
+			n.lastDec = i
+			return &n.flightDec[i]
+		}
+	}
+	return nil
+}
+
+// Flight returns the network's flight recorder, nil when telemetry or the
+// recorder is disabled.
+func (n *Network) Flight() *telemetry.Flight { return n.flight }
+
+// FlightNote appends a free-form marker record (phase boundary, oracle
+// verdict, gate rejection) to the flight recorder, if enabled.
+func (n *Network) FlightNote(text string) {
+	if n.flight == nil {
+		return
+	}
+	r := telemetry.FlightRecord{At: int64(n.Sim.now), Kind: telemetry.FlightNote, Sw: -1}
+	n.flight.SetCookie(&r, text)
+	n.flight.Record(r)
+}
+
+// recordExec writes one execution record: who ran the pipeline, on what
+// ingress, whether it matched, the last matched cookie, and the decoded
+// tag state of the packet. Strings stored are headers onto preexisting
+// constants; the record itself is a struct store into the ring.
+func (n *Network) recordExec(sw, inPort int, pkt *openflow.Packet, res *openflow.Result) {
+	r := n.flight.Slot()
+	r.At = int64(n.Sim.now)
+	r.Kind = telemetry.FlightExec
+	r.Sw = int16(sw)
+	r.Port = int16(inPort)
+	r.Eth = pkt.EthType
+	r.Matched = res.Matched
+	n.flight.SetCookie(r, res.LastCookie)
+	r.Group = res.LastGroup
+	r.Bucket = res.LastBucket
+	if d := n.decoderFor(pkt.EthType); d != nil {
+		r.NumTags = d.n
+		r.NameIdx = d.nameIdx
+		// Unrolled: d.n is at most 3 and almost always exactly 3.
+		if !d.wide {
+			e := &d.extBySw[sw]
+			if d.n > 0 {
+				r.Tags[0] = e[0].load(pkt.Tag)
+				if d.n > 1 {
+					r.Tags[1] = e[1].load(pkt.Tag)
+					if d.n > 2 {
+						r.Tags[2] = e[2].load(pkt.Tag)
+					}
+				}
+			}
+		} else {
+			f := &d.fieldsBySw[sw]
+			for i := uint8(0); i < d.n; i++ {
+				r.Tags[i] = uint32(pkt.Load(f[i]))
+			}
+		}
+	}
+}
+
+// Run drains the event queue and, unless telemetry is disabled, flushes
+// the staged per-loop counters into the process-global metrics: the Run's
+// simulated and wall-clock spans, the event/hop/pool counters, and the
+// FlowTable scan deltas accumulated by the switches since the last flush.
+func (n *Network) Run() (int, error) {
+	st := n.Sim.stats
+	if st == nil {
+		return n.Sim.Run()
+	}
+	simStart := n.Sim.now
+	wallStart := time.Now()
+	steps, err := n.Sim.Run()
+	var lk, sc uint64
+	for _, sw := range n.switches {
+		l, s := sw.ScanStats()
+		lk += l
+		sc += s
+	}
+	st.FlowLookups += lk - n.prevLookups
+	st.FlowScanned += sc - n.prevScanned
+	n.prevLookups, n.prevScanned = lk, sc
+	if n.flight != nil {
+		// Record counts are derived from the ring's running total here,
+		// once per Run, so the record paths don't pay a counter bump.
+		t := n.flight.Total()
+		st.FlightRecords += t - n.prevFlightRecs
+		n.prevFlightRecs = t
+	}
+	st.FlushTo(telemetry.M, int64(n.Sim.now-simStart), time.Since(wallStart).Nanoseconds(), err != nil)
+	return steps, err
+}

@@ -47,7 +47,33 @@ func (f Field) String() string {
 
 // Load extracts the field value from tag. Bits beyond the end of tag read
 // as zero, so a short tag behaves like one padded with zero bytes.
+//
+// The first branch is the inlinable hot path for narrow fields (every
+// field the compiler allocates for DFS state is well under 9 bits): a
+// ≤9-bit field spans at most two bytes, read branch-free into a 16-bit
+// window. When the field sits in a single byte, last == first duplicates
+// that byte into the low half of the window, and the shift (≥8 in that
+// case) discards it.
 func (f Field) Load(tag []byte) uint64 {
+	if first, last := f.Off>>3, (f.Off+f.Bits-1)>>3; f.Bits <= 9 && first >= 0 && last < len(tag) {
+		v := uint64(tag[first])<<8 | uint64(tag[last])
+		return v >> uint(16-(f.Off+f.Bits-first*8)) & (1<<uint(f.Bits) - 1)
+	}
+	return f.loadWide(tag)
+}
+
+func (f Field) loadWide(tag []byte) uint64 {
+	first, last := f.Off>>3, (f.Off+f.Bits-1)>>3
+	if f.Bits <= 57 && first >= 0 && last < len(tag) {
+		// The spanned bytes (at most 8, since a ≤57-bit field straddles
+		// ≤8 byte boundaries) fit a uint64 big-endian read.
+		var v uint64
+		for i := first; i <= last; i++ {
+			v = v<<8 | uint64(tag[i])
+		}
+		v >>= uint((last+1)*8 - (f.Off + f.Bits))
+		return v & (1<<uint(f.Bits) - 1)
+	}
 	var v uint64
 	for i := 0; i < f.Bits; i++ {
 		pos := f.Off + i

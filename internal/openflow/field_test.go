@@ -87,6 +87,36 @@ func TestQuickFieldRoundTrip(t *testing.T) {
 	}
 }
 
+// loadBitwise is the reference extraction the Load fast path must agree
+// with: one bit at a time, short tags reading as zero-padded.
+func loadBitwise(f Field, tag []byte) uint64 {
+	var v uint64
+	for i := 0; i < f.Bits; i++ {
+		pos := f.Off + i
+		bi, sh := pos>>3, 7-uint(pos&7)
+		v <<= 1
+		if bi < len(tag) && tag[bi]>>sh&1 == 1 {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// Property: the byte-wise Load fast path agrees with the bit-by-bit
+// reference for every offset/width, including fields straddling byte
+// boundaries and fields running past the end of a short tag.
+func TestQuickFieldLoadMatchesBitwise(t *testing.T) {
+	check := func(off uint8, bits uint8, noise []byte, tagLen uint8) bool {
+		f := Field{Off: int(off % 80), Bits: 1 + int(bits%64)}
+		tag := make([]byte, tagLen%16)
+		copy(tag, noise)
+		return f.Load(tag) == loadBitwise(f, tag)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestBitsFor(t *testing.T) {
 	cases := []struct {
 		max  uint64

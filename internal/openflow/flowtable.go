@@ -81,6 +81,13 @@ type FlowTable struct {
 	seq     uint64                 // next insertion sequence number
 	buckets map[ftKey][]*FlowEntry // exact-EtherType dispatch index
 	wild    []*FlowEntry           // entries with a wildcarded EtherType
+
+	// lookups / scanned count Lookup calls and entries probed across them.
+	// scanned/lookups is the real fan-out of the dispatch index — the number
+	// the index's O(1)-ish claim rests on. Plain fields: a table belongs to
+	// one switch and one simulator goroutine, like the rest of its state.
+	lookups uint64
+	scanned uint64
 }
 
 // keyOf classifies an entry for the dispatch index. ok is false when the
@@ -137,16 +144,16 @@ func (t *FlowTable) Add(e *FlowEntry) {
 	}
 }
 
-// firstMatch returns the first entry of list matching p. Lists are kept in
-// (priority desc, seq asc) order, so the first match is the best of its
-// list.
-func firstMatch(list []*FlowEntry, p *Packet) *FlowEntry {
-	for _, e := range list {
+// firstMatch returns the first entry of list matching p, plus the number
+// of entries probed. Lists are kept in (priority desc, seq asc) order, so
+// the first match is the best of its list.
+func firstMatch(list []*FlowEntry, p *Packet) (*FlowEntry, int) {
+	for i, e := range list {
 		if e.Match.Matches(p) {
-			return e
+			return e, i + 1
 		}
 	}
-	return nil
+	return nil, len(list)
 }
 
 // better returns the entry that wins overall ordering: higher priority, or
@@ -177,11 +184,24 @@ func better(a, b *FlowEntry) *FlowEntry {
 // would have returned. Lookup does not allocate.
 func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
 	var best *FlowEntry
+	probed := 0
 	if t.buckets != nil {
-		best = firstMatch(t.buckets[ftKey{eth: int32(p.EthType), in: int32(p.InPort)}], p)
-		best = better(best, firstMatch(t.buckets[ftKey{eth: int32(p.EthType), in: anyInPort}], p))
+		var n int
+		best, n = firstMatch(t.buckets[ftKey{eth: int32(p.EthType), in: int32(p.InPort)}], p)
+		probed += n
+		e, n := firstMatch(t.buckets[ftKey{eth: int32(p.EthType), in: anyInPort}], p)
+		probed += n
+		best = better(best, e)
 	}
-	return better(best, firstMatch(t.wild, p))
+	e, n := firstMatch(t.wild, p)
+	t.lookups++
+	t.scanned += uint64(probed + n)
+	return better(best, e)
+}
+
+// ScanStats returns the cumulative Lookup call and entries-probed counts.
+func (t *FlowTable) ScanStats() (lookups, scanned uint64) {
+	return t.lookups, t.scanned
 }
 
 // ByCookie returns the first entry with exactly the given cookie, or nil.

@@ -3,6 +3,8 @@ package openflow
 import (
 	"fmt"
 	"sync"
+
+	"smartsouth/internal/telemetry"
 )
 
 // Reserved output port numbers, mirroring the OFPP_* reserved ports of
@@ -59,8 +61,13 @@ func (p *Packet) Clone() *Packet {
 // Tag/Labels/Payload backing arrays between uses, so a steady-state hop
 // (clone at emission, clone at pipeline entry) recycles buffers instead of
 // allocating. The pool is safe for concurrent use, which is what lets the
-// parallel sweep runner share it across simulations.
-var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+// parallel sweep runner share it across simulations. Gets and misses feed
+// the process-wide telemetry so a scrape can tell whether the freelist is
+// actually recycling (hit rate ~1) or degenerating into the allocator.
+var pktPool = sync.Pool{New: func() any {
+	telemetry.M.PoolMisses.Inc()
+	return new(Packet)
+}}
 
 // ClonePooled returns a deep copy of p backed by the packet freelist.
 //

@@ -48,6 +48,16 @@ type Result struct {
 	// has structured recording on (Switch.Record).
 	Steps      []Step
 	GroupSteps []GroupStep
+
+	// LastCookie is the cookie of the last matched flow entry, LastGroup
+	// and LastBucket the last group-bucket decision (LastBucket -1 when
+	// the group dropped the packet; LastGroup 0 when no group ran). These
+	// are always populated — a few scalar stores per execution — so the
+	// flight recorder can label records without Switch.Record's per-step
+	// slice appends.
+	LastCookie string
+	LastGroup  uint32
+	LastBucket int16
 }
 
 // reset clears the result for reuse, keeping the backing arrays so a
@@ -58,6 +68,9 @@ func (r *Result) reset() {
 	r.Trace = r.Trace[:0]
 	r.Steps = r.Steps[:0]
 	r.GroupSteps = r.GroupSteps[:0]
+	r.LastCookie = ""
+	r.LastGroup = 0
+	r.LastBucket = 0
 }
 
 // ExecContext threads pipeline state through action execution.
@@ -77,8 +90,11 @@ func (x *ExecContext) trace(format string, args ...any) {
 	}
 }
 
-// step records a group-bucket decision when structured recording is on.
+// step records a group-bucket decision: the last one always (scalar
+// stores), the full sequence when structured recording is on.
 func (x *ExecContext) step(g *GroupEntry, bucket int) {
+	x.res.LastGroup = g.ID
+	x.res.LastBucket = int16(bucket)
 	if x.sw.Record {
 		x.res.GroupSteps = append(x.res.GroupSteps, GroupStep{Group: g.ID, Type: g.Type, Bucket: bucket})
 	}
@@ -106,8 +122,12 @@ type Switch struct {
 	Record bool
 
 	tables map[int]*FlowTable
-	groups map[uint32]*GroupEntry
-	live   []bool // index 1..NumPorts
+	// tableList mirrors tables as a slice so ScanStats can aggregate
+	// without a map iteration; tables are created lazily and never deleted,
+	// so append-on-create keeps it exact.
+	tableList []*FlowTable
+	groups    map[uint32]*GroupEntry
+	live      []bool // index 1..NumPorts
 
 	// xc is the reusable execution context for ReceiveInto. A switch
 	// processes one packet at a time (the simulator is single-threaded per
@@ -144,8 +164,21 @@ func (sw *Switch) Table(id int) *FlowTable {
 	if !ok {
 		t = &FlowTable{ID: id}
 		sw.tables[id] = t
+		sw.tableList = append(sw.tableList, t)
 	}
 	return t
+}
+
+// ScanStats sums the cumulative FlowTable lookup and entries-probed
+// counts across all tables. The network layer diffs it at Run boundaries
+// to feed the process-wide telemetry.
+func (sw *Switch) ScanStats() (lookups, scanned uint64) {
+	for _, t := range sw.tableList {
+		l, s := t.ScanStats()
+		lookups += l
+		scanned += s
+	}
+	return lookups, scanned
 }
 
 // TableIDs returns the IDs of all non-empty tables in ascending order,
@@ -241,6 +274,8 @@ func (sw *Switch) applyGroup(x *ExecContext, id uint32, p *Packet) {
 		if x.sw.Tracing {
 			x.trace("group %d: not installed, drop", id)
 		}
+		x.res.LastGroup = id
+		x.res.LastBucket = -1
 		if sw.Record {
 			x.res.GroupSteps = append(x.res.GroupSteps, GroupStep{Group: id, Bucket: -1})
 		}
@@ -302,6 +337,7 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 		}
 		res.Matched = true
 		e.Packets++
+		res.LastCookie = e.Cookie
 		if x.sw.Tracing {
 			x.trace("table %d: hit %q", table, e.Cookie)
 		}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards is the shard count of a Counter. A power of two a little
+// above typical GOMAXPROCS keeps the probability of two busy goroutines
+// landing on the same cache line low without bloating every counter.
+const numShards = 32
+
+// shard is one cache-line-padded slot. 64-byte alignment keeps two
+// shards from false-sharing a line when adjacent goroutines hammer
+// adjacent shards.
+type shard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a lock-free sharded monotonic counter. Add is wait-free and
+// allocation-free; Load folds the shards. The zero value is ready to use.
+//
+// Sharding key: goroutines are distinguished by the address of a stack
+// variable — distinct goroutines run on distinct stacks, so concurrent
+// writers spread across shards instead of serializing on one cache line.
+// The address is only hashed, never dereferenced or retained, so the
+// variable does not escape.
+type Counter struct {
+	shards [numShards]shard
+}
+
+// shardIdx hashes the caller's stack address into a shard index.
+func shardIdx() int {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe)))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h) & (numShards - 1)
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) {
+	c.shards[shardIdx()].v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current total. Concurrent Adds may or may not be
+// included — the usual weak-snapshot semantics of striped counters.
+func (c *Counter) Load() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Reset zeroes the counter (test helper; not linearizable against
+// concurrent Adds).
+func (c *Counter) Reset() {
+	for i := range c.shards {
+		c.shards[i].v.Store(0)
+	}
+}
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// MaxGauge tracks a running maximum (e.g. peak event-heap depth).
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+// Observe raises the maximum to v if v is larger.
+func (m *MaxGauge) Observe(v int64) {
+	for {
+		cur := m.v.Load()
+		if v <= cur || m.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far.
+func (m *MaxGauge) Load() int64 { return m.v.Load() }
+
+// Reset zeroes the maximum.
+func (m *MaxGauge) Reset() { m.v.Store(0) }

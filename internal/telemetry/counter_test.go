@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from GOMAXPROCS goroutines
+// and checks that no increment is lost — the correctness property the
+// sharding must preserve. Run under -race in CI.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 100_000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Load(), int64(workers*perWorker); got != want {
+		t.Fatalf("counter lost updates: got %d want %d", got, want)
+	}
+}
+
+// TestCounterStressMixed mixes Add sizes with a concurrent Load loop;
+// Load must never observe more than the true final total, and the final
+// total must be exact. Run under -race in CI.
+func TestCounterStressMixed(t *testing.T) {
+	var c Counter
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 50_000
+	ceiling := int64(workers * perWorker * 3)
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if v := c.Load(); v > ceiling {
+					t.Errorf("Load observed impossible total %d > %d", v, ceiling)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var want int64
+	var wantMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local int64
+			for i := 0; i < perWorker; i++ {
+				d := int64(1 + (w+i)%3)
+				c.Add(d)
+				local += d
+			}
+			wantMu.Lock()
+			want += local
+			wantMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := c.Load(); got != want {
+		t.Fatalf("counter got %d want %d", got, want)
+	}
+}
+
+func TestGaugeAndMax(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	if g.Load() != 7 {
+		t.Fatal("gauge")
+	}
+	var m MaxGauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				m.Observe(int64(w*10_000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Load() != 79_999 {
+		t.Fatalf("max gauge got %d want 79999", m.Load())
+	}
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-linear bucketing: values 0..7 get exact buckets; every octave above
+// is split into 8 linear sub-buckets, so the relative quantization error
+// is bounded by 12.5% across the whole int64 range. The scheme is the
+// fixed-layout cousin of HdrHistogram — no configuration, no allocation,
+// bucket index from two shifts and a bits.Len.
+const (
+	subBits    = 3
+	subBuckets = 1 << subBits
+	// numBuckets covers non-negative int64: octaves 3..62 plus the exact
+	// low range.
+	numBuckets = (64 - subBits) * subBuckets
+)
+
+// bucketOf maps a non-negative value to its bucket index. Negative
+// values clamp to bucket 0 (they only arise from clock retrogression).
+func bucketOf(v int64) int {
+	if v < subBuckets {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	sub := int(v>>(exp-subBits)) & (subBuckets - 1)
+	return (exp-subBits+1)*subBuckets + sub
+}
+
+// bucketUpper returns the largest value mapping to bucket i.
+func bucketUpper(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := i/subBuckets + subBits - 1
+	sub := int64(i & (subBuckets - 1))
+	lower := int64(1)<<exp + sub<<(exp-subBits)
+	return lower + int64(1)<<(exp-subBits) - 1
+}
+
+// Histogram is the shared, concurrency-safe aggregate. Observe is
+// lock-free (three atomic adds); the intended high-rate feed is a
+// LocalHist flushed at Run boundaries, which amortizes even that.
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     MaxGauge
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.Observe(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// BucketCount is one non-empty bucket of a snapshot.
+type BucketCount struct {
+	// Upper is the inclusive upper bound of the bucket.
+	Upper int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Max     int64         `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the non-empty buckets.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := 0; i < numBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Reset zeroes the histogram (test helper; not linearizable against
+// concurrent Observes).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Reset()
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) with
+// the bucketing's 12.5% relative error; 0 when empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count-1)) + 1
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Upper
+		}
+	}
+	return s.Max
+}
+
+// LocalHist is the single-owner histogram the event loop records into:
+// plain integers, no atomics. FlushTo folds it into a shared Histogram
+// and clears it; only the touched bucket span is walked, so a flush
+// after a typical traversal is a few dozen adds.
+type LocalHist struct {
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     int64
+	max     int64
+	lo, hi  int
+}
+
+// Observe records one value. Not safe for concurrent use — a LocalHist
+// belongs to exactly one goroutine, like the Sim that owns it.
+func (l *LocalHist) Observe(v int64) {
+	b := bucketOf(v)
+	if l.count == 0 {
+		l.lo, l.hi = b, b
+	} else {
+		if b < l.lo {
+			l.lo = b
+		}
+		if b > l.hi {
+			l.hi = b
+		}
+	}
+	l.buckets[b]++
+	l.count++
+	l.sum += v
+	if v > l.max {
+		l.max = v
+	}
+}
+
+// Count returns the number of unflushed observations.
+func (l *LocalHist) Count() uint64 { return l.count }
+
+// FlushTo folds the local counts into h and resets the local state.
+func (l *LocalHist) FlushTo(h *Histogram) {
+	if l.count == 0 {
+		return
+	}
+	for i := l.lo; i <= l.hi; i++ {
+		if c := l.buckets[i]; c > 0 {
+			h.buckets[i].Add(int64(c))
+			l.buckets[i] = 0
+		}
+	}
+	h.count.Add(int64(l.count))
+	h.sum.Add(l.sum)
+	h.max.Observe(l.max)
+	l.count, l.sum, l.max = 0, 0, 0
+	l.lo, l.hi = 0, 0
+}

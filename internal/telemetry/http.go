@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// Handler returns the observability mux:
+//
+//	/metrics        Prometheus text exposition (global metrics + extras)
+//	/telemetry      the same data as indented JSON (quantile views)
+//	/debug/vars     expvar (includes a "smartsouth" variable)
+//	/debug/pprof/*  the standard profiling endpoints
+//
+// extras are invoked after the global series on every /metrics scrape.
+func Handler(extras ...func(w http.ResponseWriter)) http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("smartsouth", expvar.Func(func() any { return M.Snap() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		M.WriteProm(w)
+		for _, fn := range extras {
+			fn(w)
+		}
+	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(M.Snap())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler on it in a background goroutine,
+// returning the bound address (useful with ":0") or an error. The
+// listener stays open for the life of the process — the serve mode of
+// the CLI binaries is explicitly "until killed".
+func Serve(addr string, extras ...func(w http.ResponseWriter)) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(extras...)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

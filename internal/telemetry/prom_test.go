@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// newTestMetrics builds a populated Metrics so exposition tests don't
+// depend on (or mutate) the global M.
+func newTestMetrics() *Metrics {
+	m := &Metrics{}
+	m.Events[KindProcess].Add(40)
+	m.Events[KindPacketIn].Add(2)
+	m.Runs.Inc()
+	for v := int64(100); v <= 1000; v += 100 {
+		m.HopWallNs.Observe(v)
+		m.HeapDepth.Observe(v / 100)
+	}
+	m.Hops.Add(38)
+	m.PoolGets.Add(10)
+	m.PoolMisses.Add(2)
+	m.FlowLookups.Add(40)
+	m.FlowScanned.Add(52)
+	m.SweepWorkers.Set(2)
+	m.WorkerBusyNs[0].Store(5000)
+	m.WorkerBusyNs[1].Store(4000)
+	m.WorkerJobs[0].Store(3)
+	m.WorkerJobs[1].Store(2)
+	return m
+}
+
+// TestPromExposition pins the series names the CI smoke job greps for.
+func TestPromExposition(t *testing.T) {
+	m := newTestMetrics()
+	var sb strings.Builder
+	m.WriteProm(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"smartsouth_events_total{kind=\"process\"} 40",
+		"smartsouth_hop_latency_wall_ns_bucket{le=",
+		"smartsouth_hop_latency_wall_ns_count 10",
+		"smartsouth_event_heap_depth_count 10",
+		"smartsouth_pool_hit_rate 0.8",
+		"smartsouth_hops_total 38",
+		"smartsouth_flowtable_fanout 1.3",
+		"smartsouth_sweep_worker_busy_ns{worker=\"0\"} 5000",
+		"smartsouth_flight_records_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative and end at count.
+	if !strings.Contains(out, "smartsouth_hop_latency_wall_ns_bucket{le=\"+Inf\"} 10") {
+		t.Error("missing +Inf bucket")
+	}
+	// Every # TYPE line names a valid type.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 || (f[3] != "counter" && f[3] != "gauge" && f[3] != "histogram") {
+				t.Errorf("malformed TYPE line %q", line)
+			}
+		}
+	}
+}
+
+func TestSnapJSON(t *testing.T) {
+	m := newTestMetrics()
+	s := m.Snap()
+	if s.Events["process"] != 40 || s.PoolHitRate != 0.8 {
+		t.Fatalf("snap %+v", s)
+	}
+	if s.HopWallNs.Count != 10 || s.HopWallNs.P50 < 500 {
+		t.Fatalf("hop view %+v", s.HopWallNs)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back["hopWallNs"]; !ok {
+		t.Fatal("JSON missing hopWallNs")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", func(w http.ResponseWriter) {
+		io.WriteString(w, "smartsouth_extra_series 1\n")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "smartsouth_runs_total") || !strings.Contains(metrics, "smartsouth_extra_series 1") {
+		t.Fatalf("/metrics missing series:\n%s", metrics)
+	}
+	tele := get("/telemetry")
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(tele), &snap); err != nil {
+		t.Fatalf("/telemetry not JSON: %v", err)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "\"smartsouth\"") {
+		t.Fatal("/debug/vars missing smartsouth expvar")
+	}
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import "sync/atomic"
+
+// EventKind mirrors the simulator's event discriminant for per-kind
+// accounting. The order must match internal/network's eventKind.
+const (
+	KindFunc = iota
+	KindProcess
+	KindPacketIn
+	KindSelf
+	numKinds
+)
+
+// KindNames are the exposition labels of the event kinds.
+var KindNames = [numKinds]string{"func", "process", "packetin", "self"}
+
+// maxSweepWorkers bounds the per-worker utilization series.
+const maxSweepWorkers = 64
+
+// Metrics is the process-global telemetry set. Every simulator in the
+// process — including all parallel sweep workers — feeds the same
+// instance (M), which is what makes a single /metrics scrape describe
+// the whole process.
+type Metrics struct {
+	// Event loop.
+	Events    [numKinds]Counter // processed events by kind
+	Runs      Counter           // completed Run calls
+	RunErrors Counter           // Runs that returned an error
+	RunSimNs  Histogram         // per-Run span in simulation time
+	RunWallNs Histogram         // per-Run span in wall-clock time
+	HeapDepth Histogram         // event-heap depth, observed at every pop
+	HeapPeak  MaxGauge          // process-wide peak heap depth
+	QueueWait Histogram         // sim-time an event sat in the heap
+	HopWallNs Histogram         // wall-clock per event, sampled 1 in 64
+
+	// Data plane.
+	Hops        Counter // link transmission attempts
+	HopsDropped Counter // attempts swallowed by down/blackhole/lossy links
+	PacketIns   Counter // packets delivered to the controller attachment
+	SelfDeliver Counter // packets delivered to switch-local hosts
+
+	// Packet freelist. Misses are counted at the pool's New hook (exact,
+	// and rare enough for an atomic). Gets are counted by the simulator
+	// core — entry clone plus one per emission — so the hot ClonePooled
+	// path carries no atomic; clones made outside a running simulation
+	// (direct Switch API use) are not counted.
+	PoolGets   Counter // packet clones drawn from the freelist
+	PoolMisses Counter // Gets that had to allocate a fresh packet
+
+	// FlowTable dispatch index: lookups and entries probed; the ratio is
+	// the index fan-out (1.0 = every lookup hit its first candidate).
+	FlowLookups Counter
+	FlowScanned Counter
+
+	// Parallel sweep runner.
+	SweepRuns    Counter                       // Sweep invocations
+	SweepJobs    Counter                       // jobs completed
+	SweepBusyNs  Counter                       // summed per-job wall time
+	SweepWallNs  Counter                       // summed Sweep wall time
+	SweepWorkers Gauge                         // workers of the last Sweep
+	WorkerBusyNs [maxSweepWorkers]atomic.Int64 // per-worker busy ns, last Sweep
+	WorkerJobs   [maxSweepWorkers]atomic.Int64 // per-worker job count, last Sweep
+
+	// Monitoring application (internal/monitor).
+	MonitorRounds     Counter
+	MonitorWatchdog   Counter // watchdog (smart-counter) rounds run
+	MonitorEvents     Counter // topology/blackhole events emitted
+	MonitorBlackholes Counter // blackhole-found events
+
+	// Flight recorder.
+	FlightRecords Counter // records written across all recorders
+	FlightDumps   Counter // post-mortem dumps written
+}
+
+// M is the process-global metrics set.
+var M = &Metrics{}
+
+// ResetSweepWorkers clears the per-worker utilization slots at the start
+// of a Sweep, so the exposed series describe the most recent sweep.
+func (m *Metrics) ResetSweepWorkers(workers int) {
+	if workers > maxSweepWorkers {
+		workers = maxSweepWorkers
+	}
+	for i := 0; i < workers; i++ {
+		m.WorkerBusyNs[i].Store(0)
+		m.WorkerJobs[i].Store(0)
+	}
+}
+
+// NoteSweepJob records one completed sweep job on worker w.
+func (m *Metrics) NoteSweepJob(w int, busyNs int64) {
+	m.SweepJobs.Inc()
+	m.SweepBusyNs.Add(busyNs)
+	if w >= 0 && w < maxSweepWorkers {
+		m.WorkerBusyNs[w].Add(busyNs)
+		m.WorkerJobs[w].Add(1)
+	}
+}
+
+// PoolHitRate returns the packet-freelist hit rate in [0,1] (1 when the
+// pool has never been asked).
+func (m *Metrics) PoolHitRate() float64 {
+	gets := m.PoolGets.Load()
+	if gets == 0 {
+		return 1
+	}
+	return 1 - float64(m.PoolMisses.Load())/float64(gets)
+}
+
+// SimLocal is the single-owner staging area one simulator records into.
+// All fields are plain integers: the owning event loop is the only
+// writer, and FlushTo publishes them to the global Metrics at Run
+// boundaries. The zero value is ready to use.
+type SimLocal struct {
+	Events    [numKinds]uint64
+	HeapDepth LocalHist
+	QueueWait LocalHist
+	HopWallNs LocalHist
+	heapPeak  int64
+
+	Hops        uint64
+	HopsDropped uint64
+	PacketIns   uint64
+	SelfDeliver uint64
+
+	PoolGets    uint64
+	FlowLookups uint64
+	FlowScanned uint64
+
+	FlightRecords uint64
+}
+
+// ObserveHeapDepth records the event-heap depth at a pop.
+func (s *SimLocal) ObserveHeapDepth(d int64) {
+	s.HeapDepth.Observe(d)
+	if d > s.heapPeak {
+		s.heapPeak = d
+	}
+}
+
+// FlushTo publishes and clears the staged values. simNs/wallNs are the
+// Run's spans; err reports whether the Run failed.
+func (s *SimLocal) FlushTo(m *Metrics, simNs, wallNs int64, err bool) {
+	for k := 0; k < numKinds; k++ {
+		if s.Events[k] > 0 {
+			m.Events[k].Add(int64(s.Events[k]))
+			s.Events[k] = 0
+		}
+	}
+	s.HeapDepth.FlushTo(&m.HeapDepth)
+	s.QueueWait.FlushTo(&m.QueueWait)
+	s.HopWallNs.FlushTo(&m.HopWallNs)
+	m.HeapPeak.Observe(s.heapPeak)
+	s.heapPeak = 0
+
+	flush := func(c *Counter, v *uint64) {
+		if *v > 0 {
+			c.Add(int64(*v))
+			*v = 0
+		}
+	}
+	flush(&m.Hops, &s.Hops)
+	flush(&m.HopsDropped, &s.HopsDropped)
+	flush(&m.PacketIns, &s.PacketIns)
+	flush(&m.SelfDeliver, &s.SelfDeliver)
+	flush(&m.PoolGets, &s.PoolGets)
+	flush(&m.FlowLookups, &s.FlowLookups)
+	flush(&m.FlowScanned, &s.FlowScanned)
+	flush(&m.FlightRecords, &s.FlightRecords)
+
+	m.Runs.Inc()
+	if err {
+		m.RunErrors.Inc()
+	}
+	m.RunSimNs.Observe(simNs)
+	m.RunWallNs.Observe(wallNs)
+}

@@ -307,7 +307,9 @@ func TestWithEventLimit(t *testing.T) {
 }
 
 // TestTraceOffByDefault: without WithTrace there is no recorder and no
-// per-switch recording cost.
+// per-switch recording cost. The always-on flight recorder labels its
+// records from Result.LastCookie (scalar stores), not Steps, so it does
+// not force structured recording on either.
 func TestTraceOffByDefault(t *testing.T) {
 	d := Deploy(Ring(3))
 	if d.Trace != nil || d.TraceEvents() != nil {

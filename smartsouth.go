@@ -33,8 +33,11 @@
 package smartsouth
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 
 	"smartsouth/internal/analysis"
 	"smartsouth/internal/controller"
@@ -44,6 +47,7 @@ import (
 	"smartsouth/internal/network"
 	"smartsouth/internal/openflow"
 	"smartsouth/internal/remote"
+	"smartsouth/internal/telemetry"
 	"smartsouth/internal/topo"
 	"smartsouth/internal/trace"
 	"smartsouth/internal/verify"
@@ -134,6 +138,14 @@ type (
 	TraceEvent = trace.Event
 	// TraceRecorder is the ring-buffer hop-trace store (see WithTrace).
 	TraceRecorder = trace.Recorder
+	// Flight is the always-on flight recorder: a fixed ring of recent
+	// data-plane events for post-mortem JSONL dumps (see Deployment.Flight).
+	Flight = telemetry.Flight
+	// FlightRecord is one flight-recorder ring entry.
+	FlightRecord = telemetry.FlightRecord
+	// Telemetry is a point-in-time snapshot of the process-wide telemetry
+	// registry (counters, gauges, histogram views with quantiles).
+	Telemetry = telemetry.Snapshot
 	// ServiceMetrics is the aggregated observability view of one deployed
 	// service: install cost, trigger/collect messages, in-band messages
 	// and bytes (the Table 2 columns), traversal wall-clock, rule hits.
@@ -181,6 +193,13 @@ var (
 	// WithTrace enables the per-packet hop trace, retaining the last n
 	// pipeline executions (n <= 0 selects the default capacity).
 	WithTrace = network.WithTrace
+	// WithoutTelemetry disables the always-on instrumentation (counters,
+	// histograms, flight recorder) — the off arm of the overhead
+	// benchmark.
+	WithoutTelemetry = network.WithoutTelemetry
+	// WithFlightCap sizes the flight-recorder ring (0 default, negative
+	// disables the recorder).
+	WithFlightCap = network.WithFlightCap
 	// WithAnalysis gates every install on the network-wide symbolic
 	// analysis: a service whose composition with the already-installed
 	// services produces an error-severity finding (cross-service
@@ -188,6 +207,18 @@ var (
 	// reaches a switch.
 	WithAnalysis = network.WithAnalysis
 )
+
+// TelemetrySnapshot captures the process-wide telemetry registry:
+// event/hop/packet-in counters, pool hit rate, flow-table fan-out,
+// latency histograms with quantiles. It aggregates across every
+// deployment in the process.
+func TelemetrySnapshot() Telemetry { return telemetry.M.Snap() }
+
+// ServeTelemetry starts the observability HTTP server on addr
+// (host:port; :0 picks a free port) and returns the bound address. It
+// serves /metrics (Prometheus text), /telemetry (JSON snapshot),
+// /debug/vars (expvar) and /debug/pprof.
+var ServeTelemetry = telemetry.Serve
 
 // Deployment couples one topology with its simulated network and a
 // control plane — local (Ctl) or OpenFlow-over-TCP (Fabric) — and hands
@@ -209,6 +240,11 @@ type Deployment struct {
 
 	// Trace is the hop-trace recorder, nil unless WithTrace was given.
 	Trace *TraceRecorder
+
+	// FlightDumpPath, when set, is where the flight recorder's post-mortem
+	// JSONL is written whenever Run fails or the analysis gate rejects a
+	// program. Leave empty to dump only on explicit DumpFlight calls.
+	FlightDumpPath string
 
 	reg   *metrics.Registry
 	slots *core.SlotAllocator
@@ -258,6 +294,8 @@ func (g *analysisGate) GateProgram(p *Program) error {
 	progs := append(g.ControlPlane.Programs(), p)
 	errs := analysis.Errors(analysis.CheckDeployment(progs, g.d.Graph, g.d.analysisOptions()))
 	if len(errs) > 0 {
+		g.d.Net.FlightNote("analysis-gate rejection: " + errs[0].String())
+		g.d.dumpFlightOnFailure("analysis gate")
 		return fmt.Errorf("static analysis found %d error(s), first: %s", len(errs), errs[0])
 	}
 	return nil
@@ -324,6 +362,10 @@ func DeployRemote(g *Graph, opts ...Option) (*Deployment, error) {
 // relayed packet-ins.
 func (d *Deployment) Run() error {
 	_, err := d.CP.RunNetwork()
+	if err != nil {
+		d.Net.FlightNote("run error: " + err.Error())
+		d.dumpFlightOnFailure("run")
+	}
 	return err
 }
 
@@ -353,6 +395,16 @@ func (d *Deployment) Slot() int { return d.slots.Next() }
 // when the inner layout is not exposed (monitor); events are then labeled
 // but not decoded.
 func (d *Deployment) observe(m *metrics.ServiceMetrics, l *core.Layout) {
+	if l != nil {
+		// The flight recorder decodes the same DFS state, so a post-mortem
+		// JSONL dump replays the traversal's start/par/cur at every hop.
+		for _, eth := range m.EtherTypes {
+			d.Net.RegisterFlightTags(eth, [3]string{"start", "par", "cur"},
+				func(sw int) [3]openflow.Field {
+					return [3]openflow.Field{l.Start, l.Par[sw], l.Cur[sw]}
+				})
+		}
+	}
 	if d.Trace == nil {
 		return
 	}
@@ -604,6 +656,45 @@ func (d *Deployment) TraceEvents() []TraceEvent {
 		return nil
 	}
 	return d.Trace.Events()
+}
+
+// Flight returns the deployment's flight recorder — the always-on fixed
+// ring of recent data-plane events (nil when telemetry or the recorder is
+// disabled via WithoutTelemetry / WithFlightCap(-1)).
+func (d *Deployment) Flight() *Flight { return d.Net.Flight() }
+
+// DumpFlight writes the flight recorder's retained records to w as JSONL,
+// oldest first. It is the post-mortem: the final records replay the last
+// traversal hop by hop, with the decoded DFS tag state (start, par, cur)
+// of every pipeline execution.
+func (d *Deployment) DumpFlight(w io.Writer) error {
+	f := d.Net.Flight()
+	if f == nil {
+		return fmt.Errorf("flight recorder disabled")
+	}
+	telemetry.M.FlightDumps.Inc()
+	return f.WriteJSONL(w)
+}
+
+// WriteFlightDump writes the flight recorder JSONL to path.
+func (d *Deployment) WriteFlightDump(path string) error {
+	var buf bytes.Buffer
+	if err := d.DumpFlight(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// dumpFlightOnFailure writes the post-mortem to FlightDumpPath, if one is
+// configured. Dump errors must not mask the triggering failure, so they
+// are reported on stderr only.
+func (d *Deployment) dumpFlightOnFailure(why string) {
+	if d.FlightDumpPath == "" || d.Net.Flight() == nil {
+		return
+	}
+	if err := d.WriteFlightDump(d.FlightDumpPath); err != nil {
+		fmt.Fprintf(os.Stderr, "smartsouth: flight dump (%s) to %s failed: %v\n", why, d.FlightDumpPath, err)
+	}
 }
 
 // VerifyPrograms re-runs the pre-install static check over every retained
