@@ -25,7 +25,13 @@ var (
 	sizes    = flag.String("sizes", "20,60,120,240", "comma-separated network sizes")
 	topoName = flag.String("topo", "random", "topology family: random|grid|fattree|ba|waxman")
 	parallel = flag.Int("parallel", 1, "worker count for the Table 2 sweep; 0 = GOMAXPROCS, >1 also reports the wall-clock speedup vs sequential")
+	backend  = flag.String("backend", "of13", "compile backend for the per-size tables: of13 or stateful (the backend matrix always measures both)")
 )
+
+// deploy builds a deployment with the -backend flag applied.
+func deploy(g *topo.Graph) *smartsouth.Deployment {
+	return smartsouth.Deploy(g, smartsouth.WithBackend(*backend))
+}
 
 func parseSizes() []int {
 	var out []int
@@ -124,11 +130,19 @@ func main() {
 	}
 
 	metricsTable()
+	backendMatrixTable()
 	latencyTable()
 	tagSizeTable()
 	ruleSpaceTable()
-	failoverTable()
-	midFailureTable()
+	// The failover claims measure OpenFlow fast-failover groups; the
+	// stateful lowering replaces groups with state tables and a static
+	// port scan, which has no port-liveness sensing to measure.
+	if *backend != "stateful" {
+		failoverTable()
+		midFailureTable()
+	} else {
+		fmt.Println("\n(failover and mid-failure tables skipped: fast-failover is an of13 group primitive)")
+	}
 	pktLossTable()
 	baselineTable()
 }
@@ -144,7 +158,7 @@ func metricsTable() {
 	g := topo.Ring(20)
 	pred := sweep(g) // 4E-2n+2 = 42 on Ring(20)
 
-	d := smartsouth.Deploy(g)
+	d := deploy(g)
 	snap, err := d.InstallSnapshot()
 	must(err)
 	golden := topo.GoldenDFS(g, 0, topo.Never, topo.Never)
@@ -186,6 +200,110 @@ func metricsTable() {
 	fmt.Println("(measured from ServiceMetrics of one deployment; attribution is per EtherType)")
 }
 
+// backendMatrixTable prints the two-backend Table 2 extension: every
+// service compiled from its one definition by both backends on one
+// Ring(20), with the installed rule space (flow entries, groups,
+// state-table transitions), the packet tag the lowering needs, the
+// in-band message count of one run, and the controller's runtime share
+// (packet-ins plus post-install flow-mods). The stateful XFSM lowering
+// must strictly shrink the rule space for at least three services, and
+// port knocking is the headline: the OF13 row needs the controller for
+// every knock, the stateful row none.
+func backendMatrixTable() {
+	fmt.Println("\n== Table 2 across compile backends: one definition, two lowerings (Ring(20)) ==")
+	g := topo.Ring(20)
+
+	type svc struct {
+		name    string
+		install func(d *smartsouth.Deployment) (run func(d *smartsouth.Deployment), eths []uint16)
+	}
+	svcs := []svc{
+		{"snapshot", func(d *smartsouth.Deployment) (func(d *smartsouth.Deployment), []uint16) {
+			s, err := d.InstallSnapshot()
+			must(err)
+			return func(d *smartsouth.Deployment) {
+				s.Trigger(0, 0)
+				must(d.Run())
+			}, []uint16{core.EthSnapshot}
+		}},
+		{"anycast", func(d *smartsouth.Deployment) (func(d *smartsouth.Deployment), []uint16) {
+			a, err := d.InstallAnycast(map[uint32][]int{1: {10}})
+			must(err)
+			return func(d *smartsouth.Deployment) {
+				a.Send(0, 1, nil, 0)
+				must(d.Run())
+			}, []uint16{core.EthAnycast}
+		}},
+		{"critical", func(d *smartsouth.Deployment) (func(d *smartsouth.Deployment), []uint16) {
+			cr, err := d.InstallCritical()
+			must(err)
+			return func(d *smartsouth.Deployment) {
+				cr.Check(0, 0)
+				must(d.Run())
+			}, []uint16{core.EthCritical}
+		}},
+		{"blackhole-2", func(d *smartsouth.Deployment) (func(d *smartsouth.Deployment), []uint16) {
+			b, err := d.InstallBlackholeCounter()
+			must(err)
+			return func(d *smartsouth.Deployment) {
+				b.Detect(0, 0, 0)
+				must(d.Run())
+			}, []uint16{core.EthBlackhole, core.EthBlackholeChk}
+		}},
+		{"portknock", func(d *smartsouth.Deployment) (func(d *smartsouth.Deployment), []uint16) {
+			pk, err := d.InstallPortKnock(10, []uint32{3, 1, 4})
+			must(err)
+			return func(d *smartsouth.Deployment) {
+				pk.Knock(0, 7, 3, 0)
+				pk.Knock(0, 7, 1, 10_000)
+				pk.Knock(0, 7, 4, 20_000)
+				must(d.Run())
+				pk.Process() // OF13 controller assist; no-op under stateful
+				pk.SendData(0, 7, []byte("guarded"), d.Net.Sim.Now()+1)
+				must(d.Run())
+				if !pk.Open(7) {
+					log.Fatal("backend matrix: knock sequence did not open the port")
+				}
+			}, []uint16{core.EthKnock, core.EthGuarded}
+		}},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "service\tbackend\tflows\tgroups\tstate entries\ttotal rules\ttag bytes\tin-band msgs\tctl pkt-ins\tlate flow-mods")
+	shrunk := 0
+	for _, s := range svcs {
+		var total [2]int
+		for i, be := range []string{"of13", "stateful"} {
+			d := smartsouth.Deploy(g, smartsouth.WithBackend(be))
+			run, eths := s.install(d)
+			modsAfterInstall := d.Ctl.Stats.FlowMods
+			run(d)
+			inband := 0
+			for _, eth := range eths {
+				inband += d.Net.InBandCount(eth)
+			}
+			tag := 0
+			for _, p := range d.Programs() {
+				if p.TagBytes > tag {
+					tag = p.TagBytes
+				}
+			}
+			total[i] = d.FlowEntries() + d.GroupEntries() + d.StateEntries()
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				s.name, be, d.FlowEntries(), d.GroupEntries(), d.StateEntries(), total[i],
+				tag, inband, d.Ctl.Stats.PacketIns, d.Ctl.Stats.FlowMods-modsAfterInstall)
+		}
+		if total[1] < total[0] {
+			shrunk++
+		}
+	}
+	w.Flush()
+	if shrunk < 3 {
+		log.Fatalf("backend matrix: stateful shrinks the rule space for only %d service(s), want >= 3", shrunk)
+	}
+	fmt.Printf("(stateful lowering strictly shrinks the rule space for %d/%d services; in-band counts are backend-invariant)\n", shrunk, len(svcs))
+}
+
 // latencyTable reports completion latency (simulated time at 1µs links)
 // and mean in-band message size per service — the "size" column of
 // Table 2 measured rather than asymptotic.
@@ -197,7 +315,7 @@ func latencyTable() {
 		g := graph(n)
 
 		runOne := func(name string, install func(d *smartsouth.Deployment) (trigger func(), eth uint16)) {
-			d := smartsouth.Deploy(g, smartsouth.Options{})
+			d := deploy(g)
 			trigger, eth := install(d)
 			trigger()
 			must(d.Run())
@@ -248,7 +366,7 @@ func midFailureTable() {
 	fmt.Fprintln(w, "trial\tfailed link\tat (µs)\tfirst attempt\tattempts to success")
 	g := topo.Grid(4, 4)
 	for trial := 0; trial < 6; trial++ {
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		snap, err := d.InstallSnapshot()
 		must(err)
 		e := g.Edges()[(trial*5+3)%g.NumEdges()]
@@ -273,7 +391,7 @@ func measureAll(g *topo.Graph) []row {
 
 	// Snapshot.
 	{
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		s, err := d.InstallSnapshot()
 		must(err)
 		s.Trigger(0, 0)
@@ -284,7 +402,7 @@ func measureAll(g *topo.Graph) []row {
 	}
 	// Anycast (worst case: member is the last first-visited node).
 	{
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		golden := topo.GoldenDFS(g, 0, topo.Never, topo.Never)
 		last := golden.FirstVisits[len(golden.FirstVisits)-1]
 		a, err := d.InstallAnycast(map[uint32][]int{1: {last}})
@@ -297,7 +415,7 @@ func measureAll(g *topo.Graph) []row {
 	}
 	// Priocast (winner far from the root).
 	{
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		golden := topo.GoldenDFS(g, 0, topo.Never, topo.Never)
 		last := golden.FirstVisits[len(golden.FirstVisits)-1]
 		mid := golden.FirstVisits[len(golden.FirstVisits)/2]
@@ -312,7 +430,7 @@ func measureAll(g *topo.Graph) []row {
 	}
 	// Blackhole 1 (TTL binary search) — only while 4E+2 fits the TTL.
 	if 4*e+2 <= 255 {
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		b, err := d.InstallBlackholeTTL()
 		must(err)
 		hole := g.Edges()[e/2]
@@ -328,7 +446,7 @@ func measureAll(g *topo.Graph) []row {
 	}
 	// Blackhole 2 (smart counters).
 	{
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		b, err := d.InstallBlackholeCounter()
 		must(err)
 		hole := g.Edges()[e/2]
@@ -344,7 +462,7 @@ func measureAll(g *topo.Graph) []row {
 	}
 	// Critical (non-critical node: full sweep).
 	{
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		cr, err := d.InstallCritical()
 		must(err)
 		node := 0
@@ -382,7 +500,7 @@ func ruleSpaceTable() {
 	fmt.Fprintln(w, "n\tprograms\tflow entries/sw\tgroups/sw\tbytes/sw\tinstall msgs\tswitches per 32MB")
 	for _, n := range parseSizes() {
 		g := graph(n)
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		_, err := d.InstallSnapshot()
 		must(err)
 		_, err = d.InstallCritical()
@@ -405,7 +523,7 @@ func failoverTable() {
 	fmt.Fprintln(w, "failed links\tcompleted\tnodes covered\tin-band msgs")
 	g := topo.Grid(6, 6)
 	for _, kills := range []int{0, 2, 4, 8, 12} {
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		snap, err := d.InstallSnapshot()
 		must(err)
 		dead := map[[2]int]bool{}
@@ -437,7 +555,7 @@ func pktLossTable() {
 		results := make([]bool, len(primeSets))
 		for pi, primes := range primeSets {
 			g := topo.Line(3)
-			d := smartsouth.Deploy(g, smartsouth.Options{})
+			d := deploy(g)
 			pl, err := d.InstallPktLoss(primes)
 			must(err)
 			must(d.Net.SetBlackhole(0, 1, false))
@@ -478,7 +596,7 @@ func baselineTable() {
 		must2(net1.Run())
 		lldp := c1.Stats.RuntimeMsgs()
 
-		d := smartsouth.Deploy(g, smartsouth.Options{})
+		d := deploy(g)
 		snap, err := d.InstallSnapshot()
 		must(err)
 		snap.Trigger(0, 0)

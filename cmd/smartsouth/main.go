@@ -23,6 +23,7 @@ import (
 
 var (
 	topoName  = flag.String("topo", "grid", "line|ring|star|tree|grid|random|fattree|ba|waxman")
+	backend   = flag.String("backend", "of13", "compile backend: of13 (tag-carried state) or stateful (switch state tables)")
 	n         = flag.Int("n", 16, "size parameter (nodes; rows*cols for grid; arity for fattree)")
 	seed      = flag.Int64("seed", 1, "random topology seed")
 	service   = flag.String("service", "snapshot", "traversal|snapshot|anycast|priocast|chaincast|critical|blackhole-ttl|blackhole-counter|pktloss|loadmap|monitor")
@@ -95,7 +96,7 @@ func parsePair(s string) (int, int) {
 func main() {
 	flag.Parse()
 	g := buildTopo()
-	opts := []smartsouth.Option{smartsouth.WithSeed(*seed)}
+	opts := []smartsouth.Option{smartsouth.WithSeed(*seed), smartsouth.WithBackend(*backend)}
 	if *traceCap > 0 {
 		opts = append(opts, smartsouth.WithTrace(*traceCap))
 	}
@@ -109,6 +110,9 @@ func main() {
 		fmt.Printf("telemetry: serving http://%s/metrics (and /telemetry, /debug/vars, /debug/pprof)\n", addr)
 	}
 	fmt.Printf("topology: %s, %d switches, %d links\n", *topoName, g.NumNodes(), g.NumEdges())
+	if *backend != "of13" {
+		fmt.Printf("backend: %s\n", d.BackendName())
+	}
 
 	if *verbose {
 		d.Net.OnHop = func(h smartsouth.Hop, pkt *smartsouth.Packet, delivered bool) {
@@ -379,8 +383,13 @@ func main() {
 		d.Ctl.Stats.PacketOuts, d.Ctl.Stats.PacketIns)
 	fmt.Printf("in-band messages: %d\n", d.Net.TotalInBand())
 	fmt.Print("installed programs:\n", dump.ProgramSummary(d.Programs()))
-	fmt.Printf("installed state: %d flow entries, %d groups, %d bytes total\n",
-		d.FlowEntries(), d.GroupEntries(), d.ConfigBytes())
+	if n := d.StateEntries(); n > 0 {
+		fmt.Printf("installed state: %d flow entries, %d groups, %d state entries, %d bytes total\n",
+			d.FlowEntries(), d.GroupEntries(), n, d.ConfigBytes())
+	} else {
+		fmt.Printf("installed state: %d flow entries, %d groups, %d bytes total\n",
+			d.FlowEntries(), d.GroupEntries(), d.ConfigBytes())
+	}
 
 	writeOut := func(name, what string, data []byte) {
 		if name == "-" {

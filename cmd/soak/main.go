@@ -29,6 +29,7 @@ import (
 
 var (
 	iters     = flag.Int("iters", 100, "iterations")
+	backend   = flag.String("backend", "of13", "compile backend: of13 (tag-carried state) or stateful (switch state tables)")
 	seed      = flag.Int64("seed", 1, "base seed (iteration i uses seed+i)")
 	verbose   = flag.Bool("v", false, "log every iteration")
 	jsonOut   = flag.Bool("json", false, "print a JSON summary instead of the one-line tally")
@@ -126,7 +127,7 @@ func buildTopo(rng *rand.Rand) (*smartsouth.Graph, string) {
 func runIteration(s int64, forceFail bool, dumpDir string) (family, dumpPath string, err error) {
 	rng := rand.New(rand.NewSource(s))
 	g, family := buildTopo(rng)
-	d := smartsouth.Deploy(g, smartsouth.Options{Seed: s})
+	d := smartsouth.Deploy(g, smartsouth.Options{Seed: s}, smartsouth.WithBackend(*backend))
 	err = oracles(d, g, rng, forceFail)
 	if err != nil && dumpDir != "" && d.Flight() != nil {
 		d.Net.FlightNote("soak oracle divergence: " + err.Error())
@@ -161,8 +162,15 @@ func oracles(d *smartsouth.Deployment, g *smartsouth.Graph, rng *rand.Rand, forc
 
 	// Fail up to 2 random links before anything runs (keep the graph
 	// connected or not — both are legal; oracles use the live view).
+	// Surviving failures is an of13 property: its fast-failover groups
+	// re-route at packet time, while the stateful lowering resolves the
+	// port scan at compile time and has nothing to fail over to.
 	dead := map[[2]int]bool{}
-	for k := rng.Intn(3); k > 0 && g.NumEdges() > 0; k-- {
+	failures := rng.Intn(3)
+	if d.BackendName() == "stateful" {
+		failures = 0
+	}
+	for k := failures; k > 0 && g.NumEdges() > 0; k-- {
 		e := g.Edges()[rng.Intn(g.NumEdges())]
 		if err := d.Net.SetLinkDown(e.U, e.V, true); err != nil {
 			return err

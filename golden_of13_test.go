@@ -1,0 +1,113 @@
+package smartsouth
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"smartsouth/internal/dump"
+	"smartsouth/internal/openflow"
+)
+
+// goldenRing20Programs compiles every service in the suite on Ring(20)
+// with the OF1.3 backend and returns the retained Programs as one
+// canonical JSON document. Services that claim conflicting EtherTypes are
+// split across deployments exactly like the parity tests do; fixtures
+// with configurable membership use single members so map iteration cannot
+// leak into the output.
+func goldenRing20Programs(t *testing.T) []byte {
+	t.Helper()
+	g := Ring(20)
+
+	a := Deploy(g, WithBackend("of13"))
+	if _, err := a.InstallTraversal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallSnapshotSplit(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallAnycast(map[uint32][]int{1: {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallPriocast(map[uint32][]PrioMember{1: {{Node: 2, Prio: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallBlackholeTTL(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallPktLoss(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallCritical(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InstallChaincast([][]int{{4}, {6}}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := Deploy(g, WithBackend("of13"))
+	if _, err := b.InstallBlackholeCounter(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InstallLoadMap(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := Deploy(g, WithBackend("of13"))
+	if _, err := c.InstallMonitor(0, true); err != nil {
+		t.Fatal(err)
+	}
+
+	var progs []*openflow.Program
+	for _, d := range []*Deployment{a, b, c} {
+		progs = append(progs, d.Programs()...)
+	}
+	sort.SliceStable(progs, func(i, j int) bool {
+		if progs[i].Service != progs[j].Service {
+			return progs[i].Service < progs[j].Service
+		}
+		return progs[i].Slot < progs[j].Slot
+	})
+	data, err := dump.MarshalPrograms(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGoldenOF13Programs pins the OF1.3 lowering byte-for-byte: the
+// compiled Programs of every service on Ring(20) must match the fixture
+// captured before the backend-agnostic IR split. Any refactor of the
+// compiler must keep this output identical.
+func TestGoldenOF13Programs(t *testing.T) {
+	got := goldenRing20Programs(t)
+	path := filepath.Join("testdata", "golden_of13_ring20.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("OF1.3 programs diverge from golden fixture (%d vs %d bytes); "+
+			"if the change is intentional, regenerate with -update", len(got), len(want))
+	}
+}
+
+// TestGoldenOF13Deterministic compiles the suite twice in one process and
+// demands identical bytes, so the golden comparison above cannot be
+// defeated by map-iteration order.
+func TestGoldenOF13Deterministic(t *testing.T) {
+	if string(goldenRing20Programs(t)) != string(goldenRing20Programs(t)) {
+		t.Fatal("two compiles of the same suite produced different program dumps")
+	}
+}

@@ -26,13 +26,31 @@ type compGroup struct {
 	g    *openflow.GroupEntry
 }
 
+// compState is one state-table transition entry in the composed view,
+// with provenance and a hit mark like compRule.
+type compState struct {
+	prog  *openflow.Program
+	entry *openflow.StateEntry
+	hit   bool
+}
+
+// compStateTable is the composed view of one stateful stage. A state
+// table is owned by exactly one program (cross-program merges are a
+// KindStateClash error), so prog is the owner and key its flow key.
+type compStateTable struct {
+	prog    *openflow.Program
+	key     []openflow.Field
+	entries []*compState // priority desc, program order on ties
+}
+
 // compSwitch is the composition of every program's share for one
-// switch: what the switch's tables and group table would hold after all
-// programs are installed.
+// switch: what the switch's tables, state tables and group table would
+// hold after all programs are installed.
 type compSwitch struct {
 	id       int
 	numPorts int
 	tables   map[int][]*compRule // priority desc, program order on ties
+	states   map[int]*compStateTable
 	groups   map[uint32]*compGroup
 }
 
@@ -86,6 +104,7 @@ func (a *analyzer) compose() {
 					id:       id,
 					numPorts: sp.NumPorts,
 					tables:   make(map[int][]*compRule),
+					states:   make(map[int]*compStateTable),
 					groups:   make(map[uint32]*compGroup),
 				}
 				a.switches[id] = cs
@@ -99,6 +118,25 @@ func (a *analyzer) compose() {
 					if _, ok := a.ethOwner[et]; !ok {
 						a.ethOwner[et] = p
 					}
+				}
+			}
+			for si := range sp.States {
+				ts := &sp.States[si]
+				cst := cs.states[ts.Table]
+				if cst != nil && cst.prog != p {
+					a.add(Finding{
+						Kind: KindStateClash, Severity: verify.Err,
+						Service: p.Service, Slot: p.Slot, Switch: id, Table: ts.Table,
+						Detail: fmt.Sprintf("state table %d already installed by service %q: one EFSM per table", ts.Table, cst.prog.Service),
+					})
+					continue
+				}
+				if cst == nil {
+					cst = &compStateTable{prog: p, key: ts.Key}
+					cs.states[ts.Table] = cst
+				}
+				for _, e := range ts.Entries {
+					cst.entries = append(cst.entries, &compState{prog: p, entry: e})
 				}
 			}
 			for _, g := range sp.Groups {
@@ -122,6 +160,42 @@ func (a *analyzer) compose() {
 			sort.SliceStable(rules, func(i, j int) bool {
 				return rules[i].entry.Priority > rules[j].entry.Priority
 			})
+		}
+		for _, cst := range cs.states {
+			sort.SliceStable(cst.entries, func(i, j int) bool {
+				return cst.entries[i].entry.Priority > cst.entries[j].entry.Priority
+			})
+		}
+	}
+	a.dualUse()
+}
+
+// dualUse flags flow rules installed into a table another program claims
+// as a state table: at execution time the state table wins the table ID
+// outright, so the flow rules can never match. Same-program dual use is
+// package verify's per-switch finding; here only the cross-program case
+// is a composition defect.
+func (a *analyzer) dualUse() {
+	type pair struct {
+		table int
+		prog  *openflow.Program
+	}
+	seen := map[pair]bool{}
+	for _, id := range a.switchIDs() {
+		cs := a.switches[id]
+		for t, cst := range cs.states {
+			for _, r := range cs.tables[t] {
+				if r.prog == cst.prog || seen[pair{t, r.prog}] {
+					continue
+				}
+				seen[pair{t, r.prog}] = true
+				a.add(Finding{
+					Kind: KindStateClash, Severity: verify.Err,
+					Service: r.prog.Service, Slot: r.prog.Slot, Switch: id, Table: t,
+					Cookie: r.entry.Cookie,
+					Detail: fmt.Sprintf("flow rules in table %d are dead: service %q claims it as a state table, which wins the table ID at execution", t, cst.prog.Service),
+				})
+			}
 		}
 	}
 }
@@ -198,8 +272,14 @@ func (a *analyzer) cookieConflicts() {
 	for i, p := range a.progs {
 		prefixes[i] = make(map[string]bool)
 		for _, id := range p.SwitchIDs() {
-			for _, fr := range p.At(id).Flows {
+			sp := p.At(id)
+			for _, fr := range sp.Flows {
 				prefixes[i][cookiePrefix(fr.Entry.Cookie)] = true
+			}
+			for _, ts := range sp.States {
+				for _, e := range ts.Entries {
+					prefixes[i][cookiePrefix(e.Cookie)] = true
+				}
 			}
 		}
 	}
@@ -281,6 +361,16 @@ func (a *analyzer) slotDiscipline() {
 						Service: p.Service, Slot: p.Slot, Switch: id, Table: fr.Table,
 						Cookie: fr.Entry.Cookie,
 						Detail: fmt.Sprintf("rule in table %d outside slots [%d,%d)", fr.Table, p.Slot, p.Slot+span(p)),
+					})
+				}
+				for _, ts := range sp.States {
+					if ts.Table == 0 || tableInSlots(ts.Table, p, a.opts.SlotTables) {
+						continue
+					}
+					a.add(Finding{
+						Kind: KindSlotViolation, Severity: verify.Warn,
+						Service: p.Service, Slot: p.Slot, Switch: id, Table: ts.Table,
+						Detail: fmt.Sprintf("state table %d outside slots [%d,%d)", ts.Table, p.Slot, p.Slot+span(p)),
 					})
 				}
 			}

@@ -68,8 +68,9 @@ func (a *analyzer) proveRoot(p *openflow.Program, root int) []Finding {
 	eth := eths[0]
 
 	type frame struct {
-		sw  int
-		pkt *symPacket
+		sw    int
+		pkt   *symPacket
+		store stateStore
 	}
 	crossed := make(map[dirEdge]int)
 	deliveredAtRoot := 0
@@ -85,16 +86,19 @@ func (a *analyzer) proveRoot(p *openflow.Program, root int) []Finding {
 		}
 		fr := queue[0]
 		queue = queue[1:]
-		// The per-state transition is deterministic, so revisiting a
-		// (switch, state) node means the walk is periodic: the trigger
-		// loops and every edge on the cycle is crossed infinitely often.
-		vkey := fmt.Sprintf("s%d|%s", fr.sw, fr.pkt.key())
+		// The per-configuration transition is deterministic, so revisiting
+		// a (switch, packet state, store) node means the walk is periodic:
+		// the trigger loops and every edge on the cycle is crossed
+		// infinitely often. The store is part of the node — the stateful
+		// backend keeps the DFS state in the switches, and a bounce revisits
+		// the same (switch, packet) under a different store by design.
+		vkey := fmt.Sprintf("s%d|%s%s", fr.sw, fr.pkt.key(), fr.store.digest())
 		if visited[vkey] {
 			fail(verify.Err, fr.sw, "trigger re-enters state (%s) at sw%d: traversal loops instead of terminating", fr.pkt, fr.sw)
 			return findings
 		}
 		visited[vkey] = true
-		ends := a.pipelineAt(fr.sw, fr.pkt)
+		ends := a.pipelineAt(fr.sw, fr.pkt, fr.store)
 		if len(ends) != 1 {
 			fail(verify.Warn, fr.sw, "cannot prove: pipeline forks into %d paths at sw%d (state %s)", len(ends), fr.sw, fr.pkt)
 			return findings
@@ -125,7 +129,7 @@ func (a *analyzer) proveRoot(p *openflow.Program, root int) []Finding {
 				crossed[dirEdge{sw: fr.sw, port: em.port}]++
 				np := em.pkt.clone()
 				np.inPort = vport
-				queue = append(queue, frame{sw: v, pkt: np})
+				queue = append(queue, frame{sw: v, pkt: np, store: end.store})
 			}
 		}
 	}

@@ -48,6 +48,11 @@ const (
 	// KindGroupCollision: two programs install the same group ID on the
 	// same switch.
 	KindGroupCollision Kind = "group-collision"
+	// KindStateClash: two programs install transitions into the same
+	// state table, or one program's flow rules sit in a table another
+	// program claims as a state table (the state table wins the table ID
+	// at execution, silently disabling the flow rules).
+	KindStateClash Kind = "state-collision"
 	// KindLoop: a symbolic packet revisits a (switch, in-port,
 	// tag-state), so the fabric forwards it forever.
 	KindLoop Kind = "loop"

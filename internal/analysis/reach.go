@@ -28,9 +28,9 @@ func (a *analyzer) reach() {
 	for _, id := range a.switchIDs() {
 		cs := a.switches[id]
 		for _, et := range dispatchEthTypes(cs) {
-			a.explore(id, newSymPacket(et, openflow.PortController, false))
+			a.explore(id, newSymPacket(et, openflow.PortController, false), nil)
 			if host[et] {
-				a.explore(id, newSymPacket(et, openflow.PortController, true))
+				a.explore(id, newSymPacket(et, openflow.PortController, true), nil)
 			}
 		}
 	}
@@ -60,12 +60,16 @@ const (
 )
 
 // explore walks the transition graph depth-first from one (switch,
-// state) node. The pipeline is deterministic in the symbolic state, so
-// finished nodes are memoized globally; nodes on the current path are
-// marked gray, and reaching a gray node means the fabric forwards this
-// packet class forever.
-func (a *analyzer) explore(sw int, σ *symPacket) {
-	key := "s" + strconv.Itoa(sw) + "|" + σ.key()
+// state) node. A node is a full configuration: the packet class plus the
+// state store of every state table the walk has written — for a stateful
+// backend the discriminating DFS state lives in the switches, and keying
+// on the packet alone would report every bounce transition as a loop.
+// The pipeline is deterministic in the configuration, so finished nodes
+// are memoized globally; nodes on the current path are marked gray, and
+// reaching a gray node means the fabric forwards this packet class
+// forever.
+func (a *analyzer) explore(sw int, σ *symPacket, st stateStore) {
+	key := "s" + strconv.Itoa(sw) + "|" + σ.key() + st.digest()
 	switch a.color[key] {
 	case colorGray:
 		a.reportLoop(sw, σ, key)
@@ -88,7 +92,7 @@ func (a *analyzer) explore(sw int, σ *symPacket) {
 	a.color[key] = colorGray
 	a.stack = append(a.stack, hop{key: key, sw: sw, in: σ.inPort})
 
-	for _, end := range a.pipelineAt(sw, σ) {
+	for _, end := range a.pipelineAt(sw, σ, st) {
 		a.classifyEnd(sw, σ, end)
 		for _, em := range end.emits {
 			switch {
@@ -105,9 +109,13 @@ func (a *analyzer) explore(sw int, σ *symPacket) {
 					})
 					continue
 				}
+				// Each emission continues under the path's end-of-pipeline
+				// store: the walk models one packet in flight at a time
+				// (concurrent copies interleaving state commits are outside
+				// the model; see docs/ANALYSIS.md).
 				np := em.pkt.clone()
 				np.inPort = vport
-				a.explore(v, np)
+				a.explore(v, np, end.store)
 			}
 		}
 	}
@@ -169,7 +177,8 @@ func (a *analyzer) reportLoop(sw int, σ *symPacket, key string) {
 	})
 }
 
-// deadRules reports rules no reachable packet class hit, network-wide.
+// deadRules reports rules no reachable packet class hit, network-wide —
+// flow rules and state-table transitions alike.
 func (a *analyzer) deadRules() {
 	for _, id := range a.switchIDs() {
 		cs := a.switches[id]
@@ -186,12 +195,34 @@ func (a *analyzer) deadRules() {
 				})
 			}
 		}
+		for _, t := range stateTableIDs(cs) {
+			for _, r := range cs.states[t].entries {
+				if r.hit {
+					continue
+				}
+				a.add(Finding{
+					Kind: KindDeadRule, Severity: verify.Info,
+					Service: r.prog.Service, Slot: r.prog.Slot,
+					Switch: id, Table: t, Cookie: r.entry.Cookie,
+					Detail: "no symbolically reachable packet fires this transition (expected for fault-recovery paths)",
+				})
+			}
+		}
 	}
 }
 
 func tableIDs(cs *compSwitch) []int {
 	ids := make([]int, 0, len(cs.tables))
 	for t := range cs.tables {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func stateTableIDs(cs *compSwitch) []int {
+	ids := make([]int, 0, len(cs.states))
+	for t := range cs.states {
 		ids = append(ids, t)
 	}
 	sort.Ints(ids)

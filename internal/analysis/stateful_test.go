@@ -1,0 +1,213 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"smartsouth/internal/analysis"
+	"smartsouth/internal/controller"
+	"smartsouth/internal/core"
+	"smartsouth/internal/network"
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+	"smartsouth/internal/verify"
+)
+
+// statefulDeployment compiles the paper services with the stateful XFSM
+// backend side by side on g.
+func statefulDeployment(t *testing.T, g *topo.Graph) []*core.Program {
+	t.Helper()
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	be := core.WithBackend(core.Stateful)
+	if _, err := core.InstallSnapshot(c, g, 0, be); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if _, err := core.InstallAnycast(c, g, 1, map[uint32][]int{1: {0, 5}, 2: {10}}, be); err != nil {
+		t.Fatalf("anycast: %v", err)
+	}
+	if _, err := core.InstallBlackholeCounter(c, g, 2, be); err != nil {
+		t.Fatalf("blackhole-counter: %v", err)
+	}
+	if _, err := core.InstallCritical(c, g, 3, be); err != nil {
+		t.Fatalf("critical: %v", err)
+	}
+	return c.Programs()
+}
+
+// TestStatefulServicesOnRing20 is the stateful twin of the headline
+// smoke check — and the load-bearing test for the configuration-keyed
+// walk: the stateful backend keeps the DFS state in switch state tables,
+// so a bounce legitimately revisits the same (switch, in-port, packet)
+// under a different store. A walk keyed on the packet alone would report
+// every traversal as a forwarding loop.
+func TestStatefulServicesOnRing20(t *testing.T) {
+	g := topo.Ring(20)
+	progs := statefulDeployment(t, g)
+	fs := analysis.CheckDeployment(progs, g, paperOptions())
+	if errs := analysis.Errors(fs); len(errs) != 0 {
+		for _, f := range errs {
+			t.Errorf("unexpected error finding: %s", f)
+		}
+		t.Fatalf("%d error findings on a clean stateful deployment", len(errs))
+	}
+	if warns := analysis.Warnings(fs); len(warns) != 0 {
+		for _, f := range warns {
+			t.Errorf("unexpected warn finding: %s", f)
+		}
+	}
+}
+
+// TestPortKnockAnalyzesClean lints the knock guard under both backends,
+// seeding the knock and guarded EtherTypes as host traffic so the keyed
+// state table is exercised with a symbolic (unknown-client) flow key.
+func TestPortKnockAnalyzesClean(t *testing.T) {
+	for _, be := range core.Backends() {
+		t.Run(be.Name(), func(t *testing.T) {
+			g := topo.Grid(3, 4)
+			net := network.New(g, network.Options{})
+			c := controller.New(net)
+			if _, err := core.InstallPortKnock(c, g, 0, 11, []uint32{3, 1, 4}, core.WithBackend(be)); err != nil {
+				t.Fatal(err)
+			}
+			opts := paperOptions()
+			opts.HostEthTypes = []uint16{core.EthKnock, core.EthGuarded}
+			fs := analysis.CheckDeployment(c.Programs(), g, opts)
+			if errs := analysis.Errors(fs); len(errs) != 0 {
+				for _, f := range errs {
+					t.Errorf("unexpected error finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestProveDFSOnStatefulSnapshot proves the 4|E| traversal invariant for
+// the stateful lowering: same walk as the OF13 proof, but the
+// deterministic transition system now spans (packet, switch states).
+func TestProveDFSOnStatefulSnapshot(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *topo.Graph
+	}{
+		{"ring8", topo.Ring(8)},
+		{"tree2x2", topo.Tree(2, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := network.New(tc.g, network.Options{})
+			c := controller.New(net)
+			if _, err := core.InstallSnapshot(c, tc.g, 0, core.WithBackend(core.Stateful)); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			for _, f := range analysis.ProveDFS(c.Programs()[0], tc.g, paperOptions()) {
+				t.Errorf("invariant violation: %s", f)
+			}
+		})
+	}
+}
+
+// TestStateTableCollisions drives the composition checks specific to
+// state tables: two programs writing transitions into the same table is
+// an error, and flow rules composed into a table another program claims
+// as a state table are dead (the state table wins the ID at execution).
+func TestStateTableCollisions(t *testing.T) {
+	g := topo.Line(2)
+	next := uint64(1)
+
+	mkState := func(name string, slot int) *openflow.Program {
+		p := openflow.NewProgram(name, slot)
+		p.Ensure(0, g.Degree(0))
+		p.AddFlow(0, 0, &openflow.FlowEntry{
+			Priority: 100, Match: openflow.MatchEth(ethA), Goto: 1,
+			Cookie: name + "/dispatch",
+		})
+		p.AddState(0, 1, &openflow.StateEntry{
+			Priority: 10, AnyState: true, Match: openflow.MatchEth(ethA),
+			Actions:  []openflow.Action{openflow.Output{Port: openflow.PortController}},
+			SetState: &next, Goto: openflow.NoGoto,
+			Cookie: name + "/step",
+		})
+		return p
+	}
+	p1 := mkState("efsm-one", 0)
+	p2 := mkState("efsm-two", 1) // same state table 1 on sw0!
+
+	p3 := openflow.NewProgram("flows", 2)
+	p3.Ensure(0, g.Degree(0))
+	p3.AddFlow(0, 1, &openflow.FlowEntry{ // dead: table 1 is efsm-one's state table
+		Priority: 5, Match: openflow.MatchEth(ethB), Goto: openflow.NoGoto,
+		Actions: []openflow.Action{openflow.Output{Port: openflow.PortController}},
+		Cookie:  "flows/dead",
+	})
+
+	fs := analysis.CheckDeployment([]*openflow.Program{p1, p2, p3}, g, analysis.Options{})
+	clashes := findingsOf(fs, analysis.KindStateClash)
+	if len(clashes) != 2 {
+		t.Fatalf("state clashes = %v, want exactly 2 (merge + dual use)", clashes)
+	}
+	for _, f := range clashes {
+		if f.Severity != verify.Err {
+			t.Errorf("state clash severity = %v, want Err", f.Severity)
+		}
+		if !strings.Contains(f.Detail, "efsm-one") {
+			t.Errorf("clash does not name the owning service: %s", f.Detail)
+		}
+	}
+}
+
+// TestStatefulLoopDetected pins that the store-keyed walk still catches
+// real loops: an EFSM whose only transition bounces the packet back out
+// its ingress port without ever changing state ping-pongs forever — the
+// configuration (packet, stores) genuinely repeats.
+func TestStatefulLoopDetected(t *testing.T) {
+	g := topo.Line(2)
+	p := openflow.NewProgram("pingpong", 0)
+	for sw := 0; sw < g.NumNodes(); sw++ {
+		p.Ensure(sw, g.Degree(sw))
+		p.AddFlow(sw, 0, &openflow.FlowEntry{
+			Priority: 100, Match: openflow.MatchEth(ethA), Goto: 1,
+			Cookie: "pingpong/dispatch",
+		})
+		p.AddState(sw, 1, &openflow.StateEntry{
+			Priority: 10, AnyState: true, Match: openflow.MatchEth(ethA).WithInPort(1),
+			Actions: []openflow.Action{openflow.Output{Port: openflow.PortInPort}},
+			Goto:    openflow.NoGoto,
+			Cookie:  "pingpong/bounce",
+		})
+		p.AddState(sw, 1, &openflow.StateEntry{
+			Priority: 1, AnyState: true, Match: openflow.MatchEth(ethA),
+			Actions: []openflow.Action{openflow.Output{Port: 1}},
+			Goto:    openflow.NoGoto,
+			Cookie:  "pingpong/start",
+		})
+	}
+	fs := analysis.CheckDeployment([]*openflow.Program{p}, g, analysis.Options{})
+	loops := findingsOf(fs, analysis.KindLoop)
+	if len(loops) == 0 {
+		t.Fatalf("no loop detected on a state-preserving ping-pong: %v", fs)
+	}
+	if loops[0].Severity != verify.Err || loops[0].Service != "pingpong" {
+		t.Errorf("loop = %+v, want Err blaming pingpong", loops[0])
+	}
+}
+
+// TestStateTableSlotViolation: with the slot geometry provided, a state
+// table outside its program's table range is flagged like a stray rule.
+func TestStateTableSlotViolation(t *testing.T) {
+	g := topo.Line(2)
+	p := openflow.NewProgram("strayefsm", 0)
+	p.Ensure(0, g.Degree(0))
+	p.AddState(0, 99, &openflow.StateEntry{ // table 99 belongs to slot 9
+		Priority: 10, AnyState: true, Match: openflow.MatchEth(ethA),
+		Actions: []openflow.Action{openflow.Output{Port: openflow.PortController}},
+		Goto:    openflow.NoGoto,
+		Cookie:  "strayefsm/step",
+	})
+	opts := analysis.Options{
+		SlotTables: func(slot int) (int, int) { return 1 + slot*10, 1 + (slot+1)*10 },
+	}
+	fs := analysis.CheckDeployment([]*openflow.Program{p}, g, opts)
+	if got := findingsOf(fs, analysis.KindSlotViolation); len(got) != 1 || got[0].Table != 99 {
+		t.Fatalf("slot violations = %v, want exactly 1 at table 99", got)
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"smartsouth/internal/openflow"
@@ -196,6 +197,97 @@ func coveredBy(p *symPacket, m openflow.Match) bool {
 	return true
 }
 
+// storeCell addresses one state-store record: a state table on a switch
+// plus the flow-key class of the packet ("" for keyless tables, the
+// concatenated key for a concrete packet, "T" when any key field is
+// symbolic — every unknown flow is merged into one cell).
+type storeCell struct {
+	sw, table int
+	key       string
+}
+
+// stateStore is the walk's view of every state table's store: the cells
+// written so far, absent meaning state 0 ("fresh" — the same default the
+// live StateTable reads). Stores are immutable; with returns a copy, so
+// branches and walk frames share them freely. The digest participates in
+// the walk key: the discriminating state of a stateful backend lives in
+// the switches, not the packet, and excluding it would make every DFS
+// bounce look like a forwarding loop.
+type stateStore map[storeCell]uint64
+
+func (s stateStore) get(c storeCell) uint64 { return s[c] }
+
+// with returns a store with cell c set to v. Writing the default state
+// removes the cell, keeping the representation canonical for digests.
+func (s stateStore) with(c storeCell, v uint64) stateStore {
+	if s[c] == v {
+		return s
+	}
+	ns := make(stateStore, len(s)+1)
+	for k, ov := range s {
+		ns[k] = ov
+	}
+	if v == 0 {
+		delete(ns, c)
+	} else {
+		ns[c] = v
+	}
+	return ns
+}
+
+// digest renders the store canonically for walk keys: sorted non-zero
+// cells. An empty store digests to "" so walks over pure flow-rule
+// deployments key exactly as before.
+func (s stateStore) digest() string {
+	if len(s) == 0 {
+		return ""
+	}
+	cells := make([]storeCell, 0, len(s))
+	for c := range s {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.sw != b.sw {
+			return a.sw < b.sw
+		}
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		return a.key < b.key
+	})
+	var b []byte
+	for _, c := range cells {
+		b = append(b, '|', 'S')
+		b = strconv.AppendInt(b, int64(c.sw), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(c.table), 10)
+		b = append(b, '.')
+		b = append(b, c.key...)
+		b = append(b, '=')
+		b = strconv.AppendUint(b, s[c], 16)
+	}
+	return string(b)
+}
+
+// cellFor computes the store cell a packet class reads in a state table.
+// The key is concrete when every key field of the packet is a singleton;
+// otherwise the class collapses to the shared symbolic cell "T" — a
+// deliberate merge (all unknown flows share one state machine) that
+// keeps the walk finite; see docs/ANALYSIS.md.
+func cellFor(sw, table int, key []openflow.Field, p *symPacket) storeCell {
+	var b []byte
+	for _, f := range key {
+		v, ok := p.field(f).Single()
+		if !ok {
+			return storeCell{sw: sw, table: table, key: "T"}
+		}
+		b = strconv.AppendUint(b, v, 16)
+		b = append(b, '.')
+	}
+	return storeCell{sw: sw, table: table, key: string(b)}
+}
+
 // symEmit is one packet class leaving a switch on a port.
 type symEmit struct {
 	port int
@@ -204,13 +296,15 @@ type symEmit struct {
 
 // pathEnd is the outcome of one execution path through a composed
 // pipeline: the emissions along it, whether any rule matched, whether an
-// explicit drop was executed, and the table of a definite miss (-1 when
-// the path ended normally).
+// explicit drop was executed, the table of a definite miss (-1 when the
+// path ended normally), and the state store as of the end of the path
+// (committed transitions included).
 type pathEnd struct {
 	emits     []symEmit
 	matched   bool
 	dropped   bool
 	missTable int
+	store     stateStore
 }
 
 // branch threads mutable state through symbolic action execution; forks
@@ -219,10 +313,11 @@ type branch struct {
 	pkt     *symPacket
 	emits   []symEmit
 	dropped bool
+	store   stateStore
 }
 
 func (b branch) forkPkt() branch {
-	nb := branch{pkt: b.pkt.clone(), dropped: b.dropped}
+	nb := branch{pkt: b.pkt.clone(), dropped: b.dropped, store: b.store}
 	nb.emits = append(nb.emits, b.emits...)
 	return nb
 }
@@ -231,25 +326,32 @@ func (b branch) forkPkt() branch {
 const symGroupDepth = 8
 
 // pipelineAt symbolically executes the composed pipeline of switch sw
-// on state σ. A switch no program installs rules on behaves as an empty
-// pipeline: a definite table-0 miss.
-func (a *analyzer) pipelineAt(sw int, σ *symPacket) []pathEnd {
+// on state σ under state store st. A switch no program installs rules on
+// behaves as an empty pipeline: a definite table-0 miss.
+func (a *analyzer) pipelineAt(sw int, σ *symPacket, st stateStore) []pathEnd {
 	cs := a.switches[sw]
 	if cs == nil {
-		return []pathEnd{{missTable: 0}}
+		return []pathEnd{{missTable: 0, store: st}}
 	}
-	return a.runPipeline(cs, σ)
+	return a.runPipeline(cs, σ, st)
 }
 
 // runPipeline symbolically executes the composed pipeline of cs on
 // state σ from table 0, returning every execution path's outcome.
-func (a *analyzer) runPipeline(cs *compSwitch, σ *symPacket) []pathEnd {
+func (a *analyzer) runPipeline(cs *compSwitch, σ *symPacket, st stateStore) []pathEnd {
 	var out []pathEnd
-	a.runTable(cs, 0, branch{pkt: σ}, false, &out)
+	a.runTable(cs, 0, branch{pkt: σ, store: st}, false, &out)
 	return out
 }
 
 func (a *analyzer) runTable(cs *compSwitch, table int, b branch, matched bool, out *[]pathEnd) {
+	// A stateful stage claims its table ID outright, mirroring the switch
+	// pipeline (flow rules composed into the same table are dead; the
+	// dual-use check reports them).
+	if cst := cs.states[table]; cst != nil && len(cst.entries) > 0 {
+		a.runStateTable(cs, cst, table, b, matched, out)
+		return
+	}
 	rules := cs.tables[table]
 	anyMatch := false
 	for _, r := range rules {
@@ -259,13 +361,13 @@ func (a *analyzer) runTable(cs *compSwitch, table int, b branch, matched bool, o
 		}
 		anyMatch = true
 		r.hit = true
-		nb := branch{pkt: σ2, dropped: b.dropped}
+		nb := branch{pkt: σ2, dropped: b.dropped, store: b.store}
 		nb.emits = append(nb.emits, b.emits...)
 		for _, br := range a.applyActions(cs, r.entry.Actions, nb, 0) {
 			if r.entry.Goto != openflow.NoGoto && r.entry.Goto > table {
 				a.runTable(cs, r.entry.Goto, br, true, out)
 			} else {
-				*out = append(*out, pathEnd{emits: br.emits, matched: true, dropped: br.dropped, missTable: -1})
+				*out = append(*out, pathEnd{emits: br.emits, matched: true, dropped: br.dropped, missTable: -1, store: br.store})
 			}
 		}
 		if coveredBy(b.pkt, r.entry.Match) {
@@ -273,10 +375,51 @@ func (a *analyzer) runTable(cs *compSwitch, table int, b branch, matched bool, o
 		}
 	}
 	if !anyMatch {
-		*out = append(*out, pathEnd{emits: b.emits, matched: matched, dropped: b.dropped, missTable: table})
+		*out = append(*out, pathEnd{emits: b.emits, matched: matched, dropped: b.dropped, missTable: table, store: b.store})
 	}
 	// A partial residual (some rules matched subsets but none covered the
 	// state) is over-approximated away; see docs/ANALYSIS.md.
+}
+
+// runStateTable symbolically executes one stateful stage. The flow's
+// current state is read from the walk's store — concrete by
+// construction, since transitions only write concrete values — so the
+// state half of every transition is decided exactly and only the packet
+// half can fork. A miss absorbs the packet where it stands, exactly as
+// the switch pipeline breaks on a state-table miss.
+func (a *analyzer) runStateTable(cs *compSwitch, cst *compStateTable, table int, b branch, matched bool, out *[]pathEnd) {
+	cell := cellFor(cs.id, table, cst.key, b.pkt)
+	cur := b.store.get(cell)
+	anyMatch := false
+	for _, r := range cst.entries {
+		if !r.entry.MatchesState(cur) {
+			continue
+		}
+		σ2, ok := restrict(b.pkt, r.entry.Match)
+		if !ok {
+			continue
+		}
+		anyMatch = true
+		r.hit = true
+		nb := branch{pkt: σ2, dropped: b.dropped, store: b.store}
+		if r.entry.SetState != nil {
+			nb.store = b.store.with(cell, *r.entry.SetState)
+		}
+		nb.emits = append(nb.emits, b.emits...)
+		for _, br := range a.applyActions(cs, r.entry.Actions, nb, 0) {
+			if r.entry.Goto != openflow.NoGoto && r.entry.Goto > table {
+				a.runTable(cs, r.entry.Goto, br, true, out)
+			} else {
+				*out = append(*out, pathEnd{emits: br.emits, matched: true, dropped: br.dropped, missTable: -1, store: br.store})
+			}
+		}
+		if coveredBy(b.pkt, r.entry.Match) {
+			return // transition consumes the whole packet class
+		}
+	}
+	if !anyMatch {
+		*out = append(*out, pathEnd{emits: b.emits, matched: matched, dropped: b.dropped, missTable: table, store: b.store})
+	}
 }
 
 // applyActions executes an action list symbolically on branch b,
@@ -349,9 +492,9 @@ func (a *analyzer) applyGroup(cs *compSwitch, id uint32, b branch, depth int) []
 			var next []branch
 			for _, ob := range outer {
 				sub := a.applyActions(cs, g.Buckets[i].Actions,
-					branch{pkt: ob.pkt.clone()}, depth+1)
+					branch{pkt: ob.pkt.clone(), store: ob.store}, depth+1)
 				for _, sb := range sub {
-					nb := branch{pkt: ob.pkt, dropped: ob.dropped || sb.dropped}
+					nb := branch{pkt: ob.pkt, dropped: ob.dropped || sb.dropped, store: ob.store}
 					nb.emits = append(nb.emits, ob.emits...)
 					nb.emits = append(nb.emits, sb.emits...)
 					next = append(next, nb)

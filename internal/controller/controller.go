@@ -112,8 +112,9 @@ func (c *Controller) DropPrograms(slot int) {
 	c.programs = kept
 }
 
-// InstallFlow sends a flow-mod (offline stage, per-rule compatibility
-// path; InstallProgram is the batched path).
+// InstallFlow sends a flow-mod (offline stage, per-rule path used by the
+// controller-centric baseline applications; InstallProgram is the batched
+// path SmartSouth services use).
 func (c *Controller) InstallFlow(sw, table int, e *openflow.FlowEntry) {
 	c.Stats.FlowMods++
 	c.Stats.InstallMsgs++
@@ -125,6 +126,36 @@ func (c *Controller) InstallGroup(sw int, g *openflow.GroupEntry) {
 	c.Stats.GroupMods++
 	c.Stats.InstallMsgs++
 	c.Net.Switch(sw).AddGroup(g)
+}
+
+// ResetState clears the state stores of the given state tables on every
+// switch — one batched state-mod transaction per switch that has any of
+// them, counted like an install message.
+func (c *Controller) ResetState(tables ...int) {
+	for id := 0; id < c.Net.NumSwitches(); id++ {
+		sw := c.Net.Switch(id)
+		touched := false
+		for _, t := range tables {
+			if st := sw.StateTableByID(t); st != nil && st.Len() > 0 {
+				sw.ResetStateTable(t)
+				touched = true
+			}
+		}
+		if touched {
+			c.Stats.InstallMsgs++
+		}
+	}
+}
+
+// ReadState reads one flow key's state from a state table on switch sw,
+// as a state-stats request (counted as a runtime message pair).
+func (c *Controller) ReadState(sw, table int, key uint64) (uint64, bool) {
+	v, ok := c.Net.Switch(sw).StateValue(table, key)
+	if ok {
+		c.Stats.PacketOuts++ // request
+		c.Stats.PacketIns++  // reply
+	}
+	return v, ok
 }
 
 // PacketOut injects a packet at a switch for pipeline processing, as if it

@@ -23,14 +23,16 @@ type Anycast struct {
 	FGid   openflow.Field
 	Groups map[uint32][]int // gid -> member nodes
 	ctl    ControlPlane
+	be     Backend
 }
 
 // InstallAnycast compiles the anycast service with the given group
 // membership into a program, statically checks it, and installs it.
-func InstallAnycast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32][]int) (*Anycast, error) {
-	l := NewLayout(g)
+func InstallAnycast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32][]int, opts ...InstallOption) (*Anycast, error) {
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	a := &Anycast{
-		G: g, L: l, FGid: l.Alloc("gid", 16), Groups: groups, ctl: c,
+		G: g, L: l, FGid: l.Alloc("gid", 16), Groups: groups, ctl: c, be: cfg.Backend,
 	}
 	t0, tFin, gb := Slot(slot)
 	a.Tmpl = &Template{
@@ -38,7 +40,7 @@ func InstallAnycast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32][
 		Hooks: Hooks{Uniform: true},
 	}
 	p := newProgram("anycast", slot, g, l)
-	if err := a.Tmpl.Compile(p); err != nil {
+	if err := cfg.Backend.Lower(a.Tmpl, p); err != nil {
 		return nil, err
 	}
 	// Receiver exit rules: the "simple test at the beginning of the
@@ -49,7 +51,7 @@ func InstallAnycast(c ControlPlane, g *topo.Graph, slot int, groups map[uint32][
 			if m < 0 || m >= g.NumNodes() {
 				return nil, fmt.Errorf("core: anycast member %d out of range", m)
 			}
-			p.AddFlow(m, t0, &openflow.FlowEntry{
+			addT0Rule(p, cfg.Backend, m, t0, &openflow.FlowEntry{
 				Priority: PrioService,
 				Match:    openflow.MatchEth(EthAnycast).WithField(a.FGid, uint64(gid)),
 				Actions:  []openflow.Action{openflow.Output{Port: openflow.PortSelf}},
@@ -76,5 +78,6 @@ func (a *Anycast) NewMessage(gid uint32, payload []byte) *openflow.Packet {
 // Send injects an anycast message at switch from — in-band host traffic,
 // not a controller message.
 func (a *Anycast) Send(from int, gid uint32, payload []byte, at network.Time) {
+	resetStateful(a.ctl, a.be, a.Prog)
 	a.ctl.InjectHost(from, a.NewMessage(gid, payload), at)
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// Backend is one lowering of the backend-neutral service definitions onto
+// a concrete data-plane target. The services (snapshot, anycast,
+// blackhole, …) describe *what* runs in the network — a Template with
+// hooks plus service-specific rules; a Backend decides *how* the DFS
+// machinery is encoded:
+//
+//   - OF13 is the paper's encoding: the traversal position travels in
+//     packet tag bits (per-node par/cur fields) and the port scan runs in
+//     fast-failover advance groups. Stateless switches, O(n log n) tag
+//     bits, O(Δ²) group entries per node.
+//   - Stateful is the OpenState/Open-Packet-Processor encoding: per-node
+//     (par, cur) lives in switch state tables and every Algorithm-1 case
+//     becomes one EFSM transition. O(1) tag bits, no advance groups; in
+//     exchange, port failover is no longer packet-time (transitions pick
+//     the next port statically) and traversal state must be reset between
+//     runs.
+//
+// A backend is chosen once, at Deploy time, and threaded to every
+// Install* call; both backends compile every service from the same
+// definition.
+type Backend interface {
+	// Name is the stable CLI/config identifier ("of13", "stateful").
+	Name() string
+	// Stateful reports whether programs of this backend contain state
+	// tables (and therefore cannot cross an OpenFlow 1.3 wire).
+	Stateful() bool
+	// NewLayout allocates the packet tag layout this backend needs for
+	// the DFS machinery; services add their own fields on top.
+	NewLayout(g *topo.Graph) *Layout
+	// Lower compiles a service template into the program.
+	Lower(t *Template, p *openflow.Program) error
+}
+
+type of13Backend struct{}
+
+func (of13Backend) Name() string                    { return "of13" }
+func (of13Backend) Stateful() bool                  { return false }
+func (of13Backend) NewLayout(g *topo.Graph) *Layout { return NewLayout(g) }
+func (of13Backend) Lower(t *Template, p *openflow.Program) error {
+	return t.Compile(p)
+}
+
+type statefulBackend struct{}
+
+func (statefulBackend) Name() string                    { return "stateful" }
+func (statefulBackend) Stateful() bool                  { return true }
+func (statefulBackend) NewLayout(g *topo.Graph) *Layout { return NewStatefulLayout(g) }
+func (statefulBackend) Lower(t *Template, p *openflow.Program) error {
+	return t.CompileStateful(p)
+}
+
+// OF13 lowers services onto stateless OpenFlow 1.3 flow/group entries
+// (the default, byte-identical to the pre-backend compiler).
+var OF13 Backend = of13Backend{}
+
+// Stateful lowers services onto state tables with EFSM transitions.
+var Stateful Backend = statefulBackend{}
+
+// Backends lists every available backend, in preference order.
+func Backends() []Backend { return []Backend{OF13, Stateful} }
+
+// BackendByName resolves a CLI/config backend identifier.
+func BackendByName(name string) (Backend, error) {
+	for _, be := range Backends() {
+		if be.Name() == name {
+			return be, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown backend %q (have of13, stateful)", name)
+}
+
+// InstallOption tunes one Install* call. The zero set of options is the
+// pre-backend behaviour: OF13 lowering.
+type InstallOption func(*installCfg)
+
+type installCfg struct {
+	Backend Backend
+}
+
+// WithBackend selects the lowering backend for an Install* call; the
+// deployment layer threads the backend chosen at Deploy time through it.
+func WithBackend(be Backend) InstallOption {
+	return func(c *installCfg) {
+		if be != nil {
+			c.Backend = be
+		}
+	}
+}
+
+func resolveInstall(opts []InstallOption) installCfg {
+	cfg := installCfg{Backend: OF13}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}

@@ -44,6 +44,7 @@ type BlackholeTTL struct {
 	Prog  *Program
 	FKind openflow.Field // 1 = TTL expiry report, 2 = completion report
 	ctl   ControlPlane
+	be    Backend
 }
 
 const (
@@ -52,9 +53,10 @@ const (
 )
 
 // InstallBlackholeTTL compiles and installs the TTL-probing detector.
-func InstallBlackholeTTL(c ControlPlane, g *topo.Graph, slot int) (*BlackholeTTL, error) {
-	l := NewLayout(g)
-	b := &BlackholeTTL{G: g, L: l, ctl: c, FKind: l.Alloc("report_kind", 2)}
+func InstallBlackholeTTL(c ControlPlane, g *topo.Graph, slot int, opts ...InstallOption) (*BlackholeTTL, error) {
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
+	b := &BlackholeTTL{G: g, L: l, ctl: c, be: cfg.Backend, FKind: l.Alloc("report_kind", 2)}
 	base := 1 + slot*10
 	preT, t0, tFin := base, base+1, base+2
 	b.Tmpl = &Template{
@@ -71,7 +73,7 @@ func InstallBlackholeTTL(c ControlPlane, g *topo.Graph, slot int) (*BlackholeTTL
 		},
 	}
 	p := newProgram("blackhole-ttl", slot, g, l)
-	if err := b.Tmpl.Compile(p); err != nil {
+	if err := cfg.Backend.Lower(b.Tmpl, p); err != nil {
 		return nil, err
 	}
 	eth := openflow.MatchEth(EthBlackhole)
@@ -117,6 +119,7 @@ const (
 // probe sends one trigger with the given TTL budget and runs the network
 // to quiescence.
 func (b *BlackholeTTL) probe(root int, ttl int) (probeOutcome, controller.PacketIn, error) {
+	resetStateful(b.ctl, b.be, b.Prog)
 	before := len(b.ctl.Inbox())
 	pkt := b.L.NewPacket(EthBlackhole)
 	pkt.TTL = uint8(ttl)
@@ -193,11 +196,20 @@ func (b *BlackholeTTL) Locate(root, maxHops int) (*Report, error) {
 
 // nextPort replays one step of Algorithm 1 at switch s from the reported
 // packet state — exactly what the controller application does with its
-// topology and port-status view.
+// topology and port-status view. Under the stateful backend the DFS
+// position is not in the packet; the controller reads the expiry switch's
+// state table instead (one extra out-of-band read per located blackhole).
 func (b *BlackholeTTL) nextPort(s int, pkt *openflow.Packet) int {
 	d := b.G.Degree(s)
-	par := int(pkt.Load(b.L.Par[s]))
-	cur := int(pkt.Load(b.L.Cur[s]))
+	var par, cur int
+	if b.L.Stateful() {
+		v, _ := b.ctl.ReadState(s, b.Tmpl.T0, 0)
+		B := openflow.BitsFor(uint64(d))
+		par, cur = int(v>>B), int(v&(uint64(1)<<B-1))
+	} else {
+		par = int(pkt.Load(b.L.Par[s]))
+		cur = int(pkt.Load(b.L.Cur[s]))
+	}
 	advance := func(from, p int) int {
 		out := from
 		for out <= d {
@@ -247,6 +259,7 @@ type BlackholeCounter struct {
 	FOut     openflow.Field
 	Counters [][]*SmartCounter // [node][port-1]
 	ctl      ControlPlane
+	be       Backend
 }
 
 // counterModulus is the smart-counter size. Port counts during one
@@ -256,10 +269,11 @@ const counterModulus = 8
 // InstallBlackholeCounter compiles and installs the smart-counter
 // detector. It occupies the slot's whole table block (pre-table, dance
 // tables, checker tables).
-func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*BlackholeCounter, error) {
-	l := NewLayout(g)
+func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int, opts ...InstallOption) (*BlackholeCounter, error) {
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	b := &BlackholeCounter{
-		G: g, L: l, ctl: c,
+		G: g, L: l, ctl: c, be: cfg.Backend,
 		FRepeat: l.Alloc("repeat", 2),
 		FCtr:    l.Alloc("ctr_val", openflow.BitsFor(counterModulus-1)),
 		FOut:    l.Alloc("out_port", openflow.BitsFor(uint64(g.MaxDegree()))),
@@ -312,7 +326,7 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 			Uniform: true,
 		},
 	}
-	if err := b.A.Compile(prog); err != nil {
+	if err := cfg.Backend.Lower(b.A, prog); err != nil {
 		return nil, err
 	}
 
@@ -334,7 +348,7 @@ func InstallBlackholeCounter(c ControlPlane, g *topo.Graph, slot int) (*Blackhol
 			Uniform: true,
 		},
 	}
-	if err := b.B.Compile(prog); err != nil {
+	if err := cfg.Backend.Lower(b.B, prog); err != nil {
 		return nil, err
 	}
 
@@ -437,6 +451,7 @@ func (b *BlackholeCounter) Detect(root int, at, guard network.Time) {
 		// doubled for safety (the paper's "twice the maximum delay").
 		guard = network.Time(12*(b.G.NumEdges()+2)) * 1000
 	}
+	resetStateful(b.ctl, b.be, b.Prog)
 	b.ctl.PacketOut(root, openflow.PortController, b.L.NewPacket(EthBlackhole), at)
 	b.ctl.PacketOut(root, openflow.PortController, b.L.NewPacket(EthBlackholeChk), at+guard)
 }

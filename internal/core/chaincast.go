@@ -31,12 +31,13 @@ type Chaincast struct {
 	Stages []*Template
 	Prog   *Program
 	ctl    ControlPlane
+	be     Backend
 }
 
 // InstallChaincast compiles and installs a chaincast over the given chain
 // of middlebox groups. It consumes one service slot per stage, starting
 // at slotBase.
-func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int) (*Chaincast, error) {
+func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int, opts ...InstallOption) (*Chaincast, error) {
 	if len(chain) == 0 {
 		return nil, fmt.Errorf("core: empty chain")
 	}
@@ -51,9 +52,10 @@ func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int
 		}
 	}
 
-	l := NewLayout(g)
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	cc := &Chaincast{
-		G: g, L: l, Chain: chain, ctl: c,
+		G: g, L: l, Chain: chain, ctl: c, be: cfg.Backend,
 		FStage: l.Alloc("stage", openflow.BitsFor(uint64(len(chain)))),
 	}
 
@@ -85,7 +87,7 @@ func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int
 			DispatchFields: []openflow.FieldMatch{{F: cc.FStage, Value: uint64(s)}},
 			Hooks:          Hooks{Uniform: true},
 		}
-		if err := tmpl.Compile(p); err != nil {
+		if err := cfg.Backend.Lower(tmpl, p); err != nil {
 			return nil, err
 		}
 		cc.Stages = append(cc.Stages, tmpl)
@@ -102,7 +104,7 @@ func InstallChaincast(c ControlPlane, g *topo.Graph, slotBase int, chain [][]int
 				actions = append(actions, openflow.SetField{F: cc.FStage, Value: uint64(s + 1)})
 				gotoT = t0s[s+1]
 			}
-			p.AddFlow(m, t0s[s], &openflow.FlowEntry{
+			addT0Rule(p, cfg.Backend, m, t0s[s], &openflow.FlowEntry{
 				Priority: PrioService,
 				Match:    openflow.MatchEth(EthChaincast),
 				Actions:  actions,
@@ -124,6 +126,7 @@ func (cc *Chaincast) NumSlots() int { return len(cc.Chain) }
 // Send injects a chain packet at switch from (in-band host traffic). The
 // packet will visit one member of every stage group, in order.
 func (cc *Chaincast) Send(from int, payload []byte, at network.Time) {
+	resetStateful(cc.ctl, cc.be, cc.Prog)
 	pkt := cc.L.NewPacket(EthChaincast)
 	pkt.Payload = payload
 	cc.ctl.InjectHost(from, pkt, at)

@@ -30,6 +30,7 @@ type Critical struct {
 	FToPar openflow.Field
 	FVerd  openflow.Field
 	ctl    ControlPlane
+	be     Backend
 }
 
 // Verdict values carried in the report packet's verdict field.
@@ -41,10 +42,11 @@ const (
 
 // InstallCritical compiles and installs the critical-node service; any
 // node can subsequently be asked to check itself.
-func InstallCritical(c ControlPlane, g *topo.Graph, slot int) (*Critical, error) {
-	l := NewLayout(g)
+func InstallCritical(c ControlPlane, g *topo.Graph, slot int, opts ...InstallOption) (*Critical, error) {
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	cr := &Critical{
-		G: g, L: l, ctl: c,
+		G: g, L: l, ctl: c, be: cfg.Backend,
 		FFirst: l.Alloc("first_port", openflow.BitsFor(uint64(g.MaxDegree()))),
 		FToPar: l.Alloc("to_parent", 1),
 		FVerd:  l.Alloc("verdict", 2),
@@ -112,7 +114,7 @@ func InstallCritical(c ControlPlane, g *topo.Graph, slot int) (*Critical, error)
 		},
 	}
 	p := newProgram("critical", slot, g, l)
-	if err := cr.Tmpl.Compile(p); err != nil {
+	if err := cfg.Backend.Lower(cr.Tmpl, p); err != nil {
 		return nil, err
 	}
 	if err := installProgram(c, p); err != nil {
@@ -124,6 +126,7 @@ func InstallCritical(c ControlPlane, g *topo.Graph, slot int) (*Critical, error)
 
 // Check asks node to test its own criticality (one out-of-band message).
 func (cr *Critical) Check(node int, at network.Time) {
+	resetStateful(cr.ctl, cr.be, cr.Prog)
 	cr.ctl.PacketOut(node, openflow.PortController, cr.L.NewPacket(cr.Tmpl.Eth), at)
 }
 

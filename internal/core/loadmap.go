@@ -36,6 +36,7 @@ type LoadMap struct {
 	FVal  openflow.Field
 
 	ctl ControlPlane
+	be  Backend
 }
 
 // loadModulus is the counter size; loads are inferred modulo 32.
@@ -52,10 +53,11 @@ func decLoad(label uint32) (node, port, val int) {
 // InstallLoadMap compiles and installs the load-inference service,
 // including destination-based forwarding for EthData traffic. It must not
 // share a network with PktLoss (both own the EthData ingress rules).
-func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
-	l := NewLayout(g)
+func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int, opts ...InstallOption) (*LoadMap, error) {
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	lm := &LoadMap{
-		G: g, L: l, ctl: c, Modulus: loadModulus,
+		G: g, L: l, ctl: c, Modulus: loadModulus, be: cfg.Backend,
 		FDst:  l.Alloc("dst", openflow.BitsFor(uint64(g.NumNodes()))),
 		FPort: l.Alloc("sample_port", openflow.BitsFor(uint64(g.MaxDegree()))),
 		FVal:  l.Alloc("sample_val", openflow.BitsFor(loadModulus-1)),
@@ -82,7 +84,7 @@ func InstallLoadMap(c ControlPlane, g *topo.Graph, slot int) (*LoadMap, error) {
 		G: g, L: l, Eth: EthLoadMap, T0: t0, TFin: tFin, GroupBase: gb,
 		Hooks: Hooks{Finish: finishToController, Uniform: true},
 	}
-	if err := lm.Tmpl.Compile(prog); err != nil {
+	if err := cfg.Backend.Lower(lm.Tmpl, prog); err != nil {
 		return nil, err
 	}
 
@@ -174,6 +176,7 @@ func (lm *LoadMap) SendData(from, to int, at network.Time) {
 
 // Monitor launches the load-collection traversal from root.
 func (lm *LoadMap) Monitor(root int, at network.Time) {
+	resetStateful(lm.ctl, lm.be, lm.Prog)
 	lm.ctl.PacketOut(root, openflow.PortController, lm.L.NewPacket(EthLoadMap), at)
 }
 

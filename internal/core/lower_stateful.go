@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"smartsouth/internal/openflow"
+)
+
+// CompileStateful lowers the template onto the stateful backend: per node,
+// the (par, cur) pair of Algorithm 1 moves from packet tag bits into a
+// keyless state table at T0, and every case of the algorithm becomes one
+// EFSM transition (state condition + packet match -> actions + set-state).
+//
+// Encoding, per node i with degree d and B = BitsFor(d):
+//
+//	state = par<<B | cur
+//
+// State 0 doubles as "never visited" and "root finished": a non-root node
+// always has par >= 1, so par<<B|cur > 0 whenever it holds DFS position,
+// and the root's exhaust transition deliberately returns to 0 so a second
+// trigger can start over without a state reset at the root. All other
+// nodes keep their final (par, par) state after a run — re-triggering a
+// stateful service requires ControlPlane.ResetState first.
+//
+// The port scan of the fast-failover advance groups is resolved at compile
+// time instead: each transition directly names the next port to probe.
+// Without link failures this picks exactly the port the first live FF
+// bucket would have picked, so traversal order and message counts match
+// the OF13 backend; under failures the stateful plane has no packet-time
+// failover (the paper's trade-off for O(1) tag bits and zero groups).
+func (t *Template) CompileStateful(p *openflow.Program) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if !t.L.Stateful() {
+		return fmt.Errorf("core: CompileStateful requires a stateful layout (use NewStatefulLayout)")
+	}
+	if t.L.TagBytes() > p.TagBytes {
+		p.TagBytes = t.L.TagBytes()
+	}
+	for node := 0; node < t.G.NumNodes(); node++ {
+		p.Ensure(node, t.G.Degree(node))
+		t.compileNodeStateful(p, node)
+	}
+	return nil
+}
+
+func (t *Template) compileNodeStateful(p *openflow.Program, i int) {
+	d := t.G.Degree(i)
+	B := openflow.BitsFor(uint64(d))
+	S := t.L.Start
+	if t.StateStart.Valid() {
+		S = t.StateStart
+	}
+	base := openflow.MatchEth(t.Eth)
+	st := func(par, cur int) uint64 { return uint64(par)<<B | uint64(cur) }
+
+	// Dispatcher: identical to the OF13 lowering — table 0 is an ordinary
+	// flow table under both backends.
+	disp := base
+	for _, fm := range t.DispatchFields {
+		disp = disp.WithMasked(fm.F, fm.Value, fm.Mask)
+	}
+	p.AddFlow(i, 0, &openflow.FlowEntry{
+		Priority: 100, Match: disp, Goto: t.T0,
+		Cookie: fmt.Sprintf("svc%04x/dispatch", t.Eth),
+	})
+
+	// advance resolves Send_next_neighbor statically: the first port in
+	// s..d that is not the parent, else back to the parent, else (root)
+	// into the finish table. Mirrors the FF advance-group bucket order.
+	advance := func(s, par int) (cont []openflow.Action, set *uint64, gotoT int) {
+		gotoT = openflow.NoGoto
+		if t.Hooks.DeferOutput {
+			gotoT = t.TFin
+		}
+		for k := s; k <= d; k++ {
+			if k == par {
+				continue
+			}
+			var acts []openflow.Action
+			if t.Hooks.SendNext != nil {
+				acts = append(acts, t.Hooks.SendNext(i, s, par, k)...)
+			}
+			if t.Hooks.DeferOutput {
+				acts = append(acts, openflow.SetField{F: t.Hooks.OutField, Value: uint64(k)})
+				if t.Hooks.UpField.Valid() {
+					acts = append(acts, openflow.SetField{F: t.Hooks.UpField, Value: 0})
+				}
+			} else {
+				acts = append(acts, openflow.Output{Port: k})
+			}
+			v := st(par, k)
+			return acts, &v, gotoT
+		}
+		if par >= 1 {
+			var acts []openflow.Action
+			if t.Hooks.SendParent != nil {
+				acts = append(acts, t.Hooks.SendParent(i, par)...)
+			}
+			if t.Hooks.DeferOutput {
+				acts = append(acts, openflow.SetField{F: t.Hooks.OutField, Value: uint64(par)})
+				if t.Hooks.UpField.Valid() {
+					acts = append(acts, openflow.SetField{F: t.Hooks.UpField, Value: 1})
+				}
+			} else {
+				acts = append(acts, openflow.Output{Port: par})
+			}
+			v := st(par, par)
+			return acts, &v, gotoT
+		}
+		// Root exhausted every port: back to state 0, fall into the finish
+		// table (the OF13 root-fallback bucket's cur := 0, par = 0 case).
+		var acts []openflow.Action
+		if t.Hooks.DeferOutput {
+			acts = append(acts, openflow.SetField{F: t.Hooks.OutField, Value: 0})
+		}
+		zero := uint64(0)
+		return acts, &zero, t.TFin
+	}
+
+	// emit installs a base transition plus its variants, with the same
+	// folding discipline as the OF13 emit: unconditional variants merge
+	// into the base actions, Terminal variants replace the continuation
+	// (and then neither forward nor change state).
+	emit := func(prio int, anyState bool, state, mask uint64, m openflow.Match,
+		pre, cont []openflow.Action, set *uint64, gotoT int, vs []Variant, cookie string) {
+		var conditional []Variant
+		for _, v := range vs {
+			if len(v.Match) == 0 && !v.Terminal {
+				pre = append(append([]openflow.Action{}, pre...), v.Do...)
+			} else {
+				conditional = append(conditional, v)
+			}
+		}
+		vs = conditional
+		all := append(append([]openflow.Action{}, pre...), cont...)
+		p.AddState(i, t.T0, &openflow.StateEntry{
+			Priority: prio, AnyState: anyState, State: state, StateMask: mask,
+			Match: m, Actions: all, SetState: set, Goto: gotoT, Cookie: cookie,
+		})
+		for vi, v := range vs {
+			vm := m
+			for _, fm := range v.Match {
+				vm = vm.WithMasked(fm.F, fm.Value, fm.Mask)
+			}
+			e := &openflow.StateEntry{
+				Priority: prio + 1 + vi, AnyState: anyState, State: state, StateMask: mask,
+				Match: vm, Cookie: fmt.Sprintf("%s/v%d", cookie, vi),
+			}
+			if v.Terminal {
+				e.Actions = append([]openflow.Action{}, v.Do...)
+				e.Goto = openflow.NoGoto
+			} else {
+				e.Actions = append(append(append([]openflow.Action{}, pre...), v.Do...), cont...)
+				e.SetState = set
+				e.Goto = gotoT
+			}
+			p.AddState(i, t.T0, e)
+		}
+	}
+
+	// Start: pkt.start = 0 in state 0 — this switch becomes the DFS root.
+	rootActs := []openflow.Action{openflow.SetField{F: S, Value: 1}}
+	if t.Hooks.RootStart != nil {
+		rootActs = append(rootActs, t.Hooks.RootStart(i)...)
+	}
+	cont, set, g := advance(1, 0)
+	emit(PrioStart, false, 0, 0, base.WithField(S, 0), rootActs, cont, set, g, nil,
+		fmt.Sprintf("svc%04x/n%d/start", t.Eth, i))
+
+	// First visit: state 0, one transition per ingress port — the parent
+	// is recorded in the state word instead of a packet field.
+	for q := 1; q <= d; q++ {
+		var vs []Variant
+		if t.Hooks.FirstVisit != nil {
+			vs = t.Hooks.FirstVisit(i, q)
+		}
+		cont, set, g := advance(1, q)
+		emit(PrioFirst, false, 0, 0, base.WithInPort(q), nil, cont, set, g, vs,
+			fmt.Sprintf("svc%04x/n%d/first-in%d", t.Eth, i, q))
+	}
+
+	seenHook := t.Hooks.Bounce
+	if t.Hooks.BounceSplit {
+		seenHook = t.Hooks.BounceSeen
+	}
+	callHook := func(h func(int, int) []Variant, node, in int) []Variant {
+		if h == nil {
+			return nil
+		}
+		return h(node, in)
+	}
+	inPort := []openflow.Action{openflow.Output{Port: openflow.PortInPort}}
+
+	// Finished state (cur = par >= 1): bounce every arrival, keep state.
+	for pp := 1; pp <= d; pp++ {
+		if t.Hooks.BouncePerIn {
+			for q := 1; q <= d; q++ {
+				emit(PrioFinished, false, st(pp, pp), 0, base.WithInPort(q),
+					nil, inPort, nil, openflow.NoGoto,
+					callHook(seenHook, i, q),
+					fmt.Sprintf("svc%04x/n%d/done-p%d-in%d", t.Eth, i, pp, q))
+			}
+			continue
+		}
+		emit(PrioFinished, false, st(pp, pp), 0, base,
+			nil, inPort, nil, openflow.NoGoto,
+			callHook(seenHook, i, openflow.AnyPort),
+			fmt.Sprintf("svc%04x/n%d/done-p%d", t.Eth, i, pp))
+	}
+
+	// Expected return (in = cur): one transition per (cur, par) pair, the
+	// state condition replacing the OF13 rule's two tag-field matches.
+	for q := 1; q <= d; q++ {
+		for pp := 0; pp <= d; pp++ {
+			if pp == q {
+				continue // cur = par is the finished state above
+			}
+			var vs []Variant
+			if t.Hooks.FromCur != nil {
+				vs = t.Hooks.FromCur(i, q, pp)
+			}
+			cont, set, g := advance(q+1, pp)
+			emit(PrioExpected, false, st(pp, q), 0, base.WithInPort(q), nil, cont, set, g, vs,
+				fmt.Sprintf("svc%04x/n%d/ret-c%d-p%d", t.Eth, i, q, pp))
+		}
+	}
+
+	// Unexpected arrivals. The in < cur comparison masks the cur half of
+	// the state word, so it needs one transition per (in, cur) pair but no
+	// longer depends on par.
+	if t.Hooks.BounceSplit {
+		curMask := uint64(1)<<B - 1
+		for q := 1; q <= d; q++ {
+			for cv := q + 1; cv <= d; cv++ {
+				emit(PrioSeen, false, uint64(cv), curMask, base.WithInPort(q),
+					nil, inPort, nil, openflow.NoGoto,
+					callHook(t.Hooks.BounceSeen, i, q),
+					fmt.Sprintf("svc%04x/n%d/seen-in%d-c%d", t.Eth, i, q, cv))
+			}
+			emit(PrioNew, true, 0, 0, base.WithInPort(q),
+				nil, inPort, nil, openflow.NoGoto,
+				callHook(t.Hooks.BounceNew, i, q),
+				fmt.Sprintf("svc%04x/n%d/new-in%d", t.Eth, i, q))
+		}
+	} else if t.Hooks.BouncePerIn {
+		for q := 1; q <= d; q++ {
+			emit(PrioNew, true, 0, 0, base.WithInPort(q),
+				nil, inPort, nil, openflow.NoGoto,
+				callHook(t.Hooks.Bounce, i, q),
+				fmt.Sprintf("svc%04x/n%d/bounce-in%d", t.Eth, i, q))
+		}
+	} else {
+		emit(PrioNew, true, 0, 0, base,
+			nil, inPort, nil, openflow.NoGoto,
+			callHook(t.Hooks.Bounce, i, openflow.AnyPort),
+			fmt.Sprintf("svc%04x/n%d/bounce", t.Eth, i))
+	}
+
+	// Finish table: only reachable via the root-exhaust transition (or,
+	// for DeferOutput services, with OutField = 0 after the service's own
+	// higher-priority finish rules declined), so the state-dependent
+	// C=0 ∧ P=0 guard of the OF13 lowering is unnecessary here.
+	var fin []openflow.Action
+	if t.Hooks.Finish != nil {
+		fin = t.Hooks.Finish(i)
+	}
+	p.AddFlow(i, t.TFin, &openflow.FlowEntry{
+		Priority: PrioFinish, Match: base,
+		Actions: fin, Goto: openflow.NoGoto,
+		Cookie: fmt.Sprintf("svc%04x/n%d/finish", t.Eth, i),
+	})
+}

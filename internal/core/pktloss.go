@@ -42,6 +42,7 @@ type PktLoss struct {
 	FVIn  []openflow.Field // fetched ingress counter values
 
 	ctl ControlPlane
+	be  Backend
 }
 
 // DefaultPrimes is the counter-size set used when none is given.
@@ -50,7 +51,7 @@ var DefaultPrimes = []int{7, 11, 13}
 // InstallPktLoss compiles and installs the monitor, including destination
 // based shortest-path forwarding (with egress/ingress counting) for
 // EthData traffic. It occupies the slot's whole table block.
-func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*PktLoss, error) {
+func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int, opts ...InstallOption) (*PktLoss, error) {
 	if len(primes) == 0 {
 		primes = append([]int(nil), DefaultPrimes...)
 	}
@@ -63,9 +64,10 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 		return nil, fmt.Errorf("core: at most 3 prime counters per port (table block size), got %d", len(primes))
 	}
 
-	l := NewLayout(g)
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	pl := &PktLoss{
-		G: g, L: l, Primes: primes, ctl: c,
+		G: g, L: l, Primes: primes, ctl: c, be: cfg.Backend,
 		FDst:  l.Alloc("dst", openflow.BitsFor(uint64(g.NumNodes()))),
 		FPort: l.Alloc("report_port", openflow.BitsFor(uint64(g.MaxDegree()))),
 	}
@@ -154,7 +156,7 @@ func InstallPktLoss(c ControlPlane, g *topo.Graph, slot int, primes []int) (*Pkt
 			Uniform: true,
 		},
 	}
-	if err := pl.Tmpl.Compile(prog); err != nil {
+	if err := cfg.Backend.Lower(pl.Tmpl, prog); err != nil {
 		return nil, err
 	}
 
@@ -255,6 +257,7 @@ func (pl *PktLoss) SendData(from, to int, at network.Time) {
 // Monitor launches one monitoring traversal from root (one out-of-band
 // message; the completion report is the second).
 func (pl *PktLoss) Monitor(root int, at network.Time) {
+	resetStateful(pl.ctl, pl.be, pl.Prog)
 	pl.ctl.PacketOut(root, openflow.PortController, pl.L.NewPacket(EthPktLoss), at)
 }
 

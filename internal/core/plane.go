@@ -17,15 +17,22 @@ import (
 // same switches through binary OpenFlow 1.3 over TCP (package ofconn).
 // Services behave identically on both — that is tested.
 type ControlPlane interface {
-	// InstallProgram applies a compiled program: every flow rule and group
-	// entry it holds, batched per switch. This is the primary install path;
-	// services compile to a Program and install it in one shot.
+	// InstallProgram applies a compiled program: every flow rule, state
+	// transition and group entry it holds, batched per switch. This is the
+	// only install path; services compile to a Program and install it in
+	// one shot.
 	InstallProgram(p *openflow.Program)
-	// InstallFlow adds a flow entry (a FLOW_MOD) on switch sw. Kept as a
-	// per-rule compatibility shim; InstallProgram is the batched path.
-	InstallFlow(sw, table int, e *openflow.FlowEntry)
-	// InstallGroup adds a group entry (a GROUP_MOD) on switch sw.
-	InstallGroup(sw int, g *openflow.GroupEntry)
+	// ResetState clears the per-flow state stores of the given state
+	// tables on every switch (an OpenState state-mod DELETE of all keys),
+	// leaving the transition entries installed. Services compiled by the
+	// stateful backend call it before re-triggering a traversal, since
+	// their DFS state lives in the switches rather than in the packet.
+	ResetState(tables ...int)
+	// ReadState reads the state of one flow key in a state table on
+	// switch sw (an OpenState state-stats request). The second result is
+	// false when the switch has no such state table — notably on control
+	// planes that cannot install state tables at all.
+	ReadState(sw, table int, key uint64) (uint64, bool)
 	// PacketOut injects a packet at sw for pipeline processing at time at.
 	PacketOut(sw, inPort int, pkt *openflow.Packet, at network.Time)
 	// InjectHost injects in-band host traffic at sw (not a controller

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"smartsouth/internal/controller"
+	"smartsouth/internal/network"
+	"smartsouth/internal/topo"
+)
+
+// runKnocks plays a knock sequence from a client node and settles the
+// network, running the OF13 controller assist after each settle the way a
+// real controller would handle its packet-in queue.
+func runKnocks(t *testing.T, net *network.Network, pk *PortKnock, from int, id uint32, codes []uint32) {
+	t.Helper()
+	for _, code := range codes {
+		pk.Knock(from, id, code, net.Sim.Now()+1)
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		pk.Process()
+	}
+}
+
+func TestPortKnockE2E(t *testing.T) {
+	bothBackends(t, func(t *testing.T, be Backend) {
+		g := topo.Grid(3, 4)
+		net := network.New(g, network.Options{})
+		c := controller.New(net)
+		seq := []uint32{3, 1, 4}
+		pk, err := InstallPortKnock(c, g, 0, 11, seq, WithBackend(be))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := captureSelf(net)
+
+		// Closed by default: guarded traffic is dropped at the guard.
+		pk.SendData(0, 7, []byte("early"), 0)
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(*got) != 0 {
+			t.Fatalf("guarded packet delivered before any knock")
+		}
+		if pk.Open(7) {
+			t.Fatal("client 7 open before any knock")
+		}
+
+		// A wrong code mid-sequence resets progress.
+		runKnocks(t, net, pk, 0, 7, []uint32{3, 1, 9})
+		if pk.Open(7) {
+			t.Fatal("client 7 open after a wrong knock")
+		}
+		pk.SendData(0, 7, nil, net.Sim.Now()+1)
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(*got) != 0 {
+			t.Fatalf("guarded packet delivered after a wrong knock")
+		}
+
+		// The full sequence opens the guard for this client only.
+		runKnocks(t, net, pk, 0, 7, seq)
+		if !pk.Open(7) {
+			t.Fatal("client 7 not open after the full sequence")
+		}
+		if pk.Open(8) {
+			t.Fatal("client 8 open without knocking")
+		}
+		pk.SendData(0, 7, []byte("hello"), net.Sim.Now()+1)
+		pk.SendData(5, 8, []byte("intruder"), net.Sim.Now()+1)
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(*got) != 1 {
+			t.Fatalf("deliveries = %d, want only client 7's packet", len(*got))
+		}
+		if d := (*got)[0]; d.sw != 11 || string(d.pkt.Payload) != "hello" {
+			t.Errorf("delivered %q at %d, want %q at the guard 11", d.pkt.Payload, d.sw, "hello")
+		}
+	})
+}
+
+// TestPortKnockMessageContrast pins the Table-2 point: the stateful guard
+// runs the whole handshake with zero controller messages, while OF13 pays
+// one packet-in per knock plus one flow-mod for the allow rule.
+func TestPortKnockMessageContrast(t *testing.T) {
+	seq := []uint32{2, 5}
+	run := func(be Backend) (*controller.Controller, *PortKnock, *network.Network) {
+		g := topo.Line(4)
+		net := network.New(g, network.Options{})
+		c := controller.New(net)
+		pk, err := InstallPortKnock(c, g, 0, 3, seq, WithBackend(be))
+		if err != nil {
+			t.Fatal(err)
+		}
+		installs := c.Stats.InstallMsgs
+		for _, code := range seq {
+			pk.Knock(0, 1, code, net.Sim.Now()+1)
+			if _, err := net.Run(); err != nil {
+				t.Fatal(err)
+			}
+			pk.Process()
+		}
+		c.Stats.InstallMsgs -= installs // runtime installs only
+		return c, pk, net
+	}
+
+	c, pk, _ := run(Stateful)
+	if got := c.Stats.PacketIns + c.Stats.InstallMsgs + c.Stats.PacketOuts; got != 0 {
+		t.Errorf("stateful handshake cost %d controller messages, want 0", got)
+	}
+	if !pk.Open(1) { // costs one state-stats pair, checked after the count
+		t.Fatal("stateful: client not open")
+	}
+
+	c, pk, _ = run(OF13)
+	if !pk.Open(1) {
+		t.Fatal("of13: client not open")
+	}
+	if c.Stats.PacketIns != len(seq) {
+		t.Errorf("of13 packet-ins = %d, want one per knock (%d)", c.Stats.PacketIns, len(seq))
+	}
+	if c.Stats.InstallMsgs == 0 {
+		t.Error("of13 opened the guard without a flow-mod")
+	}
+}
+
+func TestPortKnockReknockCloses(t *testing.T) {
+	// Stateful semantics: a knock from an open client re-enters the EFSM
+	// (the any-state reset), so a lone wrong knock closes the door again.
+	g := topo.Line(3)
+	net := network.New(g, network.Options{})
+	c := controller.New(net)
+	pk, err := InstallPortKnock(c, g, 0, 2, []uint32{6}, WithBackend(Stateful))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runKnocks(t, net, pk, 0, 1, []uint32{6})
+	if !pk.Open(1) {
+		t.Fatal("not open after correct knock")
+	}
+	runKnocks(t, net, pk, 0, 1, []uint32{2})
+	if pk.Open(1) {
+		t.Fatal("still open after wrong knock")
+	}
+}

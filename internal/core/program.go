@@ -37,6 +37,37 @@ type ProgramGater interface {
 	GateProgram(p *Program) error
 }
 
+// addT0Rule installs a service rule in a template's entry table. Under
+// OF13 the entry table is an ordinary flow table; under the stateful
+// backend it is the node's state table, where a flow entry would be
+// unreachable — the rule becomes an equivalent any-state transition (same
+// priority, match, actions and goto; no state change).
+func addT0Rule(p *Program, be Backend, sw, table int, e *openflow.FlowEntry) {
+	if be != nil && be.Stateful() {
+		p.AddState(sw, table, &openflow.StateEntry{
+			Priority: e.Priority, AnyState: true,
+			Match: e.Match, Actions: e.Actions, Goto: e.Goto, Cookie: e.Cookie,
+		})
+		return
+	}
+	p.AddFlow(sw, table, e)
+}
+
+// resetStateful clears the DFS state tables of a stateful-backed service
+// before a re-trigger: unlike the OF13 lowering, whose traversal position
+// lives in the packet and vanishes with it, the stateful lowering leaves
+// every non-root node in its final (par, par) state after a run. The
+// reset is a no-op (and costs no messages) while the tables are still
+// empty, so a service's first trigger is unaffected.
+func resetStateful(c ControlPlane, be Backend, p *Program) {
+	if be == nil || !be.Stateful() || p == nil {
+		return
+	}
+	if ts := p.StateTables(); len(ts) > 0 {
+		c.ResetState(ts...)
+	}
+}
+
 // installProgram statically checks a compiled program and, only if it is
 // free of hard errors, hands it to the control plane. This is the single
 // choke point between compilation and live switches: no service rule

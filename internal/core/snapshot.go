@@ -36,6 +36,7 @@ type Snapshot struct {
 	Tmpl *Template
 	Prog *Program
 	ctl  ControlPlane
+	be   Backend
 }
 
 // Record types (top 4 bits of the label).
@@ -59,8 +60,8 @@ func decRec(label uint32) (typ, node, port int) {
 
 // InstallSnapshot compiles and installs the snapshot service, reporting
 // to the controller channel.
-func InstallSnapshot(c ControlPlane, g *topo.Graph, slot int) (*Snapshot, error) {
-	return installSnapshot(c, g, slot, openflow.PortController)
+func InstallSnapshot(c ControlPlane, g *topo.Graph, slot int, opts ...InstallOption) (*Snapshot, error) {
+	return installSnapshot(c, g, slot, openflow.PortController, opts)
 }
 
 // InstallSnapshotLocal is InstallSnapshot with the completion report
@@ -69,14 +70,15 @@ func InstallSnapshot(c ControlPlane, g *topo.Graph, slot int) (*Snapshot, error)
 // in-band to any server connected to the first node of the traversal,
 // thereby allowing complete in-band monitoring". Capture the report via
 // Network.OnSelf and decode its labels with DecodeRecords.
-func InstallSnapshotLocal(c ControlPlane, g *topo.Graph, slot int) (*Snapshot, error) {
-	return installSnapshot(c, g, slot, openflow.PortSelf)
+func InstallSnapshotLocal(c ControlPlane, g *topo.Graph, slot int, opts ...InstallOption) (*Snapshot, error) {
+	return installSnapshot(c, g, slot, openflow.PortSelf, opts)
 }
 
-func installSnapshot(c ControlPlane, g *topo.Graph, slot, reportPort int) (*Snapshot, error) {
-	l := NewLayout(g)
+func installSnapshot(c ControlPlane, g *topo.Graph, slot, reportPort int, opts []InstallOption) (*Snapshot, error) {
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	t0, tFin, gb := Slot(slot)
-	s := &Snapshot{G: g, L: l, ctl: c}
+	s := &Snapshot{G: g, L: l, ctl: c, be: cfg.Backend}
 	s.Tmpl = &Template{
 		G: g, L: l, Eth: EthSnapshot, T0: t0, TFin: tFin, GroupBase: gb,
 		Hooks: Hooks{
@@ -109,7 +111,7 @@ func installSnapshot(c ControlPlane, g *topo.Graph, slot, reportPort int) (*Snap
 		},
 	}
 	p := newProgram("snapshot", slot, g, l)
-	if err := s.Tmpl.Compile(p); err != nil {
+	if err := cfg.Backend.Lower(s.Tmpl, p); err != nil {
 		return nil, err
 	}
 	if err := installProgram(c, p); err != nil {
@@ -122,6 +124,7 @@ func installSnapshot(c ControlPlane, g *topo.Graph, slot, reportPort int) (*Snap
 // Trigger requests a snapshot by injecting the trigger packet at switch
 // root — the single O(1) out-of-band request message of Table 2.
 func (s *Snapshot) Trigger(root int, at network.Time) {
+	resetStateful(s.ctl, s.be, s.Prog)
 	s.ctl.PacketOut(root, openflow.PortController, s.L.NewPacket(s.Tmpl.Eth), at)
 }
 

@@ -42,20 +42,28 @@ type SnapshotSplit struct {
 	Budget int
 	FCnt   openflow.Field
 	FOut   openflow.Field
+	FUp    openflow.Field // stateful backend only: 1 = parent return
 	ctl    ControlPlane
+	be     Backend
 }
 
 // InstallSnapshotSplit compiles and installs the splitting snapshot with
 // the given per-fragment record budget (>= 4).
-func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*SnapshotSplit, error) {
+func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int, opts ...InstallOption) (*SnapshotSplit, error) {
 	if budget < 4 {
 		return nil, fmt.Errorf("core: snapshot budget must be >= 4, got %d", budget)
 	}
-	l := NewLayout(g)
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	s := &SnapshotSplit{
-		G: g, L: l, ctl: c, Budget: budget,
+		G: g, L: l, ctl: c, Budget: budget, be: cfg.Backend,
 		FCnt: l.Alloc("rec_cnt", openflow.BitsFor(uint64(budget+2))),
 		FOut: l.Alloc("out_port", openflow.BitsFor(uint64(g.MaxDegree()))),
+	}
+	if cfg.Backend.Stateful() {
+		// The finish-table up-k rules cannot read the parent out of switch
+		// state, so the lowering flags parent returns in a packet bit.
+		s.FUp = l.Alloc("up", 1)
 	}
 	t0, tFin, gb := Slot(slot)
 
@@ -87,7 +95,7 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 	s.Tmpl = &Template{
 		G: g, L: l, Eth: EthSnapSplit, T0: t0, TFin: tFin, GroupBase: gb,
 		Hooks: Hooks{
-			DeferOutput: true, OutField: s.FOut,
+			DeferOutput: true, OutField: s.FOut, UpField: s.FUp,
 			RootStart: func(node int) []openflow.Action {
 				return []openflow.Action{
 					openflow.PushLabel{Value: encRec(recNode, node, 0)},
@@ -122,17 +130,17 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 		},
 	}
 	p := newProgram("snapsplit", slot, g, l)
-	if err := s.Tmpl.Compile(p); err != nil {
+	if err := cfg.Backend.Lower(s.Tmpl, p); err != nil {
 		return nil, err
 	}
 
 	// Deferred-output decision table: parent returns (out_port equals the
-	// packet's parent field) push an UP record (safe site), everything
-	// else is an advance pushing an OUT record (never flushed).
+	// packet's parent field under OF13, the up flag under the stateful
+	// backend) push an UP record (safe site), everything else is an
+	// advance pushing an OUT record (never flushed).
 	eth := openflow.MatchEth(EthSnapSplit)
 	for i := 0; i < g.NumNodes(); i++ {
 		d := g.Degree(i)
-		P := l.Par[i]
 		for k := 1; k <= d; k++ {
 			for x := 0; x <= budget+1; x++ {
 				// Parent return: push UP, maybe flush, then forward.
@@ -148,11 +156,16 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 					acts = append(acts, openflow.SetField{F: s.FCnt, Value: uint64(x + 1)})
 				}
 				acts = append(acts, openflow.Output{Port: k})
+				upMatch := eth.WithField(s.FOut, uint64(k))
+				if cfg.Backend.Stateful() {
+					upMatch = upMatch.WithField(s.FUp, 1)
+				} else {
+					upMatch = upMatch.WithField(l.Par[i], uint64(k))
+				}
 				p.AddFlow(i, tFin, &openflow.FlowEntry{
 					Priority: PrioFinish + 60,
-					Match: eth.WithField(s.FOut, uint64(k)).WithField(P, uint64(k)).
-						WithField(s.FCnt, uint64(x)),
-					Actions: acts, Goto: openflow.NoGoto,
+					Match:    upMatch.WithField(s.FCnt, uint64(x)),
+					Actions:  acts, Goto: openflow.NoGoto,
 					Cookie: fmt.Sprintf("snapsplit/n%d/up-k%d-x%d", i, k, x),
 				})
 
@@ -180,6 +193,7 @@ func InstallSnapshotSplit(c ControlPlane, g *topo.Graph, slot, budget int) (*Sna
 
 // Trigger requests a split snapshot starting at switch root.
 func (s *SnapshotSplit) Trigger(root int, at network.Time) {
+	resetStateful(s.ctl, s.be, s.Prog)
 	s.ctl.PacketOut(root, openflow.PortController, s.L.NewPacket(s.Tmpl.Eth), at)
 }
 

@@ -51,12 +51,32 @@ func NewLayout(g *topo.Graph) *Layout {
 	return l
 }
 
+// NewStatefulLayout builds the layout the stateful backend uses: only the
+// global start field is carried in the packet — the per-node parent and
+// current-port values of Algorithm 1 live in switch state tables, so Par
+// and Cur stay nil. This is the Table-2 tag-bit collapse: O(n log n)
+// packet bits become O(1).
+func NewStatefulLayout(g *topo.Graph) *Layout {
+	l := &Layout{G: g}
+	l.Start = l.Alloc("start", 2)
+	return l
+}
+
+// Stateful reports whether this layout keeps the DFS position in switch
+// state rather than in packet tag bits.
+func (l *Layout) Stateful() bool { return l.Par == nil }
+
 // NewStage allocates an additional, independent set of DFS state fields
 // (a start field plus per-node par/cur), so multi-stage services like
 // chaincast can run several traversals over one packet without the stages
-// trampling each other's state.
+// trampling each other's state. On a stateful layout only the stage start
+// field is allocated — each stage owns its own state tables, so no
+// per-node packet bits are needed.
 func (l *Layout) NewStage(tag string) (start openflow.Field, par, cur []openflow.Field) {
 	start = l.Alloc(tag+".start", 2)
+	if l.Stateful() {
+		return start, nil, nil
+	}
 	n := l.G.NumNodes()
 	par = make([]openflow.Field, n)
 	cur = make([]openflow.Field, n)

@@ -95,6 +95,13 @@ type Hooks struct {
 	// root's finish sets OutField to 0. Bounce rules still emit directly.
 	DeferOutput bool
 	OutField    openflow.Field
+	// UpField, when valid under the stateful backend, is a 1-bit packet
+	// field the lowering sets to 1 on parent-return advances and 0 on
+	// child advances. DeferOutput services whose finish-table rules need
+	// to tell the two apart use it: under OF13 they match the packet's
+	// par field against OutField, but the stateful backend keeps par in
+	// switch state where a finish-table flow rule cannot see it.
+	UpField openflow.Field
 
 	// Uniform declares that every hook's output depends only on the node's
 	// degree and the port/state arguments — never on the node id itself

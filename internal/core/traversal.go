@@ -35,20 +35,22 @@ type Traversal struct {
 	Tmpl *Template
 	Prog *Program
 	ctl  ControlPlane
+	be   Backend
 }
 
 // InstallTraversal compiles the bare template at the given service slot
 // into a program, statically checks it, and installs it.
-func InstallTraversal(c ControlPlane, g *topo.Graph, slot int) (*Traversal, error) {
-	l := NewLayout(g)
+func InstallTraversal(c ControlPlane, g *topo.Graph, slot int, opts ...InstallOption) (*Traversal, error) {
+	cfg := resolveInstall(opts)
+	l := cfg.Backend.NewLayout(g)
 	t0, tFin, gb := Slot(slot)
-	tr := &Traversal{G: g, L: l, ctl: c}
+	tr := &Traversal{G: g, L: l, ctl: c, be: cfg.Backend}
 	tr.Tmpl = &Template{
 		G: g, L: l, Eth: EthTraversal, T0: t0, TFin: tFin, GroupBase: gb,
 		Hooks: Hooks{Finish: finishToController, Uniform: true},
 	}
 	p := newProgram("traversal", slot, g, l)
-	if err := tr.Tmpl.Compile(p); err != nil {
+	if err := cfg.Backend.Lower(tr.Tmpl, p); err != nil {
 		return nil, err
 	}
 	if err := installProgram(c, p); err != nil {
@@ -61,6 +63,7 @@ func InstallTraversal(c ControlPlane, g *topo.Graph, slot int) (*Traversal, erro
 // Trigger injects the trigger packet at switch root (one out-of-band
 // message). The traversal starts there.
 func (tr *Traversal) Trigger(root int, at network.Time) {
+	resetStateful(tr.ctl, tr.be, tr.Prog)
 	pkt := tr.L.NewPacket(tr.Tmpl.Eth)
 	tr.ctl.PacketOut(root, openflow.PortController, pkt, at)
 }

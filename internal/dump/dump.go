@@ -100,8 +100,11 @@ func Program(p *openflow.Program) string {
 func ProgramSummary(ps []*openflow.Program) string {
 	var b strings.Builder
 	for _, p := range ps {
-		fmt.Fprintf(&b, "slot %2d %-14q %3d switches, %5d flows, %4d groups, %7d bytes\n",
-			p.Slot, p.Service, len(p.SwitchIDs()), p.FlowCount(), p.GroupCount(), p.Bytes())
+		fmt.Fprintf(&b, "slot %2d %-14q %3d switches, %5d flows, %4d groups,", p.Slot, p.Service, len(p.SwitchIDs()), p.FlowCount(), p.GroupCount())
+		if n := p.StateCount(); n > 0 {
+			fmt.Fprintf(&b, " %4d state entries,", n)
+		}
+		fmt.Fprintf(&b, " %7d bytes\n", p.Bytes())
 	}
 	return b.String()
 }

@@ -23,10 +23,31 @@ type programJSON struct {
 }
 
 type switchProgramJSON struct {
-	Switch   int            `json:"switch"`
-	NumPorts int            `json:"num_ports"`
-	Flows    []flowRuleJSON `json:"flows,omitempty"`
-	Groups   []groupJSON    `json:"groups,omitempty"`
+	Switch   int              `json:"switch"`
+	NumPorts int              `json:"num_ports"`
+	Flows    []flowRuleJSON   `json:"flows,omitempty"`
+	States   []stateTableJSON `json:"state_tables,omitempty"`
+	Groups   []groupJSON      `json:"groups,omitempty"`
+}
+
+// stateTableJSON carries one stateful stage: the table ID, the flow-key
+// fields, and the EFSM transition entries.
+type stateTableJSON struct {
+	Table   int              `json:"table"`
+	Key     []fieldJSON      `json:"key,omitempty"`
+	Entries []stateEntryJSON `json:"entries"`
+}
+
+type stateEntryJSON struct {
+	Priority  int          `json:"priority"`
+	AnyState  bool         `json:"any_state,omitempty"`
+	State     uint64       `json:"state,omitempty"`
+	StateMask uint64       `json:"state_mask,omitempty"`
+	Match     matchJSON    `json:"match"`
+	Actions   []actionJSON `json:"actions,omitempty"`
+	SetState  *uint64      `json:"set_state,omitempty"`
+	Goto      *int         `json:"goto,omitempty"`
+	Cookie    string       `json:"cookie,omitempty"`
 }
 
 type flowRuleJSON struct {
@@ -269,6 +290,35 @@ func encodeProgram(p *openflow.Program) (programJSON, error) {
 				Actions: acts, Goto: &gt, Cookie: e.Cookie,
 			})
 		}
+		for _, ts := range sp.States {
+			tj := stateTableJSON{Table: ts.Table}
+			for _, kf := range ts.Key {
+				tj.Key = append(tj.Key, encodeField(kf))
+			}
+			for _, e := range ts.Entries {
+				acts, err := encodeActions(e.Actions)
+				if err != nil {
+					return programJSON{}, err
+				}
+				fields := make([]fieldMatchJSON, 0, len(e.Match.Fields))
+				for _, fm := range e.Match.Fields {
+					fields = append(fields, fieldMatchJSON{
+						Field: encodeField(fm.F), Value: fm.Value, Mask: fm.Mask,
+					})
+				}
+				gt := e.Goto
+				tj.Entries = append(tj.Entries, stateEntryJSON{
+					Priority: e.Priority, AnyState: e.AnyState,
+					State: e.State, StateMask: e.StateMask,
+					Match: matchJSON{
+						InPort: e.Match.InPort, EthType: e.Match.EthType,
+						TTL: e.Match.TTL, Fields: fields,
+					},
+					Actions: acts, SetState: e.SetState, Goto: &gt, Cookie: e.Cookie,
+				})
+			}
+			spj.States = append(spj.States, tj)
+		}
 		for _, g := range sp.Groups {
 			gj := groupJSON{ID: g.ID, Type: groupTypeName(g.Type)}
 			for _, b := range g.Buckets {
@@ -315,6 +365,43 @@ func decodeProgram(pj programJSON) (*openflow.Program, error) {
 				Priority: frj.Priority, Match: m, Actions: acts,
 				Goto: gt, Cookie: frj.Cookie,
 			})
+		}
+		for _, tj := range spj.States {
+			var key []openflow.Field
+			for _, kf := range tj.Key {
+				key = append(key, decodeField(kf))
+			}
+			if key != nil {
+				p.SetStateKey(spj.Switch, tj.Table, key)
+			}
+			for _, ej := range tj.Entries {
+				acts, err := decodeActions(ej.Actions)
+				if err != nil {
+					return nil, fmt.Errorf("switch %d state table %d: %w", spj.Switch, tj.Table, err)
+				}
+				m := openflow.Match{
+					InPort: ej.Match.InPort, EthType: ej.Match.EthType, TTL: ej.Match.TTL,
+				}
+				for _, fmj := range ej.Match.Fields {
+					m.Fields = append(m.Fields, openflow.FieldMatch{
+						F: decodeField(fmj.Field), Value: fmj.Value, Mask: fmj.Mask,
+					})
+				}
+				gt := openflow.NoGoto
+				if ej.Goto != nil {
+					gt = *ej.Goto
+				}
+				var set *uint64
+				if ej.SetState != nil {
+					v := *ej.SetState
+					set = &v
+				}
+				p.AddState(spj.Switch, tj.Table, &openflow.StateEntry{
+					Priority: ej.Priority, AnyState: ej.AnyState,
+					State: ej.State, StateMask: ej.StateMask,
+					Match: m, Actions: acts, SetState: set, Goto: gt, Cookie: ej.Cookie,
+				})
+			}
 		}
 		for _, gj := range spj.Groups {
 			gt, err := groupTypeFromName(gj.Type)

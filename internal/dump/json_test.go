@@ -48,6 +48,26 @@ func buildRichProgram() *openflow.Program {
 		{Actions: []openflow.Action{openflow.SetField{F: f, Value: 1}}},
 	}})
 
+	// A keyed state table: exact-state, masked-state and any-state
+	// transitions, with and without a state write.
+	three := uint64(3)
+	p.SetStateKey(0, 22, []openflow.Field{{Name: "cli", Off: 0, Bits: 9}})
+	p.AddState(0, 22, &openflow.StateEntry{
+		Priority: 30, State: 1, Match: openflow.MatchEth(0x8801),
+		Actions:  []openflow.Action{openflow.Output{Port: 1}},
+		SetState: &three, Goto: 23, Cookie: "rich/step",
+	})
+	p.AddState(0, 22, &openflow.StateEntry{
+		Priority: 20, State: 2, StateMask: 0x6, Match: openflow.MatchAll(),
+		Actions: []openflow.Action{openflow.DecTTL{}},
+		Goto:    openflow.NoGoto, Cookie: "rich/masked",
+	})
+	p.AddState(0, 22, &openflow.StateEntry{
+		Priority: 10, AnyState: true, Match: openflow.MatchAll(),
+		Actions: []openflow.Action{openflow.Output{Port: openflow.PortDrop}},
+		Goto:    openflow.NoGoto, Cookie: "rich/reset",
+	})
+
 	p.Ensure(5, 1)
 	p.AddFlow(5, 0, &openflow.FlowEntry{
 		Priority: 1, Match: openflow.MatchAll(), Goto: openflow.NoGoto,
@@ -60,6 +80,12 @@ func buildRichProgram() *openflow.Program {
 	p.AddGroup(5, &openflow.GroupEntry{ID: 44, Type: openflow.GroupIndirect, Buckets: []openflow.Bucket{
 		{Actions: []openflow.Action{openflow.Output{Port: openflow.PortSelf}}},
 	}})
+	// A keyless state table: one global cell per switch.
+	p.AddState(5, 11, &openflow.StateEntry{
+		Priority: 5, AnyState: true, Match: openflow.MatchEth(0x8802),
+		Actions: []openflow.Action{openflow.Output{Port: openflow.PortController}},
+		Goto:    openflow.NoGoto, Cookie: "rich/global",
+	})
 	return p
 }
 
@@ -99,6 +125,9 @@ func TestProgramJSONRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(sq.Groups, sp.Groups) {
 			t.Errorf("sw%d groups changed:\n  %+v\n  %+v", id, sq.Groups, sp.Groups)
+		}
+		if !reflect.DeepEqual(sq.States, sp.States) {
+			t.Errorf("sw%d state tables changed:\n  %+v\n  %+v", id, sq.States, sp.States)
 		}
 	}
 
@@ -150,6 +179,39 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 			t.Errorf("%s: decoded without error", name)
 		}
 	}
+}
+
+// FuzzProgramJSONRoundTrip checks the decode→encode pair is a
+// canonicalization fixpoint on arbitrary input: whatever the decoder
+// accepts, a second trip through it must reproduce byte-identically.
+func FuzzProgramJSONRoundTrip(f *testing.F) {
+	seed, err := MarshalProgram(buildRichProgram())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"service":"x","slot":0,"slots":1,"switches":[{"switch":0,"num_ports":1,"state_tables":[{"table":3,"entries":[{"priority":1,"any_state":true,"match":{"in_port":-1,"eth_type":-1,"ttl":-1},"set_state":7}]}]}]}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		p, err := UnmarshalProgram([]byte(raw))
+		if err != nil {
+			t.Skip()
+		}
+		enc, err := MarshalProgram(p)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		q, err := UnmarshalProgram(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, enc)
+		}
+		enc2, err := MarshalProgram(q)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("encoding is not a fixpoint:\n%s\n---\n%s", enc, enc2)
+		}
+	})
 }
 
 func TestOmittedGotoIsNoGoto(t *testing.T) {

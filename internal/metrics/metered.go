@@ -29,18 +29,6 @@ func (m *Metered) InstallProgram(p *openflow.Program) {
 	m.ControlPlane.InstallProgram(p)
 }
 
-// InstallFlow attributes a per-rule install by the table's slot.
-func (m *Metered) InstallFlow(sw, table int, e *openflow.FlowEntry) {
-	m.Reg.NoteFlowMod(core.SlotOfTable(table))
-	m.ControlPlane.InstallFlow(sw, table, e)
-}
-
-// InstallGroup attributes a group install by the group ID's slot.
-func (m *Metered) InstallGroup(sw int, g *openflow.GroupEntry) {
-	m.Reg.NoteGroupMod(core.SlotOfGroup(g.ID))
-	m.ControlPlane.InstallGroup(sw, g)
-}
-
 // PacketOut attributes a controller trigger by EtherType.
 func (m *Metered) PacketOut(sw, inPort int, pkt *openflow.Packet, at network.Time) {
 	m.Reg.NotePacketOut(at, pkt.EthType, pkt.Size())

@@ -34,6 +34,7 @@ type ServiceMetrics struct {
 	// rule messages inside them.
 	InstallTxns int `json:"installTxns"`
 	FlowMods    int `json:"flowMods"`
+	StateMods   int `json:"stateMods,omitempty"`
 	GroupMods   int `json:"groupMods"`
 
 	// Runtime control-channel cost. TriggerPackets = PacketOuts +
@@ -139,27 +140,8 @@ func (r *Registry) NoteInstall(p *openflow.Program) {
 	}
 	m.InstallTxns += len(p.SwitchIDs())
 	m.FlowMods += p.FlowCount()
+	m.StateMods += p.StateCount()
 	m.GroupMods += p.GroupCount()
-}
-
-// NoteFlowMod attributes a single-rule install (the compatibility shim).
-func (r *Registry) NoteFlowMod(slot int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m := r.bySlotLocked(slot); m != nil {
-		m.FlowMods++
-		m.InstallTxns++
-	}
-}
-
-// NoteGroupMod attributes a single group install by the group ID's slot.
-func (r *Registry) NoteGroupMod(slot int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m := r.bySlotLocked(slot); m != nil {
-		m.GroupMods++
-		m.InstallTxns++
-	}
 }
 
 // NotePacketOut attributes a controller trigger packet by EtherType.

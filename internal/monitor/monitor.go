@@ -95,15 +95,16 @@ type Monitor struct {
 }
 
 // New installs the monitoring services (two slots from slotBase; three
-// when the watchdog is enabled).
-func New(c core.ControlPlane, g *topo.Graph, slotBase, root int, watchdog bool) (*Monitor, error) {
+// when the watchdog is enabled). Install options — notably the compile
+// backend — are passed through to both services.
+func New(c core.ControlPlane, g *topo.Graph, slotBase, root int, watchdog bool, opts ...core.InstallOption) (*Monitor, error) {
 	m := &Monitor{Root: root, Watchdog: watchdog, ctl: c, g: g}
 	var err error
-	if m.snap, err = core.InstallSnapshot(c, g, slotBase); err != nil {
+	if m.snap, err = core.InstallSnapshot(c, g, slotBase, opts...); err != nil {
 		return nil, err
 	}
 	if watchdog {
-		if m.bh, err = core.InstallBlackholeCounter(c, g, slotBase+1); err != nil {
+		if m.bh, err = core.InstallBlackholeCounter(c, g, slotBase+1, opts...); err != nil {
 			return nil, err
 		}
 	}

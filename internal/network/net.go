@@ -99,6 +99,7 @@ type Network struct {
 
 	prevLookups    uint64
 	prevScanned    uint64
+	prevCommits    uint64
 	prevFlightRecs uint64
 }
 

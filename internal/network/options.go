@@ -16,6 +16,12 @@ type Config struct {
 	// (conflict, loop, blackhole) is rejected before any rule reaches a
 	// switch.
 	Analysis bool
+
+	// Backend names the compile backend services are lowered with ("of13"
+	// or "stateful"). Empty selects the deployment layer's default (the
+	// SMARTSOUTH_BACKEND environment variable, then of13). The network
+	// only transports the name; resolution lives with the deployment.
+	Backend string
 }
 
 // Option configures a deployment. Two kinds of values satisfy it: the
@@ -67,6 +73,13 @@ func WithoutTelemetry() Option {
 // histograms on.
 func WithFlightCap(n int) Option {
 	return optionFunc(func(c *Config) { c.Opts.FlightCap = n })
+}
+
+// WithBackend selects the compile backend services are lowered with:
+// "of13" (flow/group entries, the default) or "stateful" (XFSM state
+// tables). Empty defers to the SMARTSOUTH_BACKEND environment variable.
+func WithBackend(name string) Option {
+	return optionFunc(func(c *Config) { c.Backend = name })
 }
 
 // WithAnalysis gates every program installation on the network-wide

@@ -187,15 +187,17 @@ func (n *Network) Run() (int, error) {
 	simStart := n.Sim.now
 	wallStart := time.Now()
 	steps, err := n.Sim.Run()
-	var lk, sc uint64
+	var lk, sc, cm uint64
 	for _, sw := range n.switches {
 		l, s := sw.ScanStats()
 		lk += l
 		sc += s
+		cm += sw.StateTransitions()
 	}
 	st.FlowLookups += lk - n.prevLookups
 	st.FlowScanned += sc - n.prevScanned
-	n.prevLookups, n.prevScanned = lk, sc
+	st.StateCommits += cm - n.prevCommits
+	n.prevLookups, n.prevScanned, n.prevCommits = lk, sc, cm
 	if n.flight != nil {
 		// Record counts are derived from the ring's running total here,
 		// once per Run, so the record paths don't pay a counter bump.

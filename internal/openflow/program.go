@@ -11,15 +11,49 @@ type FlowRule struct {
 	Entry *FlowEntry
 }
 
-// SwitchProgram is one switch's share of a Program: every flow rule and
-// group entry the service wants on that switch. NumPorts records the
-// switch's port count so the program can be statically checked (port
-// ranges, watch ports) without touching a live switch.
+// StateTableSpec is one state table's share of a switch program: the
+// table ID, the flow-key fields and the transition entries. Key fields
+// are a per-table property (every transition of a table shares the key),
+// so they live on the spec rather than on entries.
+type StateTableSpec struct {
+	Table   int
+	Key     []Field
+	Entries []*StateEntry
+}
+
+// SwitchProgram is one switch's share of a Program: every flow rule,
+// state-table transition and group entry the service wants on that
+// switch. NumPorts records the switch's port count so the program can be
+// statically checked (port ranges, watch ports) without touching a live
+// switch.
 type SwitchProgram struct {
 	Switch   int
 	NumPorts int
 	Flows    []FlowRule
+	States   []StateTableSpec
 	Groups   []*GroupEntry
+}
+
+// StateSpec returns the spec for state table id, creating it if absent.
+func (sp *SwitchProgram) StateSpec(table int) *StateTableSpec {
+	for i := range sp.States {
+		if sp.States[i].Table == table {
+			return &sp.States[i]
+		}
+	}
+	sp.States = append(sp.States, StateTableSpec{Table: table})
+	return &sp.States[len(sp.States)-1]
+}
+
+// StateBytes sums the modelled hardware footprint of the transitions.
+func (sp *SwitchProgram) StateBytes() int {
+	n := 0
+	for _, ts := range sp.States {
+		for _, e := range ts.Entries {
+			n += e.EntryBytes()
+		}
+	}
+	return n
 }
 
 // FlowBytes sums the modelled hardware footprint of the flow rules.
@@ -53,6 +87,13 @@ func (sp *SwitchProgram) Materialize(sw *Switch) {
 		ne := *r.Entry
 		ne.Packets = 0
 		sw.AddFlow(r.Table, &ne)
+	}
+	for _, ts := range sp.States {
+		for _, e := range ts.Entries {
+			ne := *e
+			ne.Packets = 0
+			sw.AddStateEntry(ts.Table, ts.Key, &ne)
+		}
 	}
 }
 
@@ -130,6 +171,27 @@ func (p *Program) AddGroup(sw int, g *GroupEntry) {
 	sp.Groups = append(sp.Groups, g)
 }
 
+// AddState appends a transition entry to state table on switch sw.
+func (p *Program) AddState(sw, table int, e *StateEntry) {
+	sp := p.switches[sw]
+	if sp == nil {
+		panic("openflow: Program.AddState before Ensure")
+	}
+	ts := sp.StateSpec(table)
+	ts.Entries = append(ts.Entries, e)
+}
+
+// SetStateKey declares the flow-key fields of state table on switch sw.
+// Programs that omit it get a keyless table: one global state per
+// (switch, table).
+func (p *Program) SetStateKey(sw, table int, key []Field) {
+	sp := p.switches[sw]
+	if sp == nil {
+		panic("openflow: Program.SetStateKey before Ensure")
+	}
+	sp.StateSpec(table).Key = key
+}
+
 // SwitchIDs returns the switches the program touches, ascending.
 func (p *Program) SwitchIDs() []int {
 	ids := make([]int, 0, len(p.switches))
@@ -157,6 +219,35 @@ func (p *Program) GroupCount() int {
 		n += len(sp.Groups)
 	}
 	return n
+}
+
+// StateCount returns the total number of state-table transition entries
+// across all switches.
+func (p *Program) StateCount() int {
+	n := 0
+	for _, sp := range p.switches {
+		for _, ts := range sp.States {
+			n += len(ts.Entries)
+		}
+	}
+	return n
+}
+
+// StateTables returns the IDs of every state table the program populates
+// on any switch, ascending.
+func (p *Program) StateTables() []int {
+	seen := map[int]bool{}
+	for _, sp := range p.switches {
+		for _, ts := range sp.States {
+			seen[ts.Table] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // RuleHit is the live hit counter of one flow rule a program installed:
@@ -204,6 +295,18 @@ func (p *Program) HitCounters(lookup func(sw int) *Switch) ([]RuleHit, []GroupHi
 				Cookie: live.Cookie, Packets: live.Packets,
 			})
 		}
+		for _, ts := range sp.States {
+			for _, e := range ts.Entries {
+				live := sw.FindState(ts.Table, e.Cookie)
+				if live == nil {
+					continue
+				}
+				rules = append(rules, RuleHit{
+					Switch: id, Table: ts.Table, Priority: live.Priority,
+					Cookie: live.Cookie, Packets: live.Packets,
+				})
+			}
+		}
 		for _, g := range sp.Groups {
 			live := sw.GroupByID(g.ID)
 			if live == nil {
@@ -225,7 +328,7 @@ func (p *Program) HitCounters(lookup func(sw int) *Switch) ([]RuleHit, []GroupHi
 func (p *Program) Bytes() int {
 	n := 0
 	for _, sp := range p.switches {
-		n += sp.FlowBytes() + sp.GroupBytes()
+		n += sp.FlowBytes() + sp.StateBytes() + sp.GroupBytes()
 	}
 	return n
 }

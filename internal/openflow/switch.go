@@ -126,8 +126,14 @@ type Switch struct {
 	// without a map iteration; tables are created lazily and never deleted,
 	// so append-on-create keeps it exact.
 	tableList []*FlowTable
-	groups    map[uint32]*GroupEntry
-	live      []bool // index 1..NumPorts
+	// stateTables holds the stateful stages (EFSM transition tables). A
+	// table ID names either a flow table or a state table; when both exist
+	// the state table wins at execution time (and the verifier flags the
+	// overlap as a configuration error).
+	stateTables map[int]*StateTable
+	stateList   []*StateTable
+	groups      map[uint32]*GroupEntry
+	live        []bool // index 1..NumPorts
 
 	// xc is the reusable execution context for ReceiveInto. A switch
 	// processes one packet at a time (the simulator is single-threaded per
@@ -148,13 +154,14 @@ func NewSwitch(id, numPorts int) *Switch {
 		live[i] = true
 	}
 	return &Switch{
-		ID:        id,
-		NumPorts:  numPorts,
-		tables:    make(map[int]*FlowTable),
-		groups:    make(map[uint32]*GroupEntry),
-		live:      live,
-		RxPackets: make([]uint64, numPorts+1),
-		TxPackets: make([]uint64, numPorts+1),
+		ID:          id,
+		NumPorts:    numPorts,
+		tables:      make(map[int]*FlowTable),
+		stateTables: make(map[int]*StateTable),
+		groups:      make(map[uint32]*GroupEntry),
+		live:        live,
+		RxPackets:   make([]uint64, numPorts+1),
+		TxPackets:   make([]uint64, numPorts+1),
 	}
 }
 
@@ -178,11 +185,16 @@ func (sw *Switch) ScanStats() (lookups, scanned uint64) {
 		lookups += l
 		scanned += s
 	}
+	for _, t := range sw.stateList {
+		l, s := t.ScanStats()
+		lookups += l
+		scanned += s
+	}
 	return lookups, scanned
 }
 
-// TableIDs returns the IDs of all non-empty tables in ascending order,
-// without creating any (unlike Table).
+// TableIDs returns the IDs of all non-empty tables — flow and state — in
+// ascending order, without creating any (unlike Table).
 func (sw *Switch) TableIDs() []int {
 	var ids []int
 	for id, t := range sw.tables {
@@ -190,8 +202,92 @@ func (sw *Switch) TableIDs() []int {
 			ids = append(ids, id)
 		}
 	}
+	for id, t := range sw.stateTables {
+		if t.Len() > 0 {
+			if ft, ok := sw.tables[id]; !ok || ft.Len() == 0 {
+				ids = append(ids, id)
+			}
+		}
+	}
 	sort.Ints(ids)
 	return ids
+}
+
+// StateTab returns the state table with the given ID, creating an empty
+// keyless one if absent.
+func (sw *Switch) StateTab(id int) *StateTable {
+	t, ok := sw.stateTables[id]
+	if !ok {
+		t = NewStateTable(id, nil)
+		sw.stateTables[id] = t
+		sw.stateList = append(sw.stateList, t)
+	}
+	return t
+}
+
+// StateTableByID returns the state table with the given ID without
+// creating it, or nil.
+func (sw *Switch) StateTableByID(id int) *StateTable { return sw.stateTables[id] }
+
+// StateTableIDs returns the IDs of all non-empty state tables, ascending.
+func (sw *Switch) StateTableIDs() []int {
+	var ids []int
+	for id, t := range sw.stateTables {
+		if t.Len() > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// AddStateEntry installs a transition entry into state table id, setting
+// the table's flow key on first use.
+func (sw *Switch) AddStateEntry(id int, key []Field, e *StateEntry) {
+	t := sw.StateTab(id)
+	if t.Len() == 0 && len(key) > 0 {
+		t.Key = key
+	}
+	t.Add(e)
+}
+
+// FindState returns the installed transition with the given cookie in
+// state table id, or nil (the state-table counterpart of FindFlow).
+func (sw *Switch) FindState(table int, cookie string) *StateEntry {
+	t, ok := sw.stateTables[table]
+	if !ok {
+		return nil
+	}
+	return t.ByCookie(cookie)
+}
+
+// StateValue reads the current state of a flow key in state table id —
+// the OpenState state-stats request a controller issues to inspect
+// data-plane state (the TTL blackhole prober uses it under the stateful
+// backend).
+func (sw *Switch) StateValue(table int, key uint64) (uint64, bool) {
+	t, ok := sw.stateTables[table]
+	if !ok {
+		return 0, false
+	}
+	return t.State(key), true
+}
+
+// ResetStateTable clears the state store of state table id, keeping its
+// transitions. Missing tables are ignored.
+func (sw *Switch) ResetStateTable(id int) {
+	if t, ok := sw.stateTables[id]; ok {
+		t.ResetState()
+	}
+}
+
+// StateTransitions sums committed state writes across all state tables.
+func (sw *Switch) StateTransitions() uint64 {
+	var n uint64
+	for _, t := range sw.stateList {
+		n += t.Transitions
+	}
+	return n
 }
 
 // AddFlow installs a flow entry into table id.
@@ -232,12 +328,17 @@ func (sw *Switch) RemoveGroupRange(lo, hi uint32) int {
 	return removed
 }
 
-// ClearTable removes every entry of table id, returning the count.
+// ClearTable removes every entry of table id — flow entries, transition
+// entries and the state store alike — returning the count.
 func (sw *Switch) ClearTable(id int) int {
+	n := 0
 	if t, ok := sw.tables[id]; ok {
-		return t.Clear()
+		n += t.Clear()
 	}
-	return 0
+	if t, ok := sw.stateTables[id]; ok {
+		n += t.Clear()
+	}
+	return n
 }
 
 // Groups returns all installed group entries in ascending ID order.
@@ -252,6 +353,17 @@ func (sw *Switch) Groups() []*GroupEntry {
 		out[i] = sw.groups[id]
 	}
 	return out
+}
+
+// stateTable is the pipeline's hot-path accessor: the len check is one
+// field load, so a switch with no stateful stages (the of13 backend)
+// never pays the per-stage map lookup.
+func (sw *Switch) stateTable(table int) (*StateTable, bool) {
+	if len(sw.stateTables) == 0 {
+		return nil, false
+	}
+	st, ok := sw.stateTables[table]
+	return st, ok
 }
 
 // PortLive reports the liveness of a physical port. Out-of-range ports are
@@ -321,6 +433,46 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 
 	table := 0
 	for {
+		// A stateful stage claims its table ID outright: transitions are
+		// looked up against (state, packet) and a matched entry may write
+		// the flow's next state before the pipeline continues. The len
+		// guard keeps pure-of13 switches off the map-lookup path.
+		if st, ok := sw.stateTable(table); ok && st.Len() > 0 {
+			key := st.FlowKey(p)
+			se := st.Lookup(key, p)
+			if se == nil {
+				if x.sw.Tracing {
+					x.trace("state table %d: miss", table)
+				}
+				break
+			}
+			res.Matched = true
+			se.Packets++
+			res.LastCookie = se.Cookie
+			if x.sw.Tracing {
+				x.trace("state table %d: hit %q (%s)", table, se.Cookie, se.StateCond())
+			}
+			if sw.Record {
+				res.Steps = append(res.Steps, Step{
+					Table: table, Priority: se.Priority, Cookie: se.Cookie, Actions: se.Actions,
+				})
+			}
+			for _, a := range se.Actions {
+				a.Apply(x, p)
+			}
+			st.Commit(key, se)
+			if se.Goto == NoGoto {
+				break
+			}
+			if se.Goto <= table {
+				if x.sw.Tracing {
+					x.trace("state table %d: illegal backward goto %d, stop", table, se.Goto)
+				}
+				break
+			}
+			table = se.Goto
+			continue
+		}
 		t := sw.tables[table]
 		if t == nil {
 			if x.sw.Tracing {
@@ -400,15 +552,28 @@ func (sw *Switch) FlowEntryCount() int {
 	return n
 }
 
+// StateEntryCount returns the total number of transition entries
+// installed across state tables.
+func (sw *Switch) StateEntryCount() int {
+	n := 0
+	for _, t := range sw.stateTables {
+		n += t.Len()
+	}
+	return n
+}
+
 // GroupCount returns the number of group entries installed.
 func (sw *Switch) GroupCount() int { return len(sw.groups) }
 
 // ConfigBytes estimates the total hardware footprint of the installed
-// configuration (flow entries + group entries), for the rule-space
+// configuration (flow, state and group entries), for the rule-space
 // experiment.
 func (sw *Switch) ConfigBytes() int {
 	n := 0
 	for _, t := range sw.tables {
+		n += t.Bytes()
+	}
+	for _, t := range sw.stateTables {
 		n += t.Bytes()
 	}
 	for _, g := range sw.groups {

@@ -199,6 +199,14 @@ func (f *Fabric) Err() error {
 // FlowMods/GroupMods keep counting logical rules; InstallMsgs counts the
 // messages actually written, which is where batching shows.
 func (f *Fabric) InstallProgram(p *openflow.Program) {
+	if p.StateCount() > 0 {
+		// Binary OpenFlow 1.3 has no state-table messages; programs from
+		// the stateful backend cannot cross this wire. The deployment
+		// layer refuses the combination up front, so reaching this is a
+		// programming error worth surfacing.
+		f.fail(fmt.Errorf("remote: program %q contains %d state-table transitions, which OpenFlow 1.3 cannot carry", p.Service, p.StateCount()))
+		return
+	}
 	for _, id := range p.SwitchIDs() {
 		sp := p.At(id)
 		msgs, err := f.clients[id].InstallBatch(sp.Flows, sp.Groups)
@@ -263,6 +271,14 @@ func (f *Fabric) InstallGroup(sw int, g *openflow.GroupEntry) {
 		f.fail(err)
 	}
 }
+
+// ResetState is a no-op: an OpenFlow 1.3 fabric has no state tables to
+// reset (stateful programs are rejected at install time).
+func (f *Fabric) ResetState(tables ...int) {}
+
+// ReadState reports "no such state table": OpenFlow 1.3 has no
+// state-stats request.
+func (f *Fabric) ReadState(sw, table int, key uint64) (uint64, bool) { return 0, false }
 
 // PacketOut sends a wire PACKET_OUT; the agent's inject callback queues it
 // for the simulator with the requested activation time (matched FIFO per

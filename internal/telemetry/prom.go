@@ -54,6 +54,7 @@ func (m *Metrics) WriteProm(w io.Writer) {
 
 	promCounter(w, "smartsouth_flowtable_lookups_total", "FlowTable lookups", m.FlowLookups.Load())
 	promCounter(w, "smartsouth_flowtable_entries_scanned_total", "flow entries probed across all lookups", m.FlowScanned.Load())
+	promCounter(w, "smartsouth_state_commits_total", "committed state-table writes (stateful-backend EFSM transitions)", m.StateCommits.Load())
 	if lk := m.FlowLookups.Load(); lk > 0 {
 		promGauge(w, "smartsouth_flowtable_fanout", "mean entries probed per lookup (dispatch-index fan-out)",
 			float64(m.FlowScanned.Load())/float64(lk))
@@ -132,9 +133,10 @@ type Snapshot struct {
 	PoolMisses  int64   `json:"poolMisses"`
 	PoolHitRate float64 `json:"poolHitRate"`
 
-	FlowLookups int64   `json:"flowLookups"`
-	FlowScanned int64   `json:"flowScanned"`
-	FlowFanout  float64 `json:"flowFanout"`
+	FlowLookups  int64   `json:"flowLookups"`
+	FlowScanned  int64   `json:"flowScanned"`
+	FlowFanout   float64 `json:"flowFanout"`
+	StateCommits int64   `json:"stateCommits"`
 
 	SweepRuns    int64   `json:"sweepRuns"`
 	SweepJobs    int64   `json:"sweepJobs"`
@@ -163,7 +165,8 @@ func (m *Metrics) Snap() Snapshot {
 		PacketIns: m.PacketIns.Load(), SelfDeliver: m.SelfDeliver.Load(),
 		PoolGets: m.PoolGets.Load(), PoolMisses: m.PoolMisses.Load(), PoolHitRate: m.PoolHitRate(),
 		FlowLookups: m.FlowLookups.Load(), FlowScanned: m.FlowScanned.Load(),
-		SweepRuns: m.SweepRuns.Load(), SweepJobs: m.SweepJobs.Load(),
+		StateCommits: m.StateCommits.Load(),
+		SweepRuns:    m.SweepRuns.Load(), SweepJobs: m.SweepJobs.Load(),
 		SweepBusyNs: m.SweepBusyNs.Load(), SweepWallNs: m.SweepWallNs.Load(),
 		MonitorRounds: m.MonitorRounds.Load(), MonitorWatchdog: m.MonitorWatchdog.Load(),
 		MonitorEvents: m.MonitorEvents.Load(), MonitorBlackholes: m.MonitorBlackholes.Load(),

@@ -53,6 +53,10 @@ type Metrics struct {
 	FlowLookups Counter
 	FlowScanned Counter
 
+	// StateCommits counts committed state-table writes — the stateful
+	// backend's wire-speed EFSM transitions. Zero under the of13 backend.
+	StateCommits Counter
+
 	// Parallel sweep runner.
 	SweepRuns    Counter                       // Sweep invocations
 	SweepJobs    Counter                       // jobs completed
@@ -124,9 +128,10 @@ type SimLocal struct {
 	PacketIns   uint64
 	SelfDeliver uint64
 
-	PoolGets    uint64
-	FlowLookups uint64
-	FlowScanned uint64
+	PoolGets     uint64
+	FlowLookups  uint64
+	FlowScanned  uint64
+	StateCommits uint64
 
 	FlightRecords uint64
 }
@@ -167,6 +172,7 @@ func (s *SimLocal) FlushTo(m *Metrics, simNs, wallNs int64, err bool) {
 	flush(&m.PoolGets, &s.PoolGets)
 	flush(&m.FlowLookups, &s.FlowLookups)
 	flush(&m.FlowScanned, &s.FlowScanned)
+	flush(&m.StateCommits, &s.StateCommits)
 	flush(&m.FlightRecords, &s.FlightRecords)
 
 	m.Runs.Inc()

@@ -142,6 +142,16 @@ func (v *verifier) tables() {
 		present[id] = true
 	}
 	for _, id := range ids {
+		st := v.sw.StateTableByID(id)
+		if st != nil && st.Len() > 0 {
+			// A state table claims its ID at execution time; flow entries
+			// sharing it are unreachable.
+			if t := v.sw.Table(id); t.Len() > 0 {
+				v.add(Err, id, "", "table %d holds both %d flow entries and %d state transitions; the flow entries are unreachable", id, t.Len(), st.Len())
+			}
+			v.stateTable(id, st)
+			continue
+		}
 		for _, e := range v.sw.Table(id).Entries() {
 			if e.Goto != openflow.NoGoto {
 				if e.Goto <= id {
@@ -152,6 +162,49 @@ func (v *verifier) tables() {
 			}
 			v.actions(id, e.Cookie, e.Actions)
 			v.fields(id, e.Cookie, e.Match.Fields)
+		}
+	}
+}
+
+// stateTable checks one stateful stage: goto discipline, actions and
+// field bounds of every transition, key-field bounds, and state-write
+// reachability (a transition writing a state no entry can ever match is
+// a likely encoding bug).
+func (v *verifier) stateTable(id int, st *openflow.StateTable) {
+	ids := v.sw.TableIDs()
+	present := make(map[int]bool, len(ids))
+	for _, tid := range ids {
+		present[tid] = true
+	}
+	if v.opts.TagBytes > 0 {
+		for _, kf := range st.Key {
+			if kf.End() > v.opts.TagBytes*8 {
+				v.add(Err, id, "", "state-table key field %s exceeds tag size %dB", kf, v.opts.TagBytes)
+			}
+		}
+	}
+	matchable := func(state uint64) bool {
+		for _, e := range st.Entries() {
+			if e.AnyState ||
+				(e.StateMask != 0 && state&e.StateMask == e.State) ||
+				(e.StateMask == 0 && state == e.State) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range st.Entries() {
+		if e.Goto != openflow.NoGoto {
+			if e.Goto <= id {
+				v.add(Err, id, e.Cookie, "backward goto %d", e.Goto)
+			} else if !present[e.Goto] {
+				v.add(Warn, id, e.Cookie, "goto empty table %d (packet will be dropped)", e.Goto)
+			}
+		}
+		v.actions(id, e.Cookie, e.Actions)
+		v.fields(id, e.Cookie, e.Match.Fields)
+		if e.SetState != nil && !matchable(*e.SetState) {
+			v.add(Warn, id, e.Cookie, "writes state %d, which no transition of table %d matches", *e.SetState, id)
 		}
 	}
 }
@@ -214,6 +267,15 @@ func (v *verifier) groups() {
 			for _, a := range e.Actions {
 				if ga, ok := a.(openflow.Group); ok {
 					enqueue(ga.ID)
+				}
+			}
+		}
+		if st := v.sw.StateTableByID(id); st != nil {
+			for _, e := range st.Entries() {
+				for _, a := range e.Actions {
+					if ga, ok := a.(openflow.Group); ok {
+						enqueue(ga.ID)
+					}
 				}
 			}
 		}

@@ -15,7 +15,9 @@ func sweepMsgs(g *Graph) int { return 4*g.NumEdges() - 2*g.NumNodes() + 2 }
 // in-band count equals the paper's 4E-2n+2, and live rule-hit counters.
 func TestTraceAndMetricsOnSnapshot(t *testing.T) {
 	g := Grid(3, 3)
-	d := Deploy(g, WithTrace(4096))
+	// Pinned: the trace assertions decode of13 DFS tag bits, which the
+	// stateful backend keeps in switch state tables instead.
+	d := Deploy(g, WithTrace(4096), WithBackend("of13"))
 	snap, err := d.InstallSnapshot()
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +175,9 @@ func TestMetricsSeparateCohabitingServices(t *testing.T) {
 // TestHitCountersFollowTraffic reads per-slot hit counters directly.
 func TestHitCountersFollowTraffic(t *testing.T) {
 	g := Ring(5)
-	d := Deploy(g)
+	// Pinned: asserts group-bucket hit counters; the stateful lowering
+	// emits no advance groups.
+	d := Deploy(g, WithBackend("of13"))
 	snap, err := d.InstallSnapshot()
 	if err != nil {
 		t.Fatal(err)

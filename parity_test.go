@@ -122,8 +122,8 @@ func installCohortA(t *testing.T, d *Deployment) *Snapshot {
 // snapshot sweep on each plane and compares the observable outcome.
 func TestLocalRemoteProgramParity(t *testing.T) {
 	g := Grid(3, 3)
-	local := Deploy(g)
-	remote, err := DeployRemote(g)
+	local := Deploy(g, WithBackend("of13"))
+	remote, err := DeployRemote(g, WithBackend("of13"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +183,8 @@ func TestLocalRemoteProgramParityCohabitants(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	local := Deploy(g)
-	remote, err := DeployRemote(g)
+	local := Deploy(g, WithBackend("of13"))
+	remote, err := DeployRemote(g, WithBackend("of13"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,8 +193,8 @@ func TestLocalRemoteProgramParityCohabitants(t *testing.T) {
 	install(remote)
 	comparePrograms(t, local, remote)
 
-	lMon := Deploy(g)
-	rMon, err := DeployRemote(g)
+	lMon := Deploy(g, WithBackend("of13"))
+	rMon, err := DeployRemote(g, WithBackend("of13"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -105,6 +105,12 @@ type (
 	LoadMap = core.LoadMap
 	// PortLoad identifies a sampled port in a LoadMap report.
 	PortLoad = core.PortLoad
+	// PortKnock is the knock-sequence guard — wire-speed keyed state under
+	// the stateful backend, controller-assisted under OF13.
+	PortKnock = core.PortKnock
+	// Backend is a compile backend: a lowering of the service IR onto one
+	// data-plane primitive set (of13 flow/groups, or stateful XFSM tables).
+	Backend = core.Backend
 	// VerifyIssue is one finding of the static data-plane checker.
 	VerifyIssue = verify.Issue
 	// AnalysisFinding is one finding of the network-wide symbolic
@@ -200,6 +206,10 @@ var (
 	// WithFlightCap sizes the flight-recorder ring (0 default, negative
 	// disables the recorder).
 	WithFlightCap = network.WithFlightCap
+	// WithBackend selects the compile backend ("of13" or "stateful");
+	// empty defers to the SMARTSOUTH_BACKEND environment variable, then
+	// of13. Every installer of the deployment lowers through it.
+	WithBackend = network.WithBackend
 	// WithAnalysis gates every install on the network-wide symbolic
 	// analysis: a service whose composition with the already-installed
 	// services produces an error-severity finding (cross-service
@@ -248,13 +258,26 @@ type Deployment struct {
 
 	reg   *metrics.Registry
 	slots *core.SlotAllocator
+	be    core.Backend
 }
 
-// RemoteDeployment is the remote-control-plane deployment.
-//
-// Deprecated: local and remote deployments share the Deployment type
-// since the unified Deploy API; the alias keeps old code compiling.
-type RemoteDeployment = Deployment
+// BackendName returns the compile backend this deployment lowers services
+// with ("of13" or "stateful").
+func (d *Deployment) BackendName() string { return d.be.Name() }
+
+// resolveBackend maps a deployment's configured backend name to the core
+// backend: the explicit WithBackend option wins, then the
+// SMARTSOUTH_BACKEND environment variable, then of13.
+func resolveBackend(cfg network.Config) (core.Backend, error) {
+	name := cfg.Backend
+	if name == "" {
+		name = os.Getenv("SMARTSOUTH_BACKEND")
+	}
+	if name == "" {
+		return core.OF13, nil
+	}
+	return core.BackendByName(name)
+}
 
 func newDeployment(g *Graph, cfg network.Config) *Deployment {
 	net := network.New(g, cfg.Opts)
@@ -320,10 +343,18 @@ func (d *Deployment) Analyze() []AnalysisFinding {
 	return analysis.CheckDeployment(d.CP.Programs(), d.Graph, d.analysisOptions())
 }
 
-// Deploy builds the network and attaches the local controller.
+// Deploy builds the network and attaches the local controller. The
+// compile backend comes from WithBackend, then the SMARTSOUTH_BACKEND
+// environment variable, then of13; an unknown name panics (Deploy has no
+// error path, and a misconfigured backend must not silently fall back).
 func Deploy(g *Graph, opts ...Option) *Deployment {
 	cfg := network.Resolve(opts...)
+	be, err := resolveBackend(cfg)
+	if err != nil {
+		panic("smartsouth: " + err.Error())
+	}
 	d := newDeployment(g, cfg)
+	d.be = be
 	d.Ctl = controller.New(d.Net)
 	d.CP = metrics.Meter(d.Ctl, d.reg)
 	if cfg.Analysis {
@@ -341,7 +372,15 @@ func Deploy(g *Graph, opts ...Option) *Deployment {
 // local one.
 func DeployRemote(g *Graph, opts ...Option) (*Deployment, error) {
 	cfg := network.Resolve(opts...)
+	be, err := resolveBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if be.Stateful() {
+		return nil, fmt.Errorf("smartsouth: the stateful backend compiles to state tables, which the OpenFlow 1.3 wire protocol cannot carry; use the local control plane or the of13 backend")
+	}
 	d := newDeployment(g, cfg)
+	d.be = be
 	f, err := remote.New(d.Net)
 	if err != nil {
 		return nil, err
@@ -395,14 +434,25 @@ func (d *Deployment) Slot() int { return d.slots.Next() }
 // when the inner layout is not exposed (monitor); events are then labeled
 // but not decoded.
 func (d *Deployment) observe(m *metrics.ServiceMetrics, l *core.Layout) {
+	// Under the stateful backend the packet carries only the start field —
+	// par/cur live in switch state tables, so there is nothing more to
+	// decode from the tag.
+	stateful := l != nil && l.Stateful()
 	if l != nil {
 		// The flight recorder decodes the same DFS state, so a post-mortem
 		// JSONL dump replays the traversal's start/par/cur at every hop.
+		names := [3]string{"start", "par", "cur"}
+		flightFields := func(sw int) [3]openflow.Field {
+			return [3]openflow.Field{l.Start, l.Par[sw], l.Cur[sw]}
+		}
+		if stateful {
+			names = [3]string{"start", "", ""}
+			flightFields = func(sw int) [3]openflow.Field {
+				return [3]openflow.Field{l.Start}
+			}
+		}
 		for _, eth := range m.EtherTypes {
-			d.Net.RegisterFlightTags(eth, [3]string{"start", "par", "cur"},
-				func(sw int) [3]openflow.Field {
-					return [3]openflow.Field{l.Start, l.Par[sw], l.Cur[sw]}
-				})
+			d.Net.RegisterFlightTags(eth, names, flightFields)
 		}
 	}
 	if d.Trace == nil {
@@ -412,6 +462,11 @@ func (d *Deployment) observe(m *metrics.ServiceMetrics, l *core.Layout) {
 	if l != nil {
 		fields = func(sw int) []openflow.Field {
 			return []openflow.Field{l.Start, l.Par[sw], l.Cur[sw]}
+		}
+		if stateful {
+			fields = func(sw int) []openflow.Field {
+				return []openflow.Field{l.Start}
+			}
 		}
 	}
 	for _, eth := range m.EtherTypes {
@@ -423,7 +478,7 @@ func (d *Deployment) observe(m *metrics.ServiceMetrics, l *core.Layout) {
 func (d *Deployment) InstallTraversal() (*Traversal, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("traversal", slot, 1, core.EthTraversal)
-	tr, err := core.InstallTraversal(d.CP, d.Graph, slot)
+	tr, err := core.InstallTraversal(d.CP, d.Graph, slot, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -435,7 +490,7 @@ func (d *Deployment) InstallTraversal() (*Traversal, error) {
 func (d *Deployment) InstallSnapshot() (*Snapshot, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("snapshot", slot, 1, core.EthSnapshot)
-	snap, err := core.InstallSnapshot(d.CP, d.Graph, slot)
+	snap, err := core.InstallSnapshot(d.CP, d.Graph, slot, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +503,7 @@ func (d *Deployment) InstallSnapshot() (*Snapshot, error) {
 func (d *Deployment) InstallSnapshotSplit(budget int) (*SnapshotSplit, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("snapsplit", slot, 1, core.EthSnapSplit)
-	ss, err := core.InstallSnapshotSplit(d.CP, d.Graph, slot, budget)
+	ss, err := core.InstallSnapshotSplit(d.CP, d.Graph, slot, budget, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -461,7 +516,7 @@ func (d *Deployment) InstallSnapshotSplit(budget int) (*SnapshotSplit, error) {
 func (d *Deployment) InstallAnycast(groups map[uint32][]int) (*Anycast, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("anycast", slot, 1, core.EthAnycast)
-	ac, err := core.InstallAnycast(d.CP, d.Graph, slot, groups)
+	ac, err := core.InstallAnycast(d.CP, d.Graph, slot, groups, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -473,7 +528,7 @@ func (d *Deployment) InstallAnycast(groups map[uint32][]int) (*Anycast, error) {
 func (d *Deployment) InstallPriocast(groups map[uint32][]PrioMember) (*Priocast, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("priocast", slot, 1, core.EthPriocast)
-	pc, err := core.InstallPriocast(d.CP, d.Graph, slot, groups)
+	pc, err := core.InstallPriocast(d.CP, d.Graph, slot, groups, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -485,7 +540,7 @@ func (d *Deployment) InstallPriocast(groups map[uint32][]PrioMember) (*Priocast,
 func (d *Deployment) InstallBlackholeTTL() (*BlackholeTTL, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("blackhole-ttl", slot, 1, core.EthBlackhole)
-	bh, err := core.InstallBlackholeTTL(d.CP, d.Graph, slot)
+	bh, err := core.InstallBlackholeTTL(d.CP, d.Graph, slot, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +552,7 @@ func (d *Deployment) InstallBlackholeTTL() (*BlackholeTTL, error) {
 func (d *Deployment) InstallBlackholeCounter() (*BlackholeCounter, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("blackhole-ctr", slot, 1, core.EthBlackhole, core.EthBlackholeChk)
-	bh, err := core.InstallBlackholeCounter(d.CP, d.Graph, slot)
+	bh, err := core.InstallBlackholeCounter(d.CP, d.Graph, slot, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -510,7 +565,7 @@ func (d *Deployment) InstallBlackholeCounter() (*BlackholeCounter, error) {
 func (d *Deployment) InstallPktLoss(primes []int) (*PktLoss, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("pktloss", slot, 1, core.EthPktLoss, core.EthData)
-	pl, err := core.InstallPktLoss(d.CP, d.Graph, slot, primes)
+	pl, err := core.InstallPktLoss(d.CP, d.Graph, slot, primes, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -522,7 +577,7 @@ func (d *Deployment) InstallPktLoss(primes []int) (*PktLoss, error) {
 func (d *Deployment) InstallCritical() (*Critical, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("critical", slot, 1, core.EthCritical)
-	cr, err := core.InstallCritical(d.CP, d.Graph, slot)
+	cr, err := core.InstallCritical(d.CP, d.Graph, slot, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -535,7 +590,7 @@ func (d *Deployment) InstallCritical() (*Critical, error) {
 func (d *Deployment) InstallChaincast(chain [][]int) (*Chaincast, error) {
 	base := d.slots.Reserve(len(chain))
 	m := d.reg.Register("chaincast", base, len(chain), core.EthChaincast)
-	cc, err := core.InstallChaincast(d.CP, d.Graph, base, chain)
+	cc, err := core.InstallChaincast(d.CP, d.Graph, base, chain, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -548,12 +603,26 @@ func (d *Deployment) InstallChaincast(chain [][]int) (*Chaincast, error) {
 func (d *Deployment) InstallLoadMap() (*LoadMap, error) {
 	slot := d.slots.Next()
 	m := d.reg.Register("loadmap", slot, 1, core.EthLoadMap, core.EthData)
-	lm, err := core.InstallLoadMap(d.CP, d.Graph, slot)
+	lm, err := core.InstallLoadMap(d.CP, d.Graph, slot, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
 	d.observe(m, lm.L)
 	return lm, nil
+}
+
+// InstallPortKnock installs the knock-sequence guard at node guard with
+// the given secret code sequence. The packet tag carries only the client
+// id and knock code, so no DFS layout is registered with the observers.
+func (d *Deployment) InstallPortKnock(guard int, seq []uint32) (*PortKnock, error) {
+	slot := d.slots.Next()
+	m := d.reg.Register("portknock", slot, 1, core.EthKnock, core.EthGuarded)
+	pk, err := core.InstallPortKnock(d.CP, d.Graph, slot, guard, seq, core.WithBackend(d.be))
+	if err != nil {
+		return nil, err
+	}
+	d.observe(m, nil)
+	return pk, nil
 }
 
 // InstallMonitor installs the troubleshooting monitor (snapshot diffing
@@ -562,7 +631,7 @@ func (d *Deployment) InstallMonitor(root int, watchdog bool) (*Monitor, error) {
 	base := d.slots.Reserve(2)
 	m := d.reg.Register("monitor", base, 2,
 		core.EthSnapshot, core.EthBlackhole, core.EthBlackholeChk)
-	mon, err := monitor.New(d.CP, d.Graph, base, root, watchdog)
+	mon, err := monitor.New(d.CP, d.Graph, base, root, watchdog, core.WithBackend(d.be))
 	if err != nil {
 		return nil, err
 	}
@@ -754,6 +823,16 @@ func (d *Deployment) GroupEntries() int {
 	total := 0
 	for _, p := range d.CP.Programs() {
 		total += p.GroupCount()
+	}
+	return total
+}
+
+// StateEntries sums state-table transition entries over all retained
+// programs — zero under the of13 backend.
+func (d *Deployment) StateEntries() int {
+	total := 0
+	for _, p := range d.CP.Programs() {
+		total += p.StateCount()
 	}
 	return total
 }

@@ -101,7 +101,9 @@ func TestFacadeChaincastLoadMapAndVerify(t *testing.T) {
 
 func TestDeploymentAccounting(t *testing.T) {
 	g := Ring(6)
-	d := Deploy(g, Options{})
+	// Pinned: asserts group accounting; the stateful lowering installs
+	// state entries instead of groups (covered by backend_test.go).
+	d := Deploy(g, Options{}, WithBackend("of13"))
 	if d.FlowEntries() != 0 || d.GroupEntries() != 0 || d.ConfigBytes() != 0 {
 		t.Fatal("fresh deployment must be empty")
 	}
