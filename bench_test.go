@@ -664,8 +664,13 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("paired", func(b *testing.B) {
 		dOn := Deploy(g)
+		dNf := Deploy(g, WithFlightCap(-1))
 		dOff := Deploy(g, WithoutTelemetry())
 		snapOn, err := dOn.InstallSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapNf, err := dNf.InstallSnapshot()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -673,21 +678,26 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		var onNs, offNs int64
+		var onNs, nfNs, offNs int64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			t0 := time.Now()
 			iter(b, dOn, snapOn)
 			t1 := time.Now()
-			iter(b, dOff, snapOff)
+			iter(b, dNf, snapNf)
 			t2 := time.Now()
+			iter(b, dOff, snapOff)
+			t3 := time.Now()
 			onNs += t1.Sub(t0).Nanoseconds()
-			offNs += t2.Sub(t1).Nanoseconds()
+			nfNs += t2.Sub(t1).Nanoseconds()
+			offNs += t3.Sub(t2).Nanoseconds()
 		}
 		b.ReportMetric(float64(onNs)/float64(b.N), "on-ns/op")
+		b.ReportMetric(float64(nfNs)/float64(b.N), "noflight-ns/op")
 		b.ReportMetric(float64(offNs)/float64(b.N), "off-ns/op")
 		if offNs > 0 {
 			b.ReportMetric(float64(onNs)/float64(offNs), "on/off-ratio")
+			b.ReportMetric(float64(nfNs)/float64(offNs), "noflight/off-ratio")
 		}
 	})
 }

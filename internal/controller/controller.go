@@ -74,20 +74,36 @@ func New(net *network.Network) *Controller {
 // Inbox returns all packet-ins received so far.
 func (c *Controller) Inbox() []PacketIn { return c.inbox }
 
-// ClearInbox empties the inbox (accounting is untouched).
-func (c *Controller) ClearInbox() { c.inbox = nil }
+// ClearInbox empties the inbox and returns the packets to the packet
+// pool (accounting is untouched). Inbox packets are owned by the
+// controller: consumers decode them in place — decoding copies what it
+// keeps — so by the time the inbox is cleared no live reference remains,
+// and recycling here is what keeps a steady monitoring loop (trigger,
+// run, collect, reset) from leaking one full-trace report packet per
+// sweep.
+func (c *Controller) ClearInbox() {
+	for _, pi := range c.inbox {
+		pi.Pkt.Release()
+	}
+	c.inbox = c.inbox[:0]
+}
 
 // InstallProgram applies a compiled program, batched per switch: entries
 // and groups are cloned onto each switch (a program is a reusable compile
-// artifact) and the program is retained for declarative accounting —
-// rule-space figures are read off installed programs, not live switches.
+// artifact), the switch's dispatch matcher is recompiled — install is the
+// one seam both backends' lowerings pass through, so compiled dispatch
+// needs no per-mutator invalidation — and the program is retained for
+// declarative accounting (rule-space figures are read off installed
+// programs, not live switches).
 func (c *Controller) InstallProgram(p *openflow.Program) {
 	for _, id := range p.SwitchIDs() {
 		sp := p.At(id)
 		c.Stats.FlowMods += len(sp.Flows)
 		c.Stats.GroupMods += len(sp.Groups)
 		c.Stats.InstallMsgs++ // one batched transaction per switch
-		sp.Materialize(c.Net.Switch(id))
+		sw := c.Net.Switch(id)
+		sp.Materialize(sw)
+		sw.CompileDispatch()
 	}
 	if !p.Transient {
 		c.programs = append(c.programs, p)
@@ -205,5 +221,5 @@ func (c *Controller) ResetRuntimeStats() {
 	c.Stats.PacketOuts = 0
 	c.Stats.PacketIns = 0
 	c.Stats.OutBandBytes = 0
-	c.inbox = nil
+	c.ClearInbox()
 }

@@ -157,24 +157,37 @@ func (s *Snapshot) Collect() (*Result, error) {
 }
 
 // DecodeRecords replays a record trace into the discovered topology. The
-// requester runs this; it is ordinary (control-plane) Go code.
+// requester runs this; it is ordinary (control-plane) Go code. A trace of
+// L records describes at most L/2 edges and node ids fit in 14 bits, so
+// the decoder sizes its containers up front and keys edge dedup by the
+// packed node pair — decoding allocates a fixed handful of containers
+// however long the trace is (it runs once per monitoring round, directly
+// after every sweep).
 func DecodeRecords(labels []uint32) (*Result, error) {
-	res := &Result{Nodes: make(map[int]bool)}
-	type edgeKey struct{ a, b int }
-	seen := make(map[edgeKey]bool)
-	addEdge := func(u, pu, v, pv int) {
-		k := edgeKey{u, v}
-		if v < u {
-			k = edgeKey{v, u}
+	maxNode := 0
+	for _, lab := range labels {
+		if node := int(lab >> 14 & 0x3FFF); node > maxNode {
+			maxNode = node
 		}
-		if !seen[k] {
-			seen[k] = true
+	}
+	res := &Result{
+		Nodes: make(map[int]bool, maxNode+1),
+		Edges: make([]topo.Edge, 0, len(labels)/2),
+	}
+	seen := make(map[uint32]struct{}, len(labels)/2)
+	addEdge := func(u, pu, v, pv int) {
+		k := uint32(u)<<14 | uint32(v)
+		if v < u {
+			k = uint32(v)<<14 | uint32(u)
+		}
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
 			res.Edges = append(res.Edges, topo.Edge{U: u, PU: pu, V: v, PV: pv})
 		}
 	}
 
 	pos, lastOut := -1, 0
-	parent := make(map[int]int)
+	parent := make([]int32, maxNode+1) // 1+parent id; 0 = unknown
 	for idx, lab := range labels {
 		typ, node, port := decRec(lab)
 		switch typ {
@@ -186,7 +199,7 @@ func DecodeRecords(labels []uint32) (*Result, error) {
 				continue
 			}
 			addEdge(pos, lastOut, node, port)
-			parent[node] = pos
+			parent[node] = int32(pos) + 1
 			pos = node
 		case recOut:
 			lastOut = port
@@ -194,8 +207,11 @@ func DecodeRecords(labels []uint32) (*Result, error) {
 			res.Nodes[node] = true
 			addEdge(pos, lastOut, node, port)
 		case recUp:
-			p, ok := parent[pos]
-			if !ok {
+			p := -1
+			if pos >= 0 {
+				p = int(parent[pos]) - 1
+			}
+			if p < 0 {
 				return nil, fmt.Errorf("core: record %d: UP at root or unknown parent of %d", idx, pos)
 			}
 			pos = p

@@ -75,10 +75,17 @@ type Network struct {
 	execObs   []ExecObserver
 	hopObs    []HopObserver
 
-	// scratch is the reusable pipeline Result for this network's
-	// single-threaded event loop; its slices are reset and reused on every
-	// execution so the steady-state hop path does not allocate.
-	scratch openflow.Result
+	// Batched execution scratch for this network's single-threaded event
+	// loop: the execution context handed to ExecBatch, the packet and
+	// Result views of the current batch, the flight-recorder slots claimed
+	// for the batch, and the pre-execution observer clones. All are reset
+	// and reused on every batch so the steady-state hop path does not
+	// allocate.
+	xc       *openflow.ExecContext
+	batchIn  []*openflow.Packet
+	batchRes []openflow.Result
+	batchRec []*telemetry.FlightRecord
+	batchPre []*openflow.Packet
 
 	// Interned in-band accounting (the "in-band #msgs / size" columns of
 	// Table 2). Every transmission attempt counts (a message swallowed by
@@ -97,7 +104,8 @@ type Network struct {
 	lastDec   int
 	flight    *telemetry.Flight
 
-	prevLookups    uint64
+	prevMatcher    uint64
+	prevFallback   uint64
 	prevScanned    uint64
 	prevCommits    uint64
 	prevFlightRecs uint64
@@ -113,6 +121,7 @@ func New(g *topo.Graph, opts Options) *Network {
 		Graph:  g,
 		delay:  opts.LinkDelay,
 		ethIdx: make(map[uint16]int),
+		xc:     openflow.NewExecContext(),
 	}
 	n.Sim.net = n
 	if !opts.NoTelemetry {
@@ -290,8 +299,13 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 		res := n.switches[sw].Execute(p, actions)
 		if st := n.Sim.stats; st != nil {
 			// The clone above, Execute's internal clone, and one per
-			// emission.
-			st.PoolGets += 2 + uint64(len(res.Emissions))
+			// emission — minus the emission that took the internal clone
+			// itself when Execute reports it stolen.
+			gets := 2 + uint64(len(res.Emissions))
+			if res.StoleInput {
+				gets--
+			}
+			st.PoolGets += gets
 		}
 		for _, ob := range n.execObs {
 			ob(sw, openflow.PortController, p, &res)
@@ -301,23 +315,121 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 	})
 }
 
-// process runs the pipeline and dispatches the emissions. It reuses the
-// network's scratch Result; the simulator is single-threaded and the
-// emissions are consumed synchronously by dispatch, so nothing outlives
-// the call.
-func (n *Network) process(sw int, inPort int, pkt *openflow.Packet) {
-	n.switches[sw].ReceiveInto(pkt, inPort, &n.scratch)
-	if st := n.Sim.stats; st != nil {
-		// One entry clone plus one clone per emission (see ReceiveInto).
-		st.PoolGets += 1 + uint64(len(n.scratch.Emissions))
-		if n.flight != nil {
-			n.recordExec(sw, inPort, pkt, &n.scratch)
+// processBatch runs one batch of arrivals at a single switch through the
+// pipeline (one ExecBatch call) and dispatches each result in arrival
+// order, consuming the arrival packets: each is either forwarded onward
+// as its result's stolen emission (the unicast fast path — the packet
+// that arrived is the packet that leaves, no copy) or released here.
+// Execution mutates arrivals in place, so anything that must see
+// pre-execution state — the flight recorder's tag decode, the exec
+// observers' packet view — is captured or cloned before ExecBatch runs.
+// The emissions of each result are consumed synchronously by dispatch,
+// so nothing outlives the call.
+func (n *Network) processBatch(evs []event) {
+	swID := evs[0].sw
+	in := n.batchIn[:0]
+	for i := range evs {
+		p := evs[i].pkt
+		p.InPort = evs[i].port
+		in = append(in, p)
+	}
+	n.batchIn = in
+	for cap(n.batchRes) < len(evs) {
+		n.batchRes = append(n.batchRes[:cap(n.batchRes)], openflow.Result{})
+	}
+	res := n.batchRes[:len(evs)]
+
+	st := n.Sim.stats
+	var recs []*telemetry.FlightRecord
+	if st != nil && n.flight != nil && len(in) <= n.flight.Cap() {
+		// Claim one ring slot per arrival and decode the tag state straight
+		// into it, before execution rewrites the packets in place: the
+		// record documents the packet as it arrived. The result fields are
+		// filled in after ExecBatch — and before dispatch claims any
+		// further slots, so with the batch bounded by the ring capacity no
+		// claimed slot can be recycled while it is still pending. A batch
+		// larger than the whole ring (degenerate; the ring would retain
+		// only its tail anyway) goes unrecorded.
+		recs = n.batchRec[:0]
+		at := int64(n.Sim.now)
+		for _, p := range in {
+			r := n.flight.Slot()
+			r.At = at
+			r.Kind = telemetry.FlightExec
+			r.Sw = int16(swID)
+			r.Port = int16(p.InPort)
+			r.Eth = p.EthType
+			if d := n.decoderFor(p.EthType); d != nil {
+				r.NumTags = d.n
+				r.NameIdx = d.nameIdx
+				d.capture(swID, p.Tag, &r.Tags)
+			}
+			recs = append(recs, r)
+		}
+		n.batchRec = recs
+	}
+	if len(n.execObs) > 0 {
+		// Observers are promised the pre-execution packet; clone only in
+		// observed (traced/metered) runs so the plain hot path stays one
+		// clone cheaper.
+		pre := n.batchPre[:0]
+		for _, p := range in {
+			pre = append(pre, p.ClonePooled())
+		}
+		n.batchPre = pre
+		if st != nil {
+			st.PoolGets += uint64(len(pre))
 		}
 	}
-	for _, ob := range n.execObs {
-		ob(sw, inPort, pkt, &n.scratch)
+
+	n.switches[swID].ExecBatch(n.xc, in, res)
+
+	if recs != nil {
+		// Complete every claimed exec record before dispatching anything:
+		// dispatch records sends and deliveries, and its slot claims must
+		// come after the batch's pending fills (see the claim loop above).
+		for i := range recs {
+			r := &res[i]
+			rec := recs[i]
+			rec.Matched = r.Matched
+			n.flight.SetCookie(rec, r.LastCookie)
+			rec.Group = r.LastGroup
+			rec.Bucket = r.LastBucket
+			recs[i] = nil
+		}
 	}
-	n.dispatch(sw, &n.scratch)
+	for i := range evs {
+		r := &res[i]
+		if st != nil {
+			// One pool clone per emission, minus the emission that took
+			// the arriving packet itself (the unicast fast path; see
+			// Result.StoleInput).
+			gets := uint64(len(r.Emissions))
+			if r.StoleInput {
+				gets--
+			}
+			st.PoolGets += gets
+		}
+		for _, ob := range n.execObs {
+			ob(swID, evs[i].port, n.batchPre[i], r)
+		}
+		n.dispatch(swID, r)
+	}
+	for i := range n.batchPre {
+		n.batchPre[i].Release()
+		n.batchPre[i] = nil
+	}
+	n.batchPre = n.batchPre[:0]
+	for i := range in {
+		// The batch owns the arrivals: release each unless execution
+		// forwarded it onward as an emission, then drop the reference so
+		// the scratch does not pin it.
+		if !res[i].StoleInput {
+			in[i].Release()
+		}
+		in[i] = nil
+	}
+	n.batchIn = in[:0]
 }
 
 // dispatch routes pipeline emissions to links, the controller, or the

@@ -27,13 +27,15 @@ const (
 	// evFunc runs a generic callback (timers, scheduled link failures,
 	// explicit action-list packet-outs).
 	evFunc eventKind = iota
-	// evProcess runs the pipeline of switch sw for pkt arriving on port,
-	// then releases pkt to the packet freelist — the simulator owns every
-	// in-fabric packet between its emission and its processing.
+	// evProcess runs the pipeline of switch sw for pkt arriving on port.
+	// The simulator owns every in-fabric packet between its emission and
+	// its processing: afterwards the packet is either forwarded onward as
+	// an emission (the unicast fast path consumes the arrival in place)
+	// or released to the freelist.
 	evProcess
 	// evPacketIn delivers pkt to the network's OnPacketIn attachment (the
 	// out-of-band controller channel). The callback takes ownership; the
-	// packet is never recycled.
+	// controller recycles inbox packets when its inbox is cleared.
 	evPacketIn
 	// evSelf delivers pkt to OnSelf (the switch-local host). The callback
 	// takes ownership.
@@ -79,6 +81,10 @@ type Sim struct {
 	// miscompiled rule set that ping-pongs a packet forever surfaces as
 	// ErrEventLimit instead of a hang. Zero means the default.
 	MaxSteps int
+
+	// batch is the scratch run of same-switch, same-timestamp process
+	// events Run drains as one ExecBatch; reused across iterations.
+	batch []event
 
 	// stats is the telemetry scratchpad of this (single-goroutine) loop;
 	// nil disables recording. Plain increments here, flushed into the
@@ -213,8 +219,33 @@ func (s *Sim) Run() (int, error) {
 		case evFunc:
 			e.fn()
 		case evProcess:
-			s.net.process(e.sw, e.port, e.pkt)
-			e.pkt.Release()
+			// Drain the maximal run of process events for the same switch
+			// at the same timestamp into one batch. Pops come off in
+			// (at, seq) order, so the batch preserves schedule order; and
+			// because pipeline execution never schedules events (only
+			// dispatch does, after the batch executes), running the batch
+			// as exec-all-then-dispatch-in-order assigns exactly the same
+			// event sequence numbers as one-at-a-time processing did —
+			// batching is invisible to the determinism golden.
+			b := append(s.batch[:0], e)
+			for len(s.events) > 0 && processed+len(b) < limit {
+				nx := &s.events[0]
+				if nx.at != e.at || nx.kind != evProcess || nx.sw != e.sw {
+					break
+				}
+				b = append(b, s.pop())
+			}
+			s.batch = b
+			if st != nil && len(b) > 1 {
+				st.Events[evProcess] += uint64(len(b) - 1)
+			}
+			// processBatch releases (or forwards) the batch packets; the
+			// scratch only needs its references dropped.
+			s.net.processBatch(b)
+			for i := range b {
+				b[i] = event{}
+			}
+			processed += len(b) - 1
 		case evPacketIn:
 			if st != nil {
 				st.PacketIns++

@@ -136,41 +136,27 @@ func (n *Network) FlightNote(text string) {
 	n.flight.Record(r)
 }
 
-// recordExec writes one execution record: who ran the pipeline, on what
-// ingress, whether it matched, the last matched cookie, and the decoded
-// tag state of the packet. Strings stored are headers onto preexisting
-// constants; the record itself is a struct store into the ring.
-func (n *Network) recordExec(sw, inPort int, pkt *openflow.Packet, res *openflow.Result) {
-	r := n.flight.Slot()
-	r.At = int64(n.Sim.now)
-	r.Kind = telemetry.FlightExec
-	r.Sw = int16(sw)
-	r.Port = int16(inPort)
-	r.Eth = pkt.EthType
-	r.Matched = res.Matched
-	n.flight.SetCookie(r, res.LastCookie)
-	r.Group = res.LastGroup
-	r.Bucket = res.LastBucket
-	if d := n.decoderFor(pkt.EthType); d != nil {
-		r.NumTags = d.n
-		r.NameIdx = d.nameIdx
-		// Unrolled: d.n is at most 3 and almost always exactly 3.
-		if !d.wide {
-			e := &d.extBySw[sw]
-			if d.n > 0 {
-				r.Tags[0] = e[0].load(pkt.Tag)
-				if d.n > 1 {
-					r.Tags[1] = e[1].load(pkt.Tag)
-					if d.n > 2 {
-						r.Tags[2] = e[2].load(pkt.Tag)
-					}
+// capture decodes the registered tag fields of one packet tag area into
+// out — the pre-execution snapshot the flight record will carry. It runs
+// before ExecBatch, while the arrival still holds the state it arrived
+// with.
+func (d *flightDecoder) capture(sw int, tag []byte, out *[3]uint32) {
+	// Unrolled: d.n is at most 3 and almost always exactly 3.
+	if !d.wide {
+		e := &d.extBySw[sw]
+		if d.n > 0 {
+			out[0] = e[0].load(tag)
+			if d.n > 1 {
+				out[1] = e[1].load(tag)
+				if d.n > 2 {
+					out[2] = e[2].load(tag)
 				}
 			}
-		} else {
-			f := &d.fieldsBySw[sw]
-			for i := uint8(0); i < d.n; i++ {
-				r.Tags[i] = uint32(pkt.Load(f[i]))
-			}
+		}
+	} else {
+		f := &d.fieldsBySw[sw]
+		for i := uint8(0); i < d.n; i++ {
+			out[i] = uint32(f[i].Load(tag))
 		}
 	}
 }
@@ -187,17 +173,18 @@ func (n *Network) Run() (int, error) {
 	simStart := n.Sim.now
 	wallStart := time.Now()
 	steps, err := n.Sim.Run()
-	var lk, sc, cm uint64
+	var agg openflow.ScanStats
+	var cm uint64
 	for _, sw := range n.switches {
-		l, s := sw.ScanStats()
-		lk += l
-		sc += s
+		agg.Merge(sw.ScanStats())
 		cm += sw.StateTransitions()
 	}
-	st.FlowLookups += lk - n.prevLookups
-	st.FlowScanned += sc - n.prevScanned
+	st.MatcherLookups += agg.MatcherLookups - n.prevMatcher
+	st.FallbackLookups += agg.FallbackLookups - n.prevFallback
+	st.FlowScanned += agg.Scanned - n.prevScanned
 	st.StateCommits += cm - n.prevCommits
-	n.prevLookups, n.prevScanned, n.prevCommits = lk, sc, cm
+	n.prevMatcher, n.prevFallback = agg.MatcherLookups, agg.FallbackLookups
+	n.prevScanned, n.prevCommits = agg.Scanned, cm
 	if n.flight != nil {
 		// Record counts are derived from the ring's running total here,
 		// once per Run, so the record paths don't pay a counter bump.

@@ -5,12 +5,39 @@ import "fmt"
 // Action is one OpenFlow action. Actions run in list order ("apply
 // actions" semantics): an Output action emits a copy of the packet *as it
 // is at that point*, so later SetFields do not retroactively change what
-// was already sent.
+// was already sent. The copy is lazy — mutating actions call
+// ExecContext.materialize before touching the packet, which snapshots a
+// still-deferred emission — so an Output with no mutation after it (the
+// overwhelmingly common rule shape) never copies at all.
 type Action interface {
 	// Apply executes the action against the packet within a pipeline
 	// execution. Output-like actions record emissions on the context.
 	Apply(x *ExecContext, p *Packet)
 	String() string
+}
+
+// applyAction dispatches one action. The type switch devirtualizes the
+// compiled-program action set — a matched concrete type turns the
+// interface call into a direct, inlinable one — which the per-hop action
+// loops (flow entries and group buckets) hit a few million times per
+// sweep. Unlisted action types fall through to the interface call.
+func applyAction(x *ExecContext, a Action, p *Packet) {
+	switch t := a.(type) {
+	case Output:
+		t.Apply(x, p)
+	case Group:
+		t.Apply(x, p)
+	case PushLabel:
+		t.Apply(x, p)
+	case SetField:
+		t.Apply(x, p)
+	case PopLabel:
+		t.Apply(x, p)
+	case DecTTL:
+		t.Apply(x, p)
+	default:
+		a.Apply(x, p)
+	}
 }
 
 // Output emits the packet on a port. Physical ports are 1..NumPorts;
@@ -51,7 +78,7 @@ type SetField struct {
 	Value uint64
 }
 
-func (a SetField) Apply(x *ExecContext, p *Packet) { p.Store(a.F, a.Value) }
+func (a SetField) Apply(x *ExecContext, p *Packet) { x.materialize(); p.Store(a.F, a.Value) }
 func (a SetField) String() string                  { return fmt.Sprintf("set(%s:=%d)", a.F, a.Value) }
 
 // PushLabel pushes a constant label onto the packet's label stack
@@ -59,14 +86,14 @@ func (a SetField) String() string                  { return fmt.Sprintf("set(%s:
 // action). The snapshot service records the traversal with it.
 type PushLabel struct{ Value uint32 }
 
-func (a PushLabel) Apply(x *ExecContext, p *Packet) { p.PushLabel(a.Value) }
+func (a PushLabel) Apply(x *ExecContext, p *Packet) { x.materialize(); p.PushLabel(a.Value) }
 func (a PushLabel) String() string                  { return fmt.Sprintf("push(%#x)", a.Value) }
 
 // PopLabel pops the top label (pop-MPLS). Popping an empty stack is a
 // no-op, like popping a packet with no MPLS shim.
 type PopLabel struct{}
 
-func (a PopLabel) Apply(x *ExecContext, p *Packet) { p.PopLabel() }
+func (a PopLabel) Apply(x *ExecContext, p *Packet) { x.materialize(); p.PopLabel() }
 func (a PopLabel) String() string                  { return "pop" }
 
 // DecTTL decrements the packet TTL (OFPAT_DEC_NW_TTL). At TTL zero it is a
@@ -76,6 +103,7 @@ type DecTTL struct{}
 
 func (a DecTTL) Apply(x *ExecContext, p *Packet) {
 	if p.TTL > 0 {
+		x.materialize()
 		p.TTL--
 	}
 }

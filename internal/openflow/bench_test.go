@@ -64,35 +64,49 @@ func BenchmarkTableLookup(b *testing.B) {
 
 // BenchmarkTableLookupIndexed measures lookup with exact-EtherType rules —
 // the shape every SmartSouth-compiled rule has — against how many services
-// share the table. The (EtherType, InPort) dispatch index confines a probe
-// to the querying service's own bucket, so cost stays flat as services
-// multiply, where a flat scan would grow linearly.
+// share the table. The table is compiled, as every installed table now is:
+// the matcher keys the probe by (EtherType, InPort) and then by the
+// discriminating field value, so the worst-case in-bucket scan collapses
+// to a single candidate and cost stays flat as services multiply. The
+// /fallback arm measures the same worst case on an uncompiled table (the
+// bucket-scan path a mutated table drops back to).
 func BenchmarkTableLookupIndexed(b *testing.B) {
 	f := Field{Off: 0, Bits: 16}
 	const rulesPerService = 16
+	build := func(services int) *FlowTable {
+		t := &FlowTable{}
+		for s := 0; s < services; s++ {
+			eth := uint16(0x0900 + s)
+			for i := 0; i < rulesPerService; i++ {
+				t.Add(&FlowEntry{Priority: i,
+					Match: MatchEth(eth).WithInPort(1).WithField(f, uint64(i)),
+					Goto:  NoGoto})
+			}
+		}
+		return t
+	}
+	// Worst case within the bucket: the lowest-priority rule.
+	probe := func(b *testing.B, t *FlowTable) {
+		p := NewPacket(0x0900, 4)
+		p.InPort = 1
+		p.Store(f, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if t.Lookup(p) == nil {
+				b.Fatal("lookup failed")
+			}
+		}
+	}
 	for _, services := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("services=%d", services), func(b *testing.B) {
-			t := &FlowTable{}
-			for s := 0; s < services; s++ {
-				eth := uint16(0x0900 + s)
-				for i := 0; i < rulesPerService; i++ {
-					t.Add(&FlowEntry{Priority: i,
-						Match: MatchEth(eth).WithInPort(1).WithField(f, uint64(i)),
-						Goto:  NoGoto})
-				}
-			}
-			// Worst case within the bucket: the lowest-priority rule.
-			p := NewPacket(0x0900, 4)
-			p.InPort = 1
-			p.Store(f, 0)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if t.Lookup(p) == nil {
-					b.Fatal("lookup failed")
-				}
-			}
+			t := build(services)
+			t.Compile()
+			probe(b, t)
 		})
 	}
+	b.Run("fallback/services=64", func(b *testing.B) {
+		probe(b, build(64))
+	})
 }
 
 // BenchmarkPipeline runs a 3-table pipeline with a fast-failover group,

@@ -82,12 +82,21 @@ type FlowTable struct {
 	buckets map[ftKey][]*FlowEntry // exact-EtherType dispatch index
 	wild    []*FlowEntry           // entries with a wildcarded EtherType
 
-	// lookups / scanned count Lookup calls and entries probed across them.
-	// scanned/lookups is the real fan-out of the dispatch index — the number
-	// the index's O(1)-ish claim rests on. Plain fields: a table belongs to
+	// version counts mutations (Add/RemoveIf/Clear). The compiled matcher
+	// records the version it was built at; Lookup only trusts it while the
+	// two agree, so a mutated table transparently falls back to the bucket
+	// scan until the install path recompiles it (see matcher.go).
+	version uint64
+	m       *matcher
+
+	// mlookups / flookups / scanned count Lookup calls served by the
+	// compiled matcher, Lookup calls served by the fallback bucket scan,
+	// and entries probed across both. scanned/(mlookups+flookups) is the
+	// real fan-out of the dispatch path. Plain fields: a table belongs to
 	// one switch and one simulator goroutine, like the rest of its state.
-	lookups uint64
-	scanned uint64
+	mlookups uint64
+	flookups uint64
+	scanned  uint64
 }
 
 // keyOf classifies an entry for the dispatch index. ok is false when the
@@ -127,6 +136,7 @@ func insertOrdered(list []*FlowEntry, e *FlowEntry) []*FlowEntry {
 func (t *FlowTable) Add(e *FlowEntry) {
 	e.seq = t.seq
 	t.seq++
+	t.version++
 	i := sort.Search(len(t.entries), func(i int) bool {
 		return t.entries[i].Priority < e.Priority
 	})
@@ -177,12 +187,20 @@ func better(a, b *FlowEntry) *FlowEntry {
 	return b
 }
 
-// Lookup returns the first matching entry, or nil for a table miss. It
-// probes the (EtherType, InPort) bucket, the (EtherType, any-port) bucket
-// and the wildcard list; each is internally ordered, so the best of the
-// three first-matches is exactly the entry a full priority-ordered scan
-// would have returned. Lookup does not allocate.
+// Lookup returns the first matching entry, or nil for a table miss. A
+// table whose compiled matcher is current dispatches through the decision
+// tree; otherwise it probes the (EtherType, InPort) bucket, the
+// (EtherType, any-port) bucket and the wildcard list — each internally
+// ordered, so the best of the per-list first-matches is exactly the entry
+// a full priority-ordered scan would have returned. Lookup does not
+// allocate on either path.
 func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
+	if m := t.m; m != nil && m.version == t.version {
+		e, probed := m.lookup(p)
+		t.mlookups++
+		t.scanned += uint64(probed)
+		return e
+	}
 	var best *FlowEntry
 	probed := 0
 	if t.buckets != nil {
@@ -194,14 +212,36 @@ func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
 		best = better(best, e)
 	}
 	e, n := firstMatch(t.wild, p)
-	t.lookups++
+	t.flookups++
 	t.scanned += uint64(probed + n)
 	return better(best, e)
 }
 
-// ScanStats returns the cumulative Lookup call and entries-probed counts.
-func (t *FlowTable) ScanStats() (lookups, scanned uint64) {
-	return t.lookups, t.scanned
+// ScanStats is the cumulative dispatch accounting of a table (or, via
+// Switch.ScanStats, a whole switch): how many Lookup calls the compiled
+// matcher served, how many fell back to the linear bucket scan, and how
+// many entries were probed across both paths. Reporting the two paths
+// separately is what lets telemetry see a stale matcher bleeding lookups
+// back onto the slow path instead of silently undercounting.
+type ScanStats struct {
+	MatcherLookups  uint64
+	FallbackLookups uint64
+	Scanned         uint64
+}
+
+// Lookups returns the total Lookup calls across both dispatch paths.
+func (s ScanStats) Lookups() uint64 { return s.MatcherLookups + s.FallbackLookups }
+
+// Merge accumulates o into s.
+func (s *ScanStats) Merge(o ScanStats) {
+	s.MatcherLookups += o.MatcherLookups
+	s.FallbackLookups += o.FallbackLookups
+	s.Scanned += o.Scanned
+}
+
+// ScanStats returns the table's cumulative dispatch counters.
+func (t *FlowTable) ScanStats() ScanStats {
+	return ScanStats{MatcherLookups: t.mlookups, FallbackLookups: t.flookups, Scanned: t.scanned}
 }
 
 // ByCookie returns the first entry with exactly the given cookie, or nil.
@@ -247,6 +287,7 @@ func (t *FlowTable) RemoveIf(pred func(*FlowEntry) bool) int {
 	}
 	t.entries = kept
 	if removed > 0 {
+		t.version++
 		t.reindex()
 	}
 	return removed
@@ -276,6 +317,7 @@ func (t *FlowTable) Clear() int {
 	t.entries = nil
 	t.buckets = nil
 	t.wild = nil
+	t.version++
 	return n
 }
 

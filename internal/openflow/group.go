@@ -65,6 +65,12 @@ type GroupEntry struct {
 	// rr is the round-robin pointer of a GroupSelectRR group — switch
 	// state that survives between packets. It is the smart counter value.
 	rr int
+
+	// ffLive caches 1+index of the first live bucket of a GroupFF group,
+	// so the steady-state failover path skips the liveness scan. 0 means
+	// unknown; Switch.SetPortLive invalidates every group's cache on any
+	// liveness flip (failovers are rare, packets are not).
+	ffLive int16
 }
 
 // CounterValue exposes the round-robin pointer for tests and diagnostics.
@@ -107,59 +113,74 @@ func (g *GroupEntry) apply(x *ExecContext, p *Packet) {
 	case GroupAll:
 		for i := range g.Buckets {
 			c := p.ClonePooled()
-			if x.sw.Tracing {
+			if x.tracing {
 				x.trace("group %d bucket %d (all)", g.ID, i)
 			}
 			x.step(g, i)
 			g.Buckets[i].Packets++
 			for _, a := range g.Buckets[i].Actions {
-				a.Apply(x, c)
+				applyAction(x, a, c)
 			}
-			c.Release()
+			if x.pend > 0 && x.res.Emissions[x.pend-1].Pkt == c {
+				// The bucket clone's final emission is still deferred:
+				// hand the clone to the emission instead of snapshotting
+				// and releasing it.
+				x.pend = 0
+			} else {
+				c.Release()
+			}
 		}
 	case GroupIndirect:
 		if len(g.Buckets) > 0 {
-			if x.sw.Tracing {
+			if x.tracing {
 				x.trace("group %d bucket 0 (indirect)", g.ID)
 			}
 			x.step(g, 0)
 			g.Buckets[0].Packets++
 			for _, a := range g.Buckets[0].Actions {
-				a.Apply(x, p)
+				applyAction(x, a, p)
 			}
 		}
 	case GroupFF:
-		for i, b := range g.Buckets {
-			if b.WatchPort != WatchNone && !x.sw.PortLive(b.WatchPort) {
-				continue
+		i := int(g.ffLive) - 1
+		if i < 0 {
+			for j := range g.Buckets {
+				if w := g.Buckets[j].WatchPort; w == WatchNone || x.sw.PortLive(w) {
+					i = j
+					g.ffLive = int16(j + 1)
+					break
+				}
 			}
-			if x.sw.Tracing {
-				x.trace("group %d bucket %d (ff, watch %d)", g.ID, i, b.WatchPort)
+		}
+		if i < 0 {
+			if x.tracing {
+				x.trace("group %d: no live bucket, drop", g.ID)
 			}
-			x.step(g, i)
-			g.Buckets[i].Packets++
-			for _, a := range b.Actions {
-				a.Apply(x, p)
-			}
+			x.step(g, -1)
 			return
 		}
-		if x.sw.Tracing {
-			x.trace("group %d: no live bucket, drop", g.ID)
+		b := &g.Buckets[i]
+		if x.tracing {
+			x.trace("group %d bucket %d (ff, watch %d)", g.ID, i, b.WatchPort)
 		}
-		x.step(g, -1)
+		x.step(g, i)
+		b.Packets++
+		for _, a := range b.Actions {
+			applyAction(x, a, p)
+		}
 	case GroupSelectRR:
 		if len(g.Buckets) == 0 {
 			return
 		}
 		i := g.rr
 		g.rr = (g.rr + 1) % len(g.Buckets)
-		if x.sw.Tracing {
+		if x.tracing {
 			x.trace("group %d bucket %d (select-rr)", g.ID, i)
 		}
 		x.step(g, i)
 		g.Buckets[i].Packets++
 		for _, a := range g.Buckets[i].Actions {
-			a.Apply(x, p)
+			applyAction(x, a, p)
 		}
 	}
 }

@@ -1,0 +1,246 @@
+package openflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refLookup is the reference semantics of Lookup: first match over the
+// full entry list, which FlowTable keeps in (priority desc, insertion
+// asc) order. Every dispatch structure — bucket index and compiled
+// matcher alike — must agree with it on every packet.
+func refLookup(t *FlowTable, p *Packet) *FlowEntry {
+	for _, e := range t.entries {
+		if e.Match.Matches(p) {
+			return e
+		}
+	}
+	return nil
+}
+
+// fuzzCfg shapes one random-table population so the generator can aim at
+// specific matcher paths: small vs spilled EtherType sets, small-array vs
+// map value splits, masked criteria that are forced onto residual lists,
+// port-wildcard entries that get merged into every named port's node.
+type fuzzCfg struct {
+	name      string
+	eths      int // distinct EtherTypes in play
+	ports     int // distinct exact ingress ports in play
+	entries   int
+	values    int     // cardinality of the keyed field's values
+	pWildEth  float64 // probability an entry wildcards the EtherType
+	pWildPort float64 // probability an entry wildcards the ingress port
+	pMasked   float64 // probability a field criterion is masked
+	pTTL      float64 // probability an entry constrains the TTL
+	pField2   float64 // probability of a second field criterion
+}
+
+var fuzzCfgs = []fuzzCfg{
+	// The compiled-program shape: one service EtherType, port-keyed
+	// entries over a low-cardinality state byte → small splits.
+	{name: "compiled-shape", eths: 1, ports: 4, entries: 24, values: 5,
+		pWildPort: 0.2, pField2: 0.5},
+	// Enough distinct values to spill the split into the vals map.
+	{name: "map-split", eths: 2, ports: 3, entries: 60, values: 40,
+		pWildPort: 0.2, pField2: 0.3},
+	// Enough EtherTypes to spill the matcher's eth index into a map.
+	{name: "eth-spill", eths: smallEthMax + 8, ports: 2, entries: 120,
+		values: 4, pWildPort: 0.3, pField2: 0.3},
+	// Adversarial soup: wildcards, masks and TTL constraints everywhere,
+	// exercising the wild list, the residual lists and the residTop skip.
+	{name: "soup", eths: 3, ports: 4, entries: 80, values: 6,
+		pWildEth: 0.15, pWildPort: 0.4, pMasked: 0.3, pTTL: 0.2, pField2: 0.6},
+}
+
+var fuzzFields = []Field{
+	{Name: "S", Off: 0, Bits: 8},
+	{Name: "C", Off: 8, Bits: 6},
+	{Name: "W", Off: 14, Bits: 10},
+}
+
+func randMatch(r *rand.Rand, cfg fuzzCfg) Match {
+	m := MatchAll()
+	if r.Float64() >= cfg.pWildEth {
+		m.EthType = 0x8800 + r.Intn(cfg.eths)
+	}
+	if r.Float64() >= cfg.pWildPort {
+		m.InPort = 1 + r.Intn(cfg.ports)
+	}
+	if r.Float64() < cfg.pTTL {
+		m.TTL = r.Intn(4)
+	}
+	nf := 1
+	if r.Float64() < cfg.pField2 {
+		nf = 2
+	}
+	for i := 0; i < nf; i++ {
+		f := fuzzFields[(r.Intn(len(fuzzFields)))]
+		fm := FieldMatch{F: f, Value: uint64(r.Intn(cfg.values))}
+		if r.Float64() < cfg.pMasked {
+			fm.Mask = uint64(r.Intn(int(f.Max()))) | 1
+			fm.Value = uint64(r.Int63()) & fm.Mask
+		}
+		m.Fields = append(m.Fields, fm)
+	}
+	return m
+}
+
+func randFuzzTable(r *rand.Rand, cfg fuzzCfg) *FlowTable {
+	t := &FlowTable{ID: 0}
+	for i := 0; i < cfg.entries; i++ {
+		t.Add(&FlowEntry{
+			Priority: r.Intn(5), // deliberately collision-heavy
+			Match:    randMatch(r, cfg),
+			Cookie:   fmt.Sprintf("e%d", i),
+			Goto:     NoGoto,
+		})
+	}
+	return t
+}
+
+func randFuzzPacket(r *rand.Rand, cfg fuzzCfg) *Packet {
+	p := NewPacket(uint16(0x8800+r.Intn(cfg.eths+1)), 3)
+	p.InPort = 1 + r.Intn(cfg.ports+2) // sometimes a port no entry names
+	p.TTL = uint8(r.Intn(5))
+	r.Read(p.Tag)
+	for _, f := range fuzzFields {
+		if r.Intn(2) == 0 {
+			p.Store(f, uint64(r.Intn(cfg.values)))
+		}
+	}
+	return p
+}
+
+// TestMatcherDifferentialFuzz replays random packets through the
+// compiled matcher, the fallback bucket scan and the reference linear
+// scan on randomly generated tables, asserting all three pick the same
+// entry — including priority ties, where insertion order decides.
+func TestMatcherDifferentialFuzz(t *testing.T) {
+	for _, cfg := range fuzzCfgs {
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(0); seed < 16; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				ft := randFuzzTable(r, cfg)
+				ft.Compile()
+				if !ft.Compiled() {
+					t.Fatalf("seed %d: table not compiled", seed)
+				}
+				for i := 0; i < 500; i++ {
+					p := randFuzzPacket(r, cfg)
+					want := refLookup(ft, p)
+					if got, _ := ft.m.lookup(p); got != want {
+						t.Fatalf("seed %d pkt %d: matcher chose %v, reference %v (pkt eth=%#x in=%d ttl=%d tag=%x)",
+							seed, i, got, want, p.EthType, p.InPort, p.TTL, p.Tag)
+					}
+					if got := ft.Lookup(p); got != want {
+						t.Fatalf("seed %d pkt %d: Lookup chose %v, reference %v", seed, i, got, want)
+					}
+				}
+				// The same packets must agree on the fallback path too:
+				// bump the version so Lookup distrusts the matcher.
+				ft.version++
+				r2 := rand.New(rand.NewSource(seed + 1000))
+				for i := 0; i < 200; i++ {
+					p := randFuzzPacket(r2, cfg)
+					if got, want := ft.Lookup(p), refLookup(ft, p); got != want {
+						t.Fatalf("seed %d pkt %d: fallback chose %v, reference %v", seed, i, got, want)
+					}
+				}
+				st := ft.ScanStats()
+				if st.MatcherLookups == 0 || st.FallbackLookups == 0 {
+					t.Fatalf("seed %d: expected both dispatch paths exercised, got %+v", seed, st)
+				}
+			}
+		})
+	}
+}
+
+// TestMatcherObservesMutation pins the version-guard lifecycle: a
+// post-compile edit must immediately divert Lookup to the fallback scan
+// (which sees the edit), and the next rebuild must fold the edit into
+// the matcher.
+func TestMatcherObservesMutation(t *testing.T) {
+	ft := &FlowTable{ID: 0}
+	mk := func(prio int, cookie string) *FlowEntry {
+		m := MatchEth(0x8801)
+		m.InPort = 1
+		return &FlowEntry{Priority: prio, Match: m, Cookie: cookie, Goto: NoGoto}
+	}
+	a := mk(1, "a")
+	ft.Add(a)
+	ft.Compile()
+	p := NewPacket(0x8801, 2)
+	p.InPort = 1
+
+	if got := ft.Lookup(p); got != a {
+		t.Fatalf("compiled lookup: got %v, want a", got)
+	}
+	if st := ft.ScanStats(); st.MatcherLookups != 1 || st.FallbackLookups != 0 {
+		t.Fatalf("expected a matcher-path lookup, got %+v", st)
+	}
+
+	// Higher-priority add: the stale matcher must not serve it.
+	b := mk(2, "b")
+	ft.Add(b)
+	if ft.Compiled() {
+		t.Fatal("matcher still marked current after Add")
+	}
+	if got := ft.Lookup(p); got != b {
+		t.Fatalf("post-add fallback lookup: got %v, want b", got)
+	}
+	if st := ft.ScanStats(); st.FallbackLookups != 1 {
+		t.Fatalf("expected a fallback-path lookup, got %+v", st)
+	}
+
+	// Rebuild: the matcher must now serve the new entry.
+	ft.Compile()
+	if !ft.Compiled() {
+		t.Fatal("matcher not current after Compile")
+	}
+	if got := ft.Lookup(p); got != b {
+		t.Fatalf("recompiled lookup: got %v, want b", got)
+	}
+
+	// Removal through the same lifecycle.
+	if n := ft.RemoveByCookiePrefix("b"); n != 1 {
+		t.Fatalf("removed %d entries, want 1", n)
+	}
+	if ft.Compiled() {
+		t.Fatal("matcher still marked current after removal")
+	}
+	if got := ft.Lookup(p); got != a {
+		t.Fatalf("post-remove fallback lookup: got %v, want a", got)
+	}
+	ft.Compile()
+	if got := ft.Lookup(p); got != a {
+		t.Fatalf("recompiled post-remove lookup: got %v, want a", got)
+	}
+}
+
+// TestCompileDispatchRecompilesAllTables pins the switch-level seam the
+// install path uses: one CompileDispatch call must bring every table's
+// matcher back in sync.
+func TestCompileDispatchRecompilesAllTables(t *testing.T) {
+	sw := NewSwitch(0, 4)
+	for id := 0; id < 3; id++ {
+		m := MatchEth(uint16(0x8800 + id))
+		sw.Table(id).Add(&FlowEntry{Priority: 1, Match: m, Cookie: fmt.Sprintf("t%d", id), Goto: NoGoto})
+	}
+	sw.CompileDispatch()
+	for id := 0; id < 3; id++ {
+		if !sw.Table(id).Compiled() {
+			t.Fatalf("table %d not compiled", id)
+		}
+	}
+	sw.Table(1).Add(&FlowEntry{Priority: 2, Match: MatchEth(0x8801), Cookie: "new", Goto: NoGoto})
+	if sw.Table(1).Compiled() {
+		t.Fatal("table 1 matcher still current after mutation")
+	}
+	sw.CompileDispatch()
+	for id := 0; id < 3; id++ {
+		if !sw.Table(id).Compiled() {
+			t.Fatalf("table %d not compiled after CompileDispatch", id)
+		}
+	}
+}

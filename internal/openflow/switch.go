@@ -58,6 +58,14 @@ type Result struct {
 	LastCookie string
 	LastGroup  uint32
 	LastBucket int16
+
+	// StoleInput reports that the last emission is the input packet
+	// itself, not a clone: nothing mutated the packet after its final
+	// Output, so execution transferred ownership instead of copying — the
+	// unicast-forwarding fast path. The caller must then NOT release the
+	// input (the emission owns it); every other emission is a pooled clone
+	// as usual.
+	StoleInput bool
 }
 
 // reset clears the result for reuse, keeping the backing arrays so a
@@ -71,23 +79,64 @@ func (r *Result) reset() {
 	r.LastCookie = ""
 	r.LastGroup = 0
 	r.LastBucket = 0
+	r.StoleInput = false
 }
 
-// ExecContext threads pipeline state through action execution.
+// ExecContext threads pipeline state through action execution. One
+// context serves a whole ExecBatch call: the tracing/record flags are
+// hoisted from the switch once per batch, so the per-packet pipeline
+// tests a local flag instead of chasing the switch pointer. Contexts are
+// reusable across batches and switches; the zero value is ready to use
+// (see NewExecContext).
 type ExecContext struct {
 	sw         *Switch
 	res        *Result
 	groupDepth int
+	tracing    bool
+	record     bool
+
+	// pend is 1+index of the emission whose snapshot is deferred: the
+	// emission still references the live packet it was emitted from, and
+	// materialize() clones it only if something mutates the packet before
+	// execution ends. 0 means no deferral. This is what lets the common
+	// unicast hop — match, mutate, output, done — forward the arriving
+	// packet without copying its tag and label stack.
+	pend int
 }
 
+// NewExecContext returns a reusable execution context for ExecBatch. The
+// simulator owns one per event loop; tests that call ExecBatch directly
+// allocate their own.
+func NewExecContext() *ExecContext { return &ExecContext{} }
+
+// emit records an emission of p's current state. The clone is deferred:
+// the emission references p itself until a later mutation (or another
+// emission) forces the snapshot via materialize.
 func (x *ExecContext) emit(port int, p *Packet) {
-	x.res.Emissions = append(x.res.Emissions, Emission{Port: port, Pkt: p.ClonePooled()})
+	x.materialize()
+	x.res.Emissions = append(x.res.Emissions, Emission{Port: port, Pkt: p})
+	x.pend = len(x.res.Emissions)
 }
 
-func (x *ExecContext) trace(format string, args ...any) {
-	if x.sw.Tracing {
-		x.res.Trace = append(x.res.Trace, fmt.Sprintf(format, args...))
+// materialize snapshots the deferred emission, if any. The referenced
+// packet is still in its emission-time state — nothing has mutated it
+// since, or this would already have run — so cloning now is equivalent to
+// having cloned at emit time. Mutating actions call this before touching
+// the packet.
+func (x *ExecContext) materialize() {
+	if x.pend > 0 {
+		em := &x.res.Emissions[x.pend-1]
+		em.Pkt = em.Pkt.ClonePooled()
+		x.pend = 0
 	}
+}
+
+// trace appends a formatted execution-log line. Callers must gate on
+// x.tracing: the formatting arguments escape to the heap at the call
+// site, so an unconditional call would put allocations back on the
+// steady-state path even with tracing off.
+func (x *ExecContext) trace(format string, args ...any) {
+	x.res.Trace = append(x.res.Trace, fmt.Sprintf(format, args...))
 }
 
 // step records a group-bucket decision: the last one always (scalar
@@ -95,7 +144,7 @@ func (x *ExecContext) trace(format string, args ...any) {
 func (x *ExecContext) step(g *GroupEntry, bucket int) {
 	x.res.LastGroup = g.ID
 	x.res.LastBucket = int16(bucket)
-	if x.sw.Record {
+	if x.record {
 		x.res.GroupSteps = append(x.res.GroupSteps, GroupStep{Group: g.ID, Type: g.Type, Bucket: bucket})
 	}
 }
@@ -126,19 +175,29 @@ type Switch struct {
 	// without a map iteration; tables are created lazily and never deleted,
 	// so append-on-create keeps it exact.
 	tableList []*FlowTable
+	// dense is the hot-path table index: dense[id] aliases tables[id] for
+	// small non-negative IDs (nil when absent), so the per-stage goto in
+	// exec is an array load instead of a map probe. Table IDs beyond
+	// denseTableMax (unused by the compiler) stay map-only.
+	dense []*FlowTable
 	// stateTables holds the stateful stages (EFSM transition tables). A
 	// table ID names either a flow table or a state table; when both exist
 	// the state table wins at execution time (and the verifier flags the
 	// overlap as a configuration error).
 	stateTables map[int]*StateTable
 	stateList   []*StateTable
-	groups      map[uint32]*GroupEntry
-	live        []bool // index 1..NumPorts
+	// The group store is a pair of parallel arrays sorted by ID: group
+	// sets are small (a few dozen per switch) and written only at install
+	// time, so a binary search over a contiguous key array beats a map on
+	// the per-hop path and gives ordered iteration for free.
+	gids  []uint32
+	gvals []*GroupEntry
+	live  []bool // index 1..NumPorts
 
-	// xc is the reusable execution context for ReceiveInto. A switch
-	// processes one packet at a time (the simulator is single-threaded per
-	// network), so a single scratch context per switch suffices and keeps
-	// the hot path from allocating one per packet.
+	// xc is the scratch execution context backing the single-packet
+	// Receive/Execute wrappers. The batch path receives its context from
+	// the caller (the network event loop owns one per simulator), so this
+	// one only serves direct Switch API use, which is single-threaded.
 	xc ExecContext
 
 	// RxPackets / TxPackets count per-port traffic (ofp_port_stats).
@@ -158,12 +217,15 @@ func NewSwitch(id, numPorts int) *Switch {
 		NumPorts:    numPorts,
 		tables:      make(map[int]*FlowTable),
 		stateTables: make(map[int]*StateTable),
-		groups:      make(map[uint32]*GroupEntry),
 		live:        live,
 		RxPackets:   make([]uint64, numPorts+1),
 		TxPackets:   make([]uint64, numPorts+1),
 	}
 }
+
+// denseTableMax bounds the dense table index; every ID the slot layout
+// hands out is far below it.
+const denseTableMax = 1024
 
 // Table returns the flow table with the given ID, creating it if needed.
 func (sw *Switch) Table(id int) *FlowTable {
@@ -172,25 +234,51 @@ func (sw *Switch) Table(id int) *FlowTable {
 		t = &FlowTable{ID: id}
 		sw.tables[id] = t
 		sw.tableList = append(sw.tableList, t)
+		if id >= 0 && id < denseTableMax {
+			for len(sw.dense) <= id {
+				sw.dense = append(sw.dense, nil)
+			}
+			sw.dense[id] = t
+		}
 	}
 	return t
 }
 
-// ScanStats sums the cumulative FlowTable lookup and entries-probed
-// counts across all tables. The network layer diffs it at Run boundaries
-// to feed the process-wide telemetry.
-func (sw *Switch) ScanStats() (lookups, scanned uint64) {
+// tableAt is exec's table accessor: an array load for compiler-assigned
+// IDs, the map for exotic ones.
+func (sw *Switch) tableAt(id int) *FlowTable {
+	if uint(id) < uint(len(sw.dense)) {
+		return sw.dense[id]
+	}
+	return sw.tables[id]
+}
+
+// ScanStats sums the cumulative dispatch counters across all tables. The
+// network layer diffs it at Run boundaries to feed the process-wide
+// telemetry. State tables have no compiled matcher; their lookups count
+// as fallback-path.
+func (sw *Switch) ScanStats() ScanStats {
+	var agg ScanStats
 	for _, t := range sw.tableList {
-		l, s := t.ScanStats()
-		lookups += l
-		scanned += s
+		agg.Merge(t.ScanStats())
 	}
 	for _, t := range sw.stateList {
 		l, s := t.ScanStats()
-		lookups += l
-		scanned += s
+		agg.FallbackLookups += l
+		agg.Scanned += s
 	}
-	return lookups, scanned
+	return agg
+}
+
+// CompileDispatch (re)compiles every flow table's matcher from its
+// current entries — the third phase of an install (lower → verify →
+// compile-dispatch), invoked by the install and uninstall paths after
+// they finish mutating the tables. State tables are exact-match keyed
+// already and need no compilation.
+func (sw *Switch) CompileDispatch() {
+	for _, t := range sw.tableList {
+		t.Compile()
+	}
 }
 
 // TableIDs returns the IDs of all non-empty tables — flow and state — in
@@ -304,27 +392,67 @@ func (sw *Switch) FindFlow(table int, cookie string) *FlowEntry {
 	return t.ByCookie(cookie)
 }
 
+// groupPos returns the index of id in the sorted gids array, or the
+// insertion point with found == false.
+func (sw *Switch) groupPos(id uint32) (int, bool) {
+	lo, hi := 0, len(sw.gids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sw.gids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(sw.gids) && sw.gids[lo] == id
+}
+
 // AddGroup installs a group entry, replacing any previous entry with the
 // same ID (group-mod semantics).
-func (sw *Switch) AddGroup(g *GroupEntry) { sw.groups[g.ID] = g }
+func (sw *Switch) AddGroup(g *GroupEntry) {
+	i, found := sw.groupPos(g.ID)
+	if found {
+		sw.gvals[i] = g
+		return
+	}
+	sw.gids = append(sw.gids, 0)
+	copy(sw.gids[i+1:], sw.gids[i:])
+	sw.gids[i] = g.ID
+	sw.gvals = append(sw.gvals, nil)
+	copy(sw.gvals[i+1:], sw.gvals[i:])
+	sw.gvals[i] = g
+}
 
 // GroupByID returns the installed group entry, or nil.
-func (sw *Switch) GroupByID(id uint32) *GroupEntry { return sw.groups[id] }
+func (sw *Switch) GroupByID(id uint32) *GroupEntry {
+	if i, found := sw.groupPos(id); found {
+		return sw.gvals[i]
+	}
+	return nil
+}
 
 // RemoveGroup deletes a group entry (group-mod DELETE); missing groups
 // are ignored, like OFPGC_DELETE.
-func (sw *Switch) RemoveGroup(id uint32) { delete(sw.groups, id) }
+func (sw *Switch) RemoveGroup(id uint32) {
+	i, found := sw.groupPos(id)
+	if !found {
+		return
+	}
+	sw.gids = append(sw.gids[:i], sw.gids[i+1:]...)
+	sw.gvals = append(sw.gvals[:i], sw.gvals[i+1:]...)
+}
 
 // RemoveGroupRange deletes every group with lo <= ID < hi, returning the
 // count.
 func (sw *Switch) RemoveGroupRange(lo, hi uint32) int {
-	removed := 0
-	for id := range sw.groups {
-		if id >= lo && id < hi {
-			delete(sw.groups, id)
-			removed++
-		}
+	if hi < lo {
+		return 0
 	}
+	i, _ := sw.groupPos(lo)
+	j, _ := sw.groupPos(hi)
+	removed := j - i
+	sw.gids = append(sw.gids[:i], sw.gids[j:]...)
+	sw.gvals = append(sw.gvals[:i], sw.gvals[j:]...)
 	return removed
 }
 
@@ -343,15 +471,8 @@ func (sw *Switch) ClearTable(id int) int {
 
 // Groups returns all installed group entries in ascending ID order.
 func (sw *Switch) Groups() []*GroupEntry {
-	ids := make([]uint32, 0, len(sw.groups))
-	for id := range sw.groups {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*GroupEntry, len(ids))
-	for i, id := range ids {
-		out[i] = sw.groups[id]
-	}
+	out := make([]*GroupEntry, len(sw.gvals))
+	copy(out, sw.gvals)
 	return out
 }
 
@@ -373,28 +494,33 @@ func (sw *Switch) PortLive(port int) bool {
 }
 
 // SetPortLive sets the liveness of a physical port; the network layer
-// calls it when a link goes down or comes back up.
+// calls it when a link goes down or comes back up. Any change invalidates
+// the fast-failover groups' cached live-bucket choice — liveness flips
+// are rare, so a blanket invalidation beats tracking watch ports.
 func (sw *Switch) SetPortLive(port int, up bool) {
-	if port >= 1 && port <= sw.NumPorts {
+	if port >= 1 && port <= sw.NumPorts && sw.live[port] != up {
 		sw.live[port] = up
+		for _, g := range sw.gvals {
+			g.ffLive = 0
+		}
 	}
 }
 
 func (sw *Switch) applyGroup(x *ExecContext, id uint32, p *Packet) {
-	g := sw.groups[id]
+	g := sw.GroupByID(id)
 	if g == nil {
-		if x.sw.Tracing {
+		if x.tracing {
 			x.trace("group %d: not installed, drop", id)
 		}
 		x.res.LastGroup = id
 		x.res.LastBucket = -1
-		if sw.Record {
+		if x.record {
 			x.res.GroupSteps = append(x.res.GroupSteps, GroupStep{Group: id, Bucket: -1})
 		}
 		return
 	}
 	if x.groupDepth >= maxGroupDepth {
-		if x.sw.Tracing {
+		if x.tracing {
 			x.trace("group %d: max chaining depth, drop", id)
 		}
 		return
@@ -408,28 +534,53 @@ func (sw *Switch) applyGroup(x *ExecContext, id uint32, p *Packet) {
 // packet is cloned internally, so the caller's packet is never mutated.
 // inPort is the ingress physical port (or PortController for a packet-out
 // that requests pipeline processing). The returned Result is fresh and
-// belongs to the caller; the network's event loop uses ReceiveInto with a
-// reusable Result instead.
+// belongs to the caller. Receive is the thin single-packet wrapper over
+// ExecBatch kept for tests and direct API use; the network's event loop
+// batches executions per switch instead.
 func (sw *Switch) Receive(pkt *Packet, inPort int) Result {
-	var res Result
-	sw.ReceiveInto(pkt, inPort, &res)
-	return res
-}
-
-// ReceiveInto runs one packet through the pipeline, writing the outcome
-// into res (which is reset first, reusing its backing arrays). Emission
-// packets are pool-backed clones owned by the caller: each must be handed
-// off or released exactly once. The steady-state path allocates nothing.
-func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
-	res.reset()
-	if inPort >= 1 && inPort <= sw.NumPorts {
-		sw.RxPackets[inPort]++
-	}
 	p := pkt.ClonePooled()
 	p.InPort = inPort
+	in := [1]*Packet{p}
+	out := [1]Result{}
+	sw.ExecBatch(&sw.xc, in[:], out[:])
+	if !out[0].StoleInput {
+		p.Release()
+	}
+	return out[0]
+}
 
-	x := &sw.xc
-	x.sw, x.res, x.groupDepth = sw, res, 0
+// ExecBatch runs every packet of in through the pipeline in order,
+// writing the outcome of in[i] into out[i] (each reset first, reusing its
+// backing arrays). It is the one execution entry point: the event loop,
+// the sweep runner and the single-packet wrapper all land here, and the
+// tracing/record flags are hoisted into the context once per batch.
+//
+// Ownership: the input packets are mutated in place — each must carry its
+// ingress port in Packet.InPort — and remain owned by the caller, which
+// releases (or reuses) them after consuming the results, EXCEPT when a
+// result reports StoleInput: its last emission then IS the input packet
+// (ownership moved to the emission, which the caller hands off or
+// releases as usual) and the input must not be released separately. All
+// other emission packets are pool-backed clones owned by the caller: each
+// must be handed off or released exactly once. The steady-state path
+// allocates nothing.
+func (sw *Switch) ExecBatch(x *ExecContext, in []*Packet, out []Result) {
+	x.sw = sw
+	x.tracing = sw.Tracing
+	x.record = sw.Record
+	for i, p := range in {
+		sw.exec(x, p, &out[i])
+	}
+	x.sw, x.res = nil, nil
+}
+
+// exec runs one packet of a batch through the pipeline.
+func (sw *Switch) exec(x *ExecContext, p *Packet, res *Result) {
+	res.reset()
+	x.res, x.groupDepth, x.pend = res, 0, 0
+	if p.InPort >= 1 && p.InPort <= sw.NumPorts {
+		sw.RxPackets[p.InPort]++
+	}
 
 	table := 0
 	for {
@@ -441,7 +592,7 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 			key := st.FlowKey(p)
 			se := st.Lookup(key, p)
 			if se == nil {
-				if x.sw.Tracing {
+				if x.tracing {
 					x.trace("state table %d: miss", table)
 				}
 				break
@@ -449,23 +600,23 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 			res.Matched = true
 			se.Packets++
 			res.LastCookie = se.Cookie
-			if x.sw.Tracing {
+			if x.tracing {
 				x.trace("state table %d: hit %q (%s)", table, se.Cookie, se.StateCond())
 			}
-			if sw.Record {
+			if x.record {
 				res.Steps = append(res.Steps, Step{
 					Table: table, Priority: se.Priority, Cookie: se.Cookie, Actions: se.Actions,
 				})
 			}
 			for _, a := range se.Actions {
-				a.Apply(x, p)
+				applyAction(x, a, p)
 			}
 			st.Commit(key, se)
 			if se.Goto == NoGoto {
 				break
 			}
 			if se.Goto <= table {
-				if x.sw.Tracing {
+				if x.tracing {
 					x.trace("state table %d: illegal backward goto %d, stop", table, se.Goto)
 				}
 				break
@@ -473,16 +624,16 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 			table = se.Goto
 			continue
 		}
-		t := sw.tables[table]
+		t := sw.tableAt(table)
 		if t == nil {
-			if x.sw.Tracing {
+			if x.tracing {
 				x.trace("table %d: absent, miss", table)
 			}
 			break
 		}
 		e := t.Lookup(p)
 		if e == nil {
-			if x.sw.Tracing {
+			if x.tracing {
 				x.trace("table %d: miss", table)
 			}
 			break
@@ -490,16 +641,16 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 		res.Matched = true
 		e.Packets++
 		res.LastCookie = e.Cookie
-		if x.sw.Tracing {
+		if x.tracing {
 			x.trace("table %d: hit %q", table, e.Cookie)
 		}
-		if sw.Record {
+		if x.record {
 			res.Steps = append(res.Steps, Step{
 				Table: table, Priority: e.Priority, Cookie: e.Cookie, Actions: e.Actions,
 			})
 		}
 		for _, a := range e.Actions {
-			a.Apply(x, p)
+			applyAction(x, a, p)
 		}
 		if e.Goto == NoGoto {
 			break
@@ -507,7 +658,7 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 		if e.Goto <= table {
 			// OpenFlow mandates forward-only goto; treat violation as a
 			// configuration bug and stop rather than loop.
-			if x.sw.Tracing {
+			if x.tracing {
 				x.trace("table %d: illegal backward goto %d, stop", table, e.Goto)
 			}
 			break
@@ -515,13 +666,20 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 		table = e.Goto
 	}
 
+	if x.pend > 0 {
+		// The last emission still references the input packet and nothing
+		// mutated it after the Output: transfer ownership to the emission
+		// instead of cloning. The caller sees StoleInput and skips its
+		// release of the input.
+		res.StoleInput = true
+		x.pend = 0
+	}
+
 	for _, em := range res.Emissions {
 		if em.Port >= 1 && em.Port <= sw.NumPorts {
 			sw.TxPackets[em.Port]++
 		}
 	}
-	x.res = nil
-	p.Release()
 }
 
 // Execute runs an explicit action list against the packet without any
@@ -529,16 +687,22 @@ func (sw *Switch) ReceiveInto(pkt *Packet, inPort int, res *Result) {
 // The caller's packet is not mutated.
 func (sw *Switch) Execute(pkt *Packet, actions []Action) Result {
 	p := pkt.ClonePooled()
-	defer p.Release()
 	res := Result{Matched: true}
-	x := &ExecContext{sw: sw, res: &res}
+	x := &ExecContext{sw: sw, res: &res, tracing: sw.Tracing, record: sw.Record}
 	for _, a := range actions {
-		a.Apply(x, p)
+		applyAction(x, a, p)
 	}
+	stolen := x.pend > 0 // the last emission took the internal clone
+	x.pend = 0
 	for _, em := range res.Emissions {
 		if em.Port >= 1 && em.Port <= sw.NumPorts {
 			sw.TxPackets[em.Port]++
 		}
+	}
+	if stolen {
+		res.StoleInput = true
+	} else {
+		p.Release()
 	}
 	return res
 }
@@ -563,7 +727,7 @@ func (sw *Switch) StateEntryCount() int {
 }
 
 // GroupCount returns the number of group entries installed.
-func (sw *Switch) GroupCount() int { return len(sw.groups) }
+func (sw *Switch) GroupCount() int { return len(sw.gids) }
 
 // ConfigBytes estimates the total hardware footprint of the installed
 // configuration (flow, state and group entries), for the rule-space
@@ -576,7 +740,7 @@ func (sw *Switch) ConfigBytes() int {
 	for _, t := range sw.stateTables {
 		n += t.Bytes()
 	}
-	for _, g := range sw.groups {
+	for _, g := range sw.gvals {
 		n += g.Bytes()
 	}
 	return n

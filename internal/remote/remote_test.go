@@ -205,6 +205,11 @@ func TestBatchedInstallUsesFewerWireMessages(t *testing.T) {
 	if !tr.Completed() {
 		t.Error("batched-installed traversal did not complete")
 	}
+	// Barrier with f2's sessions before reading its switches: per-rule
+	// installs are applied by the agent goroutines asynchronously.
+	if _, err := f2.RunNetwork(); err != nil {
+		t.Fatal(err)
+	}
 	if nw2.Switch(0).FlowEntryCount() != f.Net.Switch(0).FlowEntryCount() {
 		t.Errorf("switch 0 entry counts diverge: per-rule %d, batched %d",
 			nw2.Switch(0).FlowEntryCount(), f.Net.Switch(0).FlowEntryCount())

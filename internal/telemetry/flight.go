@@ -224,6 +224,11 @@ func (f *Flight) Slot() *FlightRecord {
 	return r
 }
 
+// Cap returns the ring capacity — the number of records retained once
+// the ring has wrapped. Batch recorders that claim several slots before
+// filling them use it to bound how many claims can be outstanding.
+func (f *Flight) Cap() int { return len(f.ring) }
+
 // Len returns the number of retained records.
 func (f *Flight) Len() int {
 	if f.seq < uint64(len(f.ring)) {

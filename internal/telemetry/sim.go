@@ -42,16 +42,23 @@ type Metrics struct {
 
 	// Packet freelist. Misses are counted at the pool's New hook (exact,
 	// and rare enough for an atomic). Gets are counted by the simulator
-	// core — entry clone plus one per emission — so the hot ClonePooled
-	// path carries no atomic; clones made outside a running simulation
-	// (direct Switch API use) are not counted.
+	// core — one per emission, plus injection and observer pre-exec
+	// clones — so the hot ClonePooled path carries no atomic; clones made
+	// outside a running simulation (direct Switch API use) are not
+	// counted.
 	PoolGets   Counter // packet clones drawn from the freelist
 	PoolMisses Counter // Gets that had to allocate a fresh packet
 
-	// FlowTable dispatch index: lookups and entries probed; the ratio is
-	// the index fan-out (1.0 = every lookup hit its first candidate).
-	FlowLookups Counter
-	FlowScanned Counter
+	// FlowTable dispatch: total lookups and entries probed (the ratio is
+	// the dispatch fan-out; 1.0 = every lookup hit its first candidate),
+	// split into lookups served by the compiled matcher vs the linear
+	// fallback scan. FallbackLookups staying near zero is the health
+	// signal that installs are recompiling dispatch; a stale matcher
+	// bleeds lookups into FallbackLookups instead of undercounting.
+	FlowLookups     Counter // total = matcher + fallback
+	FlowScanned     Counter
+	MatcherLookups  Counter // lookups served by the compiled matcher
+	FallbackLookups Counter // lookups served by the linear/bucket fallback
 
 	// StateCommits counts committed state-table writes — the stateful
 	// backend's wire-speed EFSM transitions. Zero under the of13 backend.
@@ -128,10 +135,11 @@ type SimLocal struct {
 	PacketIns   uint64
 	SelfDeliver uint64
 
-	PoolGets     uint64
-	FlowLookups  uint64
-	FlowScanned  uint64
-	StateCommits uint64
+	PoolGets        uint64
+	MatcherLookups  uint64
+	FallbackLookups uint64
+	FlowScanned     uint64
+	StateCommits    uint64
 
 	FlightRecords uint64
 }
@@ -170,7 +178,11 @@ func (s *SimLocal) FlushTo(m *Metrics, simNs, wallNs int64, err bool) {
 	flush(&m.PacketIns, &s.PacketIns)
 	flush(&m.SelfDeliver, &s.SelfDeliver)
 	flush(&m.PoolGets, &s.PoolGets)
-	flush(&m.FlowLookups, &s.FlowLookups)
+	if lk := s.MatcherLookups + s.FallbackLookups; lk > 0 {
+		m.FlowLookups.Add(int64(lk))
+	}
+	flush(&m.MatcherLookups, &s.MatcherLookups)
+	flush(&m.FallbackLookups, &s.FallbackLookups)
 	flush(&m.FlowScanned, &s.FlowScanned)
 	flush(&m.StateCommits, &s.StateCommits)
 	flush(&m.FlightRecords, &s.FlightRecords)

@@ -667,6 +667,9 @@ func (d *Deployment) Uninstall(slot int) {
 				return e.Goto >= tLo && e.Goto < tHi
 			})
 			sw.RemoveGroupRange(gLo, gHi)
+			// Removal outdates the compiled matchers (the mutators only bump
+			// versions); recompile so remaining services stay on the fast path.
+			sw.CompileDispatch()
 		}
 		d.CP.DropPrograms(s)
 	}
