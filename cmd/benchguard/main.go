@@ -41,14 +41,61 @@ type Result struct {
 	AllocsOp int64   `json:"after_allocs_op,omitempty"`
 }
 
-// Baseline is the committed BENCH_*.json shape. Only name, package and
-// after_ns_op matter to the gate; the rest is documentation.
+// RatioSpec gates a relationship between two measured rows rather than a
+// row against its own past: the run fails when NsOp(Numerator) /
+// NsOp(Denominator) drops below Min. The shard scaling curve commits its
+// floor this way — the 1-shard-over-4-shard wall-clock ratio (the 4-shard
+// speedup) may not fall below the committed machine floor, which catches
+// the sharded engine's overhead growing even on runners where core count
+// caps the achievable speedup. The -scale knob deliberately does not
+// apply: it would cancel out of a ratio anyway.
+type RatioSpec struct {
+	Name        string  `json:"name"`
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	Min         float64 `json:"min"`
+}
+
+// Baseline is the committed BENCH_*.json shape. Only name, package,
+// after_ns_op and the ratio specs matter to the gate; the rest is
+// documentation.
 type Baseline struct {
-	PR         int      `json:"pr,omitempty"`
-	Title      string   `json:"title,omitempty"`
-	Machine    string   `json:"machine,omitempty"`
-	Method     string   `json:"method,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	PR         int         `json:"pr,omitempty"`
+	Title      string      `json:"title,omitempty"`
+	Machine    string      `json:"machine,omitempty"`
+	Method     string      `json:"method,omitempty"`
+	Benchmarks []Result    `json:"benchmarks"`
+	Ratios     []RatioSpec `json:"ratios,omitempty"`
+}
+
+// CheckRatios evaluates the baseline's ratio specs against the measured
+// rows (matched by name, ignoring package: ratio rows are unique across
+// the suite). A spec whose rows were not measured in this invocation is
+// skipped — benchguard is piped arbitrary benchmark subsets — and
+// reported as such, so a CI leg that should have produced the rows
+// cannot silently stop gating them.
+func CheckRatios(specs []RatioSpec, measured []Result) (failures int) {
+	byName := map[string]float64{}
+	for _, m := range measured {
+		byName[m.Name] = m.NsOp
+	}
+	for _, r := range specs {
+		num, nok := byName[r.Numerator]
+		den, dok := byName[r.Denominator]
+		if !nok || !dok || den == 0 {
+			fmt.Printf("ratio %-40s skipped (rows not in this run)\n", r.Name)
+			continue
+		}
+		ratio := num / den
+		if ratio < r.Min {
+			failures++
+			fmt.Printf("RATIO REGRESSION %-30s %s / %s = %.2f  (min %.2f)\n",
+				r.Name, r.Numerator, r.Denominator, ratio, r.Min)
+		} else {
+			fmt.Printf("ratio ok   %-40s %.2f >= %.2f\n", r.Name, ratio, r.Min)
+		}
+	}
+	return failures
 }
 
 // gomaxprocsSuffix is the trailing "-N" go test appends to benchmark
@@ -209,7 +256,7 @@ func main() {
 	}
 
 	comps := Compare(base.Benchmarks, measured, *threshold, *scale)
-	regressions := 0
+	regressions := CheckRatios(base.Ratios, measured)
 	for _, c := range comps {
 		if c.Regressed {
 			regressions++

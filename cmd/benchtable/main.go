@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -26,11 +27,12 @@ var (
 	topoName = flag.String("topo", "random", "topology family: random|grid|fattree|ba|waxman")
 	parallel = flag.Int("parallel", 1, "worker count for the Table 2 sweep; 0 = GOMAXPROCS, >1 also reports the wall-clock speedup vs sequential")
 	backend  = flag.String("backend", "of13", "compile backend for the per-size tables: of13 or stateful (the backend matrix always measures both)")
+	shards   = flag.Int("shards", 1, "event-loop shard count for every deployment; >1 also prints the shard-count scaling curve")
 )
 
-// deploy builds a deployment with the -backend flag applied.
+// deploy builds a deployment with the -backend and -shards flags applied.
 func deploy(g *topo.Graph) *smartsouth.Deployment {
-	return smartsouth.Deploy(g, smartsouth.WithBackend(*backend))
+	return smartsouth.Deploy(g, smartsouth.WithBackend(*backend), smartsouth.WithShards(*shards))
 }
 
 func parseSizes() []int {
@@ -145,6 +147,60 @@ func main() {
 	}
 	pktLossTable()
 	baselineTable()
+	if *shards > 1 {
+		shardScalingTable()
+	}
+}
+
+// shardScalingTable prints the shard-count scaling curve: wall-clock of a
+// burst of concurrent splitting-snapshot traversals on the largest
+// configured graph, for shard counts 1, 2, 4, ... up to -shards. The
+// burst always uses the OF13 lowering regardless of -backend: it carries
+// the DFS state in the packet tag, so the traversals are mutually
+// independent and the burst can actually spread across shard workers.
+// Every Table-2 counter is asserted shard-invariant along the way; the
+// wall-clock column only shows a speedup when GOMAXPROCS > 1.
+func shardScalingTable() {
+	sz := parseSizes()
+	g := graph(sz[len(sz)-1])
+	const triggers = 32
+	fmt.Printf("\n== Shard-count scaling curve: %s n=%d, %d concurrent sweeps, GOMAXPROCS=%d ==\n",
+		*topoName, g.NumNodes(), triggers, runtime.GOMAXPROCS(0))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shards\twall-clock\tspeedup vs 1\tin-band msgs\tfragments")
+	var base time.Duration
+	wantMsgs := -1
+	for s := 1; s <= *shards; s *= 2 {
+		net := network.New(g, network.Options{Shards: s})
+		c := controller.New(net)
+		sp, err := core.InstallSnapshotSplit(c, g, 0, 16)
+		must(err)
+		start := time.Now()
+		for t := 0; t < triggers; t++ {
+			sp.Trigger((t*37)%g.NumNodes(), network.Time(t)*50)
+		}
+		must2(net.Run())
+		elapsed := time.Since(start)
+		msgs := net.InBandCount(core.EthSnapSplit)
+		if msgs == 0 || msgs > triggers*(4*g.NumEdges()) {
+			log.Fatalf("scaling curve: %d shards used %d in-band msgs, per-sweep bound 4|E|=%d", s, msgs, 4*g.NumEdges())
+		}
+		if wantMsgs == -1 {
+			base, wantMsgs = elapsed, msgs
+		} else if msgs != wantMsgs {
+			log.Fatalf("scaling curve: %d shards saw %d in-band msgs, single loop %d — shard invariance broken", s, msgs, wantMsgs)
+		}
+		frags := 0
+		for _, pi := range c.Inbox() {
+			if pi.Pkt.EthType == core.EthSnapSplit {
+				frags++
+			}
+		}
+		fmt.Fprintf(w, "%d\t%v\t%.2fx\t%d\t%d\n",
+			s, elapsed.Round(time.Millisecond), float64(base)/float64(elapsed), msgs, frags)
+	}
+	w.Flush()
+	fmt.Println("(in-band counters are asserted shard-invariant; wall-clock speedup requires GOMAXPROCS > 1)")
 }
 
 // metricsTable cross-checks Table 2 against the per-service metrics

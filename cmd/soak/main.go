@@ -30,6 +30,7 @@ import (
 var (
 	iters     = flag.Int("iters", 100, "iterations")
 	backend   = flag.String("backend", "of13", "compile backend: of13 (tag-carried state) or stateful (switch state tables)")
+	shards    = flag.Int("shards", 1, "event-loop shard count for every iteration's network (oracle checks are shard-invariant)")
 	seed      = flag.Int64("seed", 1, "base seed (iteration i uses seed+i)")
 	verbose   = flag.Bool("v", false, "log every iteration")
 	jsonOut   = flag.Bool("json", false, "print a JSON summary instead of the one-line tally")
@@ -127,7 +128,7 @@ func buildTopo(rng *rand.Rand) (*smartsouth.Graph, string) {
 func runIteration(s int64, forceFail bool, dumpDir string) (family, dumpPath string, err error) {
 	rng := rand.New(rand.NewSource(s))
 	g, family := buildTopo(rng)
-	d := smartsouth.Deploy(g, smartsouth.Options{Seed: s}, smartsouth.WithBackend(*backend))
+	d := smartsouth.Deploy(g, smartsouth.Options{Seed: s}, smartsouth.WithBackend(*backend), smartsouth.WithShards(*shards))
 	err = oracles(d, g, rng, forceFail)
 	if err != nil && dumpDir != "" && d.Flight() != nil {
 		d.Net.FlightNote("soak oracle divergence: " + err.Error())

@@ -94,17 +94,22 @@ func (c *Controller) ClearInbox() {
 // one seam both backends' lowerings pass through, so compiled dispatch
 // needs no per-mutator invalidation — and the program is retained for
 // declarative accounting (rule-space figures are read off installed
-// programs, not live switches).
+// programs, not live switches). On a sharded network the materialization
+// and dispatch compilation run concurrently across shards (each touches
+// only its target switch); accounting stays serial.
 func (c *Controller) InstallProgram(p *openflow.Program) {
-	for _, id := range p.SwitchIDs() {
+	ids := p.SwitchIDs()
+	for _, id := range ids {
 		sp := p.At(id)
 		c.Stats.FlowMods += len(sp.Flows)
 		c.Stats.GroupMods += len(sp.Groups)
 		c.Stats.InstallMsgs++ // one batched transaction per switch
-		sw := c.Net.Switch(id)
-		sp.Materialize(sw)
-		sw.CompileDispatch()
 	}
+	c.Net.InstallBatch(ids, func(id int) {
+		sw := c.Net.Switch(id)
+		p.At(id).Materialize(sw)
+		sw.CompileDispatch()
+	})
 	if !p.Transient {
 		c.programs = append(c.programs, p)
 	}

@@ -49,9 +49,12 @@ type Link struct {
 	PortA, PortB int
 	Delay        Time
 
+	// Per-direction loss rngs: each direction is drawn only by the shard
+	// that owns its transmitting endpoint, so a sharded run never has two
+	// goroutines sharing one generator.
 	modeAB, modeBA LinkMode
 	lossAB, lossBA float64
-	rng            *rand.Rand
+	rngAB, rngBA   *rand.Rand
 
 	// StatsAB counts the A-to-B direction, StatsBA the reverse.
 	StatsAB, StatsBA DirStats
@@ -59,17 +62,17 @@ type Link struct {
 
 // dirInfo resolves the transmit side: given the transmitting switch, the
 // relevant mode, loss probability, stats and the receiving (switch, port).
-func (l *Link) dir(from int) (mode *LinkMode, loss *float64, st *DirStats, to, toPort int) {
+func (l *Link) dir(from int) (mode *LinkMode, loss *float64, st *DirStats, rng *rand.Rand, to, toPort int) {
 	if from == l.A {
-		return &l.modeAB, &l.lossAB, &l.StatsAB, l.B, l.PortB
+		return &l.modeAB, &l.lossAB, &l.StatsAB, l.rngAB, l.B, l.PortB
 	}
-	return &l.modeBA, &l.lossBA, &l.StatsBA, l.A, l.PortA
+	return &l.modeBA, &l.lossBA, &l.StatsBA, l.rngBA, l.A, l.PortA
 }
 
 // transmit decides the fate of one packet sent by switch `from`:
 // delivered reports whether it reaches the far side.
 func (l *Link) transmit(from int) (to, toPort int, delivered bool) {
-	mode, loss, st, to, toPort := l.dir(from)
+	mode, loss, st, rng, to, toPort := l.dir(from)
 	st.Sent++
 	switch *mode {
 	case LinkDown:
@@ -79,7 +82,7 @@ func (l *Link) transmit(from int) (to, toPort int, delivered bool) {
 		st.Dropped++
 		return to, toPort, false
 	case LinkLossy:
-		if l.rng.Float64() < *loss {
+		if rng.Float64() < *loss {
 			st.Dropped++
 			return to, toPort, false
 		}

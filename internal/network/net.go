@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"smartsouth/internal/openflow"
 	"smartsouth/internal/telemetry"
@@ -29,6 +30,15 @@ type Options struct {
 	// capacity, negative disables the recorder while keeping the rest of
 	// the telemetry on.
 	FlightCap int
+	// Shards partitions the topology across this many shards, each owning
+	// a subset of switches with its own event heap, execution scratch,
+	// in-band counters and flight ring, synchronized by conservative time
+	// windows (shard.go). <= 1 (the default) keeps the classic
+	// single-loop simulator, whose behaviour is byte-identical to
+	// pre-shard builds; > 1 is deterministic for any fixed shard count
+	// but may order simultaneous independent events differently than the
+	// single loop. Clamped to the node count.
+	Shards int
 }
 
 // ethCounter is one interned per-EtherType accounting slot. The hot path
@@ -75,34 +85,27 @@ type Network struct {
 	execObs   []ExecObserver
 	hopObs    []HopObserver
 
-	// Batched execution scratch for this network's single-threaded event
-	// loop: the execution context handed to ExecBatch, the packet and
-	// Result views of the current batch, the flight-recorder slots claimed
-	// for the batch, and the pre-execution observer clones. All are reset
-	// and reused on every batch so the steady-state hop path does not
-	// allocate.
-	xc       *openflow.ExecContext
-	batchIn  []*openflow.Packet
-	batchRes []openflow.Result
-	batchRec []*telemetry.FlightRecord
-	batchPre []*openflow.Packet
+	// Event loops. A single-loop network has exactly one lane (ctl); a
+	// sharded one has one worker lane per shard plus the control lane
+	// (lanes[len-1] == ctl, owning no switches). Sim aliases the control
+	// lane's loop, so Sim.Now()/Sim.At keep their classic meaning.
+	// shardOf maps each switch to its owning worker lane; lookahead is
+	// the minimum cross-shard link delay — the conservative window width.
+	// obsMu serializes the observer fan-out (hop/exec callbacks) across
+	// worker lanes; single-loop runs never take it.
+	lanes     []*lane
+	ctl       *lane
+	multi     bool
+	shardOf   []int
+	lookahead Time
+	obsMu     sync.Mutex
+	mergeBuf  []xev
 
-	// Interned in-band accounting (the "in-band #msgs / size" columns of
-	// Table 2). Every transmission attempt counts (a message swallowed by
-	// a blackhole was still sent). lastIdx caches the slot of the most
-	// recently counted EtherType: traversals send long runs of one type,
-	// so the common case is a single comparison instead of a map probe.
-	counters []ethCounter
-	ethIdx   map[uint16]int
-	lastIdx  int
-
-	// Flight recorder and its per-EtherType tag decoders (telemetry.go);
-	// nil/empty when telemetry is off. prevLookups/prevScanned remember
-	// the switches' cumulative FlowTable scan stats at the last flush so
-	// Run can publish deltas.
+	// Per-EtherType flight tag decoders (telemetry.go), shared read-only
+	// by all lanes; each lane keeps its own ring and decoder cache. The
+	// prev* fields remember the switches' cumulative scan stats at the
+	// last flush so Run can publish deltas.
 	flightDec []flightDecoder
-	lastDec   int
-	flight    *telemetry.Flight
 
 	prevMatcher    uint64
 	prevFallback   uint64
@@ -116,18 +119,46 @@ func New(g *topo.Graph, opts Options) *Network {
 	if opts.LinkDelay == 0 {
 		opts.LinkDelay = 1000 // 1µs
 	}
-	n := &Network{
-		Sim:    &Sim{MaxSteps: opts.MaxSteps},
-		Graph:  g,
-		delay:  opts.LinkDelay,
-		ethIdx: make(map[uint16]int),
-		xc:     openflow.NewExecContext(),
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
 	}
-	n.Sim.net = n
+	if nn := g.NumNodes(); nn > 0 && shards > nn {
+		shards = nn
+	}
+	n := &Network{
+		Graph: g,
+		delay: opts.LinkDelay,
+		multi: shards > 1,
+	}
+	nlanes := shards
+	if n.multi {
+		nlanes++ // dedicated control lane on top of the worker lanes
+	}
+	n.lanes = make([]*lane, nlanes)
+	for i := range n.lanes {
+		l := &lane{
+			net:    n,
+			id:     i,
+			worker: n.multi && i < shards,
+			xc:     openflow.NewExecContext(),
+			ethIdx: make(map[uint16]int),
+		}
+		l.sim.lane = l
+		if l.worker {
+			l.out = make([][]xev, shards)
+		}
+		n.lanes[i] = l
+	}
+	n.ctl = n.lanes[nlanes-1]
+	n.Sim = &n.ctl.sim
+	n.Sim.MaxSteps = opts.MaxSteps
 	if !opts.NoTelemetry {
-		n.Sim.stats = &telemetry.SimLocal{}
-		if opts.FlightCap >= 0 {
-			n.flight = telemetry.NewFlight(opts.FlightCap)
+		for _, l := range n.lanes {
+			l.sim.stats = &telemetry.SimLocal{}
+			if opts.FlightCap >= 0 {
+				l.flight = telemetry.NewFlight(opts.FlightCap)
+			}
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -139,12 +170,34 @@ func New(g *topo.Graph, opts Options) *Network {
 	}
 	for _, e := range g.Edges() {
 		l := &Link{A: e.U, B: e.V, PortA: e.PU, PortB: e.PV, Delay: opts.LinkDelay,
-			rng: rand.New(rand.NewSource(rng.Int63()))}
+			rngAB: rand.New(rand.NewSource(rng.Int63())),
+			rngBA: rand.New(rand.NewSource(rng.Int63()))}
 		n.links = append(n.links, l)
 		n.portLinks[e.U][e.PU] = l
 		n.portLinks[e.V][e.PV] = l
 	}
+	if n.multi {
+		n.shardOf = topo.Partition(g, shards)
+		n.lookahead = maxTime
+		for _, l := range n.links {
+			if n.shardOf[l.A] != n.shardOf[l.B] && l.Delay < n.lookahead {
+				n.lookahead = l.Delay
+			}
+		}
+		if n.lookahead < 1 {
+			n.lookahead = 1 // zero-delay links would make windows empty
+		}
+	}
 	return n
+}
+
+// Shards returns the number of worker shards the simulation runs on (1
+// for the classic single-loop simulator).
+func (n *Network) Shards() int {
+	if !n.multi {
+		return 1
+	}
+	return len(n.lanes) - 1
 }
 
 // ExecObserver observes one pipeline execution: the switch that ran it,
@@ -282,12 +335,16 @@ func (n *Network) SetLoss(u, v int, p float64) error {
 
 // Inject schedules pkt to be processed by switch sw as if it arrived on
 // inPort at time t. Use openflow.PortController as inPort for packet-outs.
-// The caller keeps ownership of pkt: it is cloned at call time.
+// The caller keeps ownership of pkt: it is cloned at call time. On a
+// sharded network the event lands on the heap of the shard owning sw;
+// Inject must only be called between runs or from control-lane callbacks
+// (never from inside a window).
 func (n *Network) Inject(sw int, inPort int, pkt *openflow.Packet, t Time) {
-	if st := n.Sim.stats; st != nil {
+	l := n.laneFor(sw)
+	if st := l.sim.stats; st != nil {
 		st.PoolGets++
 	}
-	n.Sim.schedule(t, event{kind: evProcess, sw: sw, port: inPort, pkt: pkt.ClonePooled()})
+	l.sim.schedule(t, event{kind: evProcess, sw: sw, port: inPort, pkt: pkt.ClonePooled()})
 }
 
 // InjectActions schedules an action-list packet-out at switch sw (an
@@ -310,228 +367,21 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 		for _, ob := range n.execObs {
 			ob(sw, openflow.PortController, p, &res)
 		}
-		n.dispatch(sw, &res)
+		n.ctl.dispatch(sw, &res)
 		p.Release()
 	})
 }
 
-// processBatch runs one batch of arrivals at a single switch through the
-// pipeline (one ExecBatch call) and dispatches each result in arrival
-// order, consuming the arrival packets: each is either forwarded onward
-// as its result's stolen emission (the unicast fast path — the packet
-// that arrived is the packet that leaves, no copy) or released here.
-// Execution mutates arrivals in place, so anything that must see
-// pre-execution state — the flight recorder's tag decode, the exec
-// observers' packet view — is captured or cloned before ExecBatch runs.
-// The emissions of each result are consumed synchronously by dispatch,
-// so nothing outlives the call.
-func (n *Network) processBatch(evs []event) {
-	swID := evs[0].sw
-	in := n.batchIn[:0]
-	for i := range evs {
-		p := evs[i].pkt
-		p.InPort = evs[i].port
-		in = append(in, p)
-	}
-	n.batchIn = in
-	for cap(n.batchRes) < len(evs) {
-		n.batchRes = append(n.batchRes[:cap(n.batchRes)], openflow.Result{})
-	}
-	res := n.batchRes[:len(evs)]
-
-	st := n.Sim.stats
-	var recs []*telemetry.FlightRecord
-	if st != nil && n.flight != nil && len(in) <= n.flight.Cap() {
-		// Claim one ring slot per arrival and decode the tag state straight
-		// into it, before execution rewrites the packets in place: the
-		// record documents the packet as it arrived. The result fields are
-		// filled in after ExecBatch — and before dispatch claims any
-		// further slots, so with the batch bounded by the ring capacity no
-		// claimed slot can be recycled while it is still pending. A batch
-		// larger than the whole ring (degenerate; the ring would retain
-		// only its tail anyway) goes unrecorded.
-		recs = n.batchRec[:0]
-		at := int64(n.Sim.now)
-		for _, p := range in {
-			r := n.flight.Slot()
-			r.At = at
-			r.Kind = telemetry.FlightExec
-			r.Sw = int16(swID)
-			r.Port = int16(p.InPort)
-			r.Eth = p.EthType
-			if d := n.decoderFor(p.EthType); d != nil {
-				r.NumTags = d.n
-				r.NameIdx = d.nameIdx
-				d.capture(swID, p.Tag, &r.Tags)
-			}
-			recs = append(recs, r)
-		}
-		n.batchRec = recs
-	}
-	if len(n.execObs) > 0 {
-		// Observers are promised the pre-execution packet; clone only in
-		// observed (traced/metered) runs so the plain hot path stays one
-		// clone cheaper.
-		pre := n.batchPre[:0]
-		for _, p := range in {
-			pre = append(pre, p.ClonePooled())
-		}
-		n.batchPre = pre
-		if st != nil {
-			st.PoolGets += uint64(len(pre))
-		}
-	}
-
-	n.switches[swID].ExecBatch(n.xc, in, res)
-
-	if recs != nil {
-		// Complete every claimed exec record before dispatching anything:
-		// dispatch records sends and deliveries, and its slot claims must
-		// come after the batch's pending fills (see the claim loop above).
-		for i := range recs {
-			r := &res[i]
-			rec := recs[i]
-			rec.Matched = r.Matched
-			n.flight.SetCookie(rec, r.LastCookie)
-			rec.Group = r.LastGroup
-			rec.Bucket = r.LastBucket
-			recs[i] = nil
-		}
-	}
-	for i := range evs {
-		r := &res[i]
-		if st != nil {
-			// One pool clone per emission, minus the emission that took
-			// the arriving packet itself (the unicast fast path; see
-			// Result.StoleInput).
-			gets := uint64(len(r.Emissions))
-			if r.StoleInput {
-				gets--
-			}
-			st.PoolGets += gets
-		}
-		for _, ob := range n.execObs {
-			ob(swID, evs[i].port, n.batchPre[i], r)
-		}
-		n.dispatch(swID, r)
-	}
-	for i := range n.batchPre {
-		n.batchPre[i].Release()
-		n.batchPre[i] = nil
-	}
-	n.batchPre = n.batchPre[:0]
-	for i := range in {
-		// The batch owns the arrivals: release each unless execution
-		// forwarded it onward as an emission, then drop the reference so
-		// the scratch does not pin it.
-		if !res[i].StoleInput {
-			in[i].Release()
-		}
-		in[i] = nil
-	}
-	n.batchIn = in[:0]
-}
-
-// dispatch routes pipeline emissions to links, the controller, or the
-// local host. It consumes the emission packets: every packet is either
-// handed to an attachment callback (which takes ownership), scheduled for
-// delivery (released after processing), or released here.
-func (n *Network) dispatch(sw int, res *openflow.Result) {
-	for _, em := range res.Emissions {
-		switch {
-		case em.Port == openflow.PortController:
-			if n.OnPacketIn != nil {
-				n.Sim.schedule(n.Sim.now, event{kind: evPacketIn, sw: sw, pkt: em.Pkt})
-			} else {
-				em.Pkt.Release()
-			}
-		case em.Port == openflow.PortSelf:
-			if n.OnSelf != nil {
-				n.Sim.schedule(n.Sim.now, event{kind: evSelf, sw: sw, pkt: em.Pkt})
-			} else {
-				em.Pkt.Release()
-			}
-		case em.Port >= 1:
-			n.send(sw, em.Port, em.Pkt)
-		default:
-			em.Pkt.Release()
-		}
-	}
-}
-
-// countInBand bumps the interned per-EtherType transmission counters.
-func (n *Network) countInBand(eth uint16, size int) {
-	idx := n.lastIdx
-	if idx >= len(n.counters) || n.counters[idx].eth != eth {
-		var ok bool
-		idx, ok = n.ethIdx[eth]
-		if !ok {
-			idx = len(n.counters)
-			n.counters = append(n.counters, ethCounter{eth: eth})
-			n.ethIdx[eth] = idx
-		}
-		n.lastIdx = idx
-	}
-	c := &n.counters[idx]
-	c.msgs++
-	c.bytes += size
-}
-
-// send puts a packet on the link attached to (sw, port), taking ownership
-// of pkt.
-func (n *Network) send(sw, port int, pkt *openflow.Packet) {
-	l := n.linkAt(sw, port)
-	if l == nil {
-		// Unconnected port: frame disappears, like real hardware.
-		pkt.Release()
-		return
-	}
-	n.countInBand(pkt.EthType, pkt.Size())
-	to, toPort, delivered := l.transmit(sw)
-	if st := n.Sim.stats; st != nil {
-		st.Hops++
-		if !delivered {
-			st.HopsDropped++
-			// Only failed transmissions earn a ring entry: a delivered
-			// hop is already visible as the receiving switch's exec
-			// record, while a drop is precisely the event a post-mortem
-			// needs and would otherwise be invisible.
-			if n.flight != nil {
-				r := n.flight.Slot()
-				r.At = int64(n.Sim.now)
-				r.Kind = telemetry.FlightSend
-				r.Sw = int16(sw)
-				r.Port = int16(port)
-				r.To = int16(to)
-				r.ToPort = int16(toPort)
-				r.Eth = pkt.EthType
-			}
-		}
-	}
-	if n.OnHop != nil || len(n.hopObs) > 0 {
-		h := Hop{From: sw, FromPort: port, To: to, ToPort: toPort}
-		if n.OnHop != nil {
-			n.OnHop(h, pkt, delivered)
-		}
-		for _, ob := range n.hopObs {
-			ob(h, pkt, delivered)
-		}
-	}
-	if !delivered {
-		pkt.Release()
-		return
-	}
-	n.Sim.schedule(n.Sim.now+l.Delay, event{kind: evProcess, sw: to, port: toPort, pkt: pkt})
-}
-
 // InBandMsgs returns the per-EtherType link-transmission counts as a map,
-// rebuilt from the interned counters on every call. Use InBandCount for a
-// single EtherType on a hot path.
+// rebuilt from the interned per-lane counters on every call. Use
+// InBandCount for a single EtherType on a hot path.
 func (n *Network) InBandMsgs() map[uint16]int {
-	out := make(map[uint16]int, len(n.counters))
-	for _, c := range n.counters {
-		if c.msgs > 0 {
-			out[c.eth] = c.msgs
+	out := make(map[uint16]int)
+	for _, l := range n.lanes {
+		for _, c := range l.counters {
+			if c.msgs > 0 {
+				out[c.eth] += c.msgs
+			}
 		}
 	}
 	return out
@@ -540,10 +390,12 @@ func (n *Network) InBandMsgs() map[uint16]int {
 // InBandBytes returns the per-EtherType transmitted byte counts as a map,
 // rebuilt on every call. Use InBandSize for a single EtherType.
 func (n *Network) InBandBytes() map[uint16]int {
-	out := make(map[uint16]int, len(n.counters))
-	for _, c := range n.counters {
-		if c.msgs > 0 {
-			out[c.eth] = c.bytes
+	out := make(map[uint16]int)
+	for _, l := range n.lanes {
+		for _, c := range l.counters {
+			if c.msgs > 0 {
+				out[c.eth] += c.bytes
+			}
 		}
 	}
 	return out
@@ -551,36 +403,46 @@ func (n *Network) InBandBytes() map[uint16]int {
 
 // InBandCount returns the transmission count of one EtherType.
 func (n *Network) InBandCount(eth uint16) int {
-	if idx, ok := n.ethIdx[eth]; ok {
-		return n.counters[idx].msgs
+	total := 0
+	for _, l := range n.lanes {
+		if idx, ok := l.ethIdx[eth]; ok {
+			total += l.counters[idx].msgs
+		}
 	}
-	return 0
+	return total
 }
 
 // InBandSize returns the transmitted bytes of one EtherType.
 func (n *Network) InBandSize(eth uint16) int {
-	if idx, ok := n.ethIdx[eth]; ok {
-		return n.counters[idx].bytes
+	total := 0
+	for _, l := range n.lanes {
+		if idx, ok := l.ethIdx[eth]; ok {
+			total += l.counters[idx].bytes
+		}
 	}
-	return 0
+	return total
 }
 
 // TotalInBand sums message counts across all EtherTypes.
 func (n *Network) TotalInBand() int {
 	total := 0
-	for _, c := range n.counters {
-		total += c.msgs
+	for _, l := range n.lanes {
+		for _, c := range l.counters {
+			total += c.msgs
+		}
 	}
 	return total
 }
 
 // ResetAccounting clears the in-band counters (link DirStats included) so
-// an experiment can measure a single phase. The EtherType intern table
-// survives — only the counts reset.
+// an experiment can measure a single phase. The EtherType intern tables
+// survive — only the counts reset.
 func (n *Network) ResetAccounting() {
-	for i := range n.counters {
-		n.counters[i].msgs = 0
-		n.counters[i].bytes = 0
+	for _, l := range n.lanes {
+		for i := range l.counters {
+			l.counters[i].msgs = 0
+			l.counters[i].bytes = 0
+		}
 	}
 	for _, l := range n.links {
 		l.StatsAB = DirStats{}

@@ -82,6 +82,14 @@ func WithBackend(name string) Option {
 	return optionFunc(func(c *Config) { c.Backend = name })
 }
 
+// WithShards partitions the topology across n shards, each owning a
+// subset of switches with its own event heap, counters and flight ring,
+// synchronized by conservative time windows (see Options.Shards). n <= 1
+// keeps the classic single-loop simulator.
+func WithShards(n int) Option {
+	return optionFunc(func(c *Config) { c.Opts.Shards = n })
+}
+
 // WithAnalysis gates every program installation on the network-wide
 // static analysis (internal/analysis): conflicts with installed
 // services, forwarding loops and blackholes reject the install.

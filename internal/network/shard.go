@@ -1,0 +1,681 @@
+package network
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/telemetry"
+)
+
+// maxTime is the largest representable simulation time; the window end of
+// a shard with no cross-shard links.
+const maxTime = Time(math.MaxInt64)
+
+// lane is one event loop of the network: its heap (sim), its execution
+// scratch, and its share of the accounting state. A single-loop network
+// has exactly one lane, which doubles as the control lane; a sharded
+// network has one worker lane per shard (each owning a subset of the
+// switches) plus a dedicated control lane that owns no switches and runs
+// only at window barriers. Everything a lane touches while its window
+// runs is lane-local — scratch, counters, flight ring, telemetry staging,
+// the owned switches and the rngs/stats of their outgoing link directions
+// — which is what lets worker windows run on separate goroutines without
+// locks on the hop path.
+type lane struct {
+	net    *Network
+	id     int
+	worker bool // a shard loop (runs concurrently); false for the control lane
+	sim    Sim
+
+	// Batched execution scratch (see processBatch); reset and reused on
+	// every batch so the steady-state hop path does not allocate.
+	xc       *openflow.ExecContext
+	batchIn  []*openflow.Packet
+	batchRes []openflow.Result
+	batchRec []*telemetry.FlightRecord
+	batchPre []*openflow.Packet
+
+	// Interned in-band accounting (the "in-band #msgs / size" columns of
+	// Table 2). Every transmission attempt counts (a message swallowed by
+	// a blackhole was still sent). lastIdx caches the slot of the most
+	// recently counted EtherType: traversals send long runs of one type,
+	// so the common case is a single comparison instead of a map probe.
+	// The public map views aggregate across lanes.
+	counters []ethCounter
+	ethIdx   map[uint16]int
+	lastIdx  int
+
+	// Per-lane flight ring and decoder cache; the decoder table itself
+	// (Network.flightDec) is shared read-only.
+	flight  *telemetry.Flight
+	lastDec int
+
+	// Cross-shard routing (worker lanes only). out[d] buffers deliveries
+	// to shard d during a window; ctlOut buffers controller/self events.
+	// Both are exchanged at the barrier.
+	out    [][]xev
+	ctlOut []xev
+
+	// Worker plumbing: the window-job channel of the lane's goroutine,
+	// the events it processed in the last window, and a persistent event
+	// tick used for telemetry sampling strides (so short windows do not
+	// skew the sampled distributions).
+	jobs       chan laneJob
+	wprocessed int
+	ticks      uint64
+}
+
+// xev is one buffered cross-lane event: a delivery to another shard's
+// switch or a controller/self handoff, exchanged at window barriers.
+type xev struct {
+	at   Time
+	sw   int
+	port int
+	kind eventKind
+	pkt  *openflow.Packet
+}
+
+// laneJob is one window assignment for a worker lane.
+type laneJob struct {
+	end    Time
+	budget int
+}
+
+// laneFor returns the lane owning switch sw.
+func (n *Network) laneFor(sw int) *lane {
+	if !n.multi {
+		return n.ctl
+	}
+	return n.lanes[n.shardOf[sw]]
+}
+
+// processBatch runs one batch of arrivals at a single switch through the
+// pipeline (one ExecBatch call) and dispatches each result in arrival
+// order, consuming the arrival packets: each is either forwarded onward
+// as its result's stolen emission (the unicast fast path — the packet
+// that arrived is the packet that leaves, no copy) or released here.
+// Execution mutates arrivals in place, so anything that must see
+// pre-execution state — the flight recorder's tag decode, the exec
+// observers' packet view — is captured or cloned before ExecBatch runs.
+// The emissions of each result are consumed synchronously by dispatch,
+// so nothing outlives the call.
+func (l *lane) processBatch(evs []event) {
+	n := l.net
+	swID := evs[0].sw
+	in := l.batchIn[:0]
+	for i := range evs {
+		p := evs[i].pkt
+		p.InPort = evs[i].port
+		in = append(in, p)
+	}
+	l.batchIn = in
+	for cap(l.batchRes) < len(evs) {
+		l.batchRes = append(l.batchRes[:cap(l.batchRes)], openflow.Result{})
+	}
+	res := l.batchRes[:len(evs)]
+
+	st := l.sim.stats
+	var recs []*telemetry.FlightRecord
+	if st != nil && l.flight != nil && len(in) <= l.flight.Cap() {
+		// Claim one ring slot per arrival and decode the tag state straight
+		// into it, before execution rewrites the packets in place: the
+		// record documents the packet as it arrived. The result fields are
+		// filled in after ExecBatch — and before dispatch claims any
+		// further slots, so with the batch bounded by the ring capacity no
+		// claimed slot can be recycled while it is still pending. A batch
+		// larger than the whole ring (degenerate; the ring would retain
+		// only its tail anyway) goes unrecorded.
+		recs = l.batchRec[:0]
+		at := int64(l.sim.now)
+		for _, p := range in {
+			r := l.flight.Slot()
+			r.At = at
+			r.Kind = telemetry.FlightExec
+			r.Sw = int16(swID)
+			r.Port = int16(p.InPort)
+			r.Eth = p.EthType
+			if d := l.decoderFor(p.EthType); d != nil {
+				r.NumTags = d.n
+				r.NameIdx = d.nameIdx
+				d.capture(swID, p.Tag, &r.Tags)
+			}
+			recs = append(recs, r)
+		}
+		l.batchRec = recs
+	}
+	if len(n.execObs) > 0 {
+		// Observers are promised the pre-execution packet; clone only in
+		// observed (traced/metered) runs so the plain hot path stays one
+		// clone cheaper.
+		pre := l.batchPre[:0]
+		for _, p := range in {
+			pre = append(pre, p.ClonePooled())
+		}
+		l.batchPre = pre
+		if st != nil {
+			st.PoolGets += uint64(len(pre))
+		}
+	}
+
+	n.switches[swID].ExecBatch(l.xc, in, res)
+
+	if recs != nil {
+		// Complete every claimed exec record before dispatching anything:
+		// dispatch records sends and deliveries, and its slot claims must
+		// come after the batch's pending fills (see the claim loop above).
+		for i := range recs {
+			r := &res[i]
+			rec := recs[i]
+			rec.Matched = r.Matched
+			l.flight.SetCookie(rec, r.LastCookie)
+			rec.Group = r.LastGroup
+			rec.Bucket = r.LastBucket
+			recs[i] = nil
+		}
+	}
+	for i := range evs {
+		r := &res[i]
+		if st != nil {
+			// One pool clone per emission, minus the emission that took
+			// the arriving packet itself (the unicast fast path; see
+			// Result.StoleInput).
+			gets := uint64(len(r.Emissions))
+			if r.StoleInput {
+				gets--
+			}
+			st.PoolGets += gets
+		}
+		if len(n.execObs) > 0 {
+			if l.worker {
+				n.obsMu.Lock()
+			}
+			for _, ob := range n.execObs {
+				ob(swID, evs[i].port, l.batchPre[i], r)
+			}
+			if l.worker {
+				n.obsMu.Unlock()
+			}
+		}
+		l.dispatch(swID, r)
+	}
+	for i := range l.batchPre {
+		l.batchPre[i].Release()
+		l.batchPre[i] = nil
+	}
+	l.batchPre = l.batchPre[:0]
+	for i := range in {
+		// The batch owns the arrivals: release each unless execution
+		// forwarded it onward as an emission, then drop the reference so
+		// the scratch does not pin it.
+		if !res[i].StoleInput {
+			in[i].Release()
+		}
+		in[i] = nil
+	}
+	l.batchIn = in[:0]
+}
+
+// dispatch routes pipeline emissions to links, the controller, or the
+// local host. It consumes the emission packets: every packet is either
+// handed to an attachment callback (which takes ownership), scheduled for
+// delivery (released after processing), buffered for a window barrier, or
+// released here. Controller and self deliveries from a worker lane are
+// barrier traffic: they execute on the control lane, which is the only
+// lane allowed to touch shared state (controller inbox, link modes,
+// installs).
+func (l *lane) dispatch(sw int, res *openflow.Result) {
+	n := l.net
+	for _, em := range res.Emissions {
+		switch {
+		case em.Port == openflow.PortController:
+			if n.OnPacketIn != nil {
+				if l.worker {
+					l.ctlOut = append(l.ctlOut, xev{at: l.sim.now, kind: evPacketIn, sw: sw, pkt: em.Pkt})
+				} else {
+					l.sim.schedule(l.sim.now, event{kind: evPacketIn, sw: sw, pkt: em.Pkt})
+				}
+			} else {
+				em.Pkt.Release()
+			}
+		case em.Port == openflow.PortSelf:
+			if n.OnSelf != nil {
+				if l.worker {
+					l.ctlOut = append(l.ctlOut, xev{at: l.sim.now, kind: evSelf, sw: sw, pkt: em.Pkt})
+				} else {
+					l.sim.schedule(l.sim.now, event{kind: evSelf, sw: sw, pkt: em.Pkt})
+				}
+			} else {
+				em.Pkt.Release()
+			}
+		case em.Port >= 1:
+			l.send(sw, em.Port, em.Pkt)
+		default:
+			em.Pkt.Release()
+		}
+	}
+}
+
+// countInBand bumps the interned per-EtherType transmission counters.
+func (l *lane) countInBand(eth uint16, size int) {
+	idx := l.lastIdx
+	if idx >= len(l.counters) || l.counters[idx].eth != eth {
+		var ok bool
+		idx, ok = l.ethIdx[eth]
+		if !ok {
+			idx = len(l.counters)
+			l.counters = append(l.counters, ethCounter{eth: eth})
+			l.ethIdx[eth] = idx
+		}
+		l.lastIdx = idx
+	}
+	c := &l.counters[idx]
+	c.msgs++
+	c.bytes += size
+}
+
+// send puts a packet on the link attached to (sw, port), taking ownership
+// of pkt. The transmit side of the link (mode, loss rng, direction stats)
+// belongs to the sending switch's lane, so this needs no locks; only the
+// observer fan-out is serialized across lanes.
+func (l *lane) send(sw, port int, pkt *openflow.Packet) {
+	n := l.net
+	link := n.linkAt(sw, port)
+	if link == nil {
+		// Unconnected port: frame disappears, like real hardware.
+		pkt.Release()
+		return
+	}
+	l.countInBand(pkt.EthType, pkt.Size())
+	to, toPort, delivered := link.transmit(sw)
+	if st := l.sim.stats; st != nil {
+		st.Hops++
+		if !delivered {
+			st.HopsDropped++
+			// Only failed transmissions earn a ring entry: a delivered
+			// hop is already visible as the receiving switch's exec
+			// record, while a drop is precisely the event a post-mortem
+			// needs and would otherwise be invisible.
+			if l.flight != nil {
+				r := l.flight.Slot()
+				r.At = int64(l.sim.now)
+				r.Kind = telemetry.FlightSend
+				r.Sw = int16(sw)
+				r.Port = int16(port)
+				r.To = int16(to)
+				r.ToPort = int16(toPort)
+				r.Eth = pkt.EthType
+			}
+		}
+	}
+	if n.OnHop != nil || len(n.hopObs) > 0 {
+		h := Hop{From: sw, FromPort: port, To: to, ToPort: toPort}
+		if l.worker {
+			n.obsMu.Lock()
+		}
+		if n.OnHop != nil {
+			n.OnHop(h, pkt, delivered)
+		}
+		for _, ob := range n.hopObs {
+			ob(h, pkt, delivered)
+		}
+		if l.worker {
+			n.obsMu.Unlock()
+		}
+	}
+	if !delivered {
+		pkt.Release()
+		return
+	}
+	at := l.sim.now + link.Delay
+	ev := event{kind: evProcess, sw: to, port: toPort, pkt: pkt}
+	switch {
+	case l.worker:
+		if d := n.shardOf[to]; d != l.id {
+			// Cross-shard delivery: buffered, exchanged at the barrier.
+			// Conservative windows guarantee at >= the window end, so the
+			// receiver has not advanced past it.
+			l.out[d] = append(l.out[d], xev{at: at, kind: evProcess, sw: to, port: toPort, pkt: pkt})
+			return
+		}
+		l.sim.schedule(at, ev)
+	case n.multi:
+		// Control lane at a barrier (packet-outs, injections): workers are
+		// parked, so delivering straight into the owner's heap is safe.
+		n.lanes[n.shardOf[to]].sim.schedule(at, ev)
+	default:
+		l.sim.schedule(at, ev)
+	}
+}
+
+// decoderFor returns the decoder of an EtherType, or nil. The last hit is
+// cached per lane: traversals send long runs of one type, so the common
+// case is a single comparison, like the in-band accounting intern table.
+func (l *lane) decoderFor(eth uint16) *flightDecoder {
+	dec := l.net.flightDec
+	if i := l.lastDec; i < len(dec) && dec[i].eth == eth {
+		return &dec[i]
+	}
+	for i := range dec {
+		if dec[i].eth == eth {
+			l.lastDec = i
+			return &dec[i]
+		}
+	}
+	return nil
+}
+
+// runWindow drains the lane's heap up to (but excluding) simulation time
+// end, processing at most budget events, and returns the count processed.
+// It is Sim.Run's loop restricted to a window: worker heaps only ever
+// hold evProcess events (dispatch routes everything else through the
+// control lane), so the kind switch collapses to the batch path. The
+// telemetry sampling strides run off the lane's persistent tick counter
+// so short windows do not skew the sampled distributions.
+func (l *lane) runWindow(end Time, budget int) int {
+	s := &l.sim
+	st := s.stats
+	processed := 0
+	for len(s.events) > 0 && processed < budget {
+		if s.events[0].at >= end {
+			break
+		}
+		tick := l.ticks
+		l.ticks++
+		var t0 time.Time
+		sampled := false
+		histSample := false
+		if st != nil && tick&7 == 0 {
+			histSample = true
+			st.ObserveHeapDepth(int64(len(s.events)))
+			if tick&63 == 0 {
+				t0 = time.Now()
+				sampled = true
+			}
+		}
+		e := s.pop()
+		s.now = e.at
+		if st != nil {
+			st.Events[e.kind]++
+			if histSample {
+				st.QueueWait.Observe(int64(e.at - e.enq))
+			}
+		}
+		if e.kind != evProcess {
+			panic("network: non-process event on a worker lane")
+		}
+		// Drain the maximal run of process events for the same switch at
+		// the same timestamp into one batch (see Sim.Run for why batching
+		// preserves the event order). Equal timestamps are inside the
+		// window by construction.
+		b := append(s.batch[:0], e)
+		for len(s.events) > 0 && processed+len(b) < budget {
+			nx := &s.events[0]
+			if nx.at != e.at || nx.kind != evProcess || nx.sw != e.sw {
+				break
+			}
+			b = append(b, s.pop())
+		}
+		s.batch = b
+		if st != nil && len(b) > 1 {
+			st.Events[evProcess] += uint64(len(b) - 1)
+		}
+		l.processBatch(b)
+		for i := range b {
+			b[i] = event{}
+		}
+		processed += len(b)
+		if sampled {
+			st.HopWallNs.Observe(time.Since(t0).Nanoseconds())
+		}
+	}
+	return processed
+}
+
+// ctlStep pops and executes one control-lane event. It runs only at
+// window barriers, with every worker parked, so it may touch shared state
+// freely: controller callbacks (which install rules and inject packets),
+// scheduled link failures, packet-outs.
+func (l *lane) ctlStep() {
+	s := &l.sim
+	st := s.stats
+	tick := l.ticks
+	l.ticks++
+	var t0 time.Time
+	sampled := false
+	histSample := false
+	if st != nil && tick&7 == 0 {
+		histSample = true
+		st.ObserveHeapDepth(int64(len(s.events)))
+		if tick&63 == 0 {
+			t0 = time.Now()
+			sampled = true
+		}
+	}
+	e := s.pop()
+	s.now = e.at
+	if st != nil {
+		st.Events[e.kind]++
+		if histSample {
+			st.QueueWait.Observe(int64(e.at - e.enq))
+		}
+	}
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evProcess:
+		// The control lane owns no switches, so arrivals normally never
+		// land here; handle one anyway (a single-event batch) so a stray
+		// schedule degrades gracefully instead of dropping a packet.
+		b := append(s.batch[:0], e)
+		s.batch = b
+		l.processBatch(b)
+		b[0] = event{}
+	case evPacketIn:
+		if st != nil {
+			st.PacketIns++
+		}
+		if n := l.net; n.OnPacketIn != nil {
+			n.OnPacketIn(e.sw, e.pkt)
+		}
+	case evSelf:
+		if st != nil {
+			st.SelfDeliver++
+		}
+		if n := l.net; n.OnSelf != nil {
+			n.OnSelf(e.sw, e.pkt)
+		}
+	}
+	if sampled {
+		st.HopWallNs.Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
+// runSharded is the multi-shard event loop: a conservative time-window
+// coordinator over the worker lanes. Each iteration either executes one
+// due control event (serially, with workers parked) or opens a window
+// [tMin, W) — W = tMin + lookahead, capped at the next control event —
+// and lets every worker with due events drain it concurrently. Because
+// the lookahead is the minimum cross-shard link delay, a packet sent
+// during a window arrives no earlier than the window end, so no shard
+// ever receives an event in its past. At the barrier, buffered
+// cross-shard deliveries are merged deterministically: concatenated in
+// source-lane order and stable-sorted by timestamp, so the receiving
+// heap assigns the same sequence numbers for any interleaving of the
+// worker goroutines.
+func (n *Network) runSharded() (int, error) {
+	limit := n.Sim.MaxSteps
+	if limit == 0 {
+		limit = defaultMaxSteps
+	}
+	workers := n.lanes[: len(n.lanes)-1 : len(n.lanes)-1]
+	var wg sync.WaitGroup
+	for _, l := range workers {
+		l.jobs = make(chan laneJob, 1)
+		// The channel is passed by value: the goroutine must not read the
+		// lane field the cleanup below nils out.
+		go func(l *lane, jobs <-chan laneJob) {
+			for j := range jobs {
+				l.wprocessed = l.runWindow(j.end, j.budget)
+				wg.Done()
+			}
+		}(l, l.jobs)
+	}
+	defer func() {
+		for _, l := range workers {
+			close(l.jobs)
+			l.jobs = nil
+		}
+	}()
+
+	processed := 0
+	var err error
+	for {
+		// The global frontier: the earliest pending event anywhere.
+		tMin := maxTime
+		any := false
+		for _, l := range n.lanes {
+			if len(l.sim.events) > 0 {
+				if t := l.sim.events[0].at; !any || t < tMin {
+					tMin, any = t, true
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		if processed >= limit {
+			err = ErrEventLimit{Steps: processed}
+			break
+		}
+		// Control events at the frontier run first, one at a time — each
+		// may mutate shared state or schedule new work anywhere, so the
+		// frontier is recomputed after every step.
+		if cs := &n.ctl.sim; len(cs.events) > 0 && cs.events[0].at <= tMin {
+			n.ctl.ctlStep()
+			processed++
+			continue
+		}
+		w := tMin + n.lookahead
+		if w <= tMin {
+			w = maxTime // lookahead overflowed the clock; window is unbounded
+		}
+		if cs := &n.ctl.sim; len(cs.events) > 0 && cs.events[0].at < w {
+			// Never run a worker past a pending control action: it could
+			// change link modes or tables the worker would observe.
+			w = cs.events[0].at
+		}
+		budget := limit - processed
+		active := 0
+		for _, l := range workers {
+			if len(l.sim.events) > 0 && l.sim.events[0].at < w {
+				active++
+			}
+		}
+		wg.Add(active)
+		for _, l := range workers {
+			if len(l.sim.events) > 0 && l.sim.events[0].at < w {
+				l.jobs <- laneJob{end: w, budget: budget}
+			}
+		}
+		wg.Wait()
+		for _, l := range workers {
+			processed += l.wprocessed
+			l.wprocessed = 0
+		}
+		n.mergeWindow(workers)
+	}
+
+	if err == nil {
+		// Align every lane clock to the latest one so Sim.Now() (the
+		// control lane) reports the end of the run.
+		end := n.ctl.sim.now
+		for _, l := range workers {
+			if l.sim.now > end {
+				end = l.sim.now
+			}
+		}
+		for _, l := range n.lanes {
+			l.sim.now = end
+		}
+	}
+	return processed, err
+}
+
+// mergeWindow exchanges the events buffered during one window: for each
+// destination lane, the outboxes of every source lane are concatenated in
+// lane order and stable-sorted by timestamp before scheduling, so the
+// destination assigns sequence numbers in an order independent of how the
+// worker goroutines interleaved.
+func (n *Network) mergeWindow(workers []*lane) {
+	for d := range workers {
+		buf := n.mergeBuf[:0]
+		for _, src := range workers {
+			o := src.out[d]
+			buf = append(buf, o...)
+			for i := range o {
+				o[i] = xev{}
+			}
+			src.out[d] = o[:0]
+		}
+		n.scheduleMerged(&workers[d].sim, buf)
+	}
+	buf := n.mergeBuf[:0]
+	for _, src := range workers {
+		buf = append(buf, src.ctlOut...)
+		for i := range src.ctlOut {
+			src.ctlOut[i] = xev{}
+		}
+		src.ctlOut = src.ctlOut[:0]
+	}
+	n.scheduleMerged(&n.ctl.sim, buf)
+}
+
+// scheduleMerged stable-sorts one destination's merged buffer by
+// timestamp and schedules it, then scrubs the scratch so it does not pin
+// packets.
+func (n *Network) scheduleMerged(s *Sim, buf []xev) {
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].at < buf[j].at })
+	for i := range buf {
+		x := &buf[i]
+		s.schedule(x.at, event{kind: x.kind, sw: x.sw, port: x.port, pkt: x.pkt})
+		*x = xev{}
+	}
+	n.mergeBuf = buf[:0]
+}
+
+// InstallBatch applies install to each of the given switches, grouped by
+// owning shard and run concurrently across shards when the network is
+// sharded (install must then be safe to call concurrently for switches of
+// different shards — table materialization and dispatch compilation
+// touch only the target switch). On a single-loop network — or when the
+// runtime has a single CPU to offer, where goroutine fan-out is pure
+// scheduling overhead — it simply runs in order, preserving the classic
+// install sequence byte for byte.
+func (n *Network) InstallBatch(ids []int, install func(id int)) {
+	if !n.multi || len(ids) < 2 || runtime.GOMAXPROCS(0) == 1 {
+		for _, id := range ids {
+			install(id)
+		}
+		return
+	}
+	byShard := make(map[int][]int)
+	for _, id := range ids {
+		s := n.shardOf[id]
+		byShard[s] = append(byShard[s], id)
+	}
+	var wg sync.WaitGroup
+	for _, group := range byShard {
+		wg.Add(1)
+		go func(group []int) {
+			defer wg.Done()
+			for _, id := range group {
+				install(id)
+			}
+		}(group)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,205 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"smartsouth/internal/openflow"
+	"smartsouth/internal/topo"
+)
+
+// lineRun pushes a burst of packets rightwards down a line under the
+// given shard count and returns a digest of everything the network
+// reports: delivery order at the sink, in-band accounting, and the final
+// clock. Packets are injected at staggered switches and times so the
+// shards genuinely overlap in simulation time.
+func lineRun(t *testing.T, nodes, shards, packets int) string {
+	t.Helper()
+	g := topo.Line(nodes)
+	n := New(g, Options{Shards: shards})
+	lineForwarding(n)
+
+	var deliveries []string
+	n.OnSelf = func(sw int, pkt *openflow.Packet) {
+		deliveries = append(deliveries, fmt.Sprintf("%d@%d", sw, n.Sim.Now()))
+	}
+	for i := 0; i < packets; i++ {
+		src := 1 + i%(nodes-2)
+		n.Inject(src, 1, openflow.NewPacket(testEth, 2), Time(i)*300)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("deliv=%v msgs=%d bytes=%d total=%d end=%d",
+		deliveries, n.InBandCount(testEth), n.InBandSize(testEth), n.TotalInBand(), n.Sim.Now())
+}
+
+// TestShardedLineMatchesSingle pins the sharded engine's observable
+// outputs — delivery sequence, Table-2 in-band accounting, final clock —
+// to the classic single loop on a workload whose event order is
+// shard-invariant (distinct delivery timestamps).
+func TestShardedLineMatchesSingle(t *testing.T) {
+	want := lineRun(t, 24, 1, 12)
+	for _, shards := range []int{2, 3, 4, 8} {
+		if got := lineRun(t, 24, shards, 12); got != want {
+			t.Errorf("shards=%d diverged:\n got %s\nwant %s", shards, got, want)
+		}
+	}
+}
+
+// TestShardedRepeatable pins determinism for a fixed shard count: two
+// identical sharded runs must agree byte for byte.
+func TestShardedRepeatable(t *testing.T) {
+	a := lineRun(t, 40, 4, 30)
+	b := lineRun(t, 40, 4, 30)
+	if a != b {
+		t.Errorf("same-config sharded runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestShardedPacketIn routes controller deliveries from worker lanes
+// through the control lane and checks they all arrive, at the same
+// simulation times as the single loop.
+func TestShardedPacketIn(t *testing.T) {
+	run := func(shards int) string {
+		g := topo.Line(16)
+		n := New(g, Options{Shards: shards})
+		// Every switch punts arrivals on port 1 to the controller.
+		for i := 1; i < n.NumSwitches(); i++ {
+			n.Switch(i).AddFlow(0, &openflow.FlowEntry{Priority: 1,
+				Match: openflow.MatchAll().WithInPort(1), Goto: openflow.NoGoto,
+				Actions: []openflow.Action{openflow.Output{Port: openflow.PortController}}, Cookie: "punt"})
+		}
+		var ins []string
+		n.OnPacketIn = func(sw int, pkt *openflow.Packet) {
+			ins = append(ins, fmt.Sprintf("%d@%d", sw, n.Sim.Now()))
+		}
+		for i := 1; i < 16; i++ {
+			n.Inject(i, 1, openflow.NewPacket(testEth, 2), Time(i)*10)
+		}
+		if _, err := n.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v", ins)
+	}
+	want := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != want {
+			t.Errorf("shards=%d packet-ins %s, want %s", shards, got, want)
+		}
+	}
+}
+
+// TestShardedScheduledLinkDown checks that a control event fencing the
+// windows (a scheduled failure mid-run) takes effect at exactly its
+// timestamp under any shard count: packets crossing the cut link before
+// the failure arrive, later ones drop.
+func TestShardedScheduledLinkDown(t *testing.T) {
+	run := func(shards int) string {
+		g := topo.Line(12)
+		n := New(g, Options{Shards: shards})
+		lineForwarding(n)
+		delivered := 0
+		n.OnSelf = func(int, *openflow.Packet) { delivered++ }
+		// One packet every 2µs from node 1; the 5-6 link dies at 40µs.
+		for i := 0; i < 20; i++ {
+			n.Inject(1, 1, openflow.NewPacket(testEth, 2), Time(i)*2000)
+		}
+		if err := n.ScheduleLinkDown(5, 6, true, 40_000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Run(); err != nil {
+			t.Fatal(err)
+		}
+		l := n.LinkBetween(5, 6)
+		return fmt.Sprintf("deliv=%d sent=%d drop=%d end=%d",
+			delivered, l.StatsAB.Sent, l.StatsAB.Dropped, n.Sim.Now())
+	}
+	want := run(1)
+	for _, shards := range []int{2, 3, 4} {
+		if got := run(shards); got != want {
+			t.Errorf("shards=%d: %s, want %s", shards, got, want)
+		}
+	}
+}
+
+// TestShardedLossyLink exercises the per-direction loss rngs across
+// shard counts: the loss *sequence* is seeded per direction, so the exact
+// drop pattern is identical for every shard count at the same seed.
+func TestShardedLossyLink(t *testing.T) {
+	run := func(shards int) string {
+		g := topo.Line(10)
+		n := New(g, Options{Shards: shards, Seed: 11})
+		lineForwarding(n)
+		if err := n.SetLoss(4, 5, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		delivered := 0
+		n.OnSelf = func(int, *openflow.Packet) { delivered++ }
+		for i := 0; i < 40; i++ {
+			n.Inject(1, 1, openflow.NewPacket(testEth, 2), Time(i)*5000)
+		}
+		if _, err := n.Run(); err != nil {
+			t.Fatal(err)
+		}
+		l := n.LinkBetween(4, 5)
+		return fmt.Sprintf("deliv=%d sent=%d drop=%d", delivered, l.StatsAB.Sent, l.StatsAB.Dropped)
+	}
+	want := run(1)
+	if got := run(4); got != want {
+		t.Errorf("shards=4: %s, want %s", got, want)
+	}
+}
+
+// TestShardedEventLimit surfaces the step budget as ErrEventLimit under
+// sharding too (the per-window budgets may overshoot by up to the shard
+// count, but the error must still fire).
+func TestShardedEventLimit(t *testing.T) {
+	g := topo.Line(24)
+	n := New(g, Options{Shards: 4, MaxSteps: 10})
+	lineForwarding(n)
+	for i := 0; i < 8; i++ {
+		n.Inject(1+i, 1, openflow.NewPacket(testEth, 2), 0)
+	}
+	_, err := n.Run()
+	var lim ErrEventLimit
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+// TestShardClamping: shard counts beyond the node count clamp, and 0/1
+// keep the classic single loop.
+func TestShardClamping(t *testing.T) {
+	g := topo.Line(3)
+	if n := New(g, Options{Shards: 64}); n.Shards() != 3 {
+		t.Errorf("Shards() = %d, want 3 (clamped)", n.Shards())
+	}
+	for _, s := range []int{0, 1} {
+		n := New(g, Options{Shards: s})
+		if n.Shards() != 1 || n.multi {
+			t.Errorf("Shards=%d: got %d lanes multi=%v, want single loop", s, n.Shards(), n.multi)
+		}
+	}
+}
+
+// TestShardedObserverSerialization registers a hop observer mutating
+// unsynchronized state; the network must serialize the fan-out across
+// worker lanes (this test is the -race probe for obsMu).
+func TestShardedObserverSerialization(t *testing.T) {
+	g := topo.Line(32)
+	n := New(g, Options{Shards: 8})
+	lineForwarding(n)
+	hops := 0
+	n.ObserveHops(func(Hop, *openflow.Packet, bool) { hops++ })
+	for i := 0; i < 16; i++ {
+		n.Inject(1+i, 1, openflow.NewPacket(testEth, 2), Time(i)*100)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hops != n.TotalInBand() {
+		t.Errorf("observer saw %d hops, accounting says %d", hops, n.TotalInBand())
+	}
+}

@@ -73,9 +73,9 @@ type Sim struct {
 	seq    uint64
 	events []event
 
-	// net receives the typed packet events; set by network.New. A zero
-	// Sim still runs evFunc events.
-	net *Network
+	// lane owns this Sim and receives the typed packet events; set by
+	// network.New. A zero Sim still runs evFunc events.
+	lane *lane
 
 	// MaxSteps bounds the number of events processed per Run call, so a
 	// miscompiled rule set that ping-pongs a packet forever surfaces as
@@ -241,7 +241,7 @@ func (s *Sim) Run() (int, error) {
 			}
 			// processBatch releases (or forwards) the batch packets; the
 			// scratch only needs its references dropped.
-			s.net.processBatch(b)
+			s.lane.processBatch(b)
 			for i := range b {
 				b[i] = event{}
 			}
@@ -250,15 +250,15 @@ func (s *Sim) Run() (int, error) {
 			if st != nil {
 				st.PacketIns++
 			}
-			if s.net.OnPacketIn != nil {
-				s.net.OnPacketIn(e.sw, e.pkt)
+			if n := s.lane.net; n.OnPacketIn != nil {
+				n.OnPacketIn(e.sw, e.pkt)
 			}
 		case evSelf:
 			if st != nil {
 				st.SelfDeliver++
 			}
-			if s.net.OnSelf != nil {
-				s.net.OnSelf(e.sw, e.pkt)
+			if n := s.lane.net; n.OnSelf != nil {
+				n.OnSelf(e.sw, e.pkt)
 			}
 		}
 		if sampled {

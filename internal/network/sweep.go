@@ -27,6 +27,31 @@ import (
 // run sequentially on the calling goroutine in index order, which is the
 // reference behaviour parallel runs are compared against.
 func Sweep(n, workers int, job func(i int) error) error {
+	return SweepWith(n, workers,
+		func(int) struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return job(i) })
+}
+
+// SweepWith is Sweep with per-worker reusable state: each live worker
+// calls newState once — typically building a deployed network plus
+// whatever scratch the jobs need — and every job that worker picks up
+// receives that same value. At 10k+ switches, building a network and
+// installing its programs costs far more than running one measurement,
+// so rebuilding per iteration makes setup dominate the sweep; one
+// network per worker amortizes the setup across all iterations that
+// worker executes.
+//
+// Jobs on one worker run sequentially, so mutating the state between
+// iterations is safe as long as each job resets what it measures
+// (accounting, runtime stats, inboxes) — the monitoring-loop idiom:
+// reset, trigger, run, collect. Jobs must not assume which worker — and
+// therefore which state value — a given index lands on: with more than
+// one worker the assignment is a race by design, so any per-index output
+// must depend only on the index, not on the state's history.
+//
+// newState receives the worker index w in [0, workers); the sequential
+// path uses a single state built with w == 0.
+func SweepWith[S any](n, workers int, newState func(w int) S, job func(st S, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -43,9 +68,10 @@ func Sweep(n, workers int, job func(i int) error) error {
 	m.ResetSweepWorkers(workers)
 	sweepStart := time.Now()
 	if workers == 1 {
+		st := newState(0)
 		for i := 0; i < n; i++ {
 			t0 := time.Now()
-			errs[i] = job(i)
+			errs[i] = job(st, i)
 			m.NoteSweepJob(0, time.Since(t0).Nanoseconds())
 		}
 		m.SweepWallNs.Add(time.Since(sweepStart).Nanoseconds())
@@ -63,13 +89,14 @@ func Sweep(n, workers int, job func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			st := newState(w)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				t0 := time.Now()
-				errs[i] = job(i)
+				errs[i] = job(st, i)
 				m.NoteSweepJob(w, time.Since(t0).Nanoseconds())
 			}
 		}(w)

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"io"
 	"time"
 
 	"smartsouth/internal/openflow"
@@ -59,7 +60,7 @@ type flightDecoder struct {
 // switch now, not on the record path. Re-registering an EtherType
 // replaces its decoder. No-op when the flight recorder is disabled.
 func (n *Network) RegisterFlightTags(eth uint16, names [3]string, fields FlightTagFields) {
-	if n.flight == nil || fields == nil {
+	if n.ctl.flight == nil || fields == nil {
 		return
 	}
 	var cnt uint8
@@ -78,7 +79,14 @@ func (n *Network) RegisterFlightTags(eth uint16, names [3]string, fields FlightT
 			}
 		}
 	}
-	d := flightDecoder{eth: eth, nameIdx: n.flight.RegisterTagNames(names), n: cnt, wide: wide}
+	// Intern the name set in every lane's ring. Registration order is the
+	// same on each ring (this loop, every call), so the index agrees
+	// across lanes and the shared decoder can carry a single nameIdx.
+	var nameIdx uint8
+	for _, l := range n.lanes {
+		nameIdx = l.flight.RegisterTagNames(names)
+	}
+	d := flightDecoder{eth: eth, nameIdx: nameIdx, n: cnt, wide: wide}
 	if wide {
 		d.fieldsBySw = bySw
 	} else {
@@ -105,35 +113,40 @@ func (n *Network) RegisterFlightTags(eth uint16, names [3]string, fields FlightT
 	n.flightDec = append(n.flightDec, d)
 }
 
-// decoderFor returns the decoder of an EtherType, or nil. The last hit is
-// cached: traversals send long runs of one type, so the common case is a
-// single comparison, like the in-band accounting intern table.
-func (n *Network) decoderFor(eth uint16) *flightDecoder {
-	if i := n.lastDec; i < len(n.flightDec) && n.flightDec[i].eth == eth {
-		return &n.flightDec[i]
+// Flight returns the control lane's flight recorder, nil when telemetry
+// or the recorder is disabled. On a sharded network each worker lane
+// keeps its own ring as well; WriteFlightJSONL merges them.
+func (n *Network) Flight() *telemetry.Flight { return n.ctl.flight }
+
+// WriteFlightJSONL dumps the flight history as JSONL: the single ring of
+// a classic network verbatim, or the per-lane rings of a sharded network
+// merged by simulation time (ties keep lane order, so a deterministic run
+// dumps deterministically).
+func (n *Network) WriteFlightJSONL(w io.Writer) error {
+	if n.ctl.flight == nil {
+		return nil
 	}
-	for i := range n.flightDec {
-		if n.flightDec[i].eth == eth {
-			n.lastDec = i
-			return &n.flightDec[i]
-		}
+	if !n.multi {
+		return n.ctl.flight.WriteJSONL(w)
 	}
-	return nil
+	rings := make([]*telemetry.Flight, 0, len(n.lanes))
+	for _, l := range n.lanes {
+		rings = append(rings, l.flight)
+	}
+	return telemetry.WriteMergedJSONL(w, rings)
 }
 
-// Flight returns the network's flight recorder, nil when telemetry or the
-// recorder is disabled.
-func (n *Network) Flight() *telemetry.Flight { return n.flight }
-
 // FlightNote appends a free-form marker record (phase boundary, oracle
-// verdict, gate rejection) to the flight recorder, if enabled.
+// verdict, gate rejection) to the control lane's flight recorder, if
+// enabled.
 func (n *Network) FlightNote(text string) {
-	if n.flight == nil {
+	f := n.ctl.flight
+	if f == nil {
 		return
 	}
 	r := telemetry.FlightRecord{At: int64(n.Sim.now), Kind: telemetry.FlightNote, Sw: -1}
-	n.flight.SetCookie(&r, text)
-	n.flight.Record(r)
+	f.SetCookie(&r, text)
+	f.Record(r)
 }
 
 // capture decodes the registered tag fields of one packet tag area into
@@ -165,14 +178,21 @@ func (d *flightDecoder) capture(sw int, tag []byte, out *[3]uint32) {
 // the staged per-loop counters into the process-global metrics: the Run's
 // simulated and wall-clock spans, the event/hop/pool counters, and the
 // FlowTable scan deltas accumulated by the switches since the last flush.
+// On a sharded network the drain is the conservative-window coordinator
+// (runSharded) and every worker lane's staging is folded into the control
+// lane's before the single flush.
 func (n *Network) Run() (int, error) {
+	run := n.Sim.Run
+	if n.multi {
+		run = n.runSharded
+	}
 	st := n.Sim.stats
 	if st == nil {
-		return n.Sim.Run()
+		return run()
 	}
 	simStart := n.Sim.now
 	wallStart := time.Now()
-	steps, err := n.Sim.Run()
+	steps, err := run()
 	var agg openflow.ScanStats
 	var cm uint64
 	for _, sw := range n.switches {
@@ -185,10 +205,18 @@ func (n *Network) Run() (int, error) {
 	st.StateCommits += cm - n.prevCommits
 	n.prevMatcher, n.prevFallback = agg.MatcherLookups, agg.FallbackLookups
 	n.prevScanned, n.prevCommits = agg.Scanned, cm
-	if n.flight != nil {
-		// Record counts are derived from the ring's running total here,
+	for _, l := range n.lanes {
+		if l != n.ctl && l.sim.stats != nil {
+			st.MergeFrom(l.sim.stats)
+		}
+	}
+	if n.ctl.flight != nil {
+		// Record counts are derived from the rings' running totals here,
 		// once per Run, so the record paths don't pay a counter bump.
-		t := n.flight.Total()
+		var t uint64
+		for _, l := range n.lanes {
+			t += l.flight.Total()
+		}
 		st.FlightRecords += t - n.prevFlightRecs
 		n.prevFlightRecs = t
 	}

@@ -83,11 +83,15 @@ type FlowTable struct {
 	wild    []*FlowEntry           // entries with a wildcarded EtherType
 
 	// version counts mutations (Add/RemoveIf/Clear). The compiled matcher
-	// records the version it was built at; Lookup only trusts it while the
-	// two agree, so a mutated table transparently falls back to the bucket
-	// scan until the install path recompiles it (see matcher.go).
+	// records the version it was built at, so staleness stays auditable,
+	// but the per-packet path does not compare versions: cur caches the
+	// matcher pointer while it is current and every mutator nils it, so a
+	// mutated table transparently falls back to the bucket scan — one nil
+	// check instead of a load-and-compare — until the install path
+	// recompiles (see matcher.go).
 	version uint64
 	m       *matcher
+	cur     *matcher // m while m.version == version, else nil
 
 	// mlookups / flookups / scanned count Lookup calls served by the
 	// compiled matcher, Lookup calls served by the fallback bucket scan,
@@ -137,6 +141,7 @@ func (t *FlowTable) Add(e *FlowEntry) {
 	e.seq = t.seq
 	t.seq++
 	t.version++
+	t.cur = nil
 	i := sort.Search(len(t.entries), func(i int) bool {
 		return t.entries[i].Priority < e.Priority
 	})
@@ -151,6 +156,61 @@ func (t *FlowTable) Add(e *FlowEntry) {
 		t.buckets[k] = insertOrdered(t.buckets[k], e)
 	} else {
 		t.wild = insertOrdered(t.wild, e)
+	}
+}
+
+// byTableOrder is the table's total order: priority descending, ties
+// broken by insertion sequence — exactly the order incremental Add
+// maintains.
+func byTableOrder(list []*FlowEntry) func(i, j int) bool {
+	return func(i, j int) bool {
+		if list[i].Priority != list[j].Priority {
+			return list[i].Priority > list[j].Priority
+		}
+		return list[i].seq < list[j].seq
+	}
+}
+
+// AddBatch installs a batch of entries as one mutation: sequence numbers
+// follow slice order, then the flat list and each touched dispatch bucket
+// are re-sorted once. Installing k entries into a table holding n this
+// way costs O((n+k)·log(n+k)) instead of the O(k·(n+k)) element moves of
+// k sorted inserts — the in-memory analogue of a batched flow-mod
+// transaction versus k wire messages, and what keeps a 10k-switch
+// program install linear in its rule count.
+func (t *FlowTable) AddBatch(es []*FlowEntry) {
+	if len(es) == 0 {
+		return
+	}
+	if len(es) == 1 {
+		t.Add(es[0])
+		return
+	}
+	t.version++
+	t.cur = nil
+	var wildTouched bool
+	touched := make(map[ftKey]struct{})
+	for _, e := range es {
+		e.seq = t.seq
+		t.seq++
+		if k, ok := keyOf(e.Match); ok {
+			if t.buckets == nil {
+				t.buckets = make(map[ftKey][]*FlowEntry)
+			}
+			t.buckets[k] = append(t.buckets[k], e)
+			touched[k] = struct{}{}
+		} else {
+			t.wild = append(t.wild, e)
+			wildTouched = true
+		}
+	}
+	t.entries = append(t.entries, es...)
+	sort.Slice(t.entries, byTableOrder(t.entries))
+	for k := range touched {
+		sort.Slice(t.buckets[k], byTableOrder(t.buckets[k]))
+	}
+	if wildTouched {
+		sort.Slice(t.wild, byTableOrder(t.wild))
 	}
 }
 
@@ -195,7 +255,7 @@ func better(a, b *FlowEntry) *FlowEntry {
 // a full priority-ordered scan would have returned. Lookup does not
 // allocate on either path.
 func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
-	if m := t.m; m != nil && m.version == t.version {
+	if m := t.cur; m != nil {
 		e, probed := m.lookup(p)
 		t.mlookups++
 		t.scanned += uint64(probed)
@@ -288,6 +348,7 @@ func (t *FlowTable) RemoveIf(pred func(*FlowEntry) bool) int {
 	t.entries = kept
 	if removed > 0 {
 		t.version++
+		t.cur = nil
 		t.reindex()
 	}
 	return removed
@@ -318,6 +379,7 @@ func (t *FlowTable) Clear() int {
 	t.buckets = nil
 	t.wild = nil
 	t.version++
+	t.cur = nil
 	return n
 }
 

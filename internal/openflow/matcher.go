@@ -494,14 +494,16 @@ func (m *matcher) pack() {
 
 // Compile (re)builds the table's compiled matcher from the current
 // entries. The matcher is immutable and versioned: any later mutation
-// sends Lookup back to the fallback scan until the next Compile. Install
-// is an off-hot-path phase, so compile cost never taxes packet time.
+// nils the cached pointer and sends Lookup back to the fallback scan
+// until the next Compile. Install is an off-hot-path phase, so compile
+// cost never taxes packet time.
 func (t *FlowTable) Compile() {
 	t.m = compileMatcher(t.entries, t.version)
+	t.cur = t.m
 }
 
 // Compiled reports whether Lookup is currently served by the compiled
 // matcher (a matcher exists and no mutation has outdated it).
 func (t *FlowTable) Compiled() bool {
-	return t.m != nil && t.m.version == t.version
+	return t.cur != nil
 }

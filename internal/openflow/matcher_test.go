@@ -138,8 +138,10 @@ func TestMatcherDifferentialFuzz(t *testing.T) {
 					}
 				}
 				// The same packets must agree on the fallback path too:
-				// bump the version so Lookup distrusts the matcher.
+				// invalidate the cached matcher the way mutators do so
+				// Lookup distrusts it.
 				ft.version++
+				ft.cur = nil
 				r2 := rand.New(rand.NewSource(seed + 1000))
 				for i := 0; i < 200; i++ {
 					p := randFuzzPacket(r2, cfg)

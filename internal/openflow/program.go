@@ -83,10 +83,23 @@ func (sp *SwitchProgram) Materialize(sw *Switch) {
 	for _, g := range sp.Groups {
 		sw.AddGroup(g.Clone())
 	}
+	// Group the clones per table and install each group as one batch:
+	// encounter order within a table is preserved, so the per-table
+	// sequence numbers — and with them first-add-wins tie-breaking — come
+	// out exactly as per-rule adds would assign them, at the batched cost
+	// (see FlowTable.AddBatch).
+	byTable := make(map[int][]*FlowEntry)
+	var tables []int
 	for _, r := range sp.Flows {
 		ne := *r.Entry
 		ne.Packets = 0
-		sw.AddFlow(r.Table, &ne)
+		if _, ok := byTable[r.Table]; !ok {
+			tables = append(tables, r.Table)
+		}
+		byTable[r.Table] = append(byTable[r.Table], &ne)
+	}
+	for _, id := range tables {
+		sw.Table(id).AddBatch(byTable[id])
 	}
 	for _, ts := range sp.States {
 		for _, e := range ts.Entries {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // FlightKind classifies a flight-recorder record.
@@ -287,6 +288,24 @@ type jsonRecord struct {
 	Tags      []FlightTag `json:"tags,omitempty"`
 }
 
+// jsonFor builds the JSONL view of one record, resolving cookies and tag
+// names from this recorder's interned tables.
+func (f *Flight) jsonFor(r *FlightRecord, seq uint64) jsonRecord {
+	jr := jsonRecord{
+		Seq: seq, At: r.At, Kind: r.Kind.String(),
+		Sw: r.Sw, Port: r.Port, To: r.To, ToPort: r.ToPort,
+		Eth: r.Eth, Matched: r.Matched, Delivered: r.Delivered,
+		Cookie: f.CookieString(r), Group: r.Group, Bucket: r.Bucket,
+	}
+	if r.NumTags > 0 && int(r.NameIdx) < len(f.names) {
+		names := &f.names[r.NameIdx]
+		for t := uint8(0); t < r.NumTags && t < 3; t++ {
+			jr.Tags = append(jr.Tags, FlightTag{Name: names[t], Val: uint64(r.Tags[t])})
+		}
+	}
+	return jr
+}
+
 // WriteJSONL writes the retained records as one JSON object per line,
 // oldest first — the post-mortem dump format. Sequence numbers are
 // reconstructed from the ring position; cookies and tag names resolved
@@ -297,19 +316,44 @@ func (f *Flight) WriteJSONL(w io.Writer) error {
 	start := f.seq - n
 	for i := uint64(0); i < n; i++ {
 		r := &f.ring[(start+i)&f.mask]
-		jr := jsonRecord{
-			Seq: start + i, At: r.At, Kind: r.Kind.String(),
-			Sw: r.Sw, Port: r.Port, To: r.To, ToPort: r.ToPort,
-			Eth: r.Eth, Matched: r.Matched, Delivered: r.Delivered,
-			Cookie: f.CookieString(r), Group: r.Group, Bucket: r.Bucket,
+		if err := enc.Encode(f.jsonFor(r, start+i)); err != nil {
+			return err
 		}
-		if r.NumTags > 0 && int(r.NameIdx) < len(f.names) {
-			names := &f.names[r.NameIdx]
-			for t := uint8(0); t < r.NumTags && t < 3; t++ {
-				jr.Tags = append(jr.Tags, FlightTag{Name: names[t], Val: uint64(r.Tags[t])})
-			}
+	}
+	return nil
+}
+
+// WriteMergedJSONL interleaves the retained records of several recorders
+// into one JSONL stream ordered by simulation time — the post-mortem view
+// of a sharded run, where each lane keeps its own ring. Records with equal
+// timestamps keep ring order (the rings slice order, then ring position),
+// so the merged dump is deterministic for a deterministic run. Sequence
+// numbers are reassigned 0..n-1 over the merged stream; each record's
+// cookies and tag names resolve through its own recorder.
+func WriteMergedJSONL(w io.Writer, rings []*Flight) error {
+	type src struct {
+		f   *Flight
+		r   *FlightRecord
+		pos uint64 // position within its ring's retained span
+	}
+	var all []src
+	for _, f := range rings {
+		if f == nil {
+			continue
 		}
-		if err := enc.Encode(jr); err != nil {
+		n := uint64(f.Len())
+		start := f.seq - n
+		for i := uint64(0); i < n; i++ {
+			all = append(all, src{f: f, r: &f.ring[(start+i)&f.mask], pos: i})
+		}
+	}
+	// Each ring is recorded by one monotonic clock, so a stable sort by
+	// timestamp keeps per-ring order automatically; ties across rings
+	// resolve by the rings slice order because that is the append order.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].r.At < all[j].r.At })
+	enc := json.NewEncoder(w)
+	for i, s := range all {
+		if err := enc.Encode(s.f.jsonFor(s.r, uint64(i))); err != nil {
 			return err
 		}
 	}

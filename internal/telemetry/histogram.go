@@ -171,6 +171,39 @@ func (l *LocalHist) Observe(v int64) {
 // Count returns the number of unflushed observations.
 func (l *LocalHist) Count() uint64 { return l.count }
 
+// Merge folds another LocalHist into l and resets o — how a sharded
+// simulation folds its per-lane staging into the control lane's before
+// one FlushTo publishes the union. Both histograms must be quiescent
+// (their owning loops parked), like FlushTo.
+func (l *LocalHist) Merge(o *LocalHist) {
+	if o.count == 0 {
+		return
+	}
+	if l.count == 0 {
+		l.lo, l.hi = o.lo, o.hi
+	} else {
+		if o.lo < l.lo {
+			l.lo = o.lo
+		}
+		if o.hi > l.hi {
+			l.hi = o.hi
+		}
+	}
+	for i := o.lo; i <= o.hi; i++ {
+		if c := o.buckets[i]; c > 0 {
+			l.buckets[i] += c
+			o.buckets[i] = 0
+		}
+	}
+	l.count += o.count
+	l.sum += o.sum
+	if o.max > l.max {
+		l.max = o.max
+	}
+	o.count, o.sum, o.max = 0, 0, 0
+	o.lo, o.hi = 0, 0
+}
+
 // FlushTo folds the local counts into h and resets the local state.
 func (l *LocalHist) FlushTo(h *Histogram) {
 	if l.count == 0 {

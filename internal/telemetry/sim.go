@@ -152,6 +152,39 @@ func (s *SimLocal) ObserveHeapDepth(d int64) {
 	}
 }
 
+// MergeFrom folds another staging area into s and clears o — used by the
+// sharded simulator to collapse per-lane staging into the control lane's
+// before a single FlushTo publishes the Run. Both sides must be quiescent
+// (the owning loops parked at a barrier or finished).
+func (s *SimLocal) MergeFrom(o *SimLocal) {
+	for k := 0; k < numKinds; k++ {
+		s.Events[k] += o.Events[k]
+		o.Events[k] = 0
+	}
+	s.HeapDepth.Merge(&o.HeapDepth)
+	s.QueueWait.Merge(&o.QueueWait)
+	s.HopWallNs.Merge(&o.HopWallNs)
+	if o.heapPeak > s.heapPeak {
+		s.heapPeak = o.heapPeak
+	}
+	o.heapPeak = 0
+
+	move := func(dst, src *uint64) {
+		*dst += *src
+		*src = 0
+	}
+	move(&s.Hops, &o.Hops)
+	move(&s.HopsDropped, &o.HopsDropped)
+	move(&s.PacketIns, &o.PacketIns)
+	move(&s.SelfDeliver, &o.SelfDeliver)
+	move(&s.PoolGets, &o.PoolGets)
+	move(&s.MatcherLookups, &o.MatcherLookups)
+	move(&s.FallbackLookups, &o.FallbackLookups)
+	move(&s.FlowScanned, &o.FlowScanned)
+	move(&s.StateCommits, &o.StateCommits)
+	move(&s.FlightRecords, &o.FlightRecords)
+}
+
 // FlushTo publishes and clears the staged values. simNs/wallNs are the
 // Run's spans; err reports whether the Run failed.
 func (s *SimLocal) FlushTo(m *Metrics, simNs, wallNs int64, err bool) {

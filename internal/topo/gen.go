@@ -209,3 +209,82 @@ func FatTree(k int) (*Graph, error) {
 	}
 	return g, nil
 }
+
+// Clos returns a two-stage folded-Clos (leaf-spine) fabric: nodes
+// 0..spines-1 are spine switches, spines..spines+leaves-1 are leaves, and
+// every leaf connects to every spine — the non-blocking datacenter fabric
+// one tier flatter than a fat-tree. Total switches: spines + leaves;
+// edges: spines * leaves.
+func Clos(spines, leaves int) (*Graph, error) {
+	if spines < 1 || leaves < 1 {
+		return nil, fmt.Errorf("topo: clos needs >= 1 spine and >= 1 leaf, got %d/%d", spines, leaves)
+	}
+	g := NewGraph(spines + leaves)
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			g.MustAddEdge(spines+l, s)
+		}
+	}
+	return g, nil
+}
+
+// ISP returns an ISP-style hierarchical topology: pops points of presence
+// on a backbone ring with seeded random long-haul chords, each PoP holding
+// routersPerPop routers — two gateways that carry the backbone links plus
+// dual-homed access routers attached to both gateways. With
+// routersPerPop == 1 the single router is the gateway. Node IDs are
+// contiguous per PoP (PoP p owns p*routersPerPop..(p+1)*routersPerPop-1),
+// which gives a BFS partitioner natural shard locality. Deterministic for
+// a given seed; always connected for pops >= 1.
+func ISP(pops, routersPerPop int, seed int64) (*Graph, error) {
+	if pops < 1 || routersPerPop < 1 {
+		return nil, fmt.Errorf("topo: isp needs >= 1 pop and >= 1 router per pop, got %d/%d", pops, routersPerPop)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(pops * routersPerPop)
+	gw := func(pop, i int) int { return pop*routersPerPop + i }
+	numGw := 1
+	if routersPerPop >= 2 {
+		numGw = 2
+	}
+	// Backbone ring over the PoP gateways; the second gateway, when
+	// present, carries a parallel ring so a single gateway loss never
+	// partitions the backbone. Two PoPs get a single pair of edges, one
+	// PoP no backbone at all.
+	ringEdges := pops
+	if pops == 2 {
+		ringEdges = 1
+	} else if pops < 2 {
+		ringEdges = 0
+	}
+	for p := 0; p < ringEdges; p++ {
+		q := (p + 1) % pops
+		g.MustAddEdge(gw(p, 0), gw(q, 0))
+		if numGw == 2 {
+			g.MustAddEdge(gw(p, 1), gw(q, 1))
+		}
+	}
+	// Long-haul chords: ~pops/4 seeded shortcuts between distant PoPs,
+	// giving the backbone the low diameter of a real core mesh.
+	for added, want := 0, pops/4; added < want; {
+		a, b := rng.Intn(pops), rng.Intn(pops)
+		if a == b || g.HasEdge(gw(a, 0), gw(b, 0)) {
+			continue
+		}
+		g.MustAddEdge(gw(a, 0), gw(b, 0))
+		added++
+	}
+	// Intra-PoP: gateways interconnect; access routers dual-home.
+	for p := 0; p < pops; p++ {
+		if numGw == 2 {
+			g.MustAddEdge(gw(p, 0), gw(p, 1))
+		}
+		for r := numGw; r < routersPerPop; r++ {
+			g.MustAddEdge(gw(p, r), gw(p, 0))
+			if numGw == 2 {
+				g.MustAddEdge(gw(p, r), gw(p, 1))
+			}
+		}
+	}
+	return g, nil
+}

@@ -175,7 +175,17 @@ var (
 	FatTree         = topo.FatTree
 	BarabasiAlbert  = topo.BarabasiAlbert
 	Waxman          = topo.Waxman
+	Clos            = topo.Clos
+	ISP             = topo.ISP
 	NewGraph        = topo.NewGraph
+)
+
+// Partition maps every node of a graph to one of k shards (greedy BFS
+// growth, deterministic) — the assignment a sharded deployment runs on.
+// EdgeCut counts the cross-shard edges of such an assignment.
+var (
+	Partition = topo.Partition
+	EdgeCut   = topo.EdgeCut
 )
 
 // Options configures a deployment's simulated network. It remains
@@ -216,6 +226,12 @@ var (
 	// conflict, forwarding loop, blackhole) is rejected before any rule
 	// reaches a switch.
 	WithAnalysis = network.WithAnalysis
+	// WithShards partitions the topology across n shards simulated by
+	// concurrent event loops under conservative time windows. n <= 1
+	// keeps the classic single-loop simulator (byte-identical behaviour);
+	// n > 1 is deterministic for any fixed n but may order simultaneous
+	// independent events differently than the single loop.
+	WithShards = network.WithShards
 )
 
 // TelemetrySnapshot captures the process-wide telemetry registry:
@@ -740,12 +756,13 @@ func (d *Deployment) Flight() *Flight { return d.Net.Flight() }
 // traversal hop by hop, with the decoded DFS tag state (start, par, cur)
 // of every pipeline execution.
 func (d *Deployment) DumpFlight(w io.Writer) error {
-	f := d.Net.Flight()
-	if f == nil {
+	if d.Net.Flight() == nil {
 		return fmt.Errorf("flight recorder disabled")
 	}
 	telemetry.M.FlightDumps.Inc()
-	return f.WriteJSONL(w)
+	// On a sharded network this merges the per-lane rings by simulation
+	// time; on the classic single loop it is the ring verbatim.
+	return d.Net.WriteFlightJSONL(w)
 }
 
 // WriteFlightDump writes the flight recorder JSONL to path.
