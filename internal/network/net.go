@@ -115,6 +115,8 @@ type Network struct {
 }
 
 // New builds a network for the graph.
+//
+//simlint:barrier construction: lanes are not running yet
 func New(g *topo.Graph, opts Options) *Network {
 	if opts.LinkDelay == 0 {
 		opts.LinkDelay = 1000 // 1µs
@@ -339,6 +341,8 @@ func (n *Network) SetLoss(u, v int, p float64) error {
 // sharded network the event lands on the heap of the shard owning sw;
 // Inject must only be called between runs or from control-lane callbacks
 // (never from inside a window).
+//
+//simlint:barrier called between runs or before Run; no worker window is active
 func (n *Network) Inject(sw int, inPort int, pkt *openflow.Packet, t Time) {
 	l := n.laneFor(sw)
 	if st := l.sim.stats; st != nil {
@@ -375,6 +379,8 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 // InBandMsgs returns the per-EtherType link-transmission counts as a map,
 // rebuilt from the interned per-lane counters on every call. Use
 // InBandCount for a single EtherType on a hot path.
+//
+//simlint:barrier post-run aggregation across parked lanes
 func (n *Network) InBandMsgs() map[uint16]int {
 	out := make(map[uint16]int)
 	for _, l := range n.lanes {
@@ -389,6 +395,8 @@ func (n *Network) InBandMsgs() map[uint16]int {
 
 // InBandBytes returns the per-EtherType transmitted byte counts as a map,
 // rebuilt on every call. Use InBandSize for a single EtherType.
+//
+//simlint:barrier post-run aggregation across parked lanes
 func (n *Network) InBandBytes() map[uint16]int {
 	out := make(map[uint16]int)
 	for _, l := range n.lanes {
@@ -402,6 +410,8 @@ func (n *Network) InBandBytes() map[uint16]int {
 }
 
 // InBandCount returns the transmission count of one EtherType.
+//
+//simlint:barrier post-run aggregation across parked lanes
 func (n *Network) InBandCount(eth uint16) int {
 	total := 0
 	for _, l := range n.lanes {
@@ -413,6 +423,8 @@ func (n *Network) InBandCount(eth uint16) int {
 }
 
 // InBandSize returns the transmitted bytes of one EtherType.
+//
+//simlint:barrier post-run aggregation across parked lanes
 func (n *Network) InBandSize(eth uint16) int {
 	total := 0
 	for _, l := range n.lanes {
@@ -424,6 +436,8 @@ func (n *Network) InBandSize(eth uint16) int {
 }
 
 // TotalInBand sums message counts across all EtherTypes.
+//
+//simlint:barrier post-run aggregation across parked lanes
 func (n *Network) TotalInBand() int {
 	total := 0
 	for _, l := range n.lanes {
@@ -437,6 +451,8 @@ func (n *Network) TotalInBand() int {
 // ResetAccounting clears the in-band counters (link DirStats included) so
 // an experiment can measure a single phase. The EtherType intern tables
 // survive — only the counts reset.
+//
+//simlint:barrier called between runs; no worker window is active
 func (n *Network) ResetAccounting() {
 	for _, l := range n.lanes {
 		for i := range l.counters {

@@ -29,15 +29,15 @@ type lane struct {
 	net    *Network
 	id     int
 	worker bool // a shard loop (runs concurrently); false for the control lane
-	sim    Sim
+	sim    Sim  //simlint:lanelocal
 
 	// Batched execution scratch (see processBatch); reset and reused on
 	// every batch so the steady-state hop path does not allocate.
-	xc       *openflow.ExecContext
-	batchIn  []*openflow.Packet
-	batchRes []openflow.Result
-	batchRec []*telemetry.FlightRecord
-	batchPre []*openflow.Packet
+	xc       *openflow.ExecContext     //simlint:lanelocal
+	batchIn  []*openflow.Packet        //simlint:lanelocal
+	batchRes []openflow.Result         //simlint:lanelocal
+	batchRec []*telemetry.FlightRecord //simlint:lanelocal
+	batchPre []*openflow.Packet        //simlint:lanelocal
 
 	// Interned in-band accounting (the "in-band #msgs / size" columns of
 	// Table 2). Every transmission attempt counts (a message swallowed by
@@ -45,28 +45,28 @@ type lane struct {
 	// recently counted EtherType: traversals send long runs of one type,
 	// so the common case is a single comparison instead of a map probe.
 	// The public map views aggregate across lanes.
-	counters []ethCounter
-	ethIdx   map[uint16]int
-	lastIdx  int
+	counters []ethCounter   //simlint:lanelocal
+	ethIdx   map[uint16]int //simlint:lanelocal
+	lastIdx  int            //simlint:lanelocal
 
 	// Per-lane flight ring and decoder cache; the decoder table itself
 	// (Network.flightDec) is shared read-only.
-	flight  *telemetry.Flight
-	lastDec int
+	flight  *telemetry.Flight //simlint:lanelocal
+	lastDec int               //simlint:lanelocal
 
 	// Cross-shard routing (worker lanes only). out[d] buffers deliveries
 	// to shard d during a window; ctlOut buffers controller/self events.
 	// Both are exchanged at the barrier.
-	out    [][]xev
-	ctlOut []xev
+	out    [][]xev //simlint:lanelocal
+	ctlOut []xev   //simlint:lanelocal
 
 	// Worker plumbing: the window-job channel of the lane's goroutine,
 	// the events it processed in the last window, and a persistent event
 	// tick used for telemetry sampling strides (so short windows do not
 	// skew the sampled distributions).
-	jobs       chan laneJob
-	wprocessed int
-	ticks      uint64
+	jobs       chan laneJob //simlint:lanelocal
+	wprocessed int          //simlint:lanelocal
+	ticks      uint64       //simlint:lanelocal
 }
 
 // xev is one buffered cross-lane event: a delivery to another shard's
@@ -392,6 +392,7 @@ func (l *lane) runWindow(end Time, budget int) int {
 			histSample = true
 			st.ObserveHeapDepth(int64(len(s.events)))
 			if tick&63 == 0 {
+				//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 				t0 = time.Now()
 				sampled = true
 			}
@@ -429,6 +430,7 @@ func (l *lane) runWindow(end Time, budget int) int {
 		}
 		processed += len(b)
 		if sampled {
+			//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 			st.HopWallNs.Observe(time.Since(t0).Nanoseconds())
 		}
 	}
@@ -451,6 +453,7 @@ func (l *lane) ctlStep() {
 		histSample = true
 		st.ObserveHeapDepth(int64(len(s.events)))
 		if tick&63 == 0 {
+			//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 			t0 = time.Now()
 			sampled = true
 		}
@@ -490,6 +493,7 @@ func (l *lane) ctlStep() {
 		}
 	}
 	if sampled {
+		//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 		st.HopWallNs.Observe(time.Since(t0).Nanoseconds())
 	}
 }
@@ -506,6 +510,8 @@ func (l *lane) ctlStep() {
 // source-lane order and stable-sorted by timestamp, so the receiving
 // heap assigns the same sequence numbers for any interleaving of the
 // worker goroutines.
+//
+//simlint:barrier the coordinator: touches lane state only while every worker is parked between windows
 func (n *Network) runSharded() (int, error) {
 	limit := n.Sim.MaxSteps
 	if limit == 0 {
@@ -610,6 +616,8 @@ func (n *Network) runSharded() (int, error) {
 // lane order and stable-sorted by timestamp before scheduling, so the
 // destination assigns sequence numbers in an order independent of how the
 // worker goroutines interleaved.
+//
+//simlint:barrier runs at the window barrier with all workers parked
 func (n *Network) mergeWindow(workers []*lane) {
 	for d := range workers {
 		buf := n.mergeBuf[:0]
@@ -668,6 +676,7 @@ func (n *Network) InstallBatch(ids []int, install func(id int)) {
 		byShard[s] = append(byShard[s], id)
 	}
 	var wg sync.WaitGroup
+	//simlint:ignore determinism: per-shard groups run concurrently anyway; launch order is immaterial and installs within a shard keep slice order
 	for _, group := range byShard {
 		wg.Add(1)
 		go func(group []int) {

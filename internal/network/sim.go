@@ -4,6 +4,8 @@
 // probabilistic loss), controller and local-host attachment points, and
 // exact per-EtherType message accounting — the measurement substrate for
 // the paper's Table 2.
+//
+//simlint:deterministic
 package network
 
 import (
@@ -202,6 +204,7 @@ func (s *Sim) Run() (int, error) {
 				histSample = true
 				st.ObserveHeapDepth(int64(len(s.events)))
 				if processed&63 == 0 {
+					//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 					t0 = time.Now()
 					sampled = true
 				}
@@ -262,6 +265,7 @@ func (s *Sim) Run() (int, error) {
 			}
 		}
 		if sampled {
+			//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 			st.HopWallNs.Observe(time.Since(t0).Nanoseconds())
 		}
 		processed++

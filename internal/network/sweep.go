@@ -66,14 +66,18 @@ func SweepWith[S any](n, workers int, newState func(w int) S, job func(st S, i i
 	m.SweepRuns.Inc()
 	m.SweepWorkers.Set(int64(workers))
 	m.ResetSweepWorkers(workers)
+	//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 	sweepStart := time.Now()
 	if workers == 1 {
 		st := newState(0)
 		for i := 0; i < n; i++ {
+			//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 			t0 := time.Now()
 			errs[i] = job(st, i)
+			//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 			m.NoteSweepJob(0, time.Since(t0).Nanoseconds())
 		}
+		//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 		m.SweepWallNs.Add(time.Since(sweepStart).Nanoseconds())
 		return errors.Join(errs...)
 	}
@@ -95,13 +99,16 @@ func SweepWith[S any](n, workers int, newState func(w int) S, job func(st S, i i
 				if i >= n {
 					return
 				}
+				//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 				t0 := time.Now()
 				errs[i] = job(st, i)
+				//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 				m.NoteSweepJob(w, time.Since(t0).Nanoseconds())
 			}
 		}(w)
 	}
 	wg.Wait()
+	//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 	m.SweepWallNs.Add(time.Since(sweepStart).Nanoseconds())
 	return errors.Join(errs...)
 }

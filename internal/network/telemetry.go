@@ -59,6 +59,8 @@ type flightDecoder struct {
 // what makes a post-mortem dump replayable. fields is evaluated once per
 // switch now, not on the record path. Re-registering an EtherType
 // replaces its decoder. No-op when the flight recorder is disabled.
+//
+//simlint:barrier registration happens before Run; lanes are idle
 func (n *Network) RegisterFlightTags(eth uint16, names [3]string, fields FlightTagFields) {
 	if n.ctl.flight == nil || fields == nil {
 		return
@@ -116,12 +118,16 @@ func (n *Network) RegisterFlightTags(eth uint16, names [3]string, fields FlightT
 // Flight returns the control lane's flight recorder, nil when telemetry
 // or the recorder is disabled. On a sharded network each worker lane
 // keeps its own ring as well; WriteFlightJSONL merges them.
+//
+//simlint:barrier post-run read of the control lane ring
 func (n *Network) Flight() *telemetry.Flight { return n.ctl.flight }
 
 // WriteFlightJSONL dumps the flight history as JSONL: the single ring of
 // a classic network verbatim, or the per-lane rings of a sharded network
 // merged by simulation time (ties keep lane order, so a deterministic run
 // dumps deterministically).
+//
+//simlint:barrier post-run dump; all lanes are parked
 func (n *Network) WriteFlightJSONL(w io.Writer) error {
 	if n.ctl.flight == nil {
 		return nil
@@ -139,6 +145,8 @@ func (n *Network) WriteFlightJSONL(w io.Writer) error {
 // FlightNote appends a free-form marker record (phase boundary, oracle
 // verdict, gate rejection) to the control lane's flight recorder, if
 // enabled.
+//
+//simlint:barrier notes are recorded between runs on the control lane
 func (n *Network) FlightNote(text string) {
 	f := n.ctl.flight
 	if f == nil {
@@ -181,6 +189,8 @@ func (d *flightDecoder) capture(sw int, tag []byte, out *[3]uint32) {
 // On a sharded network the drain is the conservative-window coordinator
 // (runSharded) and every worker lane's staging is folded into the control
 // lane's before the single flush.
+//
+//simlint:barrier drives the loop; workers only touch lanes inside the windows it hands out
 func (n *Network) Run() (int, error) {
 	run := n.Sim.Run
 	if n.multi {
@@ -191,6 +201,7 @@ func (n *Network) Run() (int, error) {
 		return run()
 	}
 	simStart := n.Sim.now
+	//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 	wallStart := time.Now()
 	steps, err := run()
 	var agg openflow.ScanStats
@@ -220,6 +231,7 @@ func (n *Network) Run() (int, error) {
 		st.FlightRecords += t - n.prevFlightRecs
 		n.prevFlightRecs = t
 	}
+	//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 	st.FlushTo(telemetry.M, int64(n.Sim.now-simStart), time.Since(wallStart).Nanoseconds(), err != nil)
 	return steps, err
 }

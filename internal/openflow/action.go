@@ -36,6 +36,7 @@ func applyAction(x *ExecContext, a Action, p *Packet) {
 	case DecTTL:
 		t.Apply(x, p)
 	default:
+		//simlint:ignore hotpath: fallback for action types outside the compiled set; compiled programs always hit a devirtualized case above
 		a.Apply(x, p)
 	}
 }

@@ -9,6 +9,8 @@
 // top of it (package core). This mirrors the paper's claim that the data
 // plane remains formally verifiable: all behaviour is visible as ordinary
 // flow and group entries.
+//
+//simlint:deterministic
 package openflow
 
 import "fmt"

@@ -206,6 +206,7 @@ func (t *FlowTable) AddBatch(es []*FlowEntry) {
 	}
 	t.entries = append(t.entries, es...)
 	sort.Slice(t.entries, byTableOrder(t.entries))
+	//simlint:ignore determinism: each bucket is sorted independently; bucket visit order cannot affect any bucket's final order
 	for k := range touched {
 		sort.Slice(t.buckets[k], byTableOrder(t.buckets[k]))
 	}
@@ -254,6 +255,8 @@ func better(a, b *FlowEntry) *FlowEntry {
 // ordered, so the best of the per-list first-matches is exactly the entry
 // a full priority-ordered scan would have returned. Lookup does not
 // allocate on either path.
+//
+//simlint:hotpath
 func (t *FlowTable) Lookup(p *Packet) *FlowEntry {
 	if m := t.cur; m != nil {
 		e, probed := m.lookup(p)

@@ -1,5 +1,7 @@
 package openflow
 
+import "slices"
+
 // This file implements the compiled dispatch matcher: an immutable
 // decision-tree built from a flow table's entries at install time.
 //
@@ -190,6 +192,8 @@ func (m *matcher) ethAt(e int32) *ethNode {
 
 // lookup returns the best matching entry and the number of entries
 // probed. It never allocates.
+//
+//simlint:hotpath
 func (m *matcher) lookup(p *Packet) (*FlowEntry, int) {
 	var best *FlowEntry
 	probed := 0
@@ -306,11 +310,18 @@ func buildNode(list []*FlowEntry, portKeyed bool) *mNode {
 		// keys is cheaper than hashing, and most compiled nodes key on a
 		// low-cardinality state byte.
 		if len(nd.vals) <= smallSplitMax {
-			nd.keys = make([]uint64, 0, len(nd.vals))
-			nd.lists = make([]mList, 0, len(nd.vals))
-			for v, l := range nd.vals {
-				nd.keys = append(nd.keys, v)
-				nd.lists = append(nd.lists, l)
+			// Sorted keys make the compiled layout (and hence the probe
+			// order and scan telemetry) identical run to run instead of
+			// inheriting map iteration order.
+			keys := make([]uint64, 0, len(nd.vals))
+			for v := range nd.vals {
+				keys = append(keys, v)
+			}
+			slices.Sort(keys)
+			nd.keys = keys
+			nd.lists = make([]mList, 0, len(keys))
+			for _, v := range keys {
+				nd.lists = append(nd.lists, nd.vals[v])
 			}
 			nd.vals = nil
 		}
@@ -430,6 +441,7 @@ func (m *matcher) pack() {
 		for _, l := range nd.lists {
 			count(l)
 		}
+		//simlint:ignore determinism: pure size aggregation; addition is commutative
 		for _, l := range nd.vals {
 			count(l)
 		}
@@ -464,6 +476,7 @@ func (m *matcher) pack() {
 		for j := range a.lists {
 			a.lists[j] = re(a.lists[j])
 		}
+		//simlint:ignore determinism: rewrites each keyed list in place; arena packing order affects locality only, never a match result
 		for v, l := range a.vals {
 			a.vals[v] = re(l)
 		}

@@ -76,7 +76,10 @@ var pktPool = sync.Pool{New: func() any {
 // packets are simply never released) or call Release exactly once when the
 // packet is dead. Releasing a packet that anyone still references is a
 // use-after-free-style bug: the pool will recycle and overwrite it.
+//
+//simlint:hotpath
 func (p *Packet) ClonePooled() *Packet {
+	//simlint:ignore hotpath: freelist-backed; a steady-state hop recycles, misses are counted
 	q := pktPool.Get().(*Packet)
 	q.EthType, q.TTL, q.InPort = p.EthType, p.TTL, p.InPort
 	q.Tag = append(q.Tag[:0], p.Tag...)
@@ -89,7 +92,10 @@ func (p *Packet) ClonePooled() *Packet {
 // own (see ClonePooled); never release a packet delivered to a callback or
 // stored in a Result you returned to a caller. Releasing a non-pooled
 // packet is allowed — it just donates its buffers to the pool.
+//
+//simlint:hotpath
 func (p *Packet) Release() {
+	//simlint:ignore hotpath: freelist return; Put of a live pointer never allocates
 	pktPool.Put(p)
 }
 

@@ -564,6 +564,8 @@ func (sw *Switch) Receive(pkt *Packet, inPort int) Result {
 // other emission packets are pool-backed clones owned by the caller: each
 // must be handed off or released exactly once. The steady-state path
 // allocates nothing.
+//
+//simlint:hotpath
 func (sw *Switch) ExecBatch(x *ExecContext, in []*Packet, out []Result) {
 	x.sw = sw
 	x.tracing = sw.Tracing

@@ -41,11 +41,15 @@ func shardIdx() int {
 }
 
 // Add adds n to the counter.
+//
+//simlint:hotpath
 func (c *Counter) Add(n int64) {
 	c.shards[shardIdx()].v.Add(n)
 }
 
 // Inc adds one.
+//
+//simlint:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Load returns the current total. Concurrent Adds may or may not be

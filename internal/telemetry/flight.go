@@ -209,6 +209,8 @@ func (f *Flight) CookieString(r *FlightRecord) string {
 }
 
 // Record appends r to the ring.
+//
+//simlint:hotpath
 func (f *Flight) Record(r FlightRecord) {
 	f.ring[f.seq&f.mask] = r
 	f.seq++
@@ -218,6 +220,8 @@ func (f *Flight) Record(r FlightRecord) {
 // place. It halves the memory traffic of the hot record path versus
 // Record (no stack-side struct construction followed by a copy). The
 // pointer is only valid until the next Slot/Record call.
+//
+//simlint:hotpath
 func (f *Flight) Slot() *FlightRecord {
 	r := &f.ring[f.seq&f.mask]
 	*r = FlightRecord{}

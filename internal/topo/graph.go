@@ -2,6 +2,8 @@
 // generators, and plain-Go reference ("golden") algorithms. The golden
 // algorithms are used only as test oracles and baselines; the data plane
 // never calls them.
+//
+//simlint:deterministic
 package topo
 
 import (

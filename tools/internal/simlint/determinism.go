@@ -1,0 +1,296 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runDeterminism guards the golden-pinned property: a package marked
+// //simlint:deterministic must produce identical output for identical
+// inputs, run to run. Flagged:
+//
+//   - time.Now / time.Since / time.Until — wall-clock reads; the
+//     simulator injects virtual time instead.
+//   - global math/rand functions — unseeded process-global state; use a
+//     seeded rand.New(rand.NewSource(...)).
+//   - map iteration whose order can leak into output. Three body shapes
+//     are recognized as order-insensitive and allowed: delete-only
+//     cleanup, key-collection followed by a sort in the same function,
+//     and commutative aggregation (map writes, += style accumulation).
+//
+// Test files are exempt; goldens live there and already pin the result.
+func runDeterminism(u *Unit) []Diagnostic {
+	if !u.pragmas.deterministic {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		name := u.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, detFunc(u, fd)...)
+		}
+	}
+	return diags
+}
+
+func detFunc(u *Unit, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := qualifiedCall(u, n); ok {
+				switch {
+				case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					diags = append(diags, Diagnostic{
+						Pos:      u.Fset.Position(n.Pos()),
+						Analyzer: AnalyzerDeterminism,
+						Message:  fmt.Sprintf("call to time.%s in deterministic package (inject sim time instead)", name),
+					})
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructor(name):
+					diags = append(diags, Diagnostic{
+						Pos:      u.Fset.Position(n.Pos()),
+						Analyzer: AnalyzerDeterminism,
+						Message:  fmt.Sprintf("global %s.%s in deterministic package (use a seeded rand.New(rand.NewSource(...)))", pkg, name),
+					})
+				}
+			}
+		case *ast.RangeStmt:
+			if !isMapExpr(u, n.X) {
+				return true
+			}
+			if safeMapRange(n, fd.Body) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      u.Fset.Position(n.Pos()),
+				Analyzer: AnalyzerDeterminism,
+				Message:  "map iteration order can reach output in deterministic package (collect keys and sort, aggregate commutatively, or delete-only)",
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// randConstructor reports whether name is a math/rand constructor —
+// rand.New(rand.NewSource(seed)) is the sanctioned seeded pattern, and
+// constructors never consult the process-global source.
+func randConstructor(name string) bool {
+	return strings.HasPrefix(name, "New")
+}
+
+// qualifiedCall resolves pkg.Func package-level calls. Only package-
+// level functions match: rand.Rand methods (a seeded generator) resolve
+// to a method selection and return ok=false.
+func qualifiedCall(u *Unit, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if u.Info != nil {
+		if _, isMethodOrField := u.Info.Selections[sel]; isMethodOrField {
+			return "", "", false
+		}
+		if f, isFunc := u.Info.Uses[sel.Sel].(*types.Func); isFunc && f.Pkg() != nil {
+			return f.Pkg().Path(), f.Name(), true
+		}
+		return "", "", false
+	}
+	// Syntactic fallback when type information degraded.
+	if x, isIdent := sel.X.(*ast.Ident); isIdent {
+		switch x.Name {
+		case "time":
+			return "time", sel.Sel.Name, true
+		case "rand":
+			return "math/rand", sel.Sel.Name, true
+		}
+	}
+	return "", "", false
+}
+
+// safeMapRange recognizes the three order-insensitive body shapes. For
+// key-collection, any slice appended to inside the body must feed a
+// sort call later in the enclosing function; otherwise the collection
+// itself just re-materializes the unordered map.
+func safeMapRange(rng *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	collected := make(map[string]bool)
+	if !safeStmts(rng.Body.List, collected) {
+		return false
+	}
+	for name := range collected {
+		if !sortedLater(name, rng, enclosing) {
+			return false
+		}
+	}
+	return true
+}
+
+// safeStmts reports whether every statement is order-insensitive:
+// deletes, map-index or accumulate assignments, appends (recorded in
+// collected for the sort look-ahead), and ifs/blocks of the same.
+func safeStmts(list []ast.Stmt, collected map[string]bool) bool {
+	for _, st := range list {
+		if !safeStmt(st, collected) {
+			return false
+		}
+	}
+	return true
+}
+
+func safeStmt(st ast.Stmt, collected map[string]bool) bool {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "delete"
+	case *ast.AssignStmt:
+		return safeAssign(st, collected)
+	case *ast.IncDecStmt:
+		return lvalueOK(st.X)
+	case *ast.IfStmt:
+		if st.Init != nil && !safeStmt(st.Init, collected) {
+			return false
+		}
+		if !safeStmts(st.Body.List, collected) {
+			return false
+		}
+		if st.Else != nil {
+			return safeStmt(st.Else, collected)
+		}
+		return true
+	case *ast.BlockStmt:
+		return safeStmts(st.List, collected)
+	case *ast.RangeStmt, *ast.ForStmt:
+		// A nested loop is order-insensitive iff its body is; a nested
+		// map range gets its own diagnostic from the walk if unsafe.
+		switch st := st.(type) {
+		case *ast.RangeStmt:
+			return safeStmts(st.Body.List, collected)
+		case *ast.ForStmt:
+			return safeStmts(st.Body.List, collected)
+		}
+		return false
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE || st.Tok == token.BREAK
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// safeAssign allows commutative accumulation (m[k] op= v, x op= v,
+// x++-style ops), plain map-index writes, and s = append(s, ...) — the
+// latter recorded for the sort look-ahead. Plain `x = v` to a simple
+// variable is order-sensitive (last write wins by iteration order)
+// unless the value doesn't depend on the loop; being conservative, it
+// is rejected.
+func safeAssign(st *ast.AssignStmt, collected map[string]bool) bool {
+	// v, ok := m[k] — a comma-ok read keyed by the loop variable is a
+	// pure per-key probe.
+	if st.Tok == token.DEFINE && len(st.Lhs) == 2 && len(st.Rhs) == 1 {
+		if _, isIndex := ast.Unparen(st.Rhs[0]).(*ast.IndexExpr); isIndex {
+			_, aOK := st.Lhs[0].(*ast.Ident)
+			_, bOK := st.Lhs[1].(*ast.Ident)
+			return aOK && bOK
+		}
+	}
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := st.Lhs[0], st.Rhs[0]
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return lvalueOK(lhs)
+	case token.ASSIGN, token.DEFINE:
+		// s = append(s, ...) collects; m[k] = v writes a keyed slot.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) >= 1 {
+				if dst, ok := lhs.(*ast.Ident); ok {
+					if src, ok := call.Args[0].(*ast.Ident); ok && src.Name == dst.Name {
+						collected[dst.Name] = true
+						return true
+					}
+				}
+			}
+			return false
+		}
+		_, isIndex := lhs.(*ast.IndexExpr)
+		return isIndex
+	}
+	return false
+}
+
+// lvalueOK accepts the accumulation targets: an identifier, a map/slice
+// index, or a field selector.
+func lvalueOK(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.IndexExpr, *ast.SelectorExpr:
+		return true
+	}
+	return false
+}
+
+// sortedLater reports whether a sort call mentioning name appears in
+// the enclosing function after the range statement: sort.X(name...),
+// slices.Sort(name), or any call whose arguments reference name and
+// whose callee name starts with Sort/sort.
+func sortedLater(name string, rng *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.Pos() {
+			return true
+		}
+		if !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			hit := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && id.Name == name {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall matches sort.<X>(...), slices.Sort*(...), and local
+// helpers whose name starts with "sort".
+func isSortCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok && (x.Name == "sort" || x.Name == "slices") {
+			return true
+		}
+		return strings.HasPrefix(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.HasPrefix(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}

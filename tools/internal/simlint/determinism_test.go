@@ -1,0 +1,187 @@
+package simlint
+
+import "testing"
+
+func detLint(t *testing.T, src string) []string {
+	t.Helper()
+	return lint(t, []string{AnalyzerDeterminism}, src)
+}
+
+func TestDeterminismWallClock(t *testing.T) {
+	got := detLint(t, `package x
+
+//simlint:deterministic
+
+import "time"
+
+func stamp() (time.Time, time.Duration) {
+	t0 := time.Now()
+	return t0, time.Since(t0)
+}`)
+	wantDiags(t, got,
+		`fixture.go:8:8: [determinism] call to time.Now in deterministic package (inject sim time instead)`,
+		`fixture.go:9:13: [determinism] call to time.Since in deterministic package (inject sim time instead)`)
+}
+
+func TestDeterminismGlobalRand(t *testing.T) {
+	got := detLint(t, `package x
+
+//simlint:deterministic
+
+import "math/rand"
+
+func roll() int { return rand.Intn(6) }
+
+func seeded(r *rand.Rand) int { return r.Intn(6) } // seeded generator: fine
+
+func mk(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) } // constructors: fine
+`)
+	wantDiags(t, got,
+		`fixture.go:7:26: [determinism] global math/rand.Intn in deterministic package (use a seeded rand.New(rand.NewSource(...)))`)
+}
+
+func TestDeterminismMapOrderToOutput(t *testing.T) {
+	got := detLint(t, `package x
+
+//simlint:deterministic
+
+func emit(m map[string]int, out func(string)) {
+	for k := range m {
+		out(k)
+	}
+}`)
+	wantDiags(t, got,
+		`fixture.go:6:2: [determinism] map iteration order can reach output in deterministic package (collect keys and sort, aggregate commutatively, or delete-only)`)
+}
+
+// TestDeterminismSafeShapes: the three order-insensitive shapes pass —
+// delete-only cleanup, key collection followed by a sort, and
+// commutative aggregation (including the two-loop, if-wrapped collect
+// that Switch.TableIDs uses).
+func TestDeterminismSafeShapes(t *testing.T) {
+	got := detLint(t, `package x
+
+//simlint:deterministic
+
+import "sort"
+
+func cleanup(m map[int]bool) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func keys(a, b map[int]bool) []int {
+	var ids []int
+	for k := range a {
+		ids = append(ids, k)
+	}
+	for k := range b {
+		if !a[k] {
+			ids = append(ids, k)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func tally(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func nested(m map[int]map[string]int) int {
+	n := 0
+	for _, inner := range m {
+		for _, v := range inner {
+			n += v
+		}
+	}
+	return n
+}
+
+func commaOK(m map[int]bool, seen map[int]bool) []int {
+	var ids []int
+	for k := range m {
+		if v, ok := seen[k]; !ok || !v {
+			ids = append(ids, k)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}`)
+	wantDiags(t, got)
+}
+
+// TestDeterminismCollectWithoutSort: collecting keys without sorting
+// just re-materializes the unordered map and is flagged.
+func TestDeterminismCollectWithoutSort(t *testing.T) {
+	got := detLint(t, `package x
+
+//simlint:deterministic
+
+func keys(m map[int]bool) []int {
+	var ids []int
+	for k := range m {
+		ids = append(ids, k)
+	}
+	return ids
+}`)
+	wantDiags(t, got, `fixture.go:7:2: [determinism] map iteration order can reach output`)
+}
+
+// TestDeterminismUnmarkedPackage: without the //simlint:deterministic
+// pragma nothing is checked.
+func TestDeterminismUnmarkedPackage(t *testing.T) {
+	got := detLint(t, `package x
+
+import "time"
+
+func stamp() time.Time { return time.Now() }`)
+	wantDiags(t, got)
+}
+
+// TestDeterminismTestFilesExempt: goldens and benchmarks may time
+// themselves.
+func TestDeterminismTestFilesExempt(t *testing.T) {
+	got := lintFiles(t, []string{AnalyzerDeterminism}, map[string]string{
+		"fixture.go": `package x
+
+//simlint:deterministic
+`,
+		"clock_test.go": `package x
+
+import "time"
+
+func wall() time.Time { return time.Now() }
+`,
+	})
+	wantDiags(t, got)
+}
+
+// TestDeterminismIgnore: sampled wall-clock telemetry is the sanctioned
+// exception, recorded with a reason.
+func TestDeterminismIgnore(t *testing.T) {
+	got := detLint(t, `package x
+
+//simlint:deterministic
+
+import "time"
+
+func sample() time.Time {
+	//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
+	return time.Now()
+}`)
+	wantDiags(t, got)
+}

@@ -1,0 +1,152 @@
+package simlint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"os"
+)
+
+// FuncFacts is what one package exports about one function, keyed by
+// funcKey ("Recv.Method" or "Func"). Alloc is empty when the function is
+// allocation-free as far as the syntactic summary can tell, else a short
+// reason ("make", "calls fmt.Sprintf", ...). Facts are the vet-protocol
+// currency: the go command caches them per package (vetx files) and
+// hands each unit the facts of its import closure, which is how the
+// hotpath analyzer sees across package boundaries.
+type FuncFacts struct {
+	Hotpath bool   `json:"hotpath,omitempty"`
+	Alloc   string `json:"alloc,omitempty"`
+}
+
+// PackageFacts maps funcKey -> facts for one package.
+type PackageFacts map[string]FuncFacts
+
+// readFacts loads a vetx facts file. Empty files (written by vet tools
+// that export no facts, including poollint v1) decode as empty facts.
+func readFacts(path string) (PackageFacts, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pf := make(PackageFacts)
+	if len(raw) == 0 {
+		return pf, nil
+	}
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		return nil, err
+	}
+	return pf, nil
+}
+
+// WriteFacts computes this unit's facts and writes them to the given
+// vetx path. encoding/json sorts map keys, so the output is byte-stable
+// and safe for the go command's build cache.
+func WriteFacts(u *Unit, path string) error {
+	pf := ComputeFacts(u)
+	raw, err := json.Marshal(pf)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o666)
+}
+
+// ComputeFacts summarizes every function in the unit: does it (or
+// anything it calls, transitively within the package, or across
+// packages via imported facts) allocate? The summary is syntactic where
+// type information is missing and type-assisted where it is present; a
+// function with no body (assembler or intrinsic) is assumed clean.
+func ComputeFacts(u *Unit) PackageFacts {
+	type fn struct {
+		decl  *ast.FuncDecl
+		alloc string   // direct reason, "" if none found yet
+		calls []string // same-package callee keys
+	}
+	fns := make(map[string]*fn)
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name == "_" {
+				continue
+			}
+			e := &fn{decl: fd}
+			fns[funcKey(fd)] = e
+		}
+	}
+	for key, e := range fns {
+		if e.decl.Body == nil {
+			continue
+		}
+		ops := scanOps(u, e.decl, scanForFacts)
+		for _, op := range ops {
+			switch op.kind {
+			case opCall:
+				switch {
+				case op.samePkg != "":
+					e.calls = append(e.calls, op.samePkg)
+				case op.pkgPath != "":
+					if allowlisted(op.pkgPath) {
+						continue
+					}
+					if pf, ok := u.ImportFacts[op.pkgPath]; ok {
+						if ff, ok := pf[op.callee]; ok && ff.Alloc != "" && e.alloc == "" {
+							e.alloc = "calls " + op.pkgPath + "." + op.callee
+						}
+						continue
+					}
+					// No facts for the import (std unit analyzed without
+					// them, or in-process run): stay quiet here — the
+					// hotpath analyzer applies the strict rule at hot
+					// call sites itself.
+				}
+			default:
+				if e.alloc == "" {
+					e.alloc = op.desc
+				}
+			}
+		}
+		_ = key
+	}
+	// Propagate "calls an allocating function" to a fixpoint within the
+	// package (handles helper chains and mutual recursion).
+	for changed := true; changed; {
+		changed = false
+		for _, e := range fns {
+			if e.alloc != "" {
+				continue
+			}
+			for _, callee := range e.calls {
+				ce, ok := fns[callee]
+				if ok && ce.alloc != "" {
+					e.alloc = "calls " + callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	pf := make(PackageFacts)
+	for key, e := range fns {
+		ff := FuncFacts{Alloc: e.alloc}
+		if u.pragmas != nil {
+			if _, ok := u.pragmas.hotpathFuncs[key]; ok {
+				ff.Hotpath = true
+			}
+		}
+		// Clean functions are recorded too: "key present, Alloc empty"
+		// is the proof a hot caller needs, while a missing key reads as
+		// unknown and is flagged at the call site.
+		pf[key] = ff
+	}
+	return pf
+}
+
+// allowlisted reports packages hot code may always call: their exported
+// operations are compiler intrinsics or pointer arithmetic and never
+// heap-allocate.
+func allowlisted(pkgPath string) bool {
+	switch pkgPath {
+	case "sync/atomic", "math/bits", "unsafe", "runtime/internal/atomic", "internal/runtime/atomic":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runLaneAffinity enforces the sharded simulator's ownership rule:
+// struct fields marked //simlint:lanelocal (the per-lane event heap,
+// exec scratch, pool staging, interned counters, flight ring) may only
+// be accessed from methods of the owning struct, or from functions
+// annotated //simlint:barrier — the merge/fan-in points that run while
+// the lanes are parked. Any other access is a cross-shard data race
+// waiting for the right schedule; this check catches it statically
+// where -race can only catch the schedules CI happens to see.
+//
+// Test files are exempt: tests poke lane state single-threaded.
+func runLaneAffinity(u *Unit) []Diagnostic {
+	if len(u.pragmas.laneLocal) == 0 || u.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		name := u.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if u.pragmas.barrierFuncs[funcKey(fd)] {
+				continue
+			}
+			owner := recvTypeName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := u.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				structName, ok := namedRecv(s.Recv())
+				if !ok {
+					return true
+				}
+				key := structName + "." + sel.Sel.Name
+				if _, marked := u.pragmas.laneLocal[key]; !marked {
+					return true
+				}
+				if owner == structName {
+					return true // lane-owned method
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      u.Fset.Position(sel.Sel.Pos()),
+					Analyzer: AnalyzerLaneAffinity,
+					Message: fmt.Sprintf("access to lane-local field %s from %s, which is neither a %s method nor marked //simlint:barrier",
+						key, funcKey(fd), structName),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// recvTypeName is the receiver's named type, "" for plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	key := funcKey(fd)
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[:i]
+	}
+	return ""
+}
+
+// namedRecv unwraps a selection's receiver to its named struct type.
+func namedRecv(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}

@@ -1,0 +1,73 @@
+package simlint
+
+import "testing"
+
+const laneFixture = `package x
+
+import "sync"
+
+type lane struct {
+	id   int
+	heap []int //simlint:lanelocal
+	// scratch is the per-lane exec buffer.
+	//simlint:lanelocal
+	scratch []byte
+	wg      sync.WaitGroup
+}
+
+type network struct{ lanes []lane }
+
+// Lane methods own their state.
+func (l *lane) push(v int) { l.heap = append(l.heap, v) }
+
+//simlint:barrier lanes are parked at the window edge when merge runs
+func (n *network) merge() {
+	for i := range n.lanes {
+		_ = n.lanes[i].heap
+	}
+}
+`
+
+func TestLaneAffinityAllowed(t *testing.T) {
+	got := lint(t, []string{AnalyzerLaneAffinity}, laneFixture)
+	wantDiags(t, got)
+}
+
+func TestLaneAffinityViolation(t *testing.T) {
+	got := lint(t, []string{AnalyzerLaneAffinity}, laneFixture+`
+func (n *network) steal() []int {
+	return n.lanes[0].heap
+}
+
+func peek(l *lane) []byte {
+	return l.scratch
+}
+`)
+	wantDiags(t, got,
+		`fixture.go:27:20: [laneaffinity] access to lane-local field lane.heap from network.steal, which is neither a lane method nor marked //simlint:barrier`,
+		`fixture.go:31:11: [laneaffinity] access to lane-local field lane.scratch from peek, which is neither a lane method nor marked //simlint:barrier`)
+}
+
+// TestLaneAffinityTestFilesExempt: _test.go files poke lane state
+// single-threaded and are not checked.
+func TestLaneAffinityTestFilesExempt(t *testing.T) {
+	got := lintFiles(t, []string{AnalyzerLaneAffinity}, map[string]string{
+		"fixture.go": laneFixture,
+		"fixture_test.go": `package x
+
+func probe(l *lane) []int { return l.heap }
+`,
+	})
+	wantDiags(t, got)
+}
+
+// TestLaneAffinityIgnore: the escape hatch applies here too.
+func TestLaneAffinityIgnore(t *testing.T) {
+	got := lint(t, []string{AnalyzerLaneAffinity}, laneFixture+`
+func dump(l *lane) []int {
+	//simlint:ignore laneaffinity: read-only snapshot taken after Wait
+	return l.heap
+}
+`)
+	wantDiags(t, got)
+}

@@ -1,0 +1,54 @@
+package simlint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintFiles writes the fixture files into a temp dir, loads them as one
+// package and runs the given analyzers, returning diagnostics formatted
+// "file:line:col: [analyzer] message" (file basename only) for exact
+// assertion.
+func lintFiles(t *testing.T, analyzers []string, files map[string]string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := LoadDir(dir, "fixture", true)
+	if err != nil {
+		t.Fatalf("fixture does not load: %v", err)
+	}
+	var out []string
+	for _, d := range Run(u, analyzers) {
+		out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
+	}
+	return out
+}
+
+// lint runs one single-file fixture.
+func lint(t *testing.T, analyzers []string, src string) []string {
+	t.Helper()
+	return lintFiles(t, analyzers, map[string]string{"fixture.go": src})
+}
+
+// wantDiags asserts got matches want pairwise: each got diagnostic must
+// contain the corresponding want substring (which includes the position
+// prefix when the test pins it).
+func wantDiags(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %q, want %d %q", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if !strings.Contains(got[i], want[i]) {
+			t.Errorf("diagnostic %d = %q, want it to contain %q", i, got[i], want[i])
+		}
+	}
+}

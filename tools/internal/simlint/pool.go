@@ -1,4 +1,4 @@
-package main
+package simlint
 
 import (
 	"fmt"
@@ -6,35 +6,46 @@ import (
 	"go/token"
 )
 
-// diagnostic is one finding, positioned for the usual file:line:col vet
-// output format.
-type diagnostic struct {
-	pos token.Position
-	msg string
-}
-
-// checkFile runs the pooled-packet checks over one parsed file.
-func checkFile(fset *token.FileSet, file *ast.File) []diagnostic {
-	var diags []diagnostic
-	ast.Inspect(file, func(n ast.Node) bool {
-		var list []ast.Stmt
-		switch n := n.(type) {
-		case *ast.BlockStmt:
-			list = n.List
-		case *ast.CaseClause:
-			list = n.Body
-		case *ast.CommClause:
-			list = n.Body
-		default:
+// runPool is poollint v1, folded into the suite unchanged: the
+// pooled-packet single-owner discipline. openflow.Packet values from
+// ClonePooled are freelist-backed; once Release is called the pool may
+// recycle and overwrite them, so any later use is a use-after-free-style
+// bug that corrupts an unrelated in-flight packet.
+//
+// Checks:
+//
+//   - use-after-release: a statement that reads a variable after an
+//     earlier x.Release() in the same statement list (including a second
+//     Release — a double release poisons the pool with duplicates).
+//   - discarded clone: x.ClonePooled() used as a statement, dropping the
+//     result; the clone can never be handed off or released.
+//
+// The checks are purely syntactic: Release and ClonePooled name exactly
+// one type in this tree. Test files are checked too — tests manage
+// packet lifetimes by hand and are where the historical bugs lived.
+func runPool(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			diags = append(diags, checkPoolStmts(u.Fset, list)...)
 			return true
-		}
-		diags = append(diags, checkStmts(fset, list)...)
-		return true
-	})
+		})
+	}
 	return diags
 }
 
-// checkStmts scans one statement list in order, tracking which plain
+// checkPoolStmts scans one statement list in order, tracking which plain
 // identifiers have been passed to Release. Any later statement that
 // reads such an identifier — including a second Release — is reported.
 // An assignment that rebinds the identifier ends the tracking: the name
@@ -46,16 +57,17 @@ func checkFile(fset *token.FileSet, file *ast.File) []diagnostic {
 // receivers like em.Pkt are re-evaluated each use, so name identity
 // says nothing). Both choices trade missed bugs for zero false
 // positives on correct code.
-func checkStmts(fset *token.FileSet, list []ast.Stmt) []diagnostic {
-	var diags []diagnostic
+func checkPoolStmts(fset *token.FileSet, list []ast.Stmt) []Diagnostic {
+	var diags []Diagnostic
 	released := make(map[string]token.Pos)
 	for _, st := range list {
 		if len(released) > 0 {
 			for name, rpos := range released {
 				if use, ok := firstUse(st, name); ok {
-					diags = append(diags, diagnostic{
-						pos: fset.Position(use),
-						msg: fmt.Sprintf("use of pooled packet %q after Release (released at line %d); the pool may have recycled it",
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(use),
+						Analyzer: AnalyzerPool,
+						Message: fmt.Sprintf("use of pooled packet %q after Release (released at line %d); the pool may have recycled it",
 							name, fset.Position(rpos).Line),
 					})
 					delete(released, name) // one report per release
@@ -69,9 +81,10 @@ func checkStmts(fset *token.FileSet, list []ast.Stmt) []diagnostic {
 			released[name] = st.Pos()
 		}
 		if call, ok := discardedClone(st); ok {
-			diags = append(diags, diagnostic{
-				pos: fset.Position(call.Pos()),
-				msg: "result of ClonePooled discarded; the clone can never be handed off or released",
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(call.Pos()),
+				Analyzer: AnalyzerPool,
+				Message:  "result of ClonePooled discarded; the clone can never be handed off or released",
 			})
 		}
 	}

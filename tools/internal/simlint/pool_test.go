@@ -1,0 +1,135 @@
+package simlint
+
+import "testing"
+
+// The pool fixtures migrated verbatim from the standalone poollint
+// (tools/poollint/check_test.go before the suite absorbed it); messages
+// and positions are unchanged so existing suppressions keep matching.
+
+func poolLint(t *testing.T, src string) []string {
+	t.Helper()
+	return lint(t, []string{AnalyzerPool}, src)
+}
+
+func TestUseAfterRelease(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	sink(p)
+	p.Release()
+	sink(p)
+}`)
+	wantDiags(t, got, `fixture.go:6:7: [pool] use of pooled packet "p" after Release (released at line 5); the pool may have recycled it`)
+}
+
+func TestDoubleRelease(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet) {
+	p := pkt.ClonePooled()
+	p.Release()
+	p.Release()
+}`)
+	wantDiags(t, got, `fixture.go:5:2: [pool] use of pooled packet "p" after Release`)
+}
+
+func TestFieldReadAfterRelease(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet) int {
+	p := pkt.ClonePooled()
+	p.Release()
+	return len(p.Tag)
+}`)
+	wantDiags(t, got, `use of pooled packet "p" after Release`)
+}
+
+func TestDiscardedClone(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet) {
+	pkt.ClonePooled()
+}`)
+	wantDiags(t, got, "fixture.go:3:2: [pool] result of ClonePooled discarded; the clone can never be handed off or released")
+}
+
+// TestCleanPatterns covers every sanctioned shape that appears in the
+// simulator: release as last use, deferred release, rebinding after
+// release, selector receivers, and release inside a loop body whose next
+// iteration rebinds.
+func TestCleanPatterns(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet, ems []Emission, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	sink(p)
+	p.Release()
+
+	q := pkt.ClonePooled()
+	defer q.Release()
+	sink(q)
+
+	p = pkt.ClonePooled() // rebinding ends the tracking
+	sink(p)
+	p.Release()
+
+	for _, em := range ems {
+		em.Pkt.Release() // selector receiver: not tracked
+	}
+	for range ems {
+		c := pkt.ClonePooled()
+		sink(c)
+		c.Release()
+	}
+}`)
+	wantDiags(t, got)
+}
+
+// TestReleaseInBranchNotTracked: a conditional Release may not execute,
+// so a later use must not be reported.
+func TestReleaseInBranchNotTracked(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet, drop bool, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	if drop {
+		p.Release()
+		return
+	}
+	sink(p)
+}`)
+	wantDiags(t, got)
+}
+
+// TestSwitchCaseBodies: case clauses are statement lists of their own.
+func TestSwitchCaseBodies(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet, mode int, sink func(*Packet)) {
+	switch mode {
+	case 1:
+		p := pkt.ClonePooled()
+		p.Release()
+		sink(p)
+	}
+}`)
+	wantDiags(t, got, `use of pooled packet "p" after Release`)
+}
+
+// TestPoolIgnoreEscapeHatch: a reasoned //simlint:ignore on the line
+// above suppresses, and an unreasoned one is itself reported.
+func TestPoolIgnoreEscapeHatch(t *testing.T) {
+	got := poolLint(t, `package x
+func f(pkt *Packet, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	p.Release()
+	//simlint:ignore pool: fixture exercises the recycled path on purpose
+	sink(p)
+}`)
+	wantDiags(t, got)
+
+	got = poolLint(t, `package x
+func f(pkt *Packet, sink func(*Packet)) {
+	p := pkt.ClonePooled()
+	p.Release()
+	//simlint:ignore
+	sink(p)
+}`)
+	wantDiags(t, got,
+		`fixture.go:5:2: [simlint] //simlint:ignore requires a reason`,
+		`fixture.go:6:7: [pool] use of pooled packet "p" after Release`)
+}

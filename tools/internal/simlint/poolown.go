@@ -1,0 +1,257 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// runPoolOwn extends the pool discipline to the batch APIs poollint v1
+// predates:
+//
+//   - ExecBatch steal semantics: when a Result reports StoleInput, the
+//     last emission IS the input packet — releasing the input anyway
+//     double-frees it into the pool. Any `in[i].Release()` downstream
+//     of an ExecBatch(x, in, res) call must sit under an if whose
+//     condition consults StoleInput.
+//   - ClearInbox recycling: controller.ClearInbox releases every inbox
+//     packet back to the pool, so a slice previously obtained from
+//     Inbox() points at recycled packets. Using it afterwards reads
+//     pool-owned memory.
+//
+// Both checks are syntactic, like pool: the method names are unique in
+// this tree, and test files are checked too.
+func runPoolOwn(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			diags = append(diags, checkStealStmts(u.Fset, list)...)
+			diags = append(diags, checkInboxStmts(u.Fset, list)...)
+			return true
+		})
+	}
+	return diags
+}
+
+// checkStealStmts finds ExecBatch calls in a statement list and checks
+// every later release of an element of the input slice for a StoleInput
+// guard.
+func checkStealStmts(fset *token.FileSet, list []ast.Stmt) []Diagnostic {
+	var diags []Diagnostic
+	var inNames []string // input-slice idents of ExecBatch calls seen so far
+	for _, st := range list {
+		for _, name := range inNames {
+			diags = append(diags, uncheckedReleases(fset, st, name)...)
+		}
+		if name, ok := execBatchInput(st); ok {
+			inNames = append(inNames, name)
+		}
+		for _, rb := range reboundNames(st) {
+			inNames = deleteName(inNames, rb)
+		}
+	}
+	return diags
+}
+
+// execBatchInput matches a statement containing a call
+// `recv.ExecBatch(x, in, res)` and returns the identifier of the input
+// slice (unwrapping `arr[:]` slicing).
+func execBatchInput(st ast.Stmt) (string, bool) {
+	var name string
+	ast.Inspect(st, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 3 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ExecBatch" {
+			return true
+		}
+		arg := ast.Unparen(call.Args[1])
+		if sl, ok := arg.(*ast.SliceExpr); ok {
+			arg = ast.Unparen(sl.X)
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			name = id.Name
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+// uncheckedReleases reports `name[i].Release()` calls in the statement
+// subtree that are not under an if consulting StoleInput. An if whose
+// condition mentions StoleInput blesses its whole subtree: both the
+// then branch (`if !res[i].StoleInput { in[i].Release() }`) and the
+// else shape consult the flag.
+func uncheckedReleases(fset *token.FileSet, st ast.Stmt, name string) []Diagnostic {
+	var diags []Diagnostic
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if mentionsStoleInput(n.Cond) {
+				return false
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Release" || len(n.Args) != 0 {
+				return true
+			}
+			idx, ok := ast.Unparen(sel.X).(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(idx.X).(*ast.Ident); ok && id.Name == name {
+				diags = append(diags, Diagnostic{
+					Pos:      fset.Position(n.Pos()),
+					Analyzer: AnalyzerPoolOwn,
+					Message: fmt.Sprintf("release of ExecBatch input %s[...] without checking Result.StoleInput; a stolen input is owned by its emission",
+						name),
+				})
+			}
+		}
+		return true
+	}
+	ast.Inspect(st, walk)
+	return diags
+}
+
+func mentionsStoleInput(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "StoleInput" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func deleteName(names []string, name string) []string {
+	out := names[:0]
+	for _, n := range names {
+		if n != name {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// checkInboxStmts tracks `v := recv.Inbox()` bindings through a
+// statement list; after a later `recv.ClearInbox()` on the same
+// receiver path, any use of v is reported. Rebinding v (or refreshing
+// it from Inbox again) ends the tracking.
+func checkInboxStmts(fset *token.FileSet, list []ast.Stmt) []Diagnostic {
+	var diags []Diagnostic
+	type binding struct {
+		recv    string
+		cleared token.Pos
+	}
+	bound := make(map[string]*binding)
+	for _, st := range list {
+		for name, b := range bound {
+			if !b.cleared.IsValid() {
+				continue
+			}
+			if use, ok := firstUse(st, name); ok {
+				diags = append(diags, Diagnostic{
+					Pos:      fset.Position(use),
+					Analyzer: AnalyzerPoolOwn,
+					Message: fmt.Sprintf("use of inbox packets %q after ClearInbox (cleared at line %d); the pool may have recycled them",
+						name, fset.Position(b.cleared).Line),
+				})
+				delete(bound, name) // one report per clear
+			}
+		}
+		for _, rb := range reboundNames(st) {
+			delete(bound, rb)
+		}
+		if name, recv, ok := inboxBinding(st); ok {
+			bound[name] = &binding{recv: recv}
+		}
+		if recv, pos, ok := clearInboxCall(st); ok {
+			for _, b := range bound {
+				if b.recv == recv && !b.cleared.IsValid() {
+					b.cleared = pos
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// inboxBinding matches `v := recv.Inbox()` (or =) with a single LHS and
+// returns v and the flattened receiver path.
+func inboxBinding(st ast.Stmt) (name, recv string, ok bool) {
+	as, isAssign := st.(*ast.AssignStmt)
+	if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", "", false
+	}
+	id, isIdent := as.Lhs[0].(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	call, isCall := as.Rhs[0].(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Inbox" {
+		return "", "", false
+	}
+	path, pathOK := flattenPath(sel.X)
+	if !pathOK {
+		return "", "", false
+	}
+	return id.Name, path, true
+}
+
+// clearInboxCall matches a statement `recv.ClearInbox()`.
+func clearInboxCall(st ast.Stmt) (recv string, pos token.Pos, ok bool) {
+	call := callStmt(st)
+	if call == nil || len(call.Args) != 0 {
+		return "", token.NoPos, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "ClearInbox" {
+		return "", token.NoPos, false
+	}
+	path, pathOK := flattenPath(sel.X)
+	if !pathOK {
+		return "", token.NoPos, false
+	}
+	return path, call.Pos(), true
+}
+
+// flattenPath renders a chain of identifiers and field selections
+// ("net.ctl", "c") as a comparable string; anything else (calls,
+// indexes) is not a stable path.
+func flattenPath(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := flattenPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,129 @@
+package simlint
+
+import "testing"
+
+func ownLint(t *testing.T, src string) []string {
+	t.Helper()
+	return lint(t, []string{AnalyzerPoolOwn}, src)
+}
+
+// TestStealUncheckedRelease: releasing an ExecBatch input without
+// consulting Result.StoleInput double-frees a stolen packet.
+func TestStealUncheckedRelease(t *testing.T) {
+	got := ownLint(t, `package x
+func f(sw *Switch, x *Ctx, in []*Packet, res []Result) {
+	sw.ExecBatch(x, in, res)
+	for i := range in {
+		in[i].Release()
+	}
+}`)
+	wantDiags(t, got,
+		`fixture.go:5:3: [poolown] release of ExecBatch input in[...] without checking Result.StoleInput; a stolen input is owned by its emission`)
+}
+
+// TestStealGuardedRelease: the sanctioned shape — the release sits
+// under an if that consults the flag (either polarity).
+func TestStealGuardedRelease(t *testing.T) {
+	got := ownLint(t, `package x
+func f(sw *Switch, x *Ctx, in []*Packet, res []Result) {
+	sw.ExecBatch(x, in, res)
+	for i := range in {
+		if !res[i].StoleInput {
+			in[i].Release()
+		}
+	}
+	arr := [1]*Packet{}
+	out := [1]Result{}
+	sw.ExecBatch(x, arr[:], out[:])
+	if out[0].StoleInput {
+		_ = out[0]
+	} else {
+		arr[0].Release()
+	}
+}`)
+	wantDiags(t, got)
+}
+
+// TestStealSliceExprInput: `arr[:]` unwraps to the backing array ident.
+func TestStealSliceExprInput(t *testing.T) {
+	got := ownLint(t, `package x
+func f(sw *Switch, x *Ctx) {
+	arr := [1]*Packet{}
+	out := [1]Result{}
+	sw.ExecBatch(x, arr[:], out[:])
+	arr[0].Release()
+}`)
+	wantDiags(t, got,
+		`fixture.go:6:2: [poolown] release of ExecBatch input arr[...] without checking Result.StoleInput`)
+}
+
+// TestStealRebindEndsTracking: a rebound input slice holds different
+// packets.
+func TestStealRebindEndsTracking(t *testing.T) {
+	got := ownLint(t, `package x
+func f(sw *Switch, x *Ctx, in []*Packet, res []Result, fresh []*Packet) {
+	sw.ExecBatch(x, in, res)
+	in = fresh
+	in[0].Release()
+}`)
+	wantDiags(t, got)
+}
+
+// TestInboxUseAfterClear: ClearInbox recycles the inbox packets; the
+// previously fetched slice now points into the pool.
+func TestInboxUseAfterClear(t *testing.T) {
+	got := ownLint(t, `package x
+func f(c *Controller, sink func(PacketIn)) {
+	msgs := c.Inbox()
+	c.ClearInbox()
+	sink(msgs[0])
+}`)
+	wantDiags(t, got,
+		`fixture.go:5:7: [poolown] use of inbox packets "msgs" after ClearInbox (cleared at line 4); the pool may have recycled them`)
+}
+
+// TestInboxCleanPatterns: consume-then-clear, clearing a different
+// controller, and refreshing the binding are all fine.
+func TestInboxCleanPatterns(t *testing.T) {
+	got := ownLint(t, `package x
+func f(c, other *Controller, sink func(PacketIn)) {
+	msgs := c.Inbox()
+	for _, m := range msgs {
+		sink(m)
+	}
+	c.ClearInbox()
+
+	a := c.Inbox()
+	other.ClearInbox() // different receiver: a is still live
+	sink(a[0])
+	c.ClearInbox()
+	a = c.Inbox() // refreshed binding
+	sink(a[0])
+}`)
+	wantDiags(t, got)
+}
+
+// TestInboxSelectorReceiver: receiver paths are matched structurally
+// (net.ctl style), not just single idents.
+func TestInboxSelectorReceiver(t *testing.T) {
+	got := ownLint(t, `package x
+func f(net *Network, sink func(PacketIn)) {
+	msgs := net.ctl.Inbox()
+	net.ctl.ClearInbox()
+	sink(msgs[0])
+}`)
+	wantDiags(t, got,
+		`fixture.go:5:7: [poolown] use of inbox packets "msgs" after ClearInbox (cleared at line 4)`)
+}
+
+// TestPoolOwnIgnore: the escape hatch applies.
+func TestPoolOwnIgnore(t *testing.T) {
+	got := ownLint(t, `package x
+func f(c *Controller, sink func(PacketIn)) {
+	msgs := c.Inbox()
+	c.ClearInbox()
+	//simlint:ignore poolown: fixture reads the recycled slot on purpose
+	sink(msgs[0])
+}`)
+	wantDiags(t, got)
+}

@@ -1,24 +1,10 @@
-// poollint is a go vet tool (-vettool) that checks the simulator's
-// pooled-packet discipline. openflow.Packet values obtained from
-// ClonePooled are freelist-backed: once Release is called the pool may
-// recycle and overwrite them, so any later use is a use-after-free-style
-// bug that corrupts an unrelated in-flight packet (see the ownership
-// rules on openflow.ClonePooled).
-//
-// Checks:
-//
-//   - use-after-release: a statement that reads a variable after an
-//     earlier x.Release() in the same statement list (including a second
-//     Release — a double release poisons the pool with duplicates).
-//   - discarded clone: x.ClonePooled() used as a statement, dropping the
-//     result; the clone can never be handed off or released.
-//
-// The checks are purely syntactic (go/ast, no type information): Release
-// and ClonePooled name exactly one type in this tree, and keeping the
-// tool free of golang.org/x/tools lets it build from a clean module
-// cache. It speaks the protocol `go vet -vettool` expects: -V=full for
-// build caching, -flags for flag discovery, and a JSON .cfg unit file
-// per package. Run it as:
+// poollint is the retired standalone pooled-packet checker, kept as a
+// thin alias so `make lint` invocations and docs predating the simlint
+// suite keep working. It runs exactly the pool-discipline subset of
+// simlint (the pool and poolown analyzers); the analyzer implementations
+// and their fixtures live in tools/internal/simlint. New setups should
+// run tools/simlint, which adds the hotpath, laneaffinity and
+// determinism analyzers on top:
 //
 //	go build -o /tmp/poollint ./tools/poollint
 //	go vet -vettool=/tmp/poollint ./...
@@ -26,109 +12,8 @@
 // Exit status: 0 clean, 2 when any diagnostic is reported.
 package main
 
-import (
-	"crypto/sha256"
-	"encoding/json"
-	"fmt"
-	"go/parser"
-	"go/token"
-	"io"
-	"log"
-	"os"
-	"path/filepath"
-	"strings"
-)
-
-// vetConfig is the subset of the JSON unit config the go command hands a
-// vettool; fields we don't use (ImportMap, PackageFile, facts inputs) are
-// simply not decoded.
-type vetConfig struct {
-	ID         string
-	Dir        string
-	ImportPath string
-	GoFiles    []string
-	VetxOnly   bool
-	VetxOutput string
-}
+import "smartsouth/tools/internal/simlint"
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("poollint: ")
-	args := os.Args[1:]
-	for _, a := range args {
-		switch a {
-		case "-V=full", "--V=full":
-			printVersion()
-			return
-		case "-flags", "--flags":
-			// No analyzer flags; the go command wants a JSON list.
-			fmt.Println("[]")
-			return
-		}
-	}
-	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		log.Fatalf("usage: poollint unit.cfg (invoke via go vet -vettool)")
-	}
-	diags, err := runUnit(args[0])
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.pos, d.msg)
-	}
-	if len(diags) > 0 {
-		os.Exit(2)
-	}
-}
-
-// printVersion emits the fingerprint line the go command's build cache
-// requires from a -vettool: "<name> version devel ... buildID=<hex>",
-// where the hex digest covers the executable so rebuilding the tool
-// invalidates cached vet results.
-func printVersion() {
-	name := os.Args[0]
-	f, err := os.Open(name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	h := sha256.New()
-	if _, err := io.Copy(h, f); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
-		filepath.Base(name), h.Sum(nil))
-}
-
-// runUnit analyzes one package unit described by a JSON config file and
-// returns its diagnostics. The (empty) facts file is always written:
-// the go command caches it and feeds it to dependent units.
-func runUnit(cfgPath string) ([]diagnostic, error) {
-	raw, err := os.ReadFile(cfgPath)
-	if err != nil {
-		return nil, err
-	}
-	var cfg vetConfig
-	if err := json.Unmarshal(raw, &cfg); err != nil {
-		return nil, fmt.Errorf("%s: %v", cfgPath, err)
-	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.VetxOnly {
-		// Dependency-only run: facts written, nothing to report.
-		return nil, nil
-	}
-	var diags []diagnostic
-	fset := token.NewFileSet()
-	for _, name := range cfg.GoFiles {
-		file, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		diags = append(diags, checkFile(fset, file)...)
-	}
-	return diags, nil
+	simlint.Main("poollint", simlint.PoolAnalyzers)
 }
