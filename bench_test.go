@@ -619,9 +619,10 @@ func BenchmarkBaselineControlLoad(b *testing.B) {
 // BenchmarkTelemetryOverhead measures the cost of the always-on
 // instrumentation (per-event counters, latency histograms, flight
 // recorder) by running the Table2Snapshot workload with telemetry on
-// (the default) and off. The acceptance budget for the "on" arm is <=5%
-// over "off"; benchguard and docs/OBSERVABILITY.md track the measured
-// number.
+// (the default) and off, plus a "timeline" arm with causal span tracing
+// enabled on top of the defaults. The acceptance budget for the "on"
+// and "timeline" arms is <=5% over "off"; benchguard and
+// docs/OBSERVABILITY.md track the measured number.
 //
 // The "paired" sub-benchmark is the one to trust for the ratio: it
 // alternates one on-iteration with one off-iteration inside a single
@@ -648,6 +649,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}{
 		{"on", nil},
 		{"noflight", []Option{WithFlightCap(-1)}},
+		{"timeline", []Option{WithTimeline(1 << 14)}},
 		{"off", []Option{WithoutTelemetry()}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
@@ -665,6 +667,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("paired", func(b *testing.B) {
 		dOn := Deploy(g)
 		dNf := Deploy(g, WithFlightCap(-1))
+		dTl := Deploy(g, WithTimeline(1<<14))
 		dOff := Deploy(g, WithoutTelemetry())
 		snapOn, err := dOn.InstallSnapshot()
 		if err != nil {
@@ -674,11 +677,15 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		snapTl, err := dTl.InstallSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
 		snapOff, err := dOff.InstallSnapshot()
 		if err != nil {
 			b.Fatal(err)
 		}
-		var onNs, nfNs, offNs int64
+		var onNs, nfNs, tlNs, offNs int64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			t0 := time.Now()
@@ -686,18 +693,23 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			t1 := time.Now()
 			iter(b, dNf, snapNf)
 			t2 := time.Now()
-			iter(b, dOff, snapOff)
+			iter(b, dTl, snapTl)
 			t3 := time.Now()
+			iter(b, dOff, snapOff)
+			t4 := time.Now()
 			onNs += t1.Sub(t0).Nanoseconds()
 			nfNs += t2.Sub(t1).Nanoseconds()
-			offNs += t3.Sub(t2).Nanoseconds()
+			tlNs += t3.Sub(t2).Nanoseconds()
+			offNs += t4.Sub(t3).Nanoseconds()
 		}
 		b.ReportMetric(float64(onNs)/float64(b.N), "on-ns/op")
 		b.ReportMetric(float64(nfNs)/float64(b.N), "noflight-ns/op")
+		b.ReportMetric(float64(tlNs)/float64(b.N), "timeline-ns/op")
 		b.ReportMetric(float64(offNs)/float64(b.N), "off-ns/op")
 		if offNs > 0 {
 			b.ReportMetric(float64(onNs)/float64(offNs), "on/off-ratio")
 			b.ReportMetric(float64(nfNs)/float64(offNs), "noflight/off-ratio")
+			b.ReportMetric(float64(tlNs)/float64(offNs), "timeline/off-ratio")
 		}
 	})
 }

@@ -28,6 +28,7 @@ var (
 	parallel = flag.Int("parallel", 1, "worker count for the Table 2 sweep; 0 = GOMAXPROCS, >1 also reports the wall-clock speedup vs sequential")
 	backend  = flag.String("backend", "of13", "compile backend for the per-size tables: of13 or stateful (the backend matrix always measures both)")
 	shards   = flag.Int("shards", 1, "event-loop shard count for every deployment; >1 also prints the shard-count scaling curve")
+	timeline = flag.String("timeline", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) of one traced snapshot run — largest -sizes graph, -shards shards — to this path")
 )
 
 // deploy builds a deployment with the -backend and -shards flags applied.
@@ -150,6 +151,42 @@ func main() {
 	if *shards > 1 {
 		shardScalingTable()
 	}
+	if *timeline != "" {
+		writeTimeline(*timeline)
+	}
+}
+
+// writeTimeline runs one causally-traced snapshot traversal on the
+// largest configured graph with the configured shard count and writes
+// the resulting span timeline as Chrome trace-event JSON — the artifact
+// CI validates and operators drop into Perfetto.
+func writeTimeline(path string) {
+	sz := parseSizes()
+	g := graph(sz[len(sz)-1])
+	d := smartsouth.Deploy(g, smartsouth.WithBackend(*backend),
+		smartsouth.WithShards(*shards), smartsouth.WithTimeline(1<<14))
+	snap, err := d.InstallSnapshot()
+	must(err)
+	snap.Trigger(0, 0)
+	must(d.Run())
+	f, err := os.Create(path)
+	must(err)
+	must(d.WriteTimeline(f))
+	must(f.Close())
+	spans, cross := 0, 0
+	complete := 0
+	traces := d.Traces()
+	for _, t := range traces {
+		spans += t.Spans
+		cross += t.CrossLane
+		if t.Complete {
+			complete++
+		}
+	}
+	fmt.Printf("\n== Causal timeline: %s n=%d, %d shard(s) -> %s ==\n",
+		*topoName, g.NumNodes(), d.Net.Shards(), path)
+	fmt.Printf("(%d trace(s), %d complete, %d spans, %d cross-shard edges)\n",
+		len(traces), complete, spans, cross)
 }
 
 // shardScalingTable prints the shard-count scaling curve: wall-clock of a

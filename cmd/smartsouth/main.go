@@ -45,6 +45,7 @@ var (
 	serveAddr = flag.String("serve", "", "serve /metrics, /telemetry, /debug/vars and /debug/pprof on this address (e.g. :9090) and block after the run")
 	telemTo   = flag.String("telemetry", "", "write the process telemetry snapshot as JSON to this file ('-' = stdout)")
 	flightTo  = flag.String("flight", "", "write the flight-recorder JSONL to this file ('-' = stdout) after the run; also the dump path on failure")
+	timeTo    = flag.String("timeline", "", "enable causal tracing and write the span timeline as Chrome trace-event JSON to this file ('-' = stdout); with -serve it is also live on /traces")
 )
 
 func buildTopo() *smartsouth.Graph {
@@ -99,6 +100,9 @@ func main() {
 	opts := []smartsouth.Option{smartsouth.WithSeed(*seed), smartsouth.WithBackend(*backend)}
 	if *traceCap > 0 {
 		opts = append(opts, smartsouth.WithTrace(*traceCap))
+	}
+	if *timeTo != "" {
+		opts = append(opts, smartsouth.WithTimeline(0))
 	}
 	d := smartsouth.Deploy(g, opts...)
 	if *flightTo != "" && *flightTo != "-" {
@@ -434,6 +438,18 @@ func main() {
 		} else {
 			fatal(d.WriteFlightDump(*flightTo))
 			fmt.Printf("flight recorder JSONL written to %s\n", *flightTo)
+		}
+	}
+	if *timeTo != "" {
+		if *timeTo == "-" {
+			fmt.Println("causal timeline (Chrome trace-event JSON):")
+			fatal(d.WriteTimeline(os.Stdout))
+		} else {
+			f, err := os.Create(*timeTo)
+			fatal(err)
+			fatal(d.WriteTimeline(f))
+			fatal(f.Close())
+			fmt.Printf("causal timeline written to %s\n", *timeTo)
 		}
 	}
 

@@ -37,6 +37,7 @@ var (
 	serveAddr = flag.String("serve", "", "serve /metrics, /telemetry and /debug/pprof on this address while soaking")
 	forceFail = flag.Bool("force-fail", false, "report a synthetic oracle divergence on every iteration (tests the failure path)")
 	dumpDir   = flag.String("dump-dir", os.TempDir(), "directory for flight-recorder dumps of failed iterations ('' = no dumps)")
+	timeline  = flag.String("timeline", "", "enable causal tracing and write each iteration's span timeline (Chrome trace-event JSON) to this path — overwritten per iteration, so after a failure it holds the failing traversal")
 )
 
 // iterFailure describes one failed iteration in the JSON summary.
@@ -105,6 +106,20 @@ func main() {
 	os.Exit(exitCode)
 }
 
+// writeTimeline writes the deployment's retained causal spans to path as
+// Chrome trace-event JSON.
+func writeTimeline(d *smartsouth.Deployment, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteTimeline(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func buildTopo(rng *rand.Rand) (*smartsouth.Graph, string) {
 	n := 5 + rng.Intn(26)
 	switch rng.Intn(5) {
@@ -128,8 +143,17 @@ func buildTopo(rng *rand.Rand) (*smartsouth.Graph, string) {
 func runIteration(s int64, forceFail bool, dumpDir string) (family, dumpPath string, err error) {
 	rng := rand.New(rand.NewSource(s))
 	g, family := buildTopo(rng)
-	d := smartsouth.Deploy(g, smartsouth.Options{Seed: s}, smartsouth.WithBackend(*backend), smartsouth.WithShards(*shards))
+	opts := []smartsouth.Option{smartsouth.Options{Seed: s}, smartsouth.WithBackend(*backend), smartsouth.WithShards(*shards)}
+	if *timeline != "" {
+		opts = append(opts, smartsouth.WithTimeline(0))
+	}
+	d := smartsouth.Deploy(g, opts...)
 	err = oracles(d, g, rng, forceFail)
+	if *timeline != "" {
+		if werr := writeTimeline(d, *timeline); werr != nil {
+			fmt.Fprintf(os.Stderr, "soak: timeline write failed: %v\n", werr)
+		}
+	}
 	if err != nil && dumpDir != "" && d.Flight() != nil {
 		d.Net.FlightNote("soak oracle divergence: " + err.Error())
 		p := filepath.Join(dumpDir, fmt.Sprintf("soak-flight-seed%d.jsonl", s))

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"smartsouth/internal/openflow"
@@ -39,6 +40,15 @@ type Options struct {
 	// but may order simultaneous independent events differently than the
 	// single loop. Clamped to the node count.
 	Shards int
+	// Timeline, when positive, enables the causal traversal tracer with a
+	// per-lane span ring of this capacity: every packet injected via
+	// Inject gets a trace id, and every pipeline execution it or any of
+	// its descendants flows through is recorded as a SpanRecord whose
+	// Parent edge reconstructs the traversal tree (internal/trace builds
+	// the trees, internal/dump renders them). Independent of NoTelemetry
+	// so the overhead benchmark can isolate the tracer's cost. Zero (the
+	// default) records nothing and keeps the hot path branch-predictable.
+	Timeline int
 }
 
 // ethCounter is one interned per-EtherType accounting slot. The hot path
@@ -112,6 +122,15 @@ type Network struct {
 	prevScanned    uint64
 	prevCommits    uint64
 	prevFlightRecs uint64
+	prevSpanRecs   uint64
+
+	// traceSeq hands out traversal ids when timeline tracing is on. Only
+	// Inject (a barrier-context call) bumps it, so no atomics.
+	traceSeq uint32
+
+	// spanCursor holds per-lane ring totals at the last DrainSpans call,
+	// lazily sized on first drain.
+	spanCursor []uint64
 }
 
 // New builds a network for the graph.
@@ -163,6 +182,14 @@ func New(g *topo.Graph, opts Options) *Network {
 			}
 		}
 	}
+	if opts.Timeline > 0 {
+		// Deliberately independent of NoTelemetry: the tracer's own
+		// overhead must be measurable with everything else off.
+		for _, l := range n.lanes {
+			l.spans = telemetry.NewSpans(opts.Timeline)
+		}
+	}
+	telemetry.M.Shards.Set(int64(shards))
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n.switches = make([]*openflow.Switch, g.NumNodes())
 	n.portLinks = make([][]*Link, g.NumNodes())
@@ -348,7 +375,16 @@ func (n *Network) Inject(sw int, inPort int, pkt *openflow.Packet, t Time) {
 	if st := l.sim.stats; st != nil {
 		st.PoolGets++
 	}
-	l.sim.schedule(t, event{kind: evProcess, sw: sw, port: inPort, pkt: pkt.ClonePooled()})
+	q := pkt.ClonePooled()
+	if n.ctl.spans != nil && q.TraceID == 0 {
+		// Every injection roots a new traversal trace (unless the caller
+		// pre-assigned one, e.g. a resubmitted packet). SpanID 0 marks the
+		// first execution's span as the trace root.
+		n.traceSeq++
+		q.TraceID = n.traceSeq
+		q.SpanID = 0
+	}
+	l.sim.schedule(t, event{kind: evProcess, sw: sw, port: inPort, pkt: q})
 }
 
 // InjectActions schedules an action-list packet-out at switch sw (an
@@ -374,6 +410,60 @@ func (n *Network) InjectActions(sw int, actions []openflow.Action, pkt *openflow
 		n.ctl.dispatch(sw, &res)
 		p.Release()
 	})
+}
+
+// SpanRecords returns the causal tracer's retained spans across all
+// lanes, merged into simulation-time order, or nil when timeline tracing
+// is off. The slice is a copy; internal/trace.BuildTraces reassembles it
+// into per-traversal trees and internal/dump renders timelines.
+//
+//simlint:barrier post-run aggregation across parked lanes
+func (n *Network) SpanRecords() []telemetry.SpanRecord {
+	if n.ctl.spans == nil {
+		return nil
+	}
+	rings := make([]*telemetry.Spans, len(n.lanes))
+	for i, l := range n.lanes {
+		rings[i] = l.spans
+	}
+	return telemetry.MergedSpans(rings)
+}
+
+// DrainSpans appends to dst the span records claimed since the previous
+// call (all retained records on the first), interleaved across lanes
+// into simulation-time order with ties keeping lane order — the same
+// ordering contract as SpanRecords, but O(new records) per call instead
+// of O(ring capacity), so a caller can harvest the timeline after every
+// run without paying for a full re-merge. Records a lane ring evicted
+// between drains are lost, exactly as they are from SpanRecords.
+// Returns dst unchanged when timeline tracing is off.
+//
+//simlint:barrier post-run aggregation across parked lanes
+func (n *Network) DrainSpans(dst []telemetry.SpanRecord) []telemetry.SpanRecord {
+	if n.ctl.spans == nil {
+		return dst
+	}
+	if n.spanCursor == nil {
+		n.spanCursor = make([]uint64, len(n.lanes))
+	}
+	base := len(dst)
+	for i, l := range n.lanes {
+		dst = l.spans.AppendSince(dst, n.spanCursor[i])
+		n.spanCursor[i] = l.spans.Total()
+	}
+	// Each lane's segment is already time-ordered (lane-local sim time is
+	// monotone), so the concatenation only needs sorting when several
+	// lanes interleave — checking first keeps the common single-lane
+	// drain free of sort.SliceStable's reflection cost. A tie across the
+	// boundary counts as ordered: both paths keep lane order on ties.
+	fresh := dst[base:]
+	for i := 1; i < len(fresh); i++ {
+		if fresh[i].At < fresh[i-1].At {
+			sort.SliceStable(fresh, func(i, j int) bool { return fresh[i].At < fresh[j].At })
+			break
+		}
+	}
+	return dst
 }
 
 // InBandMsgs returns the per-EtherType link-transmission counts as a map,

@@ -1,5 +1,7 @@
 package network
 
+import "smartsouth/internal/telemetry"
+
 // Config is the resolved deployment configuration: the simulated-network
 // knobs (Options) plus the observability knobs the deployment layer reads.
 // It is produced by Resolve from a list of Option values.
@@ -73,6 +75,21 @@ func WithoutTelemetry() Option {
 // histograms on.
 func WithFlightCap(n int) Option {
 	return optionFunc(func(c *Config) { c.Opts.FlightCap = n })
+}
+
+// WithTimeline enables the causal traversal tracer: every injected
+// packet gets a trace id, every pipeline execution it (or any of its
+// descendants) flows through becomes a span in a per-lane ring
+// retaining the last cap spans (DefaultSpanCap when cap <= 0 — unlike
+// WithTrace, any call opts in). Tracing is independent of
+// WithoutTelemetry so the overhead benchmark can isolate its cost.
+func WithTimeline(cap int) Option {
+	return optionFunc(func(c *Config) {
+		if cap <= 0 {
+			cap = telemetry.DefaultSpanCap
+		}
+		c.Opts.Timeline = cap
+	})
 }
 
 // WithBackend selects the compile backend services are lowered with:

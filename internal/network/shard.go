@@ -54,6 +54,15 @@ type lane struct {
 	flight  *telemetry.Flight //simlint:lanelocal
 	lastDec int               //simlint:lanelocal
 
+	// Causal tracer (Options.Timeline): the lane's span ring, its span-id
+	// sequence (span ids are lane+1 in the high bits — see
+	// telemetry.SpanRecord — so lanes never collide without atomics), and
+	// the per-batch scratch of claimed slots awaiting their post-exec
+	// fill. Nil/zero when tracing is off.
+	spans     *telemetry.Spans        //simlint:lanelocal
+	spanSeq   uint32                  //simlint:lanelocal
+	batchSpan []*telemetry.SpanRecord //simlint:lanelocal
+
 	// Cross-shard routing (worker lanes only). out[d] buffers deliveries
 	// to shard d during a window; ctlOut buffers controller/self events.
 	// Both are exchanged at the barrier.
@@ -67,6 +76,11 @@ type lane struct {
 	jobs       chan laneJob //simlint:lanelocal
 	wprocessed int          //simlint:lanelocal
 	ticks      uint64       //simlint:lanelocal
+
+	// busyNs is the wall time the lane spent inside its last window,
+	// measured by the worker goroutine and read by the coordinator at the
+	// barrier — the raw input of the stall and load-imbalance series.
+	busyNs int64 //simlint:lanelocal
 }
 
 // xev is one buffered cross-lane event: a delivery to another shard's
@@ -138,6 +152,7 @@ func (l *lane) processBatch(evs []event) {
 			r.Sw = int16(swID)
 			r.Port = int16(p.InPort)
 			r.Eth = p.EthType
+			r.Lane = uint8(l.id)
 			if d := l.decoderFor(p.EthType); d != nil {
 				r.NumTags = d.n
 				r.NameIdx = d.nameIdx
@@ -146,6 +161,38 @@ func (l *lane) processBatch(evs []event) {
 			recs = append(recs, r)
 		}
 		l.batchRec = recs
+	}
+	var spans []*telemetry.SpanRecord
+	if l.spans != nil && len(in) <= l.spans.Cap() {
+		// Causal tracer: claim one span per traced arrival (untraced
+		// packets keep a nil placeholder so indices line up with res) and
+		// re-stamp the packet's SpanID *before* execution — emissions are
+		// cloned from the arrival while ExecBatch runs, so they inherit
+		// this execution's span as their parent, which is the whole
+		// parent→child edge mechanism. Same claim-before/fill-after
+		// contract as the flight records above.
+		spans = l.batchSpan[:0]
+		at := int64(l.sim.now)
+		for _, p := range in {
+			if p.TraceID == 0 {
+				spans = append(spans, nil)
+				continue
+			}
+			l.spanSeq++
+			id := uint64(l.id+1)<<32 | uint64(l.spanSeq)
+			sp := l.spans.Slot()
+			sp.Span = id
+			sp.Parent = p.SpanID
+			sp.At = at
+			sp.Trace = p.TraceID
+			sp.Sw = int32(swID)
+			sp.Lane = int16(l.id)
+			sp.Port = int16(p.InPort)
+			sp.Eth = p.EthType
+			p.SpanID = id
+			spans = append(spans, sp)
+		}
+		l.batchSpan = spans
 	}
 	if len(n.execObs) > 0 {
 		// Observers are promised the pre-execution packet; clone only in
@@ -176,6 +223,26 @@ func (l *lane) processBatch(evs []event) {
 			rec.Bucket = r.LastBucket
 			recs[i] = nil
 		}
+	}
+	if spans != nil {
+		// Fill the result half of each claimed span before dispatch, for
+		// the same recycling reason as the flight records. (The aggregate
+		// span count is published at Run end from the rings' totals, like
+		// the flight-record count — no per-batch accounting here.)
+		for i, sp := range spans {
+			if sp == nil {
+				continue
+			}
+			r := &res[i]
+			sp.Matched = r.Matched
+			if e := len(r.Emissions); e > 255 {
+				sp.Emits = 255
+			} else {
+				sp.Emits = uint8(e)
+			}
+			spans[i] = nil
+		}
+		l.batchSpan = spans[:0]
 	}
 	for i := range evs {
 		r := &res[i]
@@ -308,6 +375,7 @@ func (l *lane) send(sw, port int, pkt *openflow.Packet) {
 				r.To = int16(to)
 				r.ToPort = int16(toPort)
 				r.Eth = pkt.EthType
+				r.Lane = uint8(l.id)
 			}
 		}
 	}
@@ -338,6 +406,9 @@ func (l *lane) send(sw, port int, pkt *openflow.Packet) {
 			// Cross-shard delivery: buffered, exchanged at the barrier.
 			// Conservative windows guarantee at >= the window end, so the
 			// receiver has not advanced past it.
+			if st := l.sim.stats; st != nil {
+				st.CutMsgs++
+			}
 			l.out[d] = append(l.out[d], xev{at: at, kind: evProcess, sw: to, port: toPort, pkt: pkt})
 			return
 		}
@@ -525,7 +596,15 @@ func (n *Network) runSharded() (int, error) {
 		// lane field the cleanup below nils out.
 		go func(l *lane, jobs <-chan laneJob) {
 			for j := range jobs {
-				l.wprocessed = l.runWindow(j.end, j.budget)
+				if l.sim.stats != nil {
+					//simlint:ignore determinism: wall-clock window timing feeds telemetry only, never the sim
+					t0 := time.Now()
+					l.wprocessed = l.runWindow(j.end, j.budget)
+					//simlint:ignore determinism: wall-clock window timing feeds telemetry only, never the sim
+					l.busyNs = time.Since(t0).Nanoseconds()
+				} else {
+					l.wprocessed = l.runWindow(j.end, j.budget)
+				}
 				wg.Done()
 			}
 		}(l, l.jobs)
@@ -581,6 +660,12 @@ func (n *Network) runSharded() (int, error) {
 				active++
 			}
 		}
+		cst := n.ctl.sim.stats
+		var wt0 time.Time
+		if cst != nil {
+			//simlint:ignore determinism: wall-clock barrier timing feeds telemetry only, never the sim
+			wt0 = time.Now()
+		}
 		wg.Add(active)
 		for _, l := range workers {
 			if len(l.sim.events) > 0 && l.sim.events[0].at < w {
@@ -588,9 +673,40 @@ func (n *Network) runSharded() (int, error) {
 			}
 		}
 		wg.Wait()
+		if cst != nil {
+			// Window accounting runs on the coordinator with every worker
+			// parked, staged into the control lane's SimLocal like every
+			// other counter. A lane was active iff it processed something
+			// (it got a job iff its head event was inside the window, and a
+			// job always drains at least one event); its stall is the gap
+			// between its own busy time and the wall span of the whole
+			// barrier — the time it idled waiting for the slowest lane.
+			//simlint:ignore determinism: wall-clock barrier timing feeds telemetry only, never the sim
+			barrierNs := time.Since(wt0).Nanoseconds()
+			cst.Windows++
+			if w != maxTime {
+				cst.WindowSimNs.Observe(int64(w - tMin))
+			}
+			var maxBusy int64
+			for _, l := range workers {
+				if l.wprocessed == 0 {
+					continue
+				}
+				cst.LaneWindows++
+				cst.LaneBusyNs += uint64(l.busyNs)
+				if l.busyNs > maxBusy {
+					maxBusy = l.busyNs
+				}
+				if stall := barrierNs - l.busyNs; stall > 0 {
+					cst.BarrierStallNs.Observe(stall)
+				}
+			}
+			cst.LaneBusyMaxNs += uint64(maxBusy)
+		}
 		for _, l := range workers {
 			processed += l.wprocessed
 			l.wprocessed = 0
+			l.busyNs = 0
 		}
 		n.mergeWindow(workers)
 	}
@@ -619,6 +735,7 @@ func (n *Network) runSharded() (int, error) {
 //
 //simlint:barrier runs at the window barrier with all workers parked
 func (n *Network) mergeWindow(workers []*lane) {
+	cst := n.ctl.sim.stats
 	for d := range workers {
 		buf := n.mergeBuf[:0]
 		for _, src := range workers {
@@ -629,6 +746,12 @@ func (n *Network) mergeWindow(workers []*lane) {
 			}
 			src.out[d] = o[:0]
 		}
+		if cst != nil && len(buf) > 0 {
+			// Only non-empty merges are observed: the count of staged
+			// deliveries is deterministic, and all-zero samples from idle
+			// destinations would drown the distribution.
+			cst.StagedDepth.Observe(int64(len(buf)))
+		}
 		n.scheduleMerged(&workers[d].sim, buf)
 	}
 	buf := n.mergeBuf[:0]
@@ -638,6 +761,9 @@ func (n *Network) mergeWindow(workers []*lane) {
 			src.ctlOut[i] = xev{}
 		}
 		src.ctlOut = src.ctlOut[:0]
+	}
+	if cst != nil && len(buf) > 0 {
+		cst.StagedDepth.Observe(int64(len(buf)))
 	}
 	n.scheduleMerged(&n.ctl.sim, buf)
 }

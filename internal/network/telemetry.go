@@ -152,7 +152,7 @@ func (n *Network) FlightNote(text string) {
 	if f == nil {
 		return
 	}
-	r := telemetry.FlightRecord{At: int64(n.Sim.now), Kind: telemetry.FlightNote, Sw: -1}
+	r := telemetry.FlightRecord{At: int64(n.Sim.now), Kind: telemetry.FlightNote, Sw: -1, Lane: uint8(n.ctl.id)}
 	f.SetCookie(&r, text)
 	f.Record(r)
 }
@@ -230,6 +230,15 @@ func (n *Network) Run() (int, error) {
 		}
 		st.FlightRecords += t - n.prevFlightRecs
 		n.prevFlightRecs = t
+	}
+	if n.ctl.spans != nil {
+		// Same running-total pattern for the causal tracer's spans.
+		var t uint64
+		for _, l := range n.lanes {
+			t += l.spans.Total()
+		}
+		st.SpanRecords += t - n.prevSpanRecs
+		n.prevSpanRecs = t
 	}
 	//simlint:ignore determinism: wall-clock sample feeds telemetry only, never the sim
 	st.FlushTo(telemetry.M, int64(n.Sim.now-simStart), time.Since(wallStart).Nanoseconds(), err != nil)

@@ -39,6 +39,16 @@ type Packet struct {
 	// InPort is the ingress port at the switch currently processing the
 	// packet. It is set by Switch.Receive, not by the sender.
 	InPort int
+
+	// TraceID and SpanID thread the causal tracer's identity through the
+	// data plane: TraceID names the traversal (assigned at injection when
+	// timeline tracing is on, zero otherwise), SpanID the most recent
+	// pipeline execution the packet passed through (the parent of its next
+	// execution's span). Both are plain scalars copied by the clone paths,
+	// so the steady hop path stays allocation-free whether or not tracing
+	// is enabled.
+	TraceID uint32
+	SpanID  uint64
 }
 
 // NewPacket returns a packet of the given EtherType with a zeroed tag area
@@ -50,7 +60,8 @@ func NewPacket(ethType uint16, tagBytes int) *Packet {
 // Clone returns a deep copy of the packet. Group type ALL and the
 // controller path use it so that downstream mutation cannot alias.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{EthType: p.EthType, TTL: p.TTL, InPort: p.InPort}
+	q := &Packet{EthType: p.EthType, TTL: p.TTL, InPort: p.InPort,
+		TraceID: p.TraceID, SpanID: p.SpanID}
 	q.Tag = append([]byte(nil), p.Tag...)
 	q.Labels = append([]uint32(nil), p.Labels...)
 	q.Payload = append([]byte(nil), p.Payload...)
@@ -82,6 +93,7 @@ func (p *Packet) ClonePooled() *Packet {
 	//simlint:ignore hotpath: freelist-backed; a steady-state hop recycles, misses are counted
 	q := pktPool.Get().(*Packet)
 	q.EthType, q.TTL, q.InPort = p.EthType, p.TTL, p.InPort
+	q.TraceID, q.SpanID = p.TraceID, p.SpanID
 	q.Tag = append(q.Tag[:0], p.Tag...)
 	q.Labels = append(q.Labels[:0], p.Labels...)
 	q.Payload = append(q.Payload[:0], p.Payload...)

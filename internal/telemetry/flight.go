@@ -83,11 +83,16 @@ type FlightRecord struct {
 	Eth    uint16
 	Bucket int16
 
-	Kind      FlightKind
-	Matched   bool
-	Delivered bool
-	NumTags   uint8
-	NameIdx   uint8 // index into the recorder's tag-name table
+	Kind    FlightKind
+	Matched bool
+	// Lane is the event-loop lane (shard) that recorded this entry: the
+	// owning worker lane of a sharded run (the control lane records notes
+	// and appears as the highest lane id), 0 on the classic single loop.
+	// It is what lets a merged sharded dump be correlated with the
+	// per-lane causal traces.
+	Lane    uint8
+	NumTags uint8
+	NameIdx uint8 // index into the recorder's tag-name table
 
 	CookieLen uint8 // 0..22 inline length; cookieOverflow = interned
 	Cookie    [cookieInline]byte
@@ -276,20 +281,20 @@ func (f *Flight) Reset() {
 // jsonRecord is the JSONL view of a record: kind as a string, tags
 // trimmed to the populated prefix, zero-valued fields elided.
 type jsonRecord struct {
-	Seq       uint64      `json:"seq"`
-	At        int64       `json:"at"`
-	Kind      string      `json:"kind"`
-	Sw        int16       `json:"sw"`
-	Port      int16       `json:"port,omitempty"`
-	To        int16       `json:"to,omitempty"`
-	ToPort    int16       `json:"toPort,omitempty"`
-	Eth       uint16      `json:"eth,omitempty"`
-	Matched   bool        `json:"matched,omitempty"`
-	Delivered bool        `json:"delivered,omitempty"`
-	Cookie    string      `json:"cookie,omitempty"`
-	Group     uint32      `json:"group,omitempty"`
-	Bucket    int16       `json:"bucket,omitempty"`
-	Tags      []FlightTag `json:"tags,omitempty"`
+	Seq     uint64      `json:"seq"`
+	At      int64       `json:"at"`
+	Kind    string      `json:"kind"`
+	Sw      int16       `json:"sw"`
+	Port    int16       `json:"port,omitempty"`
+	To      int16       `json:"to,omitempty"`
+	ToPort  int16       `json:"toPort,omitempty"`
+	Eth     uint16      `json:"eth,omitempty"`
+	Matched bool        `json:"matched,omitempty"`
+	Lane    uint8       `json:"lane"`
+	Cookie  string      `json:"cookie,omitempty"`
+	Group   uint32      `json:"group,omitempty"`
+	Bucket  int16       `json:"bucket,omitempty"`
+	Tags    []FlightTag `json:"tags,omitempty"`
 }
 
 // jsonFor builds the JSONL view of one record, resolving cookies and tag
@@ -298,7 +303,7 @@ func (f *Flight) jsonFor(r *FlightRecord, seq uint64) jsonRecord {
 	jr := jsonRecord{
 		Seq: seq, At: r.At, Kind: r.Kind.String(),
 		Sw: r.Sw, Port: r.Port, To: r.To, ToPort: r.ToPort,
-		Eth: r.Eth, Matched: r.Matched, Delivered: r.Delivered,
+		Eth: r.Eth, Matched: r.Matched, Lane: r.Lane,
 		Cookie: f.CookieString(r), Group: r.Group, Bucket: r.Bucket,
 	}
 	if r.NumTags > 0 && int(r.NameIdx) < len(f.names) {

@@ -3,18 +3,78 @@ package telemetry
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 var publishOnce sync.Once
+
+// startTime anchors the /healthz uptime; the process start is close
+// enough for an observability endpoint.
+var startTime = time.Now()
+
+// traceSource holds the registered /traces renderer (see SetTraceSource).
+var traceSource atomic.Value // of func(io.Writer) error
+
+// SetTraceSource registers the renderer behind the /traces endpoint —
+// typically a closure writing the current deployment's causal timeline
+// as Chrome trace-event JSON. The telemetry package cannot depend on the
+// exporters (they sit above the simulator), so the deployment layer
+// injects one; the last registration wins, and /traces answers 404
+// until one exists. The renderer is invoked from HTTP goroutines and
+// must be safe for concurrent use.
+func SetTraceSource(fn func(w io.Writer) error) {
+	traceSource.Store(fn)
+}
+
+// health is the /healthz payload: enough to tell which build is serving,
+// how long it has been up, and what shape the simulator runs in.
+type health struct {
+	Status     string `json:"status"`
+	GoVersion  string `json:"goVersion"`
+	Module     string `json:"module,omitempty"`
+	Revision   string `json:"revision,omitempty"`
+	UptimeSecs int64  `json:"uptimeSecs"`
+	Shards     int64  `json:"shards"`
+	Runs       int64  `json:"runs"`
+}
+
+func healthz(w http.ResponseWriter, _ *http.Request) {
+	h := health{
+		Status:     "ok",
+		GoVersion:  runtime.Version(),
+		UptimeSecs: int64(time.Since(startTime).Seconds()),
+		Shards:     M.Shards.Load(),
+		Runs:       M.Runs.Load(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				h.Revision = s.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}
 
 // Handler returns the observability mux:
 //
 //	/metrics        Prometheus text exposition (global metrics + extras)
 //	/telemetry      the same data as indented JSON (quantile views)
+//	/healthz        build info, uptime, shard count
+//	/traces         the causal timeline (Chrome trace-event JSON), once a
+//	                source is registered via SetTraceSource
 //	/debug/vars     expvar (includes a "smartsouth" variable)
 //	/debug/pprof/*  the standard profiling endpoints
 //
@@ -37,7 +97,26 @@ func Handler(extras ...func(w http.ResponseWriter)) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(M.Snap())
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", healthz)
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		fn, _ := traceSource.Load().(func(io.Writer) error)
+		if fn == nil {
+			http.Error(w, "no trace source registered (timeline tracing off)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := fn(w); err != nil {
+			// Headers are committed; all we can do is cut the body short.
+			return
+		}
+	})
+	// The stdlib expvar handler sets its own Content-Type, but that is an
+	// implementation detail of net/http — set it explicitly so a scrape
+	// never sees text/plain from a future stdlib change.
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		expvar.Handler().ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -88,6 +88,21 @@ func (m *Metrics) WriteProm(w io.Writer) {
 
 	promCounter(w, "smartsouth_flight_records_total", "flight-recorder records written", m.FlightRecords.Load())
 	promCounter(w, "smartsouth_flight_dumps_total", "flight-recorder post-mortem dumps", m.FlightDumps.Load())
+
+	promCounter(w, "smartsouth_span_records_total", "causal-tracer execution spans recorded", m.SpanRecords.Load())
+
+	promGauge(w, "smartsouth_shards", "worker-lane count of the most recently built network", float64(m.Shards.Load()))
+	promCounter(w, "smartsouth_shard_windows_total", "conservative windows opened by the sharded coordinator", m.ShardWindows.Load())
+	promHist(w, "smartsouth_shard_window_sim_ns", "window width in simulation time (ns)", m.WindowSimNs.Snapshot())
+	promHist(w, "smartsouth_shard_barrier_stall_ns", "per-active-lane wall time idle at the window barrier (ns)", m.BarrierStallNs.Snapshot())
+	promHist(w, "smartsouth_shard_staged_depth", "staged cross-lane deliveries per destination at a barrier merge", m.StagedDepth.Snapshot())
+	promCounter(w, "smartsouth_shard_cut_msgs_total", "deliveries buffered across a shard boundary", m.CutMsgs.Load())
+	promCounter(w, "smartsouth_shard_busy_ns_total", "summed per-lane window busy wall time (ns)", m.ShardBusyNs.Load())
+	promCounter(w, "smartsouth_shard_busy_max_ns_total", "summed per-window max lane busy wall time (ns)", m.ShardBusyMaxNs.Load())
+	promCounter(w, "smartsouth_shard_lane_windows_total", "lane-window executions (active lanes summed per window)", m.LaneWindows.Load())
+	if imb := m.ShardImbalance(); imb > 0 {
+		promGauge(w, "smartsouth_shard_load_imbalance", "mean max/mean lane busy time per window (1.0 = balanced)", imb)
+	}
 }
 
 // HistView is the quantile-annotated JSON view of a histogram.
@@ -155,6 +170,19 @@ type Snapshot struct {
 
 	FlightRecords int64 `json:"flightRecords"`
 	FlightDumps   int64 `json:"flightDumps"`
+
+	SpanRecords int64 `json:"spanRecords"`
+
+	Shards         int64    `json:"shards"`
+	ShardWindows   int64    `json:"shardWindows"`
+	WindowSimNs    HistView `json:"shardWindowSimNs"`
+	BarrierStallNs HistView `json:"shardBarrierStallNs"`
+	StagedDepth    HistView `json:"shardStagedDepth"`
+	CutMsgs        int64    `json:"shardCutMsgs"`
+	ShardBusyNs    int64    `json:"shardBusyNs"`
+	ShardBusyMaxNs int64    `json:"shardBusyMaxNs"`
+	LaneWindows    int64    `json:"shardLaneWindows"`
+	ShardImbalance float64  `json:"shardLoadImbalance"`
 }
 
 // Snap copies the current values into a Snapshot.
@@ -176,6 +204,14 @@ func (m *Metrics) Snap() Snapshot {
 		MonitorRounds: m.MonitorRounds.Load(), MonitorWatchdog: m.MonitorWatchdog.Load(),
 		MonitorEvents: m.MonitorEvents.Load(), MonitorBlackholes: m.MonitorBlackholes.Load(),
 		FlightRecords: m.FlightRecords.Load(), FlightDumps: m.FlightDumps.Load(),
+		SpanRecords: m.SpanRecords.Load(),
+		Shards:      m.Shards.Load(), ShardWindows: m.ShardWindows.Load(),
+		WindowSimNs:    m.WindowSimNs.Snapshot().View(),
+		BarrierStallNs: m.BarrierStallNs.Snapshot().View(),
+		StagedDepth:    m.StagedDepth.Snapshot().View(),
+		CutMsgs:        m.CutMsgs.Load(),
+		ShardBusyNs:    m.ShardBusyNs.Load(), ShardBusyMaxNs: m.ShardBusyMaxNs.Load(),
+		LaneWindows: m.LaneWindows.Load(), ShardImbalance: m.ShardImbalance(),
 	}
 	for k := 0; k < numKinds; k++ {
 		s.Events[KindNames[k]] = m.Events[k].Load()

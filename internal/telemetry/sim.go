@@ -82,6 +82,42 @@ type Metrics struct {
 	// Flight recorder.
 	FlightRecords Counter // records written across all recorders
 	FlightDumps   Counter // post-mortem dumps written
+
+	// Causal tracer.
+	SpanRecords Counter // execution spans recorded across all lanes
+
+	// Sharded engine runtime. The per-window values are staged lane- and
+	// coordinator-locally (SimLocal) and flushed once per Run like every
+	// other simulator counter; Shards is the worker-lane count of the most
+	// recently built network (1 for the classic single loop).
+	Shards         Gauge
+	ShardWindows   Counter   // conservative windows opened
+	WindowSimNs    Histogram // window width in simulation time (ns)
+	BarrierStallNs Histogram // per-active-lane wall time idle at the barrier
+	StagedDepth    Histogram // staged cross-lane deliveries per destination at a merge
+	CutMsgs        Counter   // deliveries buffered across a shard boundary
+	ShardBusyNs    Counter   // summed per-lane window busy wall time (ns)
+	ShardBusyMaxNs Counter   // summed per-window max lane busy wall time (ns)
+	LaneWindows    Counter   // lane-window executions (active lanes summed per window)
+}
+
+// ShardImbalance returns the load-imbalance ratio of the sharded engine:
+// mean over windows of (max lane busy time / mean lane busy time),
+// approximated from the aggregated counters. 1.0 is a perfectly balanced
+// run; 0 means no sharded windows have executed.
+func (m *Metrics) ShardImbalance() float64 {
+	windows := m.ShardWindows.Load()
+	busy := m.ShardBusyNs.Load()
+	laneWindows := m.LaneWindows.Load()
+	if windows == 0 || busy == 0 || laneWindows == 0 {
+		return 0
+	}
+	maxMean := float64(m.ShardBusyMaxNs.Load()) / float64(windows)
+	mean := float64(busy) / float64(laneWindows)
+	if mean == 0 {
+		return 0
+	}
+	return maxMean / mean
 }
 
 // M is the process-global metrics set.
@@ -142,6 +178,20 @@ type SimLocal struct {
 	StateCommits    uint64
 
 	FlightRecords uint64
+	SpanRecords   uint64
+
+	// Sharded engine runtime. Windows, the window/stall/depth histograms
+	// and the busy aggregates are written by the coordinator (the control
+	// lane, with all workers parked); CutMsgs is written lane-locally on
+	// the hop path and folded in by MergeFrom.
+	Windows        uint64
+	WindowSimNs    LocalHist
+	BarrierStallNs LocalHist
+	StagedDepth    LocalHist
+	CutMsgs        uint64
+	LaneBusyNs     uint64
+	LaneBusyMaxNs  uint64
+	LaneWindows    uint64
 }
 
 // ObserveHeapDepth records the event-heap depth at a pop.
@@ -183,6 +233,15 @@ func (s *SimLocal) MergeFrom(o *SimLocal) {
 	move(&s.FlowScanned, &o.FlowScanned)
 	move(&s.StateCommits, &o.StateCommits)
 	move(&s.FlightRecords, &o.FlightRecords)
+	move(&s.SpanRecords, &o.SpanRecords)
+	move(&s.Windows, &o.Windows)
+	s.WindowSimNs.Merge(&o.WindowSimNs)
+	s.BarrierStallNs.Merge(&o.BarrierStallNs)
+	s.StagedDepth.Merge(&o.StagedDepth)
+	move(&s.CutMsgs, &o.CutMsgs)
+	move(&s.LaneBusyNs, &o.LaneBusyNs)
+	move(&s.LaneBusyMaxNs, &o.LaneBusyMaxNs)
+	move(&s.LaneWindows, &o.LaneWindows)
 }
 
 // FlushTo publishes and clears the staged values. simNs/wallNs are the
@@ -219,6 +278,16 @@ func (s *SimLocal) FlushTo(m *Metrics, simNs, wallNs int64, err bool) {
 	flush(&m.FlowScanned, &s.FlowScanned)
 	flush(&m.StateCommits, &s.StateCommits)
 	flush(&m.FlightRecords, &s.FlightRecords)
+	flush(&m.SpanRecords, &s.SpanRecords)
+
+	flush(&m.ShardWindows, &s.Windows)
+	s.WindowSimNs.FlushTo(&m.WindowSimNs)
+	s.BarrierStallNs.FlushTo(&m.BarrierStallNs)
+	s.StagedDepth.FlushTo(&m.StagedDepth)
+	flush(&m.CutMsgs, &s.CutMsgs)
+	flush(&m.ShardBusyNs, &s.LaneBusyNs)
+	flush(&m.ShardBusyMaxNs, &s.LaneBusyMaxNs)
+	flush(&m.LaneWindows, &s.LaneWindows)
 
 	m.Runs.Inc()
 	if err {

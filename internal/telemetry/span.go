@@ -1,0 +1,149 @@
+package telemetry
+
+import "sort"
+
+// SpanRecord is one execution span of the causal tracer: a single
+// ExecBatch execution of one traced packet at one switch. Spans form a
+// tree per trace — Parent is the span id carried by the packet when it
+// arrived (zero for the trace root, the trigger's injection), and every
+// emission of the execution inherits Span as its parent, so link
+// crossings and packet clones become parent→child edges without any
+// bookkeeping on the hop path.
+//
+// Span ids encode the recording lane: lane+1 in the high 32 bits, a
+// lane-local sequence number below. That makes ids unique across lanes
+// without atomics, keeps assignment deterministic, and lets a consumer
+// recover the parent's lane from the id alone (SpanLane), which is how
+// cross-shard edges are identified after the fact.
+//
+// Like FlightRecord the struct is pointer-free, so a ring of them is
+// never scanned by the garbage collector and its stores carry no write
+// barriers.
+type SpanRecord struct {
+	Span    uint64 // this span's id (never zero)
+	Parent  uint64 // parent span id; zero marks a trace root
+	At      int64  // simulation time of the execution, ns
+	Trace   uint32 // traversal id, assigned at injection
+	Sw      int32  // executing switch
+	Lane    int16  // recording lane (shard id; the control lane on stray execs)
+	Port    int16  // ingress port
+	Eth     uint16
+	Emits   uint8 // emissions of the execution, clamped at 255
+	Matched bool
+}
+
+// SpanLane recovers the lane that assigned a span id (-1 for id 0, the
+// synthetic parent of trace roots).
+func SpanLane(id uint64) int { return int(id>>32) - 1 }
+
+// DefaultSpanCap is the per-lane span-ring capacity used when the
+// timeline option is given a non-positive capacity.
+const DefaultSpanCap = 4096
+
+// Spans is a fixed-size ring of SpanRecords, one per recording lane —
+// the storage side of the causal tracer, modeled on Flight: recording is
+// a struct store into a preallocated pointer-free ring, no locks, no
+// allocation. Exactly one goroutine records (the owning lane's event
+// loop); Snapshot and the merge helpers are for after the run.
+type Spans struct {
+	ring []SpanRecord
+	mask uint64 // len(ring)-1; capacity is forced to a power of two
+	seq  uint64
+}
+
+// NewSpans returns a ring retaining the last capacity spans
+// (DefaultSpanCap if capacity <= 0), rounded up to a power of two.
+func NewSpans(capacity int) *Spans {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	cap2 := 1
+	for cap2 < capacity {
+		cap2 <<= 1
+	}
+	return &Spans{ring: make([]SpanRecord, cap2), mask: uint64(cap2 - 1)}
+}
+
+// Slot claims the next ring entry, cleared, for the caller to fill in
+// place — the same claim-before/fill-after contract as Flight.Slot: the
+// pointer is only valid until the next Slot call, so batch recorders
+// must bound outstanding claims by Cap.
+//
+//simlint:hotpath
+func (s *Spans) Slot() *SpanRecord {
+	r := &s.ring[s.seq&s.mask]
+	*r = SpanRecord{}
+	s.seq++
+	return r
+}
+
+// Cap returns the ring capacity.
+func (s *Spans) Cap() int { return len(s.ring) }
+
+// Len returns the number of retained spans.
+func (s *Spans) Len() int {
+	if s.seq < uint64(len(s.ring)) {
+		return int(s.seq)
+	}
+	return len(s.ring)
+}
+
+// Total returns the number of spans recorded since creation (or Reset),
+// including those the ring has evicted.
+func (s *Spans) Total() uint64 { return s.seq }
+
+// Snapshot returns the retained spans, oldest first.
+func (s *Spans) Snapshot() []SpanRecord {
+	n := s.Len()
+	out := make([]SpanRecord, 0, n)
+	start := s.seq - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, s.ring[(start+i)&s.mask])
+	}
+	return out
+}
+
+// AppendSince appends to dst the spans recorded after the first prev
+// claims, oldest first. Spans the ring has already evicted are lost —
+// only the retained suffix is appended. Together with Total this lets a
+// consumer drain a ring incrementally between runs in O(new records)
+// instead of re-snapshotting the whole ring.
+func (s *Spans) AppendSince(dst []SpanRecord, prev uint64) []SpanRecord {
+	if prev > s.seq {
+		prev = 0 // the ring was Reset after the cursor was taken
+	}
+	n := s.seq - prev
+	if retained := uint64(s.Len()); n > retained {
+		n = retained
+	}
+	start := s.seq - n
+	for i := uint64(0); i < n; i++ {
+		dst = append(dst, s.ring[(start+i)&s.mask])
+	}
+	return dst
+}
+
+// Reset discards all retained spans.
+func (s *Spans) Reset() {
+	s.seq = 0
+	for i := range s.ring {
+		s.ring[i] = SpanRecord{}
+	}
+}
+
+// MergedSpans interleaves the retained spans of several rings into one
+// slice ordered by simulation time; ties keep ring order (the rings
+// slice order, then ring position), so the merged view of a
+// deterministic sharded run is itself deterministic. Nil rings are
+// skipped.
+func MergedSpans(rings []*Spans) []SpanRecord {
+	var all []SpanRecord
+	for _, s := range rings {
+		if s == nil {
+			continue
+		}
+		all = append(all, s.Snapshot()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"sort"
+
+	"smartsouth/internal/telemetry"
+)
+
+// SpanNode is one execution span in a reconstructed traversal tree,
+// wrapping the raw record with its resolved children (ordered by
+// simulation time, then record order — the merged span slice is already
+// in that order, and reconstruction preserves it).
+type SpanNode struct {
+	Rec      telemetry.SpanRecord
+	Children []*SpanNode
+}
+
+// TraceTree is one reconstructed traversal: every span sharing a trace
+// id, linked parent→child. A healthy trace has exactly one root (the
+// trigger's first execution, Parent == 0) and resolves every parent
+// reference; spans whose parent record was evicted from a ring surface
+// as extra roots and clear Complete, so a consumer can tell a full
+// traversal from a tail.
+type TraceTree struct {
+	Trace     uint32
+	Roots     []*SpanNode
+	Spans     int  // total spans in the trace
+	CrossLane int  // parent→child edges that cross a lane (shard) boundary
+	Complete  bool // one root and every parent reference resolved
+}
+
+// BuildTraces reassembles merged span records (Network.SpanRecords) into
+// per-traversal trees, returned in ascending trace-id order. Records
+// with trace id 0 (untraced) are ignored.
+func BuildTraces(recs []telemetry.SpanRecord) []*TraceTree {
+	byTrace := make(map[uint32][]*SpanNode)
+	for i := range recs {
+		r := &recs[i]
+		if r.Trace == 0 {
+			continue
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], &SpanNode{Rec: *r})
+	}
+	out := make([]*TraceTree, 0, len(byTrace))
+	for id, nodes := range byTrace {
+		t := &TraceTree{Trace: id, Spans: len(nodes), Complete: true}
+		bySpan := make(map[uint64]*SpanNode, len(nodes))
+		for _, n := range nodes {
+			bySpan[n.Rec.Span] = n
+		}
+		for _, n := range nodes {
+			p := n.Rec.Parent
+			if p == 0 {
+				t.Roots = append(t.Roots, n)
+				continue
+			}
+			parent, ok := bySpan[p]
+			if !ok {
+				// The parent's record was evicted (ring wrap) or the
+				// packet was injected mid-traversal: the node becomes an
+				// orphan root and the trace is marked partial.
+				t.Roots = append(t.Roots, n)
+				t.Complete = false
+				continue
+			}
+			parent.Children = append(parent.Children, n)
+			if telemetry.SpanLane(p) != int(n.Rec.Lane) {
+				t.CrossLane++
+			}
+		}
+		if len(t.Roots) != 1 {
+			t.Complete = false
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Trace < out[j].Trace })
+	return out
+}

@@ -38,10 +38,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"smartsouth/internal/analysis"
 	"smartsouth/internal/controller"
 	"smartsouth/internal/core"
+	"smartsouth/internal/dump"
 	"smartsouth/internal/metrics"
 	"smartsouth/internal/monitor"
 	"smartsouth/internal/network"
@@ -144,6 +146,15 @@ type (
 	TraceEvent = trace.Event
 	// TraceRecorder is the ring-buffer hop-trace store (see WithTrace).
 	TraceRecorder = trace.Recorder
+	// SpanRecord is one execution span of the causal tracer (see
+	// WithTimeline): a pipeline execution of a traced packet, linked to
+	// its parent execution so traversals reconstruct as trees.
+	SpanRecord = telemetry.SpanRecord
+	// TraceTree is one reconstructed traversal (see Traces): the spans of
+	// a trace id linked parent→child, with cross-shard edge counts.
+	TraceTree = trace.TraceTree
+	// SpanNode is one node of a TraceTree.
+	SpanNode = trace.SpanNode
 	// Flight is the always-on flight recorder: a fixed ring of recent
 	// data-plane events for post-mortem JSONL dumps (see Deployment.Flight).
 	Flight = telemetry.Flight
@@ -232,7 +243,17 @@ var (
 	// n > 1 is deterministic for any fixed n but may order simultaneous
 	// independent events differently than the single loop.
 	WithShards = network.WithShards
+	// WithTimeline enables the causal traversal tracer, retaining the
+	// last n execution spans per lane (n <= 0 selects the default
+	// capacity). Read the result with SpanRecords/Traces/WriteTimeline,
+	// or from the /traces endpoint of ServeTelemetry.
+	WithTimeline = network.WithTimeline
 )
+
+// BuildTraces reassembles merged span records into per-traversal trees —
+// the offline half of the causal tracer, for spans obtained outside a
+// Deployment (e.g. replayed from a JSONL dump).
+var BuildTraces = trace.BuildTraces
 
 // TelemetrySnapshot captures the process-wide telemetry registry:
 // event/hop/packet-in counters, pool hit rate, flow-table fan-out,
@@ -275,6 +296,18 @@ type Deployment struct {
 	reg   *metrics.Registry
 	slots *core.SlotAllocator
 	be    core.Backend
+
+	// Timeline store served by SpanRecords/Traces and /traces. The live
+	// per-lane span rings are only safe to read at a barrier, so Run
+	// drains the new records into this slice under the mutex (O(new
+	// spans), not O(ring capacity)) and readers — including the HTTP
+	// handler, any goroutine, any time — copy from it. Retention is
+	// bounded at twice the aggregate ring capacity (timelineMax), so a
+	// long-lived traced deployment keeps the most recent traversals, like
+	// the rings themselves.
+	timelineMu  sync.Mutex
+	timeline    []SpanRecord
+	timelineMax int
 }
 
 // BackendName returns the compile backend this deployment lowers services
@@ -313,6 +346,15 @@ func newDeployment(g *Graph, cfg network.Config) *Deployment {
 		d.Trace = trace.NewRecorder(cfg.TraceCap)
 		net.ObserveExec(func(sw, inPort int, pkt *openflow.Packet, res *openflow.Result) {
 			d.Trace.OnExec(net.Sim.Now(), sw, inPort, pkt, res)
+		})
+	}
+	if cfg.Opts.Timeline > 0 {
+		d.timelineMax = cfg.Opts.Timeline * (net.Shards() + 1)
+		// Serve this deployment's timeline on /traces. Registration is
+		// last-wins process state, matching the process-global metrics: the
+		// most recently deployed traced network is what the endpoint shows.
+		telemetry.SetTraceSource(func(w io.Writer) error {
+			return dump.WriteChromeTrace(w, d.SpanRecords())
 		})
 	}
 	return d
@@ -417,6 +459,19 @@ func DeployRemote(g *Graph, opts ...Option) (*Deployment, error) {
 // relayed packet-ins.
 func (d *Deployment) Run() error {
 	_, err := d.CP.RunNetwork()
+	if d.timelineMax > 0 {
+		// Harvest the spans this run recorded: the lanes are parked now,
+		// which is the only time their rings may be read. Appending only
+		// the new records keeps the per-run cost proportional to the
+		// run's own span count; sim time is monotone across runs, so the
+		// accumulated slice stays globally time-ordered.
+		d.timelineMu.Lock()
+		d.timeline = d.Net.DrainSpans(d.timeline)
+		if len(d.timeline) > 2*d.timelineMax {
+			d.timeline = append(d.timeline[:0], d.timeline[len(d.timeline)-d.timelineMax:]...)
+		}
+		d.timelineMu.Unlock()
+	}
 	if err != nil {
 		d.Net.FlightNote("run error: " + err.Error())
 		d.dumpFlightOnFailure("run")
@@ -744,6 +799,44 @@ func (d *Deployment) TraceEvents() []TraceEvent {
 		return nil
 	}
 	return d.Trace.Events()
+}
+
+// SpanRecords returns a copy of the causal tracer's retained execution
+// spans in simulation-time order, accumulated across every Run of this
+// deployment (nil without WithTimeline). Safe from any goroutine: the
+// store is only appended to at end-of-run barriers, under a mutex both
+// sides take.
+func (d *Deployment) SpanRecords() []SpanRecord {
+	d.timelineMu.Lock()
+	defer d.timelineMu.Unlock()
+	if d.timeline == nil {
+		return nil
+	}
+	return append([]SpanRecord(nil), d.timeline...)
+}
+
+// Traces reconstructs the retained spans into per-traversal trees,
+// ascending by trace id (nil without WithTimeline). A tree is Complete
+// when its root and every intermediate span are still retained; on long
+// runs the store keeps only the most recent traversals whole.
+func (d *Deployment) Traces() []*TraceTree {
+	recs := d.SpanRecords()
+	if recs == nil {
+		return nil
+	}
+	return trace.BuildTraces(recs)
+}
+
+// WriteTimeline renders the retained spans as Chrome trace-event JSON —
+// loadable in Perfetto / chrome://tracing, with one swimlane block per
+// shard and flow arrows on cross-shard edges.
+func (d *Deployment) WriteTimeline(w io.Writer) error {
+	return dump.WriteChromeTrace(w, d.SpanRecords())
+}
+
+// WriteSpanJSONL dumps the retained spans as one JSON object per line.
+func (d *Deployment) WriteSpanJSONL(w io.Writer) error {
+	return dump.WriteSpanJSONL(w, d.SpanRecords())
 }
 
 // Flight returns the deployment's flight recorder — the always-on fixed

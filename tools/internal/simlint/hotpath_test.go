@@ -188,3 +188,50 @@ func Exec() func() []byte {
 	wantDiags(t, got,
 		`fixture.go:5:9: [hotpath] heap allocation (func literal) in hot path Exec`)
 }
+
+// TestHotpathSpanClaimFill models the span-record path in the sharded
+// engine: the hot batch loop claims pre-allocated ring slots and fills
+// them in place, which must lint clean even though the claim helper
+// zeroes and hands back a pointer. The naive variant that materializes
+// a record per packet is the regression the annotation exists to catch.
+func TestHotpathSpanClaimFill(t *testing.T) {
+	got := hotLint(t, `package x
+
+type span struct {
+	id, parent uint64
+	at         int64
+}
+
+type ring struct {
+	buf  []span
+	head uint64
+}
+
+func (r *ring) slot() *span {
+	s := &r.buf[r.head&uint64(len(r.buf)-1)]
+	r.head++
+	*s = span{}
+	return s
+}
+
+//simlint:hotpath
+func Exec(r *ring, ids []uint64, at int64) {
+	for _, id := range ids {
+		s := r.slot()
+		s.id = id
+		s.at = at
+	}
+}
+
+//simlint:hotpath
+func ExecAlloc(ids []uint64, at int64) []*span {
+	out := make([]*span, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, &span{id: id, at: at})
+	}
+	return out
+}`)
+	wantDiags(t, got,
+		`fixture.go:31:9: [hotpath] heap allocation (make) in hot path ExecAlloc`,
+		`fixture.go:33:21: [hotpath] heap allocation (&composite literal) in hot path ExecAlloc`)
+}
